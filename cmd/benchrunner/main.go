@@ -1,0 +1,65 @@
+// Command benchrunner regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	benchrunner -exp table2        # one experiment
+//	benchrunner -exp fig10,fig13   # several
+//	benchrunner -exp all           # everything, in paper order
+//	benchrunner -list              # show available experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"bigindex/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
+	list := flag.Bool("list", false, "list available experiments")
+	flag.Parse()
+
+	if *list {
+		ids := make([]string, 0, len(bench.Experiments))
+		for id := range bench.Experiments {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	var ids []string
+	if *exp == "all" {
+		ids = bench.ExperimentOrder
+	} else {
+		ids = strings.Split(*exp, ",")
+	}
+
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		runner, ok := bench.Experiments[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		rep, err := runner()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", id, err)
+			os.Exit(1)
+		}
+		if err := rep.Write(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "writing report: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s finished in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

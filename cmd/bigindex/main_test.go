@@ -1,0 +1,82 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The subcommands are exercised directly (they print to stdout, which the
+// test harness captures); success means no error and sane side effects.
+
+func TestCmdGenStatsRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "demo.big")
+	if err := cmdGen([]string{"-preset", "demo", "-out", out}); err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	if fi, err := os.Stat(out); err != nil || fi.Size() == 0 {
+		t.Fatalf("gen wrote nothing: %v", err)
+	}
+	if err := cmdStats([]string{"-in", out}); err != nil {
+		t.Fatalf("stats -in: %v", err)
+	}
+	if err := cmdStats([]string{"-preset", "demo"}); err != nil {
+		t.Fatalf("stats -preset: %v", err)
+	}
+}
+
+func TestCmdBuildQuerySaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	idxFile := filepath.Join(dir, "demo.bigx")
+	if err := cmdBuild([]string{"-preset", "demo", "-save", idxFile}); err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if fi, err := os.Stat(idxFile); err != nil || fi.Size() == 0 {
+		t.Fatalf("index not saved: %v", err)
+	}
+
+	// Pick a keyword that exists: use the demo dataset's most frequent term.
+	ds, err := loadPreset("demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kw string
+	best := 0
+	for _, l := range ds.Graph.DistinctLabels() {
+		if c := ds.Graph.LabelCount(l); c > best {
+			best = c
+			kw = ds.Graph.Dict().Name(l)
+		}
+	}
+	if err := cmdQuery([]string{"-preset", "demo", "-q", kw, "-k", "3", "-dmax", "3"}); err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if err := cmdQuery([]string{"-preset", "demo", "-q", kw, "-k", "3", "-dmax", "3", "-load", idxFile}); err != nil {
+		t.Fatalf("query -load: %v", err)
+	}
+	if err := cmdQuery([]string{"-preset", "demo", "-q", kw, "-k", "3", "-direct"}); err != nil {
+		t.Fatalf("query -direct: %v", err)
+	}
+	if err := cmdQuery([]string{"-preset", "demo", "-q", kw, "-algo", "bkws", "-k", "2", "-expand"}); err != nil {
+		t.Fatalf("query bkws -expand: %v", err)
+	}
+}
+
+func TestCmdErrors(t *testing.T) {
+	if err := cmdGen([]string{"-preset", "nope", "-out", "/tmp/x"}); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+	if err := cmdGen([]string{"-preset", "demo"}); err == nil {
+		t.Fatal("missing -out accepted")
+	}
+	if err := cmdQuery([]string{"-preset", "demo"}); err == nil {
+		t.Fatal("missing -q accepted")
+	}
+	if err := cmdQuery([]string{"-preset", "demo", "-q", "zzzz-not-a-term"}); err == nil {
+		t.Fatal("unresolvable keyword accepted")
+	}
+	if _, err := newAlgo("nope", 3); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}

@@ -1,0 +1,86 @@
+// Command bigindexd serves a BiG-index over HTTP (see internal/server for
+// the API):
+//
+//	bigindexd -preset yago-s -addr :8080
+//	bigindexd -preset demo -index saved.bigx      # load instead of build
+//
+//	curl 'localhost:8080/query?q=term 17,term 27&algo=blinks&k=5'
+//	curl 'localhost:8080/explain?q=term 17,term 27'
+//	curl 'localhost:8080/complete?prefix=term'
+//	curl 'localhost:8080/stats'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"bigindex/internal/core"
+	"bigindex/internal/datagen"
+	"bigindex/internal/server"
+)
+
+func main() {
+	preset := flag.String("preset", "demo", "dataset preset (demo, yago-s, dbpedia-s, imdb-s, synt-*)")
+	addr := flag.String("addr", ":8080", "listen address")
+	indexFile := flag.String("index", "", "load a saved index instead of building")
+	dmax := flag.Int("dmax", 4, "distance bound")
+	flag.Parse()
+
+	ds, err := presetByName(*preset)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var idx *core.Index
+	if *indexFile != "" {
+		f, err := os.Open(*indexFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		idx, err = core.Load(f, ds.Ont)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("loaded index from %s (%d layers)", *indexFile, idx.NumLayers())
+	} else {
+		start := time.Now()
+		idx, err = core.Build(ds.Graph, ds.Ont, core.DefaultBuildOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("built index for %s in %v (%d layers)", ds.Name, time.Since(start).Round(time.Millisecond), idx.NumLayers())
+	}
+
+	srv := server.New(idx, ds.Ont, server.Options{DMax: *dmax})
+	log.Printf("serving %s on %s", ds.Name, *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}
+
+func presetByName(name string) (*datagen.Dataset, error) {
+	switch name {
+	case "demo":
+		return datagen.Generate(datagen.Options{
+			Name: "demo", Entities: 1500, Terms: 120, LeafTypes: 8, Seed: 4242,
+		}), nil
+	case "yago-s":
+		return datagen.YagoSmall(), nil
+	case "dbpedia-s":
+		return datagen.DbpediaSmall(), nil
+	case "imdb-s":
+		return datagen.ImdbSmall(), nil
+	case "synt-10k":
+		return datagen.Synthetic(10000, 8101), nil
+	case "synt-20k":
+		return datagen.Synthetic(20000, 8102), nil
+	case "synt-40k":
+		return datagen.Synthetic(40000, 8103), nil
+	case "synt-80k":
+		return datagen.Synthetic(80000, 8104), nil
+	default:
+		return nil, fmt.Errorf("unknown preset %q", name)
+	}
+}

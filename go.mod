@@ -1,0 +1,3 @@
+module bigindex
+
+go 1.22

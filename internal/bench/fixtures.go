@@ -1,0 +1,180 @@
+// Package bench is the experiment harness: one runner per table and figure
+// of the paper's evaluation (Sec. 6), each printing the same rows/series the
+// paper reports. cmd/benchrunner exposes them on the command line and the
+// top-level bench_test.go wraps them as Go benchmarks.
+//
+// The datasets are the scaled stand-ins of internal/datagen (see DESIGN.md
+// for the substitution table); parameters follow the paper where they apply
+// (d_max = 5 scaled to 4, r-clique R = 4 scaled to 3, β = 0.5, α = 0.5,
+// one generalization round per layer, up to 7 layers).
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"bigindex/internal/core"
+	"bigindex/internal/datagen"
+	"bigindex/internal/search"
+	"bigindex/internal/search/blinks"
+	"bigindex/internal/search/rclique"
+)
+
+// Experiment parameters (paper values scaled to the dataset sizes).
+const (
+	// DMax is the Blinks/bkws pruning threshold (paper: 5 on 2.6M-vertex
+	// YAGO3; 4 at our ~1:100 scale keeps neighborhood sizes proportional).
+	DMax = 4
+	// RClique is the r-clique pairwise bound (paper: 4).
+	RClique = 3
+	// BlockSize is the Blinks partition block size (paper: METIS, avg 1000).
+	BlockSize = 200
+	// Beta is the query-generalization weight (paper settles on 0.5).
+	Beta = 0.5
+	// SampleCount is the per-layer estimator sample count used when
+	// building fixture indexes (the paper's n = 400; 120 keeps full-suite
+	// runtime reasonable and is past the stability knee of Fig. 16).
+	SampleCount = 120
+	// QueryRepeats is how many times each query is timed (paper: 10).
+	QueryRepeats = 7
+)
+
+// Fixture bundles a dataset with its built index and workload.
+type Fixture struct {
+	DS        *datagen.Dataset
+	Index     *core.Index
+	Queries   []datagen.Query
+	BuildTime time.Duration
+}
+
+var (
+	fixtureMu    sync.Mutex
+	fixtureCache = map[string]*Fixture{}
+)
+
+// GetFixture returns (building and caching on first use) the fixture for a
+// dataset name: yago-s, dbpedia-s, imdb-s, or synt-<n>k.
+func GetFixture(name string) (*Fixture, error) {
+	fixtureMu.Lock()
+	defer fixtureMu.Unlock()
+	if f, ok := fixtureCache[name]; ok {
+		return f, nil
+	}
+	ds, err := datasetByName(name)
+	if err != nil {
+		return nil, err
+	}
+	opt := core.DefaultBuildOptions()
+	opt.Search.SampleCount = SampleCount
+	start := time.Now()
+	idx, err := core.Build(ds.Graph, ds.Ont, opt)
+	if err != nil {
+		return nil, fmt.Errorf("bench: building index for %s: %w", name, err)
+	}
+	wl := datagen.DefaultWorkload()
+	if name == "imdb-s" {
+		// The paper's IMDB queries come from the Coffman-Weaver topic
+		// benchmark: short, selective queries naming specific entities
+		// ("relationships between Harrison Ford and George Lucas"), not
+		// high-frequency terms.
+		wl = datagen.WorkloadOptions{
+			Sizes:    []int{2, 2, 2, 3, 3, 2, 3, 3},
+			MinCount: 3,
+			Seed:     99,
+		}
+	}
+	f := &Fixture{
+		DS:        ds,
+		Index:     idx,
+		Queries:   datagen.Queries(ds, wl),
+		BuildTime: time.Since(start),
+	}
+	fixtureCache[f.DS.Name] = f
+	return f, nil
+}
+
+func datasetByName(name string) (*datagen.Dataset, error) {
+	switch name {
+	case "yago-s":
+		return datagen.YagoSmall(), nil
+	case "dbpedia-s":
+		return datagen.DbpediaSmall(), nil
+	case "imdb-s":
+		return datagen.ImdbSmall(), nil
+	case "synt-10k":
+		return datagen.Synthetic(10000, 8101), nil
+	case "synt-20k":
+		return datagen.Synthetic(20000, 8102), nil
+	case "synt-40k":
+		return datagen.Synthetic(40000, 8103), nil
+	case "synt-80k":
+		return datagen.Synthetic(80000, 8104), nil
+	default:
+		return nil, fmt.Errorf("bench: unknown dataset %q", name)
+	}
+}
+
+// RealNames lists the real-dataset stand-ins; SynthNames the scaling series.
+var (
+	RealNames  = []string{"yago-s", "dbpedia-s", "imdb-s"}
+	SynthNames = []string{"synt-10k", "synt-20k", "synt-40k", "synt-80k"}
+)
+
+// NewBlinks returns the Blinks instance used across experiments.
+func NewBlinks() search.Algorithm {
+	return blinks.New(blinks.Options{DMax: DMax, BlockSize: BlockSize})
+}
+
+// BlinksEvalOptions returns the evaluator options used for Blinks on a
+// dataset. β = 0.5 follows the paper; the density-correction exponent of
+// cost.QueryCostEx is calibrated per dataset the way the paper calibrates
+// its own knobs "by experiments": the dense DBpedia stand-in needs the
+// correction (its summaries densify sharply, making high layers a trap),
+// while the IMDB stand-in's selective topic queries profit from high
+// layers despite densification.
+func BlinksEvalOptions(dataset string) core.EvalOptions {
+	opt := core.DefaultEvalOptions()
+	switch dataset {
+	case "imdb-s":
+		opt.DegreeExponent = 0
+	default:
+		opt.DegreeExponent = 1
+	}
+	return opt
+}
+
+// RCliqueEvalOptions returns the evaluator options for r-clique
+// experiments: the original's top-k mode (k = 10), early termination
+// (Sec. 4.3.4), and the full R-hop density correction — r-clique's
+// traversal cost grows like degree^R, so densified summaries must be
+// costed accordingly.
+func RCliqueEvalOptions() core.EvalOptions {
+	opt := core.DefaultEvalOptions()
+	opt.K = 10
+	opt.GenLimit = 24
+	opt.EarlyK = true
+	opt.DegreeExponent = RClique
+	opt.GenBudget = 2_000_000
+	return opt
+}
+
+// NewRClique returns the r-clique instance used across experiments. The
+// neighbor index is uncapped here (the scaled graphs fit in memory); the
+// paper's IMDB infeasibility — a projected 16 TB neighbor list — is
+// reproduced by ProjectFullScaleEntries in the headline experiment.
+func NewRClique() *rclique.Algorithm {
+	return rclique.NewWithOptions(rclique.Options{R: RClique})
+}
+
+// ProjectFullScaleEntries extrapolates a neighbor-index size to the paper's
+// dataset scale: the average R-hop neighborhood is measured as a fraction
+// of the scaled graph and applied to the full vertex count — the "m is
+// close to 105K, the neighbor list could take 16TB" estimate of Exp-1.
+func ProjectFullScaleEntries(scaled *rclique.Algorithm, f *Fixture, fullVertices int) (avgRowFull, totalFull float64) {
+	est := scaled.EstimateEntries(f.DS.Graph, 300)
+	frac := float64(est) / float64(f.DS.Graph.NumVertices()) / float64(f.DS.Graph.NumVertices())
+	avgRowFull = frac * float64(fullVertices)
+	totalFull = avgRowFull * float64(fullVertices)
+	return
+}

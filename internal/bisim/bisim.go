@@ -1,0 +1,176 @@
+// Package bisim computes the maximal (backward) bisimulation of a labeled
+// directed graph and materializes it as a summary graph, implementing the
+// Bisim summarization operator of the paper (Sec. 2).
+//
+// Two vertices are bisimilar iff they carry the same label and their
+// out-neighborhoods match block-for-block (the paper's Def. in Sec. 2; its
+// running example groups the 100 Person vertices because they share a label
+// and a bisimilar child). The unique maximal bisimulation is the coarsest
+// partition stable under that condition; we compute it by signature-based
+// partition refinement (Kanellakis-Smolka style): start from the partition
+// induced by labels and repeatedly split blocks whose members see different
+// sets of successor blocks, until a fixpoint.
+//
+// The summary graph Bisim(G) has one supernode per block, labeled with the
+// members' common label, and an edge between two supernodes iff some member
+// edge connects their blocks — exactly the quotient construction of Sec. 2,
+// which is path-preserving (Def. 2.1). Bisim⁻¹ is materialized as the
+// Members table (supernode -> member vertices), the hash-table reverse
+// mapping the paper prescribes.
+package bisim
+
+import (
+	"hash/maphash"
+	"slices"
+
+	"bigindex/internal/graph"
+)
+
+// Result is the outcome of Compute: the summary graph, the vertex->supernode
+// map χ (Block), and the supernode->vertices reverse map χ⁻¹ (Members).
+type Result struct {
+	// Summary is Bisim(G), the quotient graph.
+	Summary *graph.Graph
+	// Block maps each vertex of the input graph to its supernode in Summary;
+	// Block[v] is the paper's Bisim(v) = [v]_equiv.
+	Block []graph.V
+	// Members maps each supernode to the member vertices of the input graph,
+	// ascending; Members[s] is Bisim⁻¹(s).
+	Members [][]graph.V
+}
+
+// NumBlocks reports the number of equivalence classes.
+func (r *Result) NumBlocks() int { return len(r.Members) }
+
+// CompressionRatio reports |Bisim(G)| / |G| given the original graph size;
+// the compress component of the index cost model (Formula 3).
+func (r *Result) CompressionRatio(original *graph.Graph) float64 {
+	if original.Size() == 0 {
+		return 1
+	}
+	return float64(r.Summary.Size()) / float64(original.Size())
+}
+
+// Compute returns the maximal bisimulation of g.
+func Compute(g *graph.Graph) *Result {
+	n := g.NumVertices()
+	block := make([]uint32, n)
+
+	// Initial partition: one block per distinct label, numbered in order of
+	// first appearance so results are deterministic.
+	next := uint32(0)
+	byLabel := make(map[graph.Label]uint32)
+	for v := 0; v < n; v++ {
+		l := g.Label(graph.V(v))
+		id, ok := byLabel[l]
+		if !ok {
+			id = next
+			next++
+			byLabel[l] = id
+		}
+		block[v] = id
+	}
+
+	numBlocks := int(next)
+	sigBuf := make([]uint32, 0, 16)
+	seed := maphash.MakeSeed()
+
+	for {
+		// Map (old block, successor-block set) -> new block id.
+		assign := make(map[uint64][]int) // hash -> candidate vertex lists (chaining below)
+		newBlock := make([]uint32, n)
+		sigOf := make([][]uint32, 0, numBlocks*2)
+		sigOwner := make([]uint32, 0, numBlocks*2) // old block of each new block
+		nextID := uint32(0)
+
+		for v := 0; v < n; v++ {
+			sigBuf = sigBuf[:0]
+			for _, w := range g.Out(graph.V(v)) {
+				sigBuf = append(sigBuf, block[w])
+			}
+			slices.Sort(sigBuf)
+			sigBuf = slices.Compact(sigBuf)
+
+			h := hashSig(seed, block[v], sigBuf)
+			id := uint32(0)
+			found := false
+			for _, cand := range assign[h] {
+				if sigOwner[cand] == block[v] && slices.Equal(sigOf[cand], sigBuf) {
+					id = uint32(cand)
+					found = true
+					break
+				}
+			}
+			if !found {
+				id = nextID
+				nextID++
+				sigOf = append(sigOf, append([]uint32(nil), sigBuf...))
+				sigOwner = append(sigOwner, block[v])
+				assign[h] = append(assign[h], int(id))
+			}
+			newBlock[v] = id
+		}
+
+		if int(nextID) == numBlocks {
+			// Fixpoint: the partition is stable.
+			break
+		}
+		numBlocks = int(nextID)
+		block = newBlock
+	}
+
+	return buildResult(g, block, numBlocks)
+}
+
+func hashSig(seed maphash.Seed, owner uint32, sig []uint32) uint64 {
+	var h maphash.Hash
+	h.SetSeed(seed)
+	var buf [4]byte
+	putU32(&buf, owner)
+	h.Write(buf[:])
+	for _, s := range sig {
+		putU32(&buf, s)
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+func putU32(buf *[4]byte, x uint32) {
+	buf[0] = byte(x)
+	buf[1] = byte(x >> 8)
+	buf[2] = byte(x >> 16)
+	buf[3] = byte(x >> 24)
+}
+
+// buildResult materializes the quotient graph from a stable partition.
+func buildResult(g *graph.Graph, block []uint32, numBlocks int) *Result {
+	n := g.NumVertices()
+	members := make([][]graph.V, numBlocks)
+	for v := 0; v < n; v++ {
+		members[block[v]] = append(members[block[v]], graph.V(v))
+	}
+
+	b := graph.NewBuilder(g.Dict())
+	for s := 0; s < numBlocks; s++ {
+		// All members share a label by construction; use the first.
+		b.AddVertexLabel(g.Label(members[s][0]))
+	}
+	seen := make(map[uint64]bool)
+	for v := 0; v < n; v++ {
+		bu := block[v]
+		for _, w := range g.Out(graph.V(v)) {
+			bv := block[w]
+			key := uint64(bu)<<32 | uint64(bv)
+			if !seen[key] {
+				seen[key] = true
+				b.AddEdge(graph.V(bu), graph.V(bv))
+			}
+		}
+	}
+
+	blk := make([]graph.V, n)
+	for v := 0; v < n; v++ {
+		blk[v] = graph.V(block[v])
+	}
+	return &Result{Summary: b.Build(), Block: blk, Members: members}
+}

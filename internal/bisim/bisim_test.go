@@ -1,0 +1,254 @@
+package bisim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bigindex/internal/graph"
+)
+
+// naiveBisim computes the maximal bisimulation by the O(n²·m) textbook
+// fixpoint over vertex pairs: start with all same-label pairs related, and
+// remove a pair (u, v) when some out-edge of u has no matching out-edge of
+// v into a still-related pair (or vice versa). Reference for Compute.
+func naiveBisim(g *graph.Graph) [][]bool {
+	n := g.NumVertices()
+	rel := make([][]bool, n)
+	for i := range rel {
+		rel[i] = make([]bool, n)
+		for j := 0; j < n; j++ {
+			rel[i][j] = g.Label(graph.V(i)) == g.Label(graph.V(j))
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if !rel[u][v] {
+					continue
+				}
+				if !simulates(g, graph.V(u), graph.V(v), rel) || !simulates(g, graph.V(v), graph.V(u), rel) {
+					rel[u][v] = false
+					changed = true
+				}
+			}
+		}
+	}
+	return rel
+}
+
+// simulates reports whether every out-edge of u can be matched by an
+// out-edge of v into a related target.
+func simulates(g *graph.Graph, u, v graph.V, rel [][]bool) bool {
+	for _, uw := range g.Out(u) {
+		ok := false
+		for _, vw := range g.Out(v) {
+			if rel[uw][vw] {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func randomGraph(rng *rand.Rand, n, e, labels int) *graph.Graph {
+	b := graph.NewBuilder(nil)
+	ls := make([]graph.Label, labels)
+	for i := range ls {
+		ls[i] = b.Dict().Intern(string(rune('A' + i)))
+	}
+	for i := 0; i < n; i++ {
+		b.AddVertexLabel(ls[rng.Intn(labels)])
+	}
+	for i := 0; i < e; i++ {
+		b.AddEdge(graph.V(rng.Intn(n)), graph.V(rng.Intn(n)))
+	}
+	return b.Build()
+}
+
+func TestComputeMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(14)
+		g := randomGraph(rng, n, rng.Intn(3*n), 1+rng.Intn(3))
+		res := Compute(g)
+		rel := naiveBisim(g)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				got := res.Block[u] == res.Block[v]
+				want := rel[u][v]
+				if got != want {
+					t.Fatalf("trial %d: bisimilar(%d,%d) = %v, naive = %v\n%v", trial, u, v, got, want, g.Edges())
+				}
+			}
+		}
+	}
+}
+
+func TestHundredPersonsExample(t *testing.T) {
+	// The running example of the paper (Fig. 3/4): 100 Person vertices all
+	// pointing at the same Univ vertex collapse into one supernode.
+	b := graph.NewBuilder(nil)
+	person := b.Dict().Intern("Person")
+	univ := b.Dict().Intern("Univ")
+	u := b.AddVertexLabel(univ)
+	for i := 0; i < 100; i++ {
+		p := b.AddVertexLabel(person)
+		b.AddEdge(p, u)
+	}
+	g := b.Build()
+	res := Compute(g)
+	if res.NumBlocks() != 2 {
+		t.Fatalf("NumBlocks = %d, want 2 (Person*, Univ)", res.NumBlocks())
+	}
+	if res.Summary.NumVertices() != 2 || res.Summary.NumEdges() != 1 {
+		t.Fatalf("summary = %v", res.Summary)
+	}
+	if got := res.CompressionRatio(g); got >= 0.05 {
+		t.Fatalf("compression ratio %v, want tiny", got)
+	}
+}
+
+func TestMembersPartitionVertices(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := randomGraph(rng, 50, 120, 4)
+	res := Compute(g)
+	seen := make(map[graph.V]int)
+	for s, members := range res.Members {
+		for _, v := range members {
+			seen[v]++
+			if res.Block[v] != graph.V(s) {
+				t.Fatalf("Members/Block disagree for %d", v)
+			}
+		}
+	}
+	if len(seen) != g.NumVertices() {
+		t.Fatalf("Members cover %d vertices, want %d", len(seen), g.NumVertices())
+	}
+	for v, c := range seen {
+		if c != 1 {
+			t.Fatalf("vertex %d in %d blocks", v, c)
+		}
+	}
+}
+
+func TestSummaryLabelsMatchMembers(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomGraph(rng, 40, 100, 3)
+	res := Compute(g)
+	for s, members := range res.Members {
+		for _, v := range members {
+			if g.Label(v) != res.Summary.Label(graph.V(s)) {
+				t.Fatalf("block %d mixes labels", s)
+			}
+		}
+	}
+}
+
+// TestPathPreserving is the Def. 2.1 property: every edge (hence path) of G
+// maps to an edge of Bisim(G).
+func TestPathPreserving(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		g := randomGraph(rng, n, rng.Intn(4*n), 1+rng.Intn(4))
+		res := Compute(g)
+		for _, e := range g.Edges() {
+			if !res.Summary.HasEdge(res.Block[e.From], res.Block[e.To]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSummaryEdgesAreWitnessed is the converse soundness property: every
+// summary edge comes from at least one member edge.
+func TestSummaryEdgesAreWitnessed(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		g := randomGraph(rng, n, rng.Intn(4*n), 1+rng.Intn(4))
+		res := Compute(g)
+		for _, e := range res.Summary.Edges() {
+			witnessed := false
+			for _, u := range res.Members[e.From] {
+				for _, w := range g.Out(u) {
+					if res.Block[w] == e.To {
+						witnessed = true
+						break
+					}
+				}
+				if witnessed {
+					break
+				}
+			}
+			if !witnessed {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFixpointStable: summarizing a summary with fresh labels per block is
+// idempotent in size terms — Compute(G) applied to its own summary cannot
+// shrink further (maximality of the partition it returns).
+func TestFixpointStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(30)
+		g := randomGraph(rng, n, rng.Intn(3*n), 1+rng.Intn(3))
+		res := Compute(g)
+		// Supernodes with equal labels can still be bisimilar *to each
+		// other* in the summary graph only if they were not maximal blocks.
+		res2 := Compute(res.Summary)
+		if res2.NumBlocks() != res.Summary.NumVertices() {
+			t.Fatalf("summary of a maximal summary collapsed further: %d -> %d",
+				res.Summary.NumVertices(), res2.NumBlocks())
+		}
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := graph.NewBuilder(nil).Build()
+	res := Compute(g)
+	if res.NumBlocks() != 0 || res.Summary.NumVertices() != 0 {
+		t.Fatalf("empty graph mishandled: %+v", res)
+	}
+	if r := res.CompressionRatio(g); r != 1 {
+		t.Fatalf("empty compression ratio = %v, want 1", r)
+	}
+}
+
+func TestSelfLoopAndCycle(t *testing.T) {
+	b := graph.NewBuilder(nil)
+	l := b.Dict().Intern("X")
+	// Two vertices in a 2-cycle and one with a self loop: all same label.
+	// Self-loop vertex is bisimilar to cycle vertices (all see block X).
+	v0 := b.AddVertexLabel(l)
+	v1 := b.AddVertexLabel(l)
+	v2 := b.AddVertexLabel(l)
+	b.AddEdge(v0, v1)
+	b.AddEdge(v1, v0)
+	b.AddEdge(v2, v2)
+	g := b.Build()
+	res := Compute(g)
+	if res.NumBlocks() != 1 {
+		t.Fatalf("NumBlocks = %d, want 1 (cycle ≡ self-loop)", res.NumBlocks())
+	}
+	if !res.Summary.HasEdge(0, 0) {
+		t.Fatal("summary should have a self loop")
+	}
+}

@@ -1,0 +1,133 @@
+package bisim
+
+import (
+	"slices"
+
+	"bigindex/internal/graph"
+)
+
+// Summarization variants — the paper's future-work direction ("we plan to
+// implement other summarization formalisms for BiG-index"). Any quotient by
+// a label-preserving vertex partition maps edges to edges, so the
+// framework's correctness machinery (Prop 5.1 reachability, Prop 5.2
+// distance lower bounds, and the final data-graph verification) holds for
+// every variant here; they trade compression strength against construction
+// cost and summary fidelity.
+
+// ComputeK returns the k-bisimulation summary: the partition after at most
+// k refinement rounds starting from labels. k-bisimilar vertices agree on
+// all outgoing path patterns of length <= k, which is exactly what bounded
+// keyword search (d_max <= k) observes. Smaller k means coarser summaries
+// (stronger compression, more false candidates to verify) and faster
+// construction. ComputeK with large k converges to Compute.
+func ComputeK(g *graph.Graph, k int) *Result {
+	n := g.NumVertices()
+	block := make([]uint32, n)
+	next := uint32(0)
+	byLabel := make(map[graph.Label]uint32)
+	for v := 0; v < n; v++ {
+		l := g.Label(graph.V(v))
+		id, ok := byLabel[l]
+		if !ok {
+			id = next
+			next++
+			byLabel[l] = id
+		}
+		block[v] = id
+	}
+	numBlocks := int(next)
+
+	for round := 0; round < k; round++ {
+		newBlock, nextID := refineOnce(g, block, numBlocks, graph.Forward)
+		if int(nextID) == numBlocks {
+			break
+		}
+		numBlocks = int(nextID)
+		block = newBlock
+	}
+	return buildResult(g, block, numBlocks)
+}
+
+// ComputeForward returns the forward-bisimulation summary: vertices are
+// equivalent when they agree on labels and *predecessor* block sets. It is
+// the natural variant for semantics driven by forward reachability from
+// keyword nodes.
+func ComputeForward(g *graph.Graph) *Result {
+	n := g.NumVertices()
+	block := make([]uint32, n)
+	next := uint32(0)
+	byLabel := make(map[graph.Label]uint32)
+	for v := 0; v < n; v++ {
+		l := g.Label(graph.V(v))
+		id, ok := byLabel[l]
+		if !ok {
+			id = next
+			next++
+			byLabel[l] = id
+		}
+		block[v] = id
+	}
+	numBlocks := int(next)
+	for {
+		newBlock, nextID := refineOnce(g, block, numBlocks, graph.Backward)
+		if int(nextID) == numBlocks {
+			break
+		}
+		numBlocks = int(nextID)
+		block = newBlock
+	}
+	return buildResult(g, block, numBlocks)
+}
+
+// refineOnce splits every block by its members' neighbor-block signatures
+// in the given direction, returning the refined assignment and block count.
+func refineOnce(g *graph.Graph, block []uint32, numBlocks int, dir graph.Dir) ([]uint32, uint32) {
+	n := g.NumVertices()
+	type sigKey struct {
+		owner uint32
+		hash  uint64
+	}
+	assign := make(map[sigKey][]int)
+	newBlock := make([]uint32, n)
+	sigOf := make([][]uint32, 0, numBlocks*2)
+	nextID := uint32(0)
+	var sigBuf []uint32
+
+	for v := 0; v < n; v++ {
+		sigBuf = sigBuf[:0]
+		var nbrs []graph.V
+		if dir == graph.Forward {
+			nbrs = g.Out(graph.V(v))
+		} else {
+			nbrs = g.In(graph.V(v))
+		}
+		for _, w := range nbrs {
+			sigBuf = append(sigBuf, block[w])
+		}
+		slices.Sort(sigBuf)
+		sigBuf = slices.Compact(sigBuf)
+
+		h := uint64(1469598103934665603)
+		for _, s := range sigBuf {
+			h = (h ^ uint64(s)) * 1099511628211
+		}
+		key := sigKey{block[v], h}
+		id := uint32(0)
+		found := false
+		for _, cand := range assign[key] {
+			if slices.Equal(sigOf[cand], sigBuf) {
+				id = uint32(cand)
+				found = true
+				break
+			}
+		}
+		if !found {
+			id = nextID
+			nextID++
+			sigOf = append(sigOf, append([]uint32(nil), sigBuf...))
+			assign[key] = append(assign[key], int(id))
+		}
+		newBlock[v] = id
+	}
+	return newBlock, nextID
+}

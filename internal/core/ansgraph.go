@@ -1,0 +1,382 @@
+package core
+
+import (
+	"slices"
+
+	"bigindex/internal/graph"
+)
+
+// This file implements the answer-graph generation algorithms of Sec. 4
+// *literally*, at the subgraph level: given a generalized answer graph
+// aᵐ = (V_a, E_a) found on layer m, enumerate the concrete answer subgraphs
+// A⁰ of the data graph that realize its topology.
+//
+//   - ans_graph_gen (Algo 3) enlarges partial answers one specialized
+//     vertex at a time, checking the vertex qualification of Def. 4.2:
+//     a data vertex v can join a partial answer iff its supernode is the
+//     pattern vertex being instantiated and every pattern edge incident to
+//     already-placed vertices is realized by a data edge.
+//
+//   - p_ans_graph_gen (Algo 4) first decomposes aᵐ into paths at its joint
+//     vertices (degree > 2; answer_decomposition), specializes one path at
+//     a time, and joins paths on their shared joint vertices (the path
+//     qualification of Def. 4.3) — avoiding the per-vertex re-checking of
+//     Algo 3 across partial answers.
+//
+// Both return exactly the set of pattern embeddings; the property is
+// tested against a brute-force embedding enumerator.
+
+// AnswerPattern is a generalized answer graph aᵐ: a connected subgraph of
+// layer m whose vertices will be specialized to data vertices.
+type AnswerPattern struct {
+	// Layer is m, the layer the pattern lives on.
+	Layer int
+	// Vertices are the pattern's supernodes (distinct).
+	Vertices []graph.V
+	// Edges are the pattern's edges (between Vertices), in layer-m IDs.
+	Edges []graph.Edge
+	// KeywordOf optionally maps a pattern vertex to the query keyword it
+	// matched; those vertices specialize under Prop 4.1 label filtering.
+	KeywordOf map[graph.V]graph.Label
+}
+
+// degree returns the pattern degree of s (in + out).
+func (p *AnswerPattern) degree(s graph.V) int {
+	d := 0
+	for _, e := range p.Edges {
+		if e.From == s {
+			d++
+		}
+		if e.To == s {
+			d++
+		}
+	}
+	return d
+}
+
+// Embedding is one concrete realization: pattern vertex -> data vertex.
+type Embedding map[graph.V]graph.V
+
+// Subgraph materializes the embedding as a data subgraph.
+func (p *AnswerPattern) Subgraph(emb Embedding) *graph.Subgraph {
+	sub := &graph.Subgraph{}
+	for _, s := range p.Vertices {
+		sub.Vertices = append(sub.Vertices, emb[s])
+	}
+	for _, e := range p.Edges {
+		sub.Edges = append(sub.Edges, graph.Edge{From: emb[e.From], To: emb[e.To]})
+	}
+	if len(sub.Vertices) > 0 {
+		sub.Root = sub.Vertices[0]
+	}
+	sub.Normalize()
+	return sub
+}
+
+// candidatesOf specializes every pattern vertex to its layer-0 candidate
+// set (keyword vertices filtered per Prop 4.1, connector vertices kept).
+func (x *Index) candidatesOf(p *AnswerPattern, isKey bool) map[graph.V][]graph.V {
+	cands := make(map[graph.V][]graph.V, len(p.Vertices))
+	for _, s := range p.Vertices {
+		if kw, ok := p.KeywordOf[s]; ok {
+			cands[s] = x.SpecializeKeyword(s, p.Layer, kw, isKey)
+		} else {
+			cands[s] = x.SpecializeRoot(s, p.Layer)
+		}
+	}
+	return cands
+}
+
+// qualifiedVertex is Def. 4.2: v may instantiate pattern vertex s given the
+// partial embedding: every pattern edge between s and an instantiated
+// pattern vertex must be realized in the data graph.
+func qualifiedVertex(data *graph.Graph, p *AnswerPattern, emb Embedding, s, v graph.V) bool {
+	for _, e := range p.Edges {
+		if e.From == s {
+			if u, ok := emb[e.To]; ok && !data.HasEdge(v, u) {
+				return false
+			}
+		}
+		if e.To == s {
+			if u, ok := emb[e.From]; ok && !data.HasEdge(u, v) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// AnswerGraphs enumerates the concrete answer subgraphs of pattern p with
+// ans_graph_gen (Algo 3). Pattern vertices are instantiated in
+// specialization order — fewest candidates first (Sec. 4.3.2) — when
+// specOrder is set; limit > 0 caps the number of embeddings (Sec. 4.3.4).
+func (x *Index) AnswerGraphs(p *AnswerPattern, specOrder, isKey bool, limit int) []*graph.Subgraph {
+	data := x.Data()
+	cands := x.candidatesOf(p, isKey)
+
+	order := append([]graph.V(nil), p.Vertices...)
+	if specOrder {
+		slices.SortStableFunc(order, func(a, b graph.V) int {
+			return len(cands[a]) - len(cands[b])
+		})
+	}
+
+	var out []*graph.Subgraph
+	emb := make(Embedding, len(order))
+	var enlarge func(step int)
+	enlarge = func(step int) {
+		if limit > 0 && len(out) >= limit {
+			return
+		}
+		if step == len(order) {
+			out = append(out, p.Subgraph(emb))
+			return
+		}
+		s := order[step]
+		for _, v := range cands[s] {
+			if qualifiedVertex(data, p, emb, s, v) {
+				emb[s] = v
+				enlarge(step + 1)
+				delete(emb, s)
+			}
+		}
+	}
+	enlarge(0)
+	return dedupeSubgraphs(out)
+}
+
+// patternPath is one path of the answer decomposition: a sequence of
+// pattern vertices whose interior has degree <= 2.
+type patternPath struct {
+	verts []graph.V
+}
+
+// decompose implements answer_decomposition (Algo 4, Step 1): split the
+// pattern into a canonical path set at its joint vertices (degree > 2).
+// Each pattern edge belongs to exactly one path; paths start and end at
+// joint vertices or dead ends.
+func (p *AnswerPattern) decompose() []patternPath {
+	joint := make(map[graph.V]bool)
+	for _, s := range p.Vertices {
+		if p.degree(s) > 2 {
+			joint[s] = true
+		}
+	}
+	// Undirected adjacency over pattern edges, each edge used once.
+	type half struct {
+		to   graph.V
+		edge int
+	}
+	adj := make(map[graph.V][]half)
+	for i, e := range p.Edges {
+		adj[e.From] = append(adj[e.From], half{e.To, i})
+		adj[e.To] = append(adj[e.To], half{e.From, i})
+	}
+	used := make([]bool, len(p.Edges))
+
+	var paths []patternPath
+	walk := func(start graph.V, h half) {
+		verts := []graph.V{start}
+		cur := h
+		for {
+			used[cur.edge] = true
+			verts = append(verts, cur.to)
+			if joint[cur.to] || p.degree(cur.to) != 2 {
+				break
+			}
+			nxt := half{}
+			found := false
+			for _, hh := range adj[cur.to] {
+				if !used[hh.edge] {
+					nxt = hh
+					found = true
+					break
+				}
+			}
+			if !found {
+				break
+			}
+			cur = nxt
+		}
+		paths = append(paths, patternPath{verts: verts})
+	}
+
+	// Start paths at joint vertices first (canonical), then mop up cycles.
+	starts := append([]graph.V(nil), p.Vertices...)
+	slices.SortFunc(starts, func(a, b graph.V) int {
+		ja, jb := 0, 0
+		if joint[a] {
+			ja = 1
+		}
+		if joint[b] {
+			jb = 1
+		}
+		if ja != jb {
+			return jb - ja // joints first
+		}
+		return int(a) - int(b)
+	})
+	for _, s := range starts {
+		for _, h := range adj[s] {
+			if !used[h.edge] {
+				walk(s, h)
+			}
+		}
+	}
+	return paths
+}
+
+// AnswerGraphsPathBased enumerates the same embeddings with
+// p_ans_graph_gen (Algo 4): specialize one path at a time, then join path
+// instantiations on shared joint vertices (Def. 4.3 — instantiations of the
+// same pattern joint vertex must agree).
+func (x *Index) AnswerGraphsPathBased(p *AnswerPattern, isKey bool, limit int) []*graph.Subgraph {
+	data := x.Data()
+	cands := x.candidatesOf(p, isKey)
+	paths := p.decompose()
+	if len(paths) == 0 {
+		// Degenerate single-vertex pattern.
+		var out []*graph.Subgraph
+		for _, s := range p.Vertices {
+			for _, v := range cands[s] {
+				out = append(out, p.Subgraph(Embedding{s: v}))
+				if limit > 0 && len(out) >= limit {
+					return dedupeSubgraphs(out)
+				}
+			}
+		}
+		return dedupeSubgraphs(out)
+	}
+
+	// Step 2: specialize each path independently into concrete path
+	// instantiations (partial embeddings over the path's vertices).
+	pathEmbs := make([][]Embedding, len(paths))
+	for i, pp := range paths {
+		pathEmbs[i] = x.specializePath(data, p, pp, cands)
+		if len(pathEmbs[i]) == 0 {
+			return nil // some path has no realization: no answers at all
+		}
+	}
+	// Paths with fewer instantiations first keep partial joins small
+	// (the specialization-order idea applied to paths).
+	order := make([]int, len(paths))
+	for i := range order {
+		order[i] = i
+	}
+	slices.SortStableFunc(order, func(a, b int) int {
+		return len(pathEmbs[a]) - len(pathEmbs[b])
+	})
+
+	// Step 3: join paths on shared vertices (Def. 4.3 generalized to all
+	// shared pattern vertices; joints are exactly where paths meet).
+	var out []*graph.Subgraph
+	var join func(step int, emb Embedding)
+	join = func(step int, emb Embedding) {
+		if limit > 0 && len(out) >= limit {
+			return
+		}
+		if step == len(order) {
+			// Defensive completeness: patterns can have cross edges between
+			// paths; verify the full embedding once.
+			for _, e := range p.Edges {
+				if !data.HasEdge(emb[e.From], emb[e.To]) {
+					return
+				}
+			}
+			out = append(out, p.Subgraph(emb))
+			return
+		}
+		for _, pe := range pathEmbs[order[step]] {
+			if compatible(emb, pe) {
+				merged := make(Embedding, len(emb)+len(pe))
+				for k, v := range emb {
+					merged[k] = v
+				}
+				for k, v := range pe {
+					merged[k] = v
+				}
+				join(step+1, merged)
+			}
+		}
+	}
+	join(0, Embedding{})
+	return dedupeSubgraphs(out)
+}
+
+// specializePath instantiates one pattern path left to right with Def. 4.2
+// checks restricted to the path's own edges.
+func (x *Index) specializePath(data *graph.Graph, p *AnswerPattern, pp patternPath, cands map[graph.V][]graph.V) []Embedding {
+	var out []Embedding
+	var rec func(i int, emb Embedding)
+	rec = func(i int, emb Embedding) {
+		if i == len(pp.verts) {
+			cp := make(Embedding, len(emb))
+			for k, v := range emb {
+				cp[k] = v
+			}
+			out = append(out, cp)
+			return
+		}
+		s := pp.verts[i]
+		if v, ok := emb[s]; ok {
+			// Repeated vertex within the path (cycle); just check edges.
+			if pathEdgeOK(data, p, pp, emb, i, v) {
+				rec(i+1, emb)
+			}
+			return
+		}
+		for _, v := range cands[s] {
+			if pathEdgeOK(data, p, pp, emb, i, v) {
+				emb[s] = v
+				rec(i+1, emb)
+				delete(emb, s)
+			}
+		}
+	}
+	rec(0, Embedding{})
+	return out
+}
+
+// pathEdgeOK checks the pattern edge between path positions i-1 and i.
+func pathEdgeOK(data *graph.Graph, p *AnswerPattern, pp patternPath, emb Embedding, i int, v graph.V) bool {
+	if i == 0 {
+		return true
+	}
+	prevS := pp.verts[i-1]
+	prevV := emb[prevS]
+	s := pp.verts[i]
+	// The pattern edge between prevS and s may point either way.
+	for _, e := range p.Edges {
+		if e.From == prevS && e.To == s && !data.HasEdge(prevV, v) {
+			return false
+		}
+		if e.From == s && e.To == prevS && !data.HasEdge(v, prevV) {
+			return false
+		}
+	}
+	return true
+}
+
+// compatible reports whether two partial embeddings agree on their shared
+// pattern vertices — the joint-vertex agreement of Def. 4.3.
+func compatible(a, b Embedding) bool {
+	for k, v := range b {
+		if av, ok := a[k]; ok && av != v {
+			return false
+		}
+	}
+	return true
+}
+
+func dedupeSubgraphs(subs []*graph.Subgraph) []*graph.Subgraph {
+	seen := make(map[string]bool, len(subs))
+	out := subs[:0]
+	for _, s := range subs {
+		k := s.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"bigindex/internal/graph"
+)
+
+// bruteForceEmbeddings enumerates all embeddings of the pattern by raw
+// backtracking over the candidate sets with full edge checks — the ground
+// truth for Algo 3 and Algo 4.
+func bruteForceEmbeddings(t *testing.T, x *Index, p *AnswerPattern) map[string]bool {
+	t.Helper()
+	data := x.Data()
+	cands := x.candidatesOf(p, true)
+	out := map[string]bool{}
+	emb := Embedding{}
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(p.Vertices) {
+			ok := true
+			for _, e := range p.Edges {
+				if !data.HasEdge(emb[e.From], emb[e.To]) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				out[p.Subgraph(emb).Key()] = true
+			}
+			return
+		}
+		s := p.Vertices[i]
+		for _, v := range cands[s] {
+			emb[s] = v
+			rec(i + 1)
+			delete(emb, s)
+		}
+	}
+	rec(0)
+	return out
+}
+
+// randomPattern picks a connected generalized answer pattern from a layer:
+// a random BFS tree fragment of the summary graph plus its induced edges.
+func randomPattern(rng *rand.Rand, x *Index, m, size int) *AnswerPattern {
+	lg := x.LayerGraph(m)
+	if lg.NumVertices() == 0 {
+		return nil
+	}
+	start := graph.V(rng.Intn(lg.NumVertices()))
+	verts := []graph.V{start}
+	seen := map[graph.V]bool{start: true}
+	frontier := []graph.V{start}
+	for len(verts) < size && len(frontier) > 0 {
+		v := frontier[0]
+		frontier = frontier[1:]
+		for _, w := range lg.Out(v) {
+			if !seen[w] && len(verts) < size {
+				seen[w] = true
+				verts = append(verts, w)
+				frontier = append(frontier, w)
+			}
+		}
+		for _, w := range lg.In(v) {
+			if !seen[w] && len(verts) < size {
+				seen[w] = true
+				verts = append(verts, w)
+				frontier = append(frontier, w)
+			}
+		}
+	}
+	var edges []graph.Edge
+	for _, v := range verts {
+		for _, w := range lg.Out(v) {
+			if seen[w] {
+				edges = append(edges, graph.Edge{From: v, To: w})
+			}
+		}
+	}
+	if len(edges) == 0 {
+		return nil
+	}
+	return &AnswerPattern{Layer: m, Vertices: verts, Edges: edges, KeywordOf: map[graph.V]graph.Label{}}
+}
+
+func TestAnswerGraphsMatchBruteForce(t *testing.T) {
+	ds := smallDataset(400)
+	idx := buildIndex(t, ds)
+	if idx.NumLayers() < 2 {
+		t.Skip("need summary layers")
+	}
+	rng := rand.New(rand.NewSource(8))
+	tried := 0
+	for trial := 0; trial < 60 && tried < 25; trial++ {
+		m := 1 + rng.Intn(idx.NumLayers()-1)
+		p := randomPattern(rng, idx, m, 2+rng.Intn(3))
+		if p == nil {
+			continue
+		}
+		// Skip explosive patterns (popular supernodes at low layers).
+		cands := idx.candidatesOf(p, true)
+		product := 1
+		for _, c := range cands {
+			product *= len(c)
+			if product > 20000 {
+				break
+			}
+		}
+		if product > 20000 {
+			continue
+		}
+		tried++
+
+		want := bruteForceEmbeddings(t, idx, p)
+
+		for _, specOrder := range []bool{false, true} {
+			got := idx.AnswerGraphs(p, specOrder, true, 0)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d specOrder=%v: Algo3 found %d, brute force %d", trial, specOrder, len(got), len(want))
+			}
+			for _, s := range got {
+				if !want[s.Key()] {
+					t.Fatalf("trial %d: Algo3 invented %s", trial, s.Key())
+				}
+			}
+		}
+
+		gotP := idx.AnswerGraphsPathBased(p, true, 0)
+		if len(gotP) != len(want) {
+			t.Fatalf("trial %d: Algo4 found %d, brute force %d (pattern V=%v E=%v)",
+				trial, len(gotP), len(want), p.Vertices, p.Edges)
+		}
+		for _, s := range gotP {
+			if !want[s.Key()] {
+				t.Fatalf("trial %d: Algo4 invented %s", trial, s.Key())
+			}
+		}
+	}
+	if tried < 5 {
+		t.Fatalf("only %d usable patterns; fixture too degenerate", tried)
+	}
+}
+
+func TestAnswerGraphsLimit(t *testing.T) {
+	ds := smallDataset(401)
+	idx := buildIndex(t, ds)
+	if idx.NumLayers() < 2 {
+		t.Skip("need summary layers")
+	}
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		p := randomPattern(rng, idx, 1, 2)
+		if p == nil {
+			continue
+		}
+		all := idx.AnswerGraphs(p, true, true, 0)
+		if len(all) <= 1 {
+			continue
+		}
+		lim := idx.AnswerGraphs(p, true, true, 1)
+		if len(lim) != 1 {
+			t.Fatalf("limit 1 returned %d", len(lim))
+		}
+		limP := idx.AnswerGraphsPathBased(p, true, 1)
+		if len(limP) != 1 {
+			t.Fatalf("path-based limit 1 returned %d", len(limP))
+		}
+		return
+	}
+	t.Skip("no multi-embedding pattern found")
+}
+
+func TestPatternDecompose(t *testing.T) {
+	// Star pattern: joint center c with 3 leaves -> 3 paths.
+	p := &AnswerPattern{
+		Vertices: []graph.V{0, 1, 2, 3},
+		Edges:    []graph.Edge{{From: 0, To: 1}, {From: 0, To: 2}, {From: 3, To: 0}},
+	}
+	paths := p.decompose()
+	if len(paths) != 3 {
+		t.Fatalf("star decomposed into %d paths, want 3", len(paths))
+	}
+	// A simple chain has one path.
+	chain := &AnswerPattern{
+		Vertices: []graph.V{0, 1, 2},
+		Edges:    []graph.Edge{{From: 0, To: 1}, {From: 1, To: 2}},
+	}
+	if got := chain.decompose(); len(got) != 1 || len(got[0].verts) != 3 {
+		t.Fatalf("chain decomposition: %+v", got)
+	}
+	// Every edge is covered exactly once.
+	covered := 0
+	for _, pp := range paths {
+		covered += len(pp.verts) - 1
+	}
+	if covered != len(p.Edges) {
+		t.Fatalf("star paths cover %d edges, want %d", covered, len(p.Edges))
+	}
+}

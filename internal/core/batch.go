@@ -1,0 +1,48 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"bigindex/internal/graph"
+	"bigindex/internal/search"
+)
+
+// BatchResult is one query's outcome within EvalBatch.
+type BatchResult struct {
+	Matches   []search.Match
+	Breakdown *Breakdown
+	Err       error
+}
+
+// EvalBatch evaluates several queries concurrently, sharing the evaluator's
+// per-layer prepared indexes (preparation is serialized behind the
+// evaluator's lock; everything consulted at query time — graphs, index
+// layers, prepared search structures — is immutable).
+//
+// Results are positionally aligned with queries.
+func (e *Evaluator) EvalBatch(queries [][]graph.Label) []BatchResult {
+	out := make([]BatchResult, len(queries))
+	if len(queries) == 0 {
+		return out
+	}
+	workers := min(runtime.GOMAXPROCS(0), len(queries))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				ms, bd, err := e.Eval(queries[i])
+				out[i] = BatchResult{Matches: ms, Breakdown: bd, Err: err}
+			}
+		}()
+	}
+	for i := range queries {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}

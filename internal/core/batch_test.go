@@ -1,0 +1,55 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"bigindex/internal/graph"
+	"bigindex/internal/search/bkws"
+)
+
+func TestEvalBatchMatchesSequential(t *testing.T) {
+	ds := smallDataset(700)
+	idx := buildIndex(t, ds)
+	rng := rand.New(rand.NewSource(7))
+	var queries [][]graph.Label
+	for i := 0; i < 12; i++ {
+		if q := pickQuery(rng, ds, 2, 3); q != nil {
+			queries = append(queries, q)
+		}
+	}
+	if len(queries) == 0 {
+		t.Skip("no frequent labels")
+	}
+
+	ev := NewEvaluator(idx, bkws.New(3), DefaultEvalOptions())
+	results := ev.EvalBatch(queries)
+	if len(results) != len(queries) {
+		t.Fatalf("got %d results for %d queries", len(results), len(queries))
+	}
+	for i, q := range queries {
+		if results[i].Err != nil {
+			t.Fatalf("query %d: %v", i, results[i].Err)
+		}
+		want, _, err := ev.Eval(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(want) != len(results[i].Matches) {
+			t.Fatalf("query %d: batch %d vs sequential %d", i, len(results[i].Matches), len(want))
+		}
+		for j := range want {
+			if want[j].Key() != results[i].Matches[j].Key() {
+				t.Fatalf("query %d answer %d diverged", i, j)
+			}
+		}
+		if results[i].Breakdown == nil {
+			t.Fatalf("query %d missing breakdown", i)
+		}
+	}
+
+	// Empty batch is a no-op.
+	if got := ev.EvalBatch(nil); len(got) != 0 {
+		t.Fatal("empty batch should return empty results")
+	}
+}

@@ -1,0 +1,280 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"bigindex/internal/cost"
+	"bigindex/internal/graph"
+	"bigindex/internal/search"
+)
+
+// EvalOptions controls hierarchical query evaluation (eval_Ont).
+type EvalOptions struct {
+	// Beta is the β weight of the query-layer cost model (Formula 4);
+	// the experiments settle on 0.5.
+	Beta float64
+	// K returns only the top-k final answers (0 = all). Generation stops
+	// early once no remaining generalized answer can beat the k-th final
+	// score (Sec. 4.3.4, made sound by Prop 5.2: specializing never
+	// decreases distances).
+	K int
+	// ForcedLayer pins the evaluation layer (Fig. 19's layer sweep and the
+	// Fan et al. comparison of Exp-6 use it); -1 selects the optimal layer
+	// with the cost model (Def. 4.1).
+	ForcedLayer int
+	// SpecOrder enables the specialization-order optimization (Sec. 4.3.2).
+	SpecOrder bool
+	// PathBased enables path-based answer generation (Sec. 4.3.3).
+	PathBased bool
+	// IsKey enables early specialization of keyword nodes (Sec. 4.3.1):
+	// keyword candidates are label-filtered at every layer on the way down
+	// instead of only at layer 0.
+	IsKey bool
+	// EarlyK enables the early-termination of Sec. 4.3.4: answer
+	// generation stops as soon as K final answers exist, without waiting
+	// for the score bound that guarantees exact top-k. The paper's
+	// behaviour for "first k answers" retrieval; results are then
+	// rank-guided approximations (exact when the semantics itself is
+	// exhaustive per answer).
+	EarlyK bool
+	// DegreeExponent enables the density correction of cost.QueryCostEx
+	// during layer selection (0 = the paper's Formula 4). Distance-based
+	// semantics whose traversal cost grows like degree^R should pass their
+	// R; rooted semantics typically use 1.
+	DegreeExponent int
+	// GenBudget caps the qualification checks spent by answer generation
+	// (search.GenOptions.MaxChecks); 0 = unlimited. Only meaningful with
+	// EarlyK, which already trades completeness for latency.
+	GenBudget int
+	// GenLimit bounds how many generalized answers are requested from the
+	// summary layer (0 = all). Exhaustive summary search guarantees
+	// completeness (Lemma 4.1); for combinatorial semantics like r-clique
+	// top-k, a bound keeps the summary search itself top-k-shaped, trading
+	// the completeness guarantee for the original algorithm's
+	// approximation behaviour (boost-dkws, Sec. 5.2).
+	GenLimit int
+}
+
+// DefaultEvalOptions enables every optimization, β = 0.5, automatic layer.
+func DefaultEvalOptions() EvalOptions {
+	return EvalOptions{Beta: 0.5, ForcedLayer: -1, SpecOrder: true, PathBased: true, IsKey: true}
+}
+
+// Breakdown reports where evaluation time went, matching the query
+// performance breakdown of Figs. 10–14 (summary search / specialization +
+// pruning / answer generation).
+type Breakdown struct {
+	Layer       int           // layer the query was evaluated at
+	LayerCosts  []float64     // cost_q(m) for every layer (Formula 4)
+	Select      time.Duration // layer selection
+	Search      time.Duration // eval on the summary graph
+	Specialize  time.Duration // Spec + Prop 4.1 pruning, layers m..1
+	Generate    time.Duration // answer generation + verification at layer 0
+	GenAnswers  int           // generalized answers found at layer m
+	Candidates  int           // specialized root candidates examined
+	FinalCount  int           // final answers returned
+	SearchCalls int
+}
+
+// Evaluator runs eval_Ont(G, Q, f) for one algorithm over one index,
+// caching the algorithm's per-layer prepared indexes across queries.
+// Concurrent Eval calls are safe (EvalBatch relies on this): preparation is
+// serialized behind mu, and everything else consulted during evaluation is
+// immutable. SetOptions must not race with in-flight queries.
+type Evaluator struct {
+	idx      *Index
+	algo     search.Algorithm
+	opt      EvalOptions
+	mu       sync.Mutex
+	prepared map[int]search.Prepared
+}
+
+// NewEvaluator creates an evaluator for algo over idx.
+func NewEvaluator(idx *Index, algo search.Algorithm, opt EvalOptions) *Evaluator {
+	return &Evaluator{idx: idx, algo: algo, opt: opt, prepared: make(map[int]search.Prepared)}
+}
+
+// Options returns the evaluator's options (copy).
+func (e *Evaluator) Options() EvalOptions { return e.opt }
+
+// SetOptions replaces the options; prepared layer indexes are retained.
+func (e *Evaluator) SetOptions(opt EvalOptions) { e.opt = opt }
+
+func (e *Evaluator) preparedFor(m int) (search.Prepared, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if p, ok := e.prepared[m]; ok {
+		return p, nil
+	}
+	p, err := e.algo.Prepare(e.idx.LayerGraph(m))
+	if err != nil {
+		return nil, fmt.Errorf("core: preparing %s at layer %d: %w", e.algo.Name(), m, err)
+	}
+	e.prepared[m] = p
+	return p, nil
+}
+
+// Eval implements Algo 2 (hierarchical query processing):
+//
+//  1. generalize Q to the optimal layer m (Def. 4.1) and evaluate f there;
+//  2. specialize each generalized answer's root and keyword supernodes
+//     layer by layer (Spec), pruning keyword candidates whose label is not
+//     the appropriately generalized keyword (Prop 4.1), optionally at every
+//     layer (isKey, Sec. 4.3.1);
+//  3. generate and verify concrete answers on the data graph through the
+//     algorithm's Generation session (Step 5 / Algos 3 and 4);
+//  4. rank, deduplicate, and apply top-k early termination.
+func (e *Evaluator) Eval(q []graph.Label) ([]search.Match, *Breakdown, error) {
+	bd := &Breakdown{}
+
+	// (1) Layer selection.
+	t0 := time.Now()
+	m := e.opt.ForcedLayer
+	if m < 0 {
+		m, bd.LayerCosts = cost.OptimalLayerEx(e.idx, q, e.opt.Beta, e.opt.DegreeExponent)
+	} else if m >= e.idx.NumLayers() {
+		return nil, nil, fmt.Errorf("core: layer %d out of range (index has %d)", m, e.idx.NumLayers())
+	}
+	bd.Layer = m
+	qGen := e.idx.Configs().GenQuery(q, m)
+	bd.Select = time.Since(t0)
+
+	// (2) Evaluate f on the summary graph at layer m. Exhaustive mode: one
+	// generalized answer can specialize to zero or many final answers, so
+	// completeness requires every generalized answer; top-k early
+	// termination happens during generation below.
+	t0 = time.Now()
+	prep, err := e.preparedFor(m)
+	if err != nil {
+		return nil, nil, err
+	}
+	limit := e.opt.GenLimit
+	if m == 0 {
+		limit = e.opt.K
+	}
+	gens, err := prep.Search(qGen, limit)
+	if err != nil {
+		return nil, nil, err
+	}
+	bd.SearchCalls++
+	bd.GenAnswers = len(gens)
+	bd.Search = time.Since(t0)
+
+	if m == 0 {
+		// Evaluating at the data layer is direct evaluation.
+		search.SortMatches(gens)
+		bd.FinalCount = len(search.Truncate(gens, e.opt.K))
+		return search.Truncate(gens, e.opt.K), bd, nil
+	}
+
+	// (3) Specialize + generate, in generalized-rank order.
+	genOpt := search.GenOptions{SpecOrder: e.opt.SpecOrder, PathBased: e.opt.PathBased, MaxChecks: e.opt.GenBudget}
+	session := e.algo.NewGeneration(e.idx.Data(), q, genOpt)
+
+	var finals []search.Match
+	seen := make(map[string]bool)
+
+	if e.opt.K <= 0 {
+		// Exhaustive mode: generalized answers share supernodes heavily, so
+		// specialize the union once per role instead of per answer —
+		// identical result, far fewer Down-map expansions.
+		ts := time.Now()
+		rootSupers := make([]graph.V, 0, len(gens))
+		kwSupers := make([][]graph.V, len(q))
+		for _, ga := range gens {
+			rootSupers = append(rootSupers, ga.Root)
+			for i, node := range ga.Nodes {
+				kwSupers[i] = append(kwSupers[i], node)
+			}
+		}
+		var rootCands []graph.V
+		if !isRootless(e.algo) {
+			rootCands = e.idx.specializeRootSet(rootSupers, m)
+		}
+		cands := make([][]graph.V, len(q))
+		for i := range q {
+			cands[i] = e.idx.specializeKeywordSet(kwSupers[i], m, q[i], e.opt.IsKey)
+		}
+		bd.Candidates = len(rootCands)
+		bd.Specialize = time.Since(ts)
+
+		tg := time.Now()
+		for _, fm := range session.Generate(rootCands, cands) {
+			key := fm.Key()
+			if !seen[key] {
+				seen[key] = true
+				finals = append(finals, fm)
+			}
+		}
+		bd.Generate = time.Since(tg)
+		search.SortMatches(finals)
+		bd.FinalCount = len(finals)
+		return finals, bd, nil
+	}
+
+	if e.opt.EarlyK {
+		genOpt.K = e.opt.K
+		session = e.algo.NewGeneration(e.idx.Data(), q, genOpt)
+	}
+	rootless := isRootless(e.algo)
+	for _, ga := range gens {
+		if e.opt.K > 0 && len(finals) >= e.opt.K {
+			if e.opt.EarlyK {
+				break // Sec. 4.3.4: stop at the first k answers
+			}
+			// Prop 5.2: any answer specialized from ga scores >= ga.Score,
+			// so once the k-th best final beats the next generalized score
+			// nothing better can appear.
+			search.SortMatches(finals)
+			if float64(finals[e.opt.K-1].Score) <= ga.Score {
+				break
+			}
+		}
+		ts := time.Now()
+		var rootCands []graph.V
+		if !rootless {
+			rootCands = e.idx.SpecializeRoot(ga.Root, m)
+		}
+		cands := make([][]graph.V, len(q))
+		for i, node := range ga.Nodes {
+			cands[i] = e.idx.SpecializeKeyword(node, m, q[i], e.opt.IsKey)
+		}
+		bd.Candidates += len(rootCands)
+		bd.Specialize += time.Since(ts)
+
+		tg := time.Now()
+		for _, fm := range session.Generate(rootCands, cands) {
+			key := fm.Key()
+			if !seen[key] {
+				seen[key] = true
+				finals = append(finals, fm)
+			}
+		}
+		bd.Generate += time.Since(tg)
+	}
+
+	search.SortMatches(finals)
+	finals = search.Truncate(finals, e.opt.K)
+	bd.FinalCount = len(finals)
+	return finals, bd, nil
+}
+
+// isRootless reports whether the algorithm's matches have no meaningful
+// root (node-set semantics like r-clique); the evaluator then skips root
+// specialization entirely.
+func isRootless(a search.Algorithm) bool {
+	r, ok := a.(search.Rootless)
+	return ok && r.Rootless()
+}
+
+// Direct evaluates f on the data graph without the index (the baseline
+// eval(G, Q, f)); the prepared data-graph index is cached like layers.
+func (e *Evaluator) Direct(q []graph.Label, k int) ([]search.Match, error) {
+	prep, err := e.preparedFor(0)
+	if err != nil {
+		return nil, err
+	}
+	return prep.Search(q, k)
+}

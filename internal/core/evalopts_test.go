@@ -1,0 +1,115 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"bigindex/internal/search/rclique"
+)
+
+// TestEarlyKReturnsAtMostK: EarlyK mode caps the result size and every
+// returned match is a true answer (soundness is never traded, only
+// completeness of the exact-top-k guarantee).
+func TestEarlyKReturnsAtMostK(t *testing.T) {
+	ds := smallDataset(600)
+	idx := buildIndex(t, ds)
+	rng := rand.New(rand.NewSource(4))
+	algo := rclique.New(2)
+	for trial := 0; trial < 6; trial++ {
+		q := pickQuery(rng, ds, 2, 3)
+		if q == nil {
+			t.Skip("no frequent labels")
+		}
+		exact := NewEvaluator(idx, algo, DefaultEvalOptions())
+		all, err := exact.Direct(q, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := matchKeys(all)
+
+		opt := DefaultEvalOptions()
+		opt.K = 3
+		opt.EarlyK = true
+		opt.GenLimit = 10
+		ev := NewEvaluator(idx, algo, opt)
+		got, _, err := ev.Eval(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) > 3 {
+			t.Fatalf("EarlyK returned %d > K", len(got))
+		}
+		for _, m := range got {
+			if s, ok := truth[m.Key()]; !ok || s != m.Score {
+				t.Fatalf("EarlyK emitted a non-answer: %s", m.Key())
+			}
+		}
+	}
+}
+
+// TestGenBudgetBoundsWork: a tiny budget must not produce wrong answers —
+// only fewer of them.
+func TestGenBudgetBoundsWork(t *testing.T) {
+	ds := smallDataset(601)
+	idx := buildIndex(t, ds)
+	rng := rand.New(rand.NewSource(5))
+	algo := rclique.New(2)
+	for trial := 0; trial < 6; trial++ {
+		q := pickQuery(rng, ds, 2, 3)
+		if q == nil {
+			t.Skip("no frequent labels")
+		}
+		exact := NewEvaluator(idx, algo, DefaultEvalOptions())
+		all, err := exact.Direct(q, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := matchKeys(all)
+
+		opt := DefaultEvalOptions()
+		opt.K = 5
+		opt.EarlyK = true
+		opt.GenBudget = 10 // absurdly small
+		ev := NewEvaluator(idx, algo, opt)
+		got, _, err := ev.Eval(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range got {
+			if s, ok := truth[m.Key()]; !ok || s != m.Score {
+				t.Fatalf("budgeted run emitted a non-answer: %s", m.Key())
+			}
+		}
+	}
+}
+
+// TestDegreeExponentStillExact: layer choice changes, answers must not.
+func TestDegreeExponentStillExact(t *testing.T) {
+	ds := smallDataset(602)
+	idx := buildIndex(t, ds)
+	rng := rand.New(rand.NewSource(6))
+	algo := rclique.New(2)
+	for trial := 0; trial < 4; trial++ {
+		q := pickQuery(rng, ds, 2, 3)
+		if q == nil {
+			t.Skip("no frequent labels")
+		}
+		base := NewEvaluator(idx, algo, DefaultEvalOptions())
+		want, err := base.Direct(q, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, exp := range []int{0, 1, 3} {
+			opt := DefaultEvalOptions()
+			opt.DegreeExponent = exp
+			ev := NewEvaluator(idx, algo, opt)
+			got, _, err := ev.Eval(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("exponent %d changed the answers: %d vs %d", exp, len(got), len(want))
+			}
+		}
+	}
+}

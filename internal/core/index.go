@@ -1,0 +1,308 @@
+// Package core implements the BiG-index itself (Def. 3.1): the hierarchy of
+// generalized-and-summarized graphs G⁰…Gʰ produced by alternating Gen (label
+// generalization against the ontology) and Bisim (bisimulation
+// summarization), together with hierarchical query evaluation (Algo 2),
+// answer specialization with candidate filtering (Prop 4.1), and answer
+// generation (Algos 3/4 via the search plug-ins).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"bigindex/internal/bisim"
+	"bigindex/internal/cost"
+	"bigindex/internal/generalize"
+	"bigindex/internal/graph"
+	"bigindex/internal/ontology"
+)
+
+// Layer is one level of the hierarchy. Layer 0 is the data graph and has no
+// configuration or vertex maps; layer i (i >= 1) stores
+// Gⁱ = Bisim(Gen(Gⁱ⁻¹, Cⁱ)) plus the up/down vertex maps between layer i−1
+// and layer i.
+type Layer struct {
+	// Graph is Gⁱ.
+	Graph *graph.Graph
+	// Config is Cⁱ, the label-preserving configuration generalizing layer
+	// i−1's labels (nil at layer 0).
+	Config *generalize.Config
+	// Up maps each vertex of layer i−1 to its supernode here: the χ step.
+	Up []graph.V
+	// Down maps each supernode to its members in layer i−1: Bisim⁻¹,
+	// the hash-table reverse mapping of Sec. 2.
+	Down [][]graph.V
+}
+
+// Index is a built BiG-index (𝔾, 𝒞).
+type Index struct {
+	ont    *ontology.Ontology
+	layers []*Layer
+	seq    generalize.Sequence
+}
+
+// BuildOptions controls index construction.
+type BuildOptions struct {
+	// MaxLayers caps the number of summary layers h (the experiments build
+	// up to 7). 0 means no cap: build until generalization is exhausted or
+	// compression stalls.
+	MaxLayers int
+	// Search configures the per-layer greedy configuration search (Algo 1).
+	Search cost.SearchOptions
+	// MinGain stops construction when a new layer shrinks the previous one
+	// by less than this fraction (the "compression potential diminishes"
+	// termination of Sec. 3.1). Default 0.02.
+	MinGain float64
+	// Summarizer selects the summarization formalism (nil = maximal
+	// backward bisimulation, the paper's choice). Any label-preserving
+	// quotient is sound — the framework re-verifies answers on the data
+	// graph — so alternatives like bisim.ComputeK (depth-bounded, faster
+	// construction and coarser summaries) or bisim.ComputeForward plug in
+	// directly; the paper lists such formalisms as future work.
+	Summarizer func(*graph.Graph) *bisim.Result
+}
+
+// DefaultBuildOptions mirrors the paper's default indexes (Sec. 6.1.2):
+// permissive θ and Π so each layer applies one full generalization round,
+// seven layers.
+func DefaultBuildOptions() BuildOptions {
+	return BuildOptions{
+		MaxLayers: 7,
+		Search:    cost.DefaultSearchOptions(),
+		MinGain:   0.02,
+	}
+}
+
+// ErrNoOntology is returned by Build when ont is nil.
+var ErrNoOntology = errors.New("core: ontology is required to build a BiG-index")
+
+// Build constructs the BiG-index of g against ont: repeatedly pick a
+// configuration with Algo 1, generalize, summarize with bisimulation, and
+// stack the result, stopping at MaxLayers, when no label can be generalized
+// further, or when compression stalls (MinGain).
+func Build(g *graph.Graph, ont *ontology.Ontology, opt BuildOptions) (*Index, error) {
+	if ont == nil {
+		return nil, ErrNoOntology
+	}
+	if opt.MinGain <= 0 {
+		opt.MinGain = 0.02
+	}
+	idx := &Index{
+		ont:    ont,
+		layers: []*Layer{{Graph: g}},
+	}
+	top := g
+	for layer := 1; opt.MaxLayers == 0 || layer <= opt.MaxLayers; layer++ {
+		searchOpt := opt.Search
+		searchOpt.Seed += int64(layer) // fresh samples per layer, still deterministic
+		cfg, _ := cost.GreedyConfig(top, ont, searchOpt)
+		if cfg.Len() == 0 {
+			break // nothing left to generalize
+		}
+		if err := cfg.Validate(ont); err != nil {
+			return nil, fmt.Errorf("core: layer %d configuration invalid: %w", layer, err)
+		}
+		gen := cfg.Apply(top)
+		summarize := opt.Summarizer
+		if summarize == nil {
+			summarize = bisim.Compute
+		}
+		res := summarize(gen)
+		ratio := float64(res.Summary.Size()) / float64(max(1, top.Size()))
+		if ratio > 1-opt.MinGain && layer > 1 {
+			break // compression potential exhausted (Sec. 3.1 termination)
+		}
+		idx.layers = append(idx.layers, &Layer{
+			Graph:  res.Summary,
+			Config: cfg,
+			Up:     res.Block,
+			Down:   res.Members,
+		})
+		idx.seq = append(idx.seq, cfg)
+		top = res.Summary
+	}
+	return idx, nil
+}
+
+// NumLayers reports h+1 (data graph + summary layers). Implements
+// cost.LayerGraphs.
+func (x *Index) NumLayers() int { return len(x.layers) }
+
+// LayerGraph returns Gᵐ. Implements cost.LayerGraphs.
+func (x *Index) LayerGraph(m int) *graph.Graph { return x.layers[m].Graph }
+
+// Configs returns [C¹, …, Cʰ]. Implements cost.LayerGraphs.
+func (x *Index) Configs() generalize.Sequence { return x.seq }
+
+// Ontology returns the ontology the index was built against.
+func (x *Index) Ontology() *ontology.Ontology { return x.ont }
+
+// Layer returns layer m (read-only by convention).
+func (x *Index) Layer(m int) *Layer { return x.layers[m] }
+
+// Data returns G⁰.
+func (x *Index) Data() *graph.Graph { return x.layers[0].Graph }
+
+// ChiUp lifts a vertex of layer `from` to its supernode at layer `to`
+// (from <= to): the composed map χᵗᵒ∘…∘χᶠʳᵒᵐ⁺¹ — the paper's χᵐ(u).
+func (x *Index) ChiUp(v graph.V, from, to int) graph.V {
+	for m := from + 1; m <= to; m++ {
+		v = x.layers[m].Up[v]
+	}
+	return v
+}
+
+// SpecializeStep expands supernodes of layer m to their members at layer
+// m−1 (Spec of Sec. 4.2, one step). keep filters the members (pass nil to
+// keep all); it implements the candidate filtering of Prop 4.1 when given a
+// label test.
+func (x *Index) SpecializeStep(supernodes []graph.V, m int, keep func(graph.V) bool) []graph.V {
+	down := x.layers[m].Down
+	var out []graph.V
+	seen := make(map[graph.V]bool)
+	for _, s := range supernodes {
+		for _, v := range down[s] {
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			if keep == nil || keep(v) {
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// SpecializeRoot expands a layer-m supernode all the way to data vertices
+// without label filtering (answer roots can carry any label).
+func (x *Index) SpecializeRoot(s graph.V, m int) []graph.V {
+	set := []graph.V{s}
+	for j := m; j >= 1; j-- {
+		set = x.SpecializeStep(set, j, nil)
+	}
+	return set
+}
+
+// SpecializeKeyword expands a layer-m supernode matched to query keyword kw
+// down to data vertices. With early filtering (the isKey optimization of
+// Sec. 4.3.1) members are pruned at every layer j unless their label equals
+// Gen^j(kw) (Prop 4.1); without it, pruning happens only at layer 0. Both
+// modes return the same set — early filtering only shrinks intermediates.
+func (x *Index) SpecializeKeyword(s graph.V, m int, kw graph.Label, early bool) []graph.V {
+	set := []graph.V{s}
+	for j := m; j >= 1; j-- {
+		want := x.seq.GenLabel(kw, j-1)
+		lg := x.layers[j-1].Graph
+		var keep func(graph.V) bool
+		if early || j == 1 {
+			keep = func(v graph.V) bool { return lg.Label(v) == want }
+		}
+		set = x.SpecializeStep(set, j, keep)
+	}
+	return set
+}
+
+// specializeRootSet expands a set of layer-m supernodes to data vertices
+// without label filtering, deduplicating at every level (batch form of
+// SpecializeRoot used by exhaustive evaluation).
+func (x *Index) specializeRootSet(supers []graph.V, m int) []graph.V {
+	set := dedupVs(supers)
+	for j := m; j >= 1; j-- {
+		set = x.SpecializeStep(set, j, nil)
+	}
+	return set
+}
+
+// specializeKeywordSet is the batch form of SpecializeKeyword.
+func (x *Index) specializeKeywordSet(supers []graph.V, m int, kw graph.Label, early bool) []graph.V {
+	set := dedupVs(supers)
+	for j := m; j >= 1; j-- {
+		want := x.seq.GenLabel(kw, j-1)
+		lg := x.layers[j-1].Graph
+		var keep func(graph.V) bool
+		if early || j == 1 {
+			keep = func(v graph.V) bool { return lg.Label(v) == want }
+		}
+		set = x.SpecializeStep(set, j, keep)
+	}
+	return set
+}
+
+func dedupVs(vs []graph.V) []graph.V {
+	seen := make(map[graph.V]bool, len(vs))
+	out := make([]graph.V, 0, len(vs))
+	for _, v := range vs {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Stats summarizes the index for reports: per-layer |V|, |E|, and size
+// ratio to the data graph (Table 3 / Fig. 9).
+type Stats struct {
+	Layers []LayerStats
+}
+
+// LayerStats is one row of Stats.
+type LayerStats struct {
+	Layer      int
+	Vertices   int
+	Edges      int
+	Size       int
+	Ratio      float64 // size / data graph size
+	ConfigSize int
+}
+
+// Stats computes index statistics.
+func (x *Index) Stats() Stats {
+	base := float64(x.layers[0].Graph.Size())
+	var st Stats
+	for i, l := range x.layers {
+		ls := LayerStats{
+			Layer:    i,
+			Vertices: l.Graph.NumVertices(),
+			Edges:    l.Graph.NumEdges(),
+			Size:     l.Graph.Size(),
+			Ratio:    float64(l.Graph.Size()) / base,
+		}
+		if l.Config != nil {
+			ls.ConfigSize = l.Config.Len()
+		}
+		st.Layers = append(st.Layers, ls)
+	}
+	return st
+}
+
+// TotalSize reports the BiG-index size: the sum of the summary graph sizes
+// (Sec. 6, Exp-3: "The BiG-index size is simply the sum of the summary
+// graphs in the index").
+func (x *Index) TotalSize() int {
+	total := 0
+	for _, l := range x.layers[1:] {
+		total += l.Graph.Size()
+	}
+	return total
+}
+
+// RemoveOntologyMapping handles the ontology-update case of Sec. 3.2: when
+// the supertype relationship (sub → super) is removed from the ontology,
+// every layer whose configuration used it — and every layer above it — is
+// dropped, so no configuration in the remaining index involves the removed
+// relationship. Returns the number of layers dropped. (New ontology edges
+// never invalidate an index; the paper rebuilds periodically for
+// efficiency, which callers do via Build.)
+func (x *Index) RemoveOntologyMapping(sub, super graph.Label) int {
+	for i, l := range x.layers[1:] {
+		if l.Config.Map(sub) == super && sub != super {
+			dropped := len(x.layers) - (i + 1)
+			x.layers = x.layers[:i+1]
+			x.seq = x.seq[:i]
+			return dropped
+		}
+	}
+	return 0
+}

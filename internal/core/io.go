@@ -1,0 +1,199 @@
+package core
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+
+	"bigindex/internal/generalize"
+	"bigindex/internal/graph"
+	"bigindex/internal/ontology"
+)
+
+// Binary index format (little endian):
+//
+//	magic "BIGX" | version u32
+//	dictionary (graph.WriteDict)
+//	numLayers u32
+//	layer 0: graph body
+//	layer i >= 1: config (count u32, (from,to) u32 pairs)
+//	              Up map (len u32, u32 per vertex of layer i-1)
+//	              graph body
+//
+// Down tables are rebuilt from Up on load. The ontology is not embedded —
+// it is an independent artifact the caller already has; Load takes it to
+// re-bind the index (and validates the configurations against it).
+
+const (
+	ioMagic   = "BIGX"
+	ioVersion = 1
+)
+
+// ErrBadIndexFormat is returned when decoding input that is not a
+// serialized BiG-index.
+var ErrBadIndexFormat = errors.New("core: bad serialized index format")
+
+// Save serializes the index to w.
+func (x *Index) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(ioMagic); err != nil {
+		return err
+	}
+	if err := writeU32(bw, ioVersion); err != nil {
+		return err
+	}
+	if err := graph.WriteDict(bw, x.layers[0].Graph.Dict()); err != nil {
+		return err
+	}
+	if err := writeU32(bw, uint32(len(x.layers))); err != nil {
+		return err
+	}
+	if err := x.layers[0].Graph.WriteBody(bw); err != nil {
+		return err
+	}
+	for _, l := range x.layers[1:] {
+		ms := l.Config.Mappings()
+		if err := writeU32(bw, uint32(len(ms))); err != nil {
+			return err
+		}
+		for _, m := range ms {
+			if err := writeU32(bw, uint32(m.From)); err != nil {
+				return err
+			}
+			if err := writeU32(bw, uint32(m.To)); err != nil {
+				return err
+			}
+		}
+		if err := writeU32(bw, uint32(len(l.Up))); err != nil {
+			return err
+		}
+		for _, s := range l.Up {
+			if err := writeU32(bw, uint32(s)); err != nil {
+				return err
+			}
+		}
+		if err := l.Graph.WriteBody(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load deserializes an index written by Save and binds it to ont (which
+// must be the ontology the index was built against, or a compatible
+// superset; every stored configuration is re-validated).
+//
+// Note: the loaded index carries its own dictionary; queries must intern
+// keywords through LoadedDict (Index.Data().Dict()).
+func Load(r io.Reader, ont *ontology.Ontology) (*Index, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("core: reading magic: %w", err)
+	}
+	if string(magic) != ioMagic {
+		return nil, ErrBadIndexFormat
+	}
+	ver, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	if ver != ioVersion {
+		return nil, fmt.Errorf("%w: version %d", ErrBadIndexFormat, ver)
+	}
+	dict, err := graph.ReadDict(br)
+	if err != nil {
+		return nil, err
+	}
+	nLayers, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	if nLayers == 0 || nLayers > 64 {
+		return nil, fmt.Errorf("%w: %d layers", ErrBadIndexFormat, nLayers)
+	}
+
+	g0, err := graph.ReadBody(br, dict)
+	if err != nil {
+		return nil, err
+	}
+	idx := &Index{ont: ont, layers: []*Layer{{Graph: g0}}}
+	prev := g0
+	for li := uint32(1); li < nLayers; li++ {
+		nMap, err := readU32(br)
+		if err != nil {
+			return nil, err
+		}
+		ms := make([]generalize.Mapping, nMap)
+		for i := range ms {
+			from, err := readU32(br)
+			if err != nil {
+				return nil, err
+			}
+			to, err := readU32(br)
+			if err != nil {
+				return nil, err
+			}
+			ms[i] = generalize.Mapping{From: graph.Label(from), To: graph.Label(to)}
+		}
+		cfg, err := generalize.NewConfig(ms)
+		if err != nil {
+			return nil, fmt.Errorf("%w: layer %d: %v", ErrBadIndexFormat, li, err)
+		}
+		if ont != nil {
+			if err := cfg.Validate(ont); err != nil {
+				return nil, fmt.Errorf("core: layer %d config incompatible with ontology: %w", li, err)
+			}
+		}
+
+		nUp, err := readU32(br)
+		if err != nil {
+			return nil, err
+		}
+		if int(nUp) != prev.NumVertices() {
+			return nil, fmt.Errorf("%w: layer %d Up size %d != %d", ErrBadIndexFormat, li, nUp, prev.NumVertices())
+		}
+		up := make([]graph.V, nUp)
+		for i := range up {
+			s, err := readU32(br)
+			if err != nil {
+				return nil, err
+			}
+			up[i] = graph.V(s)
+		}
+		lg, err := graph.ReadBody(br, dict)
+		if err != nil {
+			return nil, err
+		}
+		down := make([][]graph.V, lg.NumVertices())
+		for v, s := range up {
+			if int(s) >= lg.NumVertices() {
+				return nil, fmt.Errorf("%w: layer %d Up[%d]=%d out of range", ErrBadIndexFormat, li, v, s)
+			}
+			down[s] = append(down[s], graph.V(v))
+		}
+		idx.layers = append(idx.layers, &Layer{Graph: lg, Config: cfg, Up: up, Down: down})
+		idx.seq = append(idx.seq, cfg)
+		prev = lg
+	}
+	return idx, nil
+}
+
+func writeU32(w io.Writer, x uint32) error {
+	var buf [4]byte
+	buf[0] = byte(x)
+	buf[1] = byte(x >> 8)
+	buf[2] = byte(x >> 16)
+	buf[3] = byte(x >> 24)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func readU32(r io.Reader) (uint32, error) {
+	var buf [4]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, fmt.Errorf("core: reading u32: %w", err)
+	}
+	return uint32(buf[0]) | uint32(buf[1])<<8 | uint32(buf[2])<<16 | uint32(buf[3])<<24, nil
+}

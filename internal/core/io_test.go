@@ -1,0 +1,105 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"bigindex/internal/graph"
+	"bigindex/internal/ontology"
+	"bigindex/internal/search/bkws"
+)
+
+func TestIndexSaveLoadRoundTrip(t *testing.T) {
+	ds := smallDataset(200)
+	idx := buildIndex(t, ds)
+
+	var buf bytes.Buffer
+	if err := idx.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := Load(&buf, ds.Ont)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+
+	if loaded.NumLayers() != idx.NumLayers() {
+		t.Fatalf("layers: %d vs %d", loaded.NumLayers(), idx.NumLayers())
+	}
+	for m := 0; m < idx.NumLayers(); m++ {
+		a, b := idx.LayerGraph(m), loaded.LayerGraph(m)
+		if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+			t.Fatalf("layer %d size mismatch", m)
+		}
+		for v := 0; v < a.NumVertices(); v++ {
+			if a.Dict().Name(a.Label(graph.V(v))) != b.Dict().Name(b.Label(graph.V(v))) {
+				t.Fatalf("layer %d label mismatch at %d", m, v)
+			}
+		}
+	}
+	// Configurations and Up/Down survive.
+	for m := 1; m < idx.NumLayers(); m++ {
+		if idx.Layer(m).Config.Len() != loaded.Layer(m).Config.Len() {
+			t.Fatalf("layer %d config size mismatch", m)
+		}
+		for v, s := range idx.Layer(m).Up {
+			if loaded.Layer(m).Up[v] != s {
+				t.Fatalf("layer %d Up[%d] mismatch", m, v)
+			}
+		}
+	}
+
+	// The loaded index answers queries identically.
+	q := pickQuery(rand.New(rand.NewSource(1)), ds, 2, 3)
+	if q == nil {
+		t.Skip("no frequent labels")
+	}
+	evA := NewEvaluator(idx, bkws.New(3), DefaultEvalOptions())
+	evB := NewEvaluator(loaded, bkws.New(3), DefaultEvalOptions())
+	a, _, err := evA.Eval(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := evB.Eval(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("answers diverge after load: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Key() != b[i].Key() {
+			t.Fatalf("answer %d diverges", i)
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("definitely not an index"), nil); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Load(strings.NewReader(""), nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestLoadValidatesConfigs(t *testing.T) {
+	ds := smallDataset(201)
+	idx := buildIndex(t, ds)
+	if idx.NumLayers() < 2 {
+		t.Skip("need a summary layer")
+	}
+	var buf bytes.Buffer
+	if err := idx.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// An ontology without the index's supertype edges must be rejected.
+	if _, err := Load(bytes.NewReader(buf.Bytes()), ontology.New(nil)); err == nil {
+		t.Fatal("incompatible ontology accepted")
+	}
+	// nil ontology skips validation.
+	if _, err := Load(bytes.NewReader(buf.Bytes()), nil); err != nil {
+		t.Fatalf("nil-ontology load failed: %v", err)
+	}
+}

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"fmt"
+
+	"bigindex/internal/bisim"
+	"bigindex/internal/graph"
+)
+
+// Refresh rebuilds the index hierarchy over a new version of the data graph
+// while keeping the stored configurations — the data-update maintenance
+// strategy of Sec. 3.2: label-to-supertype decisions rarely change when
+// edges and vertices do, so only the (cheap) Gen + Bisim pipeline reruns,
+// skipping Algorithm 1's configuration search entirely.
+//
+// The new graph must use the same dictionary as the old one (labels keep
+// their meaning). Layers whose configuration no longer generalizes anything
+// present in the evolved graph are dropped from the top.
+func (x *Index) Refresh(g *graph.Graph) error {
+	if g.Dict() != x.layers[0].Graph.Dict() {
+		return fmt.Errorf("core: Refresh requires the original dictionary")
+	}
+	newLayers := []*Layer{{Graph: g}}
+	top := g
+	for _, old := range x.layers[1:] {
+		cfg := old.Config
+		// Skip (and stop at) layers whose configuration touches nothing in
+		// the evolved graph: further layers were built on top of them.
+		touches := false
+		for _, l := range top.DistinctLabels() {
+			if cfg.InDomain(l) {
+				touches = true
+				break
+			}
+		}
+		if !touches {
+			break
+		}
+		res := bisim.Compute(cfg.Apply(top))
+		newLayers = append(newLayers, &Layer{
+			Graph:  res.Summary,
+			Config: cfg,
+			Up:     res.Block,
+			Down:   res.Members,
+		})
+		top = res.Summary
+	}
+	x.layers = newLayers
+	x.seq = x.seq[:len(newLayers)-1]
+	return nil
+}

@@ -1,0 +1,69 @@
+package cost
+
+import (
+	"math"
+	"testing"
+
+	"bigindex/internal/graph"
+)
+
+// twoGraphs builds a data graph (4 vertices, 2 edges, degree 0.5) and a
+// "summary" half its size but denser (2 vertices, 2 edges, degree 1).
+func twoGraphs(t *testing.T) (*graph.Graph, *graph.Graph, []graph.Label) {
+	t.Helper()
+	dict := graph.NewDict()
+	b0 := graph.NewBuilder(dict)
+	a := b0.AddVertex("a")
+	bb := b0.AddVertex("b")
+	c := b0.AddVertex("c")
+	d := b0.AddVertex("d")
+	b0.AddEdge(a, bb)
+	b0.AddEdge(c, d)
+	g0 := b0.Build()
+
+	b1 := graph.NewBuilder(dict)
+	x := b1.AddVertexLabel(g0.Label(a))
+	y := b1.AddVertexLabel(g0.Label(bb))
+	b1.AddEdge(x, y)
+	b1.AddEdge(y, x)
+	g1 := b1.Build()
+	return g0, g1, []graph.Label{g0.Label(a)}
+}
+
+func TestQueryCostExDegreeCorrection(t *testing.T) {
+	g0, g1, q := twoGraphs(t)
+	base := QueryCostEx(1, 0, g0, g1, q, q) // pure size ratio: 4/6
+	if math.Abs(base-4.0/6.0) > 1e-12 {
+		t.Fatalf("exponent 0: %v, want %v", base, 4.0/6.0)
+	}
+	// Degree growth: d1/d0 = 1 / 0.5 = 2. Exponent 1 doubles the term;
+	// exponent 3 multiplies by 8.
+	e1 := QueryCostEx(1, 1, g0, g1, q, q)
+	if math.Abs(e1-2*base) > 1e-12 {
+		t.Fatalf("exponent 1: %v, want %v", e1, 2*base)
+	}
+	e3 := QueryCostEx(1, 3, g0, g1, q, q)
+	if math.Abs(e3-8*base) > 1e-12 {
+		t.Fatalf("exponent 3: %v, want %v", e3, 8*base)
+	}
+	// Exponent 0 must equal the original QueryCost.
+	if QueryCost(0.5, g0, g1, q, q) != QueryCostEx(0.5, 0, g0, g1, q, q) {
+		t.Fatal("QueryCost and exponent-0 QueryCostEx diverge")
+	}
+}
+
+func TestOptimalLayerExRespectsCorrection(t *testing.T) {
+	g0, g1, q := twoGraphs(t)
+	idx := &layered{graphs: []*graph.Graph{g0, g1}, seq: nil}
+	// With β=1 the decision is purely the first term. Support ratio for
+	// layer 1: label a appears once in both graphs (1/2 vs 1/4) but β=1
+	// zeroes that out.
+	best0, _ := OptimalLayerEx(idx, q, 1, 0)
+	if best0 != 1 {
+		t.Fatalf("exponent 0 should prefer the smaller layer, got %d", best0)
+	}
+	best3, _ := OptimalLayerEx(idx, q, 1, 3)
+	if best3 != 0 {
+		t.Fatalf("exponent 3 should veto the dense layer, got %d", best3)
+	}
+}

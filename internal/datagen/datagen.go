@@ -1,0 +1,308 @@
+// Package datagen generates synthetic knowledge graphs, ontologies, and
+// query workloads shaped like the paper's datasets (YAGO3, DBpedia, IMDB,
+// and the synt-* series of Table 2), scaled to run on one machine.
+//
+// The real datasets are not redistributable here, so the generator
+// reproduces the *properties BiG-index exploits*:
+//
+//   - a term vocabulary with Zipf-distributed populations: a few labels
+//     occur on thousands of vertices (the Table 4 query keywords), a long
+//     tail is near-unique (entity names);
+//   - a type taxonomy of configurable height over the terms, so labels can
+//     be generalized several layers (the ontology graphs of the paper have
+//     height ≈ 7, average degree ≈ 5);
+//   - relation templates between types, so vertices of one type link to
+//     vertices of another with skewed target popularity — after one round
+//     of generalization many vertices become structurally indistinguishable
+//     and bisimulation collapses them (the 100-Persons effect of Fig. 1).
+//
+// All generation is deterministic given the seed.
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"bigindex/internal/graph"
+	"bigindex/internal/ontology"
+)
+
+// Options parameterizes one synthetic knowledge graph.
+type Options struct {
+	// Name tags the dataset in reports.
+	Name string
+	// Entities is the number of vertices.
+	Entities int
+	// AvgOut is the average out-degree (|E| ≈ Entities × AvgOut).
+	AvgOut float64
+	// Terms is the size of the label vocabulary Σ.
+	Terms int
+	// LeafTypes is the number of leaf types terms are grouped under.
+	LeafTypes int
+	// TypeBranching is the taxonomy fan-in: roughly how many types share a
+	// parent (the paper's ontologies average degree 5).
+	TypeBranching int
+	// TypeHeight is the number of taxonomy levels above the leaf types
+	// (the paper's ontologies have height ≈ 7 including the term level).
+	TypeHeight int
+	// Relations is the number of (source type → target type) edge templates.
+	Relations int
+	// SubtypeLevels inserts this many subtype levels between terms and leaf
+	// types (real taxonomies specialize types well below the "class" level;
+	// these levels are what make generalization pay off *gradually* layer
+	// after layer, the Fig. 9 shape, instead of all at once).
+	SubtypeLevels int
+	// TermSkew is the Zipf exponent of term populations (≈1 is realistic;
+	// higher concentrates vertices on fewer labels).
+	TermSkew float64
+	// TargetSkew is the Zipf exponent for edge-target popularity inside a
+	// type (higher creates hub entities and denser bisimilarity).
+	TargetSkew float64
+	// SinkFraction is the fraction of entities that emit no out-edges —
+	// attribute-like vertices (years, places, ratings) that real knowledge
+	// graphs are full of. Sinks collapse aggressively under bisimulation
+	// and seed the upward cascade of supernode merging.
+	SinkFraction float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// Dataset is a generated knowledge graph with its ontology and metadata.
+type Dataset struct {
+	Name  string
+	Graph *graph.Graph
+	Ont   *ontology.Ontology
+	// LeafTypeOf maps each term label to its leaf type.
+	LeafTypeOf map[graph.Label]graph.Label
+	// TermsOfType maps each leaf type to its term labels.
+	TermsOfType map[graph.Label][]graph.Label
+	// RelationPairs are the (source type, target type) templates used.
+	RelationPairs [][2]graph.Label
+	opt           Options
+}
+
+// Options returns the generation options.
+func (d *Dataset) Options() Options { return d.opt }
+
+// Generate builds a dataset from opt.
+func Generate(opt Options) *Dataset {
+	applyDefaults(&opt)
+	rng := rand.New(rand.NewSource(opt.Seed))
+	dict := graph.NewDict()
+	ont := ontology.New(dict)
+
+	// --- Taxonomy: leaf types, then levels of parents up to TypeHeight. ---
+	leafTypes := make([]graph.Label, opt.LeafTypes)
+	for i := range leafTypes {
+		leafTypes[i] = ont.AddType(fmt.Sprintf("%s/type/L0_%d", opt.Name, i))
+	}
+	// Parent levels continue to TypeHeight even when a level narrows to one
+	// type (real taxonomies end in long thin chains toward owl:Thing).
+	level := leafTypes
+	for h := 1; h <= opt.TypeHeight && len(level) > 0; h++ {
+		nParents := (len(level) + opt.TypeBranching - 1) / opt.TypeBranching
+		parents := make([]graph.Label, nParents)
+		for i := range parents {
+			parents[i] = ont.AddType(fmt.Sprintf("%s/type/L%d_%d", opt.Name, h, i))
+		}
+		for i, t := range level {
+			if err := ont.AddSupertype(t, parents[i/opt.TypeBranching]); err != nil {
+				panic(err) // construction is acyclic by design
+			}
+		}
+		level = parents
+	}
+
+	// --- Subtype chains: each leaf type fans out into SubtypeLevels levels
+	// of finer subtypes; terms attach at the bottom. Each generalization
+	// hop (term -> subtype -> … -> leaf type -> parents) then merges label
+	// groups gradually, which is what gives the index its multi-layer
+	// compression profile (Fig. 9).
+	bottomOf := make(map[graph.Label]graph.Label) // bottom subtype -> leaf type
+	var bottoms []graph.Label
+	for li, lt := range leafTypes {
+		level := []graph.Label{lt}
+		for s := 1; s <= opt.SubtypeLevels; s++ {
+			var next []graph.Label
+			for pi, parent := range level {
+				for c := 0; c < opt.TypeBranching; c++ {
+					sub := ont.AddType(fmt.Sprintf("%s/type/L0_%d/s%d_%d_%d", opt.Name, li, s, pi, c))
+					if err := ont.AddSupertype(sub, parent); err != nil {
+						panic(err)
+					}
+					next = append(next, sub)
+				}
+			}
+			level = next
+		}
+		for _, b := range level {
+			bottomOf[b] = lt
+			bottoms = append(bottoms, b)
+		}
+	}
+	// Interleave bottoms across leaf types so the round-robin term
+	// assignment below populates every leaf type even when terms are few.
+	perLeaf := len(bottoms) / len(leafTypes)
+	if perLeaf > 0 {
+		inter := make([]graph.Label, 0, len(bottoms))
+		for r := 0; r < perLeaf; r++ {
+			for li := range leafTypes {
+				inter = append(inter, bottoms[li*perLeaf+r])
+			}
+		}
+		bottoms = inter
+	}
+
+	// --- Vocabulary: terms with Zipf populations, grouped under the bottom
+	// subtypes (round-robin keeps every subtype populated). ---
+	termZipf := rand.NewZipf(rng, opt.TermSkew, 1, uint64(opt.Terms-1))
+	terms := make([]graph.Label, opt.Terms)
+	leafTypeOf := make(map[graph.Label]graph.Label, opt.Terms)
+	termsOfType := make(map[graph.Label][]graph.Label)
+	for i := range terms {
+		bottom := bottoms[i%len(bottoms)]
+		t := bottomOf[bottom]
+		term := ont.AddType(fmt.Sprintf("%s/term/%d", opt.Name, i))
+		if err := ont.AddSupertype(term, bottom); err != nil {
+			panic(err)
+		}
+		terms[i] = term
+		leafTypeOf[term] = t
+		termsOfType[t] = append(termsOfType[t], term)
+	}
+
+	// --- Entities: labels drawn from the Zipf vocabulary. ---
+	b := graph.NewBuilder(dict)
+	entityTerm := make([]graph.Label, opt.Entities)
+	entitiesOfType := make(map[graph.Label][]graph.V)
+	sinksOfType := make(map[graph.Label][]graph.V)
+	sinkMod := int(opt.SinkFraction * 1000)
+	isSink := func(i int) bool { return (i*2654435761)%1000 < sinkMod }
+	for i := 0; i < opt.Entities; i++ {
+		term := terms[int(termZipf.Uint64())]
+		v := b.AddVertexLabel(term)
+		entityTerm[i] = term
+		lt := leafTypeOf[term]
+		entitiesOfType[lt] = append(entitiesOfType[lt], v)
+		if isSink(i) {
+			sinksOfType[lt] = append(sinksOfType[lt], v)
+		}
+	}
+
+	// --- Relations: edge templates between populated leaf types. ---
+	var populated []graph.Label
+	for _, lt := range leafTypes {
+		if len(entitiesOfType[lt]) > 0 {
+			populated = append(populated, lt)
+		}
+	}
+	var pairs [][2]graph.Label
+	for len(pairs) < opt.Relations && len(populated) > 0 {
+		src := populated[rng.Intn(len(populated))]
+		dst := populated[rng.Intn(len(populated))]
+		if src == dst && len(populated) > 1 {
+			continue
+		}
+		pairs = append(pairs, [2]graph.Label{src, dst})
+	}
+	// Per-source-type out-degree budget proportional to how many templates
+	// it participates in.
+	templatesOf := make(map[graph.Label][]graph.Label)
+	for _, p := range pairs {
+		templatesOf[p[0]] = append(templatesOf[p[0]], p[1])
+	}
+
+	edgesWanted := int(float64(opt.Entities) * opt.AvgOut)
+	edgesMade := 0
+	// Assign edges entity by entity, cycling until the budget is spent, so
+	// the degree distribution stays even across source types. All entities
+	// of a type follow the same template on a given pass — entities of one
+	// type share a relation *pattern* in real knowledge graphs, and that
+	// regularity is what generalization exposes to bisimulation.
+	for pass := 0; edgesMade < edgesWanted && pass < 64; pass++ {
+		for i := 0; i < opt.Entities && edgesMade < edgesWanted; i++ {
+			if isSink(i) {
+				continue // attribute-like sink: never a source
+			}
+			src := graph.V(i)
+			dsts := templatesOf[leafTypeOf[entityTerm[i]]]
+			if len(dsts) == 0 {
+				continue
+			}
+			dstType := dsts[pass%len(dsts)]
+			cands := entitiesOfType[dstType]
+			// Two thirds of edges point at attribute-like sinks when the
+			// target type has any — movie->year, player->country: the
+			// high-in-degree values real keyword queries name.
+			if sinks := sinksOfType[dstType]; len(sinks) > 0 && rng.Intn(3) != 0 {
+				cands = sinks
+			}
+			if len(cands) == 0 {
+				continue
+			}
+			// Skewed target choice: popular entities attract many edges,
+			// creating the shared-structure groups bisimulation collapses.
+			tz := float64(len(cands))
+			idx := int(math.Pow(rng.Float64(), opt.TargetSkew) * tz)
+			if idx >= len(cands) {
+				idx = len(cands) - 1
+			}
+			dst := cands[idx]
+			if dst == src {
+				continue
+			}
+			b.AddEdge(src, dst)
+			edgesMade++
+		}
+	}
+
+	return &Dataset{
+		Name:          opt.Name,
+		Graph:         b.Build(),
+		Ont:           ont,
+		LeafTypeOf:    leafTypeOf,
+		TermsOfType:   termsOfType,
+		RelationPairs: pairs,
+		opt:           opt,
+	}
+}
+
+func applyDefaults(opt *Options) {
+	if opt.Name == "" {
+		opt.Name = "synt"
+	}
+	if opt.Entities <= 0 {
+		opt.Entities = 1000
+	}
+	if opt.AvgOut <= 0 {
+		opt.AvgOut = 2
+	}
+	if opt.Terms <= 0 {
+		opt.Terms = max(16, opt.Entities/10)
+	}
+	if opt.LeafTypes <= 0 {
+		opt.LeafTypes = max(4, opt.Terms/50)
+	}
+	if opt.TypeBranching <= 1 {
+		opt.TypeBranching = 5
+	}
+	if opt.TypeHeight <= 0 {
+		opt.TypeHeight = 6
+	}
+	if opt.Relations <= 0 {
+		opt.Relations = max(4, opt.LeafTypes)
+	}
+	if opt.SubtypeLevels <= 0 {
+		opt.SubtypeLevels = 2
+	}
+	if opt.TermSkew <= 1 {
+		opt.TermSkew = 1.4
+	}
+	if opt.TargetSkew <= 0 {
+		opt.TargetSkew = 2
+	}
+	if opt.Seed == 0 {
+		opt.Seed = 42
+	}
+}

@@ -1,0 +1,156 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+
+	"bigindex/internal/graph"
+)
+
+// Query is one benchmark keyword query (a Table 4 row analog).
+type Query struct {
+	ID       string
+	Keywords []graph.Label
+	// Counts[i] is |V_{q_i}|, the keyword's occurrence count in the data
+	// graph — Table 4's "Counts in the data graph" column.
+	Counts []int
+}
+
+// Names renders the keywords through the dataset dictionary.
+func (q Query) Names(d *graph.Dict) []string {
+	out := make([]string, len(q.Keywords))
+	for i, l := range q.Keywords {
+		out[i] = d.Name(l)
+	}
+	return out
+}
+
+// WorkloadOptions controls benchmark query generation.
+type WorkloadOptions struct {
+	// Sizes lists the keyword count of each query; the paper's Q1–Q8 use
+	// {2, 2, 3, 3, 3, 4, 5, 6}.
+	Sizes []int
+	// MinCount requires each keyword to occur at least this often in the
+	// data graph (the paper used > 3000 at full scale; scale accordingly).
+	MinCount int
+	// Seed drives keyword selection.
+	Seed int64
+}
+
+// DefaultWorkload mirrors the paper's query set shape (Table 4).
+func DefaultWorkload() WorkloadOptions {
+	return WorkloadOptions{
+		Sizes:    []int{2, 2, 3, 3, 3, 4, 5, 6},
+		MinCount: 30,
+		Seed:     99,
+	}
+}
+
+// Queries generates a workload over ds: each query's keywords are terms
+// with sufficient support whose types are *semantically related* — joined
+// by the dataset's relation templates — mirroring how the paper picked
+// keywords "from the ontology graph which had semantic relationships"
+// (e.g. Q3 = {Club, Player, England}).
+func Queries(ds *Dataset, opt WorkloadOptions) []Query {
+	if len(opt.Sizes) == 0 {
+		opt = DefaultWorkload()
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	// Popular terms per leaf type.
+	popular := make(map[graph.Label][]graph.Label)
+	for t, terms := range ds.TermsOfType {
+		for _, term := range terms {
+			if ds.Graph.LabelCount(term) >= opt.MinCount {
+				popular[t] = append(popular[t], term)
+			}
+		}
+		slices.Sort(popular[t])
+	}
+
+	// Type adjacency from relation templates (undirected for relatedness).
+	related := make(map[graph.Label][]graph.Label)
+	addRel := func(a, b graph.Label) {
+		if !slices.Contains(related[a], b) {
+			related[a] = append(related[a], b)
+		}
+	}
+	for _, p := range ds.RelationPairs {
+		addRel(p[0], p[1])
+		addRel(p[1], p[0])
+	}
+
+	var out []Query
+	for qi, size := range opt.Sizes {
+		q := buildQuery(ds, rng, popular, related, size)
+		if q == nil {
+			continue
+		}
+		q.ID = fmt.Sprintf("Q%d", qi+1)
+		out = append(out, *q)
+	}
+	return out
+}
+
+// buildQuery walks the type-relatedness graph collecting one popular term
+// per visited type until the query reaches the requested size.
+func buildQuery(ds *Dataset, rng *rand.Rand, popular map[graph.Label][]graph.Label, related map[graph.Label][]graph.Label, size int) *Query {
+	// Start types with popular terms, deterministic order.
+	var starts []graph.Label
+	for t, terms := range popular {
+		if len(terms) > 0 {
+			starts = append(starts, t)
+		}
+	}
+	slices.Sort(starts)
+	if len(starts) == 0 {
+		return nil
+	}
+
+	for attempt := 0; attempt < 50; attempt++ {
+		start := starts[rng.Intn(len(starts))]
+		usedTypes := map[graph.Label]bool{start: true}
+		usedTerms := map[graph.Label]bool{}
+		var kws []graph.Label
+		frontier := []graph.Label{start}
+		for len(kws) < size && len(frontier) > 0 {
+			t := frontier[0]
+			frontier = frontier[1:]
+			terms := popular[t]
+			if len(terms) > 0 {
+				term := terms[rng.Intn(len(terms))]
+				if !usedTerms[term] {
+					usedTerms[term] = true
+					kws = append(kws, term)
+				}
+			}
+			for _, nt := range related[t] {
+				if !usedTypes[nt] && len(popular[nt]) > 0 {
+					usedTypes[nt] = true
+					frontier = append(frontier, nt)
+				}
+			}
+		}
+		// Allow several terms of the same type when relatedness runs dry.
+		for _, t := range starts {
+			for _, term := range popular[t] {
+				if len(kws) >= size {
+					break
+				}
+				if !usedTerms[term] {
+					usedTerms[term] = true
+					kws = append(kws, term)
+				}
+			}
+		}
+		if len(kws) == size {
+			counts := make([]int, size)
+			for i, l := range kws {
+				counts[i] = ds.Graph.LabelCount(l)
+			}
+			return &Query{Keywords: kws, Counts: counts}
+		}
+	}
+	return nil
+}

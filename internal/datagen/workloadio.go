@@ -1,0 +1,59 @@
+package datagen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"bigindex/internal/graph"
+)
+
+// Workload persistence: queries are stored by keyword *names* (not interned
+// Labels), so a saved workload survives dataset regeneration and can be
+// shared between machines as long as the vocabulary matches.
+
+type workloadFile struct {
+	Dataset string          `json:"dataset,omitempty"`
+	Queries []workloadQuery `json:"queries"`
+}
+
+type workloadQuery struct {
+	ID       string   `json:"id"`
+	Keywords []string `json:"keywords"`
+}
+
+// SaveWorkload writes queries as JSON, resolving labels through dict.
+func SaveWorkload(w io.Writer, dataset string, dict *graph.Dict, queries []Query) error {
+	wf := workloadFile{Dataset: dataset}
+	for _, q := range queries {
+		wf.Queries = append(wf.Queries, workloadQuery{ID: q.ID, Keywords: q.Names(dict)})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(wf)
+}
+
+// LoadWorkload reads a workload saved by SaveWorkload and re-resolves the
+// keywords against ds, recomputing the per-keyword counts. Keywords missing
+// from the dataset's dictionary are an error (the workload does not match
+// the dataset).
+func LoadWorkload(r io.Reader, ds *Dataset) ([]Query, error) {
+	var wf workloadFile
+	if err := json.NewDecoder(r).Decode(&wf); err != nil {
+		return nil, fmt.Errorf("datagen: decoding workload: %w", err)
+	}
+	var out []Query
+	for _, wq := range wf.Queries {
+		q := Query{ID: wq.ID}
+		for _, name := range wq.Keywords {
+			l := ds.Graph.Dict().Lookup(name)
+			if l == graph.NoLabel {
+				return nil, fmt.Errorf("datagen: workload keyword %q not in dataset %s", name, ds.Name)
+			}
+			q.Keywords = append(q.Keywords, l)
+			q.Counts = append(q.Counts, ds.Graph.LabelCount(l))
+		}
+		out = append(out, q)
+	}
+	return out, nil
+}

@@ -1,0 +1,136 @@
+package generalize
+
+import (
+	"fmt"
+
+	"bigindex/internal/graph"
+)
+
+// ConfigBuilder grows a configuration mapping-by-mapping in O(1) per
+// addition, maintaining the support-weighted distortion of Sec. 3.2
+// incrementally. Algorithm 1 accepts thousands of mappings on knowledge
+// graphs (most entity labels generalize to their type), so rebuilding an
+// immutable Config per acceptance would make the greedy search quadratic.
+type ConfigBuilder struct {
+	g   *graph.Graph
+	fwd map[graph.Label]graph.Label
+	inv map[graph.Label][]graph.Label
+
+	// Incremental distortion state: distortNum = Σ_t (1 − 1/|S_t|)·supSum_t
+	// over targets t with member sets S_t; supTotal = Σ_{ℓ∈X} sup(ℓ).
+	supSum     map[graph.Label]float64
+	distortNum float64
+	supTotal   float64
+}
+
+// NewConfigBuilder returns an empty builder; g supplies label supports for
+// the distortion bookkeeping.
+func NewConfigBuilder(g *graph.Graph) *ConfigBuilder {
+	return &ConfigBuilder{
+		g:      g,
+		fwd:    make(map[graph.Label]graph.Label),
+		inv:    make(map[graph.Label][]graph.Label),
+		supSum: make(map[graph.Label]float64),
+	}
+}
+
+// Len reports |C|.
+func (b *ConfigBuilder) Len() int { return len(b.fwd) }
+
+// InDomain reports whether the builder already maps l.
+func (b *ConfigBuilder) InDomain(l graph.Label) bool {
+	_, ok := b.fwd[l]
+	return ok
+}
+
+// Map applies the current mappings (identity outside the domain).
+func (b *ConfigBuilder) Map(l graph.Label) graph.Label {
+	if to, ok := b.fwd[l]; ok {
+		return to
+	}
+	return l
+}
+
+// Add accepts the mapping m; it errors if m.From is already mapped
+// elsewhere.
+func (b *ConfigBuilder) Add(m Mapping) error {
+	if m.From == m.To {
+		return nil
+	}
+	if prev, ok := b.fwd[m.From]; ok {
+		if prev == m.To {
+			return nil
+		}
+		return fmt.Errorf("generalize: label %d already mapped to %d", m.From, prev)
+	}
+	b.removeTargetContribution(m.To)
+	b.fwd[m.From] = m.To
+	b.inv[m.To] = append(b.inv[m.To], m.From)
+	sup := b.g.Support(m.From)
+	b.supSum[m.To] += sup
+	b.supTotal += sup
+	b.addTargetContribution(m.To)
+	return nil
+}
+
+func (b *ConfigBuilder) removeTargetContribution(t graph.Label) {
+	if n := len(b.inv[t]); n > 0 {
+		b.distortNum -= (1 - 1/float64(n)) * b.supSum[t]
+	}
+}
+
+func (b *ConfigBuilder) addTargetContribution(t graph.Label) {
+	if n := len(b.inv[t]); n > 0 {
+		b.distortNum += (1 - 1/float64(n)) * b.supSum[t]
+	}
+}
+
+// Distortion returns distort(G, C) for the current mappings (Sec. 3.2),
+// maintained incrementally.
+func (b *ConfigBuilder) Distortion() float64 {
+	if len(b.fwd) == 0 || b.supTotal == 0 {
+		return 0
+	}
+	return b.distortNum / (float64(len(b.fwd)) * b.supTotal)
+}
+
+// DistortionWith returns what Distortion would be after Add(m), without
+// mutating the builder. Adding ℓ→t changes only target t's group term.
+func (b *ConfigBuilder) DistortionWith(m Mapping) float64 {
+	if m.From == m.To || b.InDomain(m.From) {
+		return b.Distortion()
+	}
+	n := len(b.inv[m.To])
+	sup := b.g.Support(m.From)
+	num := b.distortNum
+	if n > 0 {
+		num -= (1 - 1/float64(n)) * b.supSum[m.To]
+	}
+	num += (1 - 1/float64(n+1)) * (b.supSum[m.To] + sup)
+	total := b.supTotal + sup
+	if total == 0 {
+		return 0
+	}
+	return num / (float64(len(b.fwd)+1) * total)
+}
+
+// Snapshot freezes the builder into an immutable Config.
+func (b *ConfigBuilder) Snapshot() *Config {
+	ms := make([]Mapping, 0, len(b.fwd))
+	for from, to := range b.fwd {
+		ms = append(ms, Mapping{From: from, To: to})
+	}
+	return MustConfig(ms)
+}
+
+// Mapper is the minimal label-rewriting view shared by Config and
+// ConfigBuilder; the sampling estimator scores either.
+type Mapper interface {
+	Map(graph.Label) graph.Label
+	InDomain(graph.Label) bool
+}
+
+var (
+	_ Mapper = (*Config)(nil)
+	_ Mapper = (*ConfigBuilder)(nil)
+)

@@ -1,0 +1,56 @@
+package generalize
+
+import "bigindex/internal/graph"
+
+// LabelDistortion returns distort(ℓ) = 1 − 1/|X_ℓ| for a label in C's
+// domain, where X_ℓ is the set of labels generalized to the same supertype
+// as ℓ (Sec. 3.2). It quantifies how hard it becomes to tell ℓ apart from
+// its siblings after generalization. Labels outside the domain have zero
+// distortion.
+func (c *Config) LabelDistortion(l graph.Label) float64 {
+	to, ok := c.fwd[l]
+	if !ok {
+		return 0
+	}
+	siblings := len(c.inv[to])
+	return 1 - 1/float64(siblings)
+}
+
+// BasicDistortion returns the unweighted distortion of C:
+// (Σ_{ℓ∈X} distort(ℓ)) / |X|.
+func (c *Config) BasicDistortion() float64 {
+	if len(c.fwd) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for l := range c.fwd {
+		sum += c.LabelDistortion(l)
+	}
+	return sum / float64(len(c.fwd))
+}
+
+// Distortion returns the support-weighted distortion distort(G, C) of
+// Sec. 3.2:
+//
+//	distort(G,C) = (Σ distort(ℓ)·sup(ℓ)) / (|X| · Σ sup(ℓ)),
+//
+// where sup(ℓ) = |V_ℓ|/|V| is the label's support in the data graph. The
+// weighting captures that distorting frequent labels hurts much more than
+// distorting rare ones.
+func (c *Config) Distortion(g *graph.Graph) float64 {
+	if len(c.fwd) == 0 {
+		return 0
+	}
+	var num, supSum float64
+	for l := range c.fwd {
+		sup := g.Support(l)
+		num += c.LabelDistortion(l) * sup
+		supSum += sup
+	}
+	if supSum == 0 {
+		// None of the domain labels occur in G; generalizing them costs
+		// nothing semantically.
+		return 0
+	}
+	return num / (float64(len(c.fwd)) * supSum)
+}

@@ -1,0 +1,254 @@
+package generalize
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"bigindex/internal/graph"
+	"bigindex/internal/ontology"
+)
+
+func fixture(t *testing.T) (*graph.Graph, *ontology.Ontology, map[string]graph.Label) {
+	t.Helper()
+	dict := graph.NewDict()
+	ont := ontology.New(dict)
+	for _, r := range [][2]string{
+		{"pg", "Investor"}, {"wb", "Investor"}, {"Investor", "Person"},
+		{"ucb", "Univ"}, {"harvard", "Univ"}, {"Univ", "Org"},
+		{"ca", "Western"}, {"Western", "State"},
+	} {
+		if err := ont.AddSupertypeNames(r[0], r[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b := graph.NewBuilder(dict)
+	pg := b.AddVertex("pg")
+	wb := b.AddVertex("wb")
+	ucb := b.AddVertex("ucb")
+	ha := b.AddVertex("harvard")
+	ca := b.AddVertex("ca")
+	b.AddEdge(pg, ucb)
+	b.AddEdge(wb, ha)
+	b.AddEdge(ucb, ca)
+	g := b.Build()
+	ls := map[string]graph.Label{}
+	for _, n := range []string{"pg", "wb", "Investor", "Person", "ucb", "harvard", "Univ", "Org", "ca", "Western", "State"} {
+		ls[n] = dict.Lookup(n)
+	}
+	return g, ont, ls
+}
+
+func TestConfigBasics(t *testing.T) {
+	_, _, ls := fixture(t)
+	cfg := MustConfig([]Mapping{
+		{ls["pg"], ls["Investor"]},
+		{ls["wb"], ls["Investor"]},
+		{ls["ucb"], ls["Univ"]},
+	})
+	if cfg.Len() != 3 {
+		t.Fatalf("Len = %d", cfg.Len())
+	}
+	if cfg.Map(ls["pg"]) != ls["Investor"] {
+		t.Fatal("Map(pg) wrong")
+	}
+	if cfg.Map(ls["ca"]) != ls["ca"] {
+		t.Fatal("identity outside domain broken")
+	}
+	if got := cfg.Preimage(ls["Investor"]); len(got) != 2 {
+		t.Fatalf("Preimage(Investor) = %v", got)
+	}
+	if d := cfg.Domain(); len(d) != 3 {
+		t.Fatalf("Domain = %v", d)
+	}
+	if im := cfg.Image(); len(im) != 2 {
+		t.Fatalf("Image = %v", im)
+	}
+}
+
+func TestConfigConflict(t *testing.T) {
+	_, _, ls := fixture(t)
+	_, err := NewConfig([]Mapping{
+		{ls["pg"], ls["Investor"]},
+		{ls["pg"], ls["Univ"]},
+	})
+	if err == nil {
+		t.Fatal("conflicting mappings should be rejected")
+	}
+	// Duplicate identical mapping is fine.
+	c, err := NewConfig([]Mapping{
+		{ls["pg"], ls["Investor"]},
+		{ls["pg"], ls["Investor"]},
+	})
+	if err != nil || c.Len() != 1 {
+		t.Fatalf("duplicate mapping mishandled: %v %d", err, c.Len())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	_, ont, ls := fixture(t)
+	good := MustConfig([]Mapping{{ls["pg"], ls["Investor"]}})
+	if err := good.Validate(ont); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	// Person is a transitive but not direct supertype of pg.
+	bad := MustConfig([]Mapping{{ls["pg"], ls["Person"]}})
+	if err := bad.Validate(ont); !errors.Is(err, ErrNotSupertype) {
+		t.Fatalf("skip-level mapping should fail: %v", err)
+	}
+}
+
+func TestApplyIsLabelPreserving(t *testing.T) {
+	g, _, ls := fixture(t)
+	cfg := MustConfig([]Mapping{
+		{ls["pg"], ls["Investor"]},
+		{ls["wb"], ls["Investor"]},
+	})
+	gen := cfg.Apply(g)
+	if !cfg.IsLabelPreserving(g, gen) {
+		t.Fatal("Gen must be label-preserving (Def 2.2)")
+	}
+	if gen.LabelCount(ls["Investor"]) != 2 {
+		t.Fatal("both investors should be relabeled")
+	}
+	if gen.NumEdges() != g.NumEdges() {
+		t.Fatal("Gen must not change topology")
+	}
+	// Empty config returns the same graph.
+	if EmptyConfig().Apply(g) != g {
+		t.Fatal("identity Apply should be a no-op")
+	}
+}
+
+func TestGenQueryAndSequence(t *testing.T) {
+	_, _, ls := fixture(t)
+	c1 := MustConfig([]Mapping{{ls["pg"], ls["Investor"]}, {ls["ucb"], ls["Univ"]}})
+	c2 := MustConfig([]Mapping{{ls["Investor"], ls["Person"]}, {ls["Univ"], ls["Org"]}})
+	seq := Sequence{c1, c2}
+
+	q := []graph.Label{ls["pg"], ls["ucb"]}
+	if got := seq.GenQuery(q, 0); got[0] != ls["pg"] {
+		t.Fatal("Gen^0 must be identity")
+	}
+	if got := seq.GenQuery(q, 1); got[0] != ls["Investor"] || got[1] != ls["Univ"] {
+		t.Fatalf("Gen^1 = %v", got)
+	}
+	if got := seq.GenQuery(q, 2); got[0] != ls["Person"] || got[1] != ls["Org"] {
+		t.Fatalf("Gen^2 = %v", got)
+	}
+	// Beyond the sequence length the last layer persists.
+	if got := seq.GenLabel(ls["pg"], 99); got != ls["Person"] {
+		t.Fatalf("GenLabel beyond h = %v", got)
+	}
+}
+
+func TestDistinctAtLayer(t *testing.T) {
+	_, _, ls := fixture(t)
+	c1 := MustConfig([]Mapping{{ls["pg"], ls["Investor"]}, {ls["wb"], ls["Investor"]}})
+	seq := Sequence{c1}
+	q := []graph.Label{ls["pg"], ls["wb"]}
+	if n := seq.DistinctAtLayer(q, 0); n != 2 {
+		t.Fatalf("layer 0 distinct = %d", n)
+	}
+	// Both keywords merge into Investor at layer 1: Condition 1 of Def 4.1
+	// rules this layer out.
+	if n := seq.DistinctAtLayer(q, 1); n != 1 {
+		t.Fatalf("layer 1 distinct = %d, want 1", n)
+	}
+}
+
+func TestDistortion(t *testing.T) {
+	g, _, ls := fixture(t)
+	// Example 3.1: two labels to one supertype -> distort = 1/2 each.
+	cfg := MustConfig([]Mapping{
+		{ls["pg"], ls["Investor"]},
+		{ls["wb"], ls["Investor"]},
+	})
+	if d := cfg.LabelDistortion(ls["pg"]); d != 0.5 {
+		t.Fatalf("LabelDistortion = %v, want 0.5", d)
+	}
+	if d := cfg.LabelDistortion(ls["ca"]); d != 0 {
+		t.Fatalf("outside domain distortion = %v, want 0", d)
+	}
+	if d := cfg.BasicDistortion(); d != 0.5 {
+		t.Fatalf("BasicDistortion = %v, want 0.5", d)
+	}
+	// Weighted: both labels have equal support (1/5 each):
+	// num = 0.5*(1/5)+0.5*(1/5) = 0.2; denom = 2 * 0.4 = 0.8 -> 0.25.
+	if d := cfg.Distortion(g); math.Abs(d-0.25) > 1e-12 {
+		t.Fatalf("Distortion = %v, want 0.25", d)
+	}
+	if d := EmptyConfig().Distortion(g); d != 0 {
+		t.Fatalf("empty distortion = %v", d)
+	}
+	// A single mapping always has zero distortion (|X_l| = 1).
+	single := MustConfig([]Mapping{{ls["pg"], ls["Investor"]}})
+	if d := single.Distortion(g); d != 0 {
+		t.Fatalf("singleton distortion = %v", d)
+	}
+}
+
+func TestDistortionAbsentLabels(t *testing.T) {
+	g, _, ls := fixture(t)
+	// Labels not occurring in g: support 0 -> distortion 0 by convention.
+	cfg := MustConfig([]Mapping{
+		{ls["Investor"], ls["Person"]},
+		{ls["Western"], ls["State"]},
+	})
+	if d := cfg.Distortion(g); d != 0 {
+		t.Fatalf("absent-label distortion = %v, want 0", d)
+	}
+}
+
+func TestConfigBuilderMatchesConfig(t *testing.T) {
+	g, _, ls := fixture(t)
+	mappings := []Mapping{
+		{ls["pg"], ls["Investor"]},
+		{ls["wb"], ls["Investor"]},
+		{ls["ucb"], ls["Univ"]},
+		{ls["harvard"], ls["Univ"]},
+		{ls["ca"], ls["Western"]},
+	}
+	b := NewConfigBuilder(g)
+	for i, m := range mappings {
+		// DistortionWith must predict the post-Add value.
+		predicted := b.DistortionWith(m)
+		if err := b.Add(m); err != nil {
+			t.Fatal(err)
+		}
+		if got := b.Distortion(); math.Abs(got-predicted) > 1e-12 {
+			t.Fatalf("step %d: DistortionWith=%v, after Add=%v", i, predicted, got)
+		}
+		// Builder distortion must equal immutable Config distortion.
+		want := MustConfig(mappings[:i+1]).Distortion(g)
+		if got := b.Distortion(); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("step %d: builder=%v config=%v", i, got, want)
+		}
+	}
+	snap := b.Snapshot()
+	if snap.Len() != len(mappings) {
+		t.Fatalf("Snapshot Len = %d", snap.Len())
+	}
+	for _, m := range mappings {
+		if snap.Map(m.From) != m.To {
+			t.Fatalf("Snapshot lost mapping %v", m)
+		}
+	}
+}
+
+func TestConfigBuilderConflict(t *testing.T) {
+	g, _, ls := fixture(t)
+	b := NewConfigBuilder(g)
+	if err := b.Add(Mapping{ls["pg"], ls["Investor"]}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add(Mapping{ls["pg"], ls["Univ"]}); err == nil {
+		t.Fatal("conflicting Add should fail")
+	}
+	if err := b.Add(Mapping{ls["pg"], ls["Investor"]}); err != nil {
+		t.Fatalf("idempotent Add should succeed: %v", err)
+	}
+	if b.Len() != 1 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+}

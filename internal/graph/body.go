@@ -1,0 +1,115 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteBody serializes only the graph structure (labels + edges), without
+// the dictionary. Used by multi-graph containers — a BiG-index stores many
+// layers sharing one dictionary, which must be written exactly once or the
+// shared Label values would diverge on load.
+func (g *Graph) WriteBody(w io.Writer) error {
+	if err := writeU32(w, uint32(g.NumVertices())); err != nil {
+		return err
+	}
+	for _, l := range g.labels {
+		if err := writeU32(w, uint32(l)); err != nil {
+			return err
+		}
+	}
+	if err := writeU32(w, uint32(g.NumEdges())); err != nil {
+		return err
+	}
+	for v := V(0); int(v) < g.NumVertices(); v++ {
+		for _, to := range g.Out(v) {
+			if err := writeU32(w, uint32(v)); err != nil {
+				return err
+			}
+			if err := writeU32(w, uint32(to)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ReadBody deserializes a graph written by WriteBody against an existing
+// dictionary (labels must be within the dictionary's range).
+func ReadBody(r io.Reader, dict *Dict) (*Graph, error) {
+	nV, err := readU32(r)
+	if err != nil {
+		return nil, err
+	}
+	b := NewBuilder(dict)
+	for i := uint32(0); i < nV; i++ {
+		l, err := readU32(r)
+		if err != nil {
+			return nil, err
+		}
+		if l == 0 || int(l) > dict.Len() {
+			return nil, fmt.Errorf("%w: vertex label %d outside dictionary", ErrBadFormat, l)
+		}
+		b.AddVertexLabel(Label(l))
+	}
+	nE, err := readU32(r)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nE; i++ {
+		from, err := readU32(r)
+		if err != nil {
+			return nil, err
+		}
+		to, err := readU32(r)
+		if err != nil {
+			return nil, err
+		}
+		if from >= nV || to >= nV {
+			return nil, fmt.Errorf("%w: edge (%d,%d) out of range", ErrBadFormat, from, to)
+		}
+		b.AddEdge(V(from), V(to))
+	}
+	return b.Build(), nil
+}
+
+// WriteDict serializes the dictionary alone (for containers).
+func WriteDict(w io.Writer, d *Dict) error {
+	if err := writeU32(w, uint32(d.Len())); err != nil {
+		return err
+	}
+	for i := 1; i <= d.Len(); i++ {
+		name := d.Name(Label(i))
+		if err := writeU32(w, uint32(len(name))); err != nil {
+			return err
+		}
+		if _, err := w.Write([]byte(name)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadDict deserializes a dictionary written by WriteDict.
+func ReadDict(r io.Reader) (*Dict, error) {
+	n, err := readU32(r)
+	if err != nil {
+		return nil, err
+	}
+	d := NewDict()
+	for i := uint32(0); i < n; i++ {
+		ln, err := readU32(r)
+		if err != nil {
+			return nil, err
+		}
+		if ln > 1<<20 {
+			return nil, fmt.Errorf("%w: label length %d", ErrBadFormat, ln)
+		}
+		buf := make([]byte, ln)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, fmt.Errorf("graph: reading dict entry: %w", err)
+		}
+		d.Intern(string(buf))
+	}
+	return d, nil
+}

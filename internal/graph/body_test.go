@@ -1,0 +1,205 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func randomGraphT(rng *rand.Rand, n, e int) *Graph {
+	b := NewBuilder(nil)
+	for i := 0; i < n; i++ {
+		b.AddVertex("l" + string(rune('a'+rng.Intn(5))))
+	}
+	for i := 0; i < e; i++ {
+		b.AddEdge(V(rng.Intn(n)), V(rng.Intn(n)))
+	}
+	return b.Build()
+}
+
+func TestBodyRoundTripSharedDict(t *testing.T) {
+	// Two graphs over one dictionary written as bodies and read back
+	// against a single dictionary keep identical labels.
+	dict := NewDict()
+	b1 := NewBuilder(dict)
+	x := b1.AddVertex("x")
+	y := b1.AddVertex("y")
+	b1.AddEdge(x, y)
+	g1 := b1.Build()
+
+	b2 := NewBuilder(dict)
+	b2.AddVertex("y")
+	b2.AddVertex("z")
+	g2 := b2.Build()
+
+	var buf bytes.Buffer
+	if err := WriteDict(&buf, dict); err != nil {
+		t.Fatal(err)
+	}
+	if err := g1.WriteBody(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.WriteBody(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	rd, err := ReadDict(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := ReadBody(&buf, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := ReadBody(&buf, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.Name(r1.Label(0)) != "x" || rd.Name(r2.Label(0)) != "y" {
+		t.Fatal("labels scrambled")
+	}
+	if !r1.HasEdge(0, 1) {
+		t.Fatal("edge lost")
+	}
+	if r2.NumEdges() != 0 {
+		t.Fatal("phantom edges")
+	}
+}
+
+func TestReadBodyRejectsBadLabels(t *testing.T) {
+	dict := NewDict()
+	dict.Intern("only")
+	var buf bytes.Buffer
+	// Vertex with label 9 (out of range for a 1-entry dict).
+	writeU32(&buf, 1) // nV
+	writeU32(&buf, 9) // label
+	if _, err := ReadBody(&buf, dict); err == nil {
+		t.Fatal("bad label accepted")
+	}
+	// Edge out of range.
+	buf.Reset()
+	writeU32(&buf, 1) // nV
+	writeU32(&buf, 1) // label ok
+	writeU32(&buf, 1) // nE
+	writeU32(&buf, 0)
+	writeU32(&buf, 7)
+	if _, err := ReadBody(&buf, dict); err == nil {
+		t.Fatal("bad edge accepted")
+	}
+	// Truncated input.
+	buf.Reset()
+	writeU32(&buf, 5)
+	if _, err := ReadBody(strings.NewReader(buf.String()[:2]), dict); err == nil {
+		t.Fatal("truncated input accepted")
+	}
+}
+
+// TestCSRInvariants: adjacency built through the CSR matches a naive
+// adjacency map for random graphs, in both directions.
+func TestCSRInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		g := randomGraphT(rng, n, rng.Intn(4*n))
+
+		out := make(map[V]map[V]bool)
+		in := make(map[V]map[V]bool)
+		for _, e := range g.Edges() {
+			if out[e.From] == nil {
+				out[e.From] = map[V]bool{}
+			}
+			if in[e.To] == nil {
+				in[e.To] = map[V]bool{}
+			}
+			out[e.From][e.To] = true
+			in[e.To][e.From] = true
+		}
+		totalOut, totalIn := 0, 0
+		for v := V(0); int(v) < n; v++ {
+			row := g.Out(v)
+			totalOut += len(row)
+			for i, w := range row {
+				if !out[v][w] {
+					return false
+				}
+				if i > 0 && row[i-1] >= w {
+					return false // rows must be strictly ascending (dedup + sort)
+				}
+				if !g.HasEdge(v, w) {
+					return false
+				}
+			}
+			rin := g.In(v)
+			totalIn += len(rin)
+			for _, w := range rin {
+				if !in[v][w] {
+					return false
+				}
+			}
+			if g.OutDegree(v) != len(row) || g.InDegree(v) != len(rin) {
+				return false
+			}
+		}
+		return totalOut == g.NumEdges() && totalIn == g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPostingListsComplete: posting lists partition the vertex set.
+func TestPostingListsComplete(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		g := randomGraphT(rng, n, rng.Intn(2*n))
+		count := 0
+		for _, l := range g.DistinctLabels() {
+			vs := g.VerticesWithLabel(l)
+			count += len(vs)
+			for _, v := range vs {
+				if g.Label(v) != l {
+					return false
+				}
+			}
+		}
+		return count == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromEdges(t *testing.T) {
+	dict := NewDict()
+	a := dict.Intern("a")
+	g := FromEdges(dict, []Label{a, a, a}, []Edge{{From: 0, To: 1}, {From: 1, To: 2}})
+	if g.NumVertices() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("FromEdges: %v", g)
+	}
+	if g.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestDictNamesSortedAndLabels(t *testing.T) {
+	d := NewDict()
+	d.Intern("zeta")
+	d.Intern("alpha")
+	names := d.Names()
+	if names[0] != "alpha" || names[1] != "zeta" {
+		t.Fatalf("Names = %v", names)
+	}
+	ls := d.Labels()
+	if len(ls) != 2 || ls[0] != 1 || ls[1] != 2 {
+		t.Fatalf("Labels = %v", ls)
+	}
+	if _, ok := d.NameOK(Label(5)); ok {
+		t.Fatal("NameOK accepted bad label")
+	}
+	if s, ok := d.NameOK(ls[0]); !ok || s != "zeta" {
+		t.Fatalf("NameOK = %q %v", s, ok)
+	}
+}

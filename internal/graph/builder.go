@@ -1,0 +1,149 @@
+package graph
+
+import (
+	"fmt"
+	"slices"
+)
+
+// Builder accumulates vertices and edges and produces an immutable Graph.
+// Vertex IDs are assigned densely in insertion order. Duplicate edges are
+// deduplicated at Build time (the paper's graphs are simple graphs).
+type Builder struct {
+	dict   *Dict
+	labels []Label
+	edges  []Edge
+}
+
+// NewBuilder returns a Builder using dict for label interning. Pass nil to
+// create a fresh dictionary.
+func NewBuilder(dict *Dict) *Builder {
+	if dict == nil {
+		dict = NewDict()
+	}
+	return &Builder{dict: dict}
+}
+
+// Dict returns the builder's label dictionary.
+func (b *Builder) Dict() *Dict { return b.dict }
+
+// AddVertex adds a vertex labeled name and returns its ID.
+func (b *Builder) AddVertex(name string) V {
+	return b.AddVertexLabel(b.dict.Intern(name))
+}
+
+// AddVertexLabel adds a vertex with an already-interned label.
+func (b *Builder) AddVertexLabel(l Label) V {
+	v := V(len(b.labels))
+	b.labels = append(b.labels, l)
+	return v
+}
+
+// NumVertices reports the number of vertices added so far.
+func (b *Builder) NumVertices() int { return len(b.labels) }
+
+// AddEdge records the directed edge (from, to). Both endpoints must already
+// exist; AddEdge panics otherwise since that is always a construction bug.
+func (b *Builder) AddEdge(from, to V) {
+	n := V(len(b.labels))
+	if from >= n || to >= n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) references vertex >= %d", from, to, n))
+	}
+	b.edges = append(b.edges, Edge{from, to})
+}
+
+// Build freezes the builder into an immutable Graph. The builder may be
+// reused afterwards, but further additions do not affect the built graph.
+func (b *Builder) Build() *Graph {
+	n := len(b.labels)
+	labels := append([]Label(nil), b.labels...)
+
+	edges := append([]Edge(nil), b.edges...)
+	slices.SortFunc(edges, func(a, e Edge) int {
+		if a.From != e.From {
+			return int(a.From) - int(e.From)
+		}
+		return int(a.To) - int(e.To)
+	})
+	edges = slices.Compact(edges)
+
+	g := &Graph{
+		dict:    b.dict,
+		labels:  labels,
+		outOff:  make([]uint32, n+1),
+		outAdj:  make([]V, len(edges)),
+		inOff:   make([]uint32, n+1),
+		inAdj:   make([]V, len(edges)),
+		posting: make(map[Label][]V),
+	}
+
+	// Forward CSR (edges already sorted by From, then To).
+	for _, e := range edges {
+		g.outOff[e.From+1]++
+	}
+	for i := 0; i < n; i++ {
+		g.outOff[i+1] += g.outOff[i]
+	}
+	for i, e := range edges {
+		g.outAdj[i] = e.To
+	}
+
+	// Backward CSR via counting sort on To.
+	for _, e := range edges {
+		g.inOff[e.To+1]++
+	}
+	for i := 0; i < n; i++ {
+		g.inOff[i+1] += g.inOff[i]
+	}
+	next := make([]uint32, n)
+	copy(next, g.inOff[:n])
+	for _, e := range edges {
+		g.inAdj[next[e.To]] = e.From
+		next[e.To]++
+	}
+	// In-neighbor rows are sorted because edges are sorted by From and the
+	// counting sort above is stable in From order.
+
+	for v := 0; v < n; v++ {
+		l := labels[v]
+		g.posting[l] = append(g.posting[l], V(v))
+	}
+	return g
+}
+
+// FromEdges builds a graph directly from per-vertex labels and an edge list.
+// It is a convenience for tests and generators.
+func FromEdges(dict *Dict, labels []Label, edges []Edge) *Graph {
+	b := NewBuilder(dict)
+	for _, l := range labels {
+		b.AddVertexLabel(l)
+	}
+	for _, e := range edges {
+		b.AddEdge(e.From, e.To)
+	}
+	return b.Build()
+}
+
+// Relabel returns a copy of g whose vertex labels have been replaced by
+// mapped[v] = f(g.Label(v)). The adjacency structure is shared-by-copy
+// (CSR slices are duplicated); the dictionary is shared. Relabel is the
+// structural core of the generalization operator Gen (Sec. 3.1): Gen only
+// rewrites labels and leaves topology untouched.
+func (g *Graph) Relabel(f func(Label) Label) *Graph {
+	n := g.NumVertices()
+	labels := make([]Label, n)
+	posting := make(map[Label][]V)
+	for v := 0; v < n; v++ {
+		l := f(g.labels[v])
+		labels[v] = l
+		posting[l] = append(posting[l], V(v))
+	}
+	return &Graph{
+		dict:    g.dict,
+		labels:  labels,
+		outOff:  g.outOff,
+		outAdj:  g.outAdj,
+		inOff:   g.inOff,
+		inAdj:   g.inAdj,
+		posting: posting,
+	}
+}

@@ -1,0 +1,102 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Label is an interned label identifier. Labels model entity/attribute
+// values, types and query keywords (Sec. 2 of the paper); interning keeps
+// per-vertex storage at 4 bytes and makes label comparison O(1).
+type Label uint32
+
+// NoLabel is the zero Label; it is never returned by Dict.Intern and marks
+// "no such label" in lookups.
+const NoLabel Label = 0
+
+// Dict is a bidirectional string<->Label dictionary. Label 0 is reserved so
+// the zero value of Label is always invalid. A Dict is shared by a data
+// graph, its ontology and every summary layer built from it, so a given
+// string maps to the same Label everywhere.
+//
+// Dict is not safe for concurrent mutation; concurrent readers are fine once
+// interning has finished.
+type Dict struct {
+	byName map[string]Label
+	names  []string // names[i] is the string for Label(i); names[0] unused
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{
+		byName: make(map[string]Label),
+		names:  []string{""},
+	}
+}
+
+// Intern returns the Label for name, assigning a fresh one on first use.
+func (d *Dict) Intern(name string) Label {
+	if l, ok := d.byName[name]; ok {
+		return l
+	}
+	l := Label(len(d.names))
+	d.names = append(d.names, name)
+	d.byName[name] = l
+	return l
+}
+
+// Lookup returns the Label for name, or NoLabel if name was never interned.
+func (d *Dict) Lookup(name string) Label {
+	return d.byName[name]
+}
+
+// Name returns the string for l. It panics if l was not produced by this
+// dictionary, which always indicates a bug (mixing dictionaries).
+func (d *Dict) Name(l Label) string {
+	if int(l) <= 0 || int(l) >= len(d.names) {
+		panic(fmt.Sprintf("graph: label %d not in dictionary (size %d)", l, len(d.names)-1))
+	}
+	return d.names[l]
+}
+
+// NameOK is Name without the panic: ok is false when l is not a label of
+// this dictionary (e.g. validating artifacts against a foreign ontology).
+func (d *Dict) NameOK(l Label) (string, bool) {
+	if int(l) <= 0 || int(l) >= len(d.names) {
+		return "", false
+	}
+	return d.names[l], true
+}
+
+// Len reports the number of interned labels.
+func (d *Dict) Len() int { return len(d.names) - 1 }
+
+// Labels returns all interned labels in ascending order.
+func (d *Dict) Labels() []Label {
+	ls := make([]Label, 0, d.Len())
+	for i := 1; i < len(d.names); i++ {
+		ls = append(ls, Label(i))
+	}
+	return ls
+}
+
+// Names returns all interned strings sorted lexicographically. Useful for
+// deterministic iteration in tests and reports.
+func (d *Dict) Names() []string {
+	ns := make([]string, 0, d.Len())
+	ns = append(ns, d.names[1:]...)
+	sort.Strings(ns)
+	return ns
+}
+
+// Clone returns an independent copy of the dictionary.
+func (d *Dict) Clone() *Dict {
+	c := &Dict{
+		byName: make(map[string]Label, len(d.byName)),
+		names:  append([]string(nil), d.names...),
+	}
+	for k, v := range d.byName {
+		c.byName[k] = v
+	}
+	return c
+}

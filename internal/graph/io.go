@@ -1,0 +1,181 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Binary on-disk format (little endian):
+//
+//	magic  "BIGG" | version u32
+//	nLabels u32   | for each: len u32, bytes
+//	nVertices u32 | for each: label u32
+//	nEdges u32    | for each: from u32, to u32
+//
+// The format stores the dictionary inline so a graph round-trips without an
+// external dictionary; on load a fresh Dict is created.
+
+const (
+	ioMagic   = "BIGG"
+	ioVersion = 1
+)
+
+// ErrBadFormat is returned when decoding input that is not a serialized
+// graph produced by WriteTo.
+var ErrBadFormat = errors.New("graph: bad serialized format")
+
+// WriteTo serializes g to w in the binary format above.
+func (g *Graph) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	cw := &countWriter{w: bw}
+
+	if _, err := cw.Write([]byte(ioMagic)); err != nil {
+		return cw.n, err
+	}
+	if err := writeU32(cw, ioVersion); err != nil {
+		return cw.n, err
+	}
+
+	d := g.dict
+	if err := writeU32(cw, uint32(d.Len())); err != nil {
+		return cw.n, err
+	}
+	for i := 1; i <= d.Len(); i++ {
+		name := d.Name(Label(i))
+		if err := writeU32(cw, uint32(len(name))); err != nil {
+			return cw.n, err
+		}
+		if _, err := cw.Write([]byte(name)); err != nil {
+			return cw.n, err
+		}
+	}
+
+	if err := writeU32(cw, uint32(g.NumVertices())); err != nil {
+		return cw.n, err
+	}
+	for _, l := range g.labels {
+		if err := writeU32(cw, uint32(l)); err != nil {
+			return cw.n, err
+		}
+	}
+
+	if err := writeU32(cw, uint32(g.NumEdges())); err != nil {
+		return cw.n, err
+	}
+	for v := V(0); int(v) < g.NumVertices(); v++ {
+		for _, wv := range g.Out(v) {
+			if err := writeU32(cw, uint32(v)); err != nil {
+				return cw.n, err
+			}
+			if err := writeU32(cw, uint32(wv)); err != nil {
+				return cw.n, err
+			}
+		}
+	}
+	return cw.n, bw.Flush()
+}
+
+// Read deserializes a graph written by WriteTo.
+func Read(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("graph: reading magic: %w", err)
+	}
+	if string(magic) != ioMagic {
+		return nil, ErrBadFormat
+	}
+	ver, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	if ver != ioVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, ver)
+	}
+
+	nLabels, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	dict := NewDict()
+	for i := uint32(0); i < nLabels; i++ {
+		n, err := readU32(br)
+		if err != nil {
+			return nil, err
+		}
+		if n > 1<<20 {
+			return nil, fmt.Errorf("%w: label length %d too large", ErrBadFormat, n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("graph: reading label: %w", err)
+		}
+		dict.Intern(string(buf))
+	}
+
+	nV, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	b := NewBuilder(dict)
+	for i := uint32(0); i < nV; i++ {
+		l, err := readU32(br)
+		if err != nil {
+			return nil, err
+		}
+		if l == 0 || l > nLabels {
+			return nil, fmt.Errorf("%w: vertex label %d out of range", ErrBadFormat, l)
+		}
+		b.AddVertexLabel(Label(l))
+	}
+
+	nE, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nE; i++ {
+		from, err := readU32(br)
+		if err != nil {
+			return nil, err
+		}
+		to, err := readU32(br)
+		if err != nil {
+			return nil, err
+		}
+		if from >= nV || to >= nV {
+			return nil, fmt.Errorf("%w: edge (%d,%d) out of range", ErrBadFormat, from, to)
+		}
+		b.AddEdge(V(from), V(to))
+	}
+	return b.Build(), nil
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func writeU32(w io.Writer, x uint32) error {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], x)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func readU32(r io.Reader) (uint32, error) {
+	var buf [4]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, fmt.Errorf("graph: reading u32: %w", err)
+	}
+	return binary.LittleEndian.Uint32(buf[:]), nil
+}

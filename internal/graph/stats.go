@@ -1,0 +1,96 @@
+package graph
+
+import "sort"
+
+// Stats summarizes a graph's structure; used by the CLI, the dataset
+// generator's validation, and experiment reports.
+type Stats struct {
+	Vertices, Edges int
+	// AvgDegree is |E|/|V| (out-degree average).
+	AvgDegree float64
+	// MaxOutDegree / MaxInDegree are the largest fan-outs (hub detection).
+	MaxOutDegree, MaxInDegree int
+	// Sinks counts vertices with no out-edges; Sources with no in-edges.
+	Sinks, Sources int
+	// DistinctLabels is |Σ| restricted to occurring labels.
+	DistinctLabels int
+	// TopLabelCount is the population of the most frequent label (Zipf
+	// head).
+	TopLabelCount int
+	// DegreeP50/P90/P99 are percentiles of the total degree distribution.
+	DegreeP50, DegreeP90, DegreeP99 int
+	// WeaklyConnected is the number of weakly connected components.
+	WeaklyConnected int
+}
+
+// ComputeStats scans the graph once (plus a union-find pass for
+// components).
+func ComputeStats(g *Graph) Stats {
+	n := g.NumVertices()
+	st := Stats{
+		Vertices:       n,
+		Edges:          g.NumEdges(),
+		DistinctLabels: len(g.DistinctLabels()),
+	}
+	if n == 0 {
+		st.AvgDegree = 0
+		return st
+	}
+	st.AvgDegree = float64(g.NumEdges()) / float64(n)
+
+	degrees := make([]int, n)
+	for v := V(0); int(v) < n; v++ {
+		od, id := g.OutDegree(v), g.InDegree(v)
+		degrees[v] = od + id
+		if od > st.MaxOutDegree {
+			st.MaxOutDegree = od
+		}
+		if id > st.MaxInDegree {
+			st.MaxInDegree = id
+		}
+		if od == 0 {
+			st.Sinks++
+		}
+		if id == 0 {
+			st.Sources++
+		}
+	}
+	sort.Ints(degrees)
+	st.DegreeP50 = degrees[n/2]
+	st.DegreeP90 = degrees[n*9/10]
+	st.DegreeP99 = degrees[min(n-1, n*99/100)]
+
+	for _, l := range g.DistinctLabels() {
+		if c := g.LabelCount(l); c > st.TopLabelCount {
+			st.TopLabelCount = c
+		}
+	}
+
+	// Weakly connected components by union-find over undirected edges.
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for v := V(0); int(v) < n; v++ {
+		for _, w := range g.Out(v) {
+			a, b := find(int(v)), find(int(w))
+			if a != b {
+				parent[a] = b
+			}
+		}
+	}
+	roots := map[int]bool{}
+	for i := 0; i < n; i++ {
+		roots[find(i)] = true
+	}
+	st.WeaklyConnected = len(roots)
+	return st
+}

@@ -1,0 +1,53 @@
+package graph
+
+import "testing"
+
+func TestComputeStats(t *testing.T) {
+	b := NewBuilder(nil)
+	// Component 1: hub h -> {a, b, c}; component 2: isolated pair x -> y.
+	h := b.AddVertex("hub")
+	a := b.AddVertex("leaf")
+	bb := b.AddVertexLabel(b.Dict().Lookup("leaf"))
+	c := b.AddVertexLabel(b.Dict().Lookup("leaf"))
+	x := b.AddVertex("x")
+	y := b.AddVertex("y")
+	b.AddEdge(h, a)
+	b.AddEdge(h, bb)
+	b.AddEdge(h, c)
+	b.AddEdge(x, y)
+	g := b.Build()
+
+	st := ComputeStats(g)
+	if st.Vertices != 6 || st.Edges != 4 {
+		t.Fatalf("sizes: %+v", st)
+	}
+	if st.MaxOutDegree != 3 {
+		t.Fatalf("MaxOutDegree = %d", st.MaxOutDegree)
+	}
+	if st.MaxInDegree != 1 {
+		t.Fatalf("MaxInDegree = %d", st.MaxInDegree)
+	}
+	if st.Sinks != 4 { // a, b, c, y
+		t.Fatalf("Sinks = %d", st.Sinks)
+	}
+	if st.Sources != 2 { // h, x
+		t.Fatalf("Sources = %d", st.Sources)
+	}
+	if st.WeaklyConnected != 2 {
+		t.Fatalf("components = %d", st.WeaklyConnected)
+	}
+	if st.TopLabelCount != 3 {
+		t.Fatalf("TopLabelCount = %d", st.TopLabelCount)
+	}
+	if st.DistinctLabels != 4 {
+		t.Fatalf("DistinctLabels = %d", st.DistinctLabels)
+	}
+	if st.DegreeP50 < 1 || st.DegreeP99 < st.DegreeP50 {
+		t.Fatalf("percentiles: %+v", st)
+	}
+
+	empty := ComputeStats(NewBuilder(nil).Build())
+	if empty.Vertices != 0 || empty.WeaklyConnected != 0 {
+		t.Fatalf("empty stats: %+v", empty)
+	}
+}

@@ -1,0 +1,177 @@
+package ontology
+
+import (
+	"errors"
+	"testing"
+
+	"bigindex/internal/graph"
+)
+
+// paperOntology builds the Fig. 2 fragment: instance labels under types,
+// types under broader types.
+func paperOntology(t *testing.T) (*Ontology, map[string]graph.Label) {
+	t.Helper()
+	o := New(nil)
+	rels := [][2]string{
+		{"P. Graham", "Investor"},
+		{"W. Buffett", "Investor"},
+		{"Investor", "Person"},
+		{"S. Russell", "Academics"},
+		{"Academics", "Person"},
+		{"UC Berkeley", "Univ."},
+		{"Harvard Univ.", "Univ."},
+		{"Univ.", "Organization"},
+		{"California", "Western"},
+		{"Massachusetts", "Eastern"},
+		{"Western", "State"},
+		{"Eastern", "State"},
+	}
+	for _, r := range rels {
+		if err := o.AddSupertypeNames(r[0], r[1]); err != nil {
+			t.Fatalf("AddSupertypeNames(%v): %v", r, err)
+		}
+	}
+	ls := map[string]graph.Label{}
+	for _, r := range rels {
+		ls[r[0]] = o.Dict().Lookup(r[0])
+		ls[r[1]] = o.Dict().Lookup(r[1])
+	}
+	return o, ls
+}
+
+func TestDirectSupertypes(t *testing.T) {
+	o, ls := paperOntology(t)
+	if !o.IsDirectSupertype(ls["Investor"], ls["P. Graham"]) {
+		t.Error("Investor should be direct supertype of P. Graham")
+	}
+	if o.IsDirectSupertype(ls["Person"], ls["P. Graham"]) {
+		t.Error("Person is not a *direct* supertype of P. Graham")
+	}
+	got := o.DirectSupertypes(ls["P. Graham"])
+	if len(got) != 1 || got[0] != ls["Investor"] {
+		t.Errorf("DirectSupertypes = %v", got)
+	}
+	subs := o.DirectSubtypes(ls["Investor"])
+	if len(subs) != 2 {
+		t.Errorf("DirectSubtypes(Investor) = %v, want 2", subs)
+	}
+}
+
+func TestTransitiveSupertype(t *testing.T) {
+	o, ls := paperOntology(t)
+	if !o.IsSupertype(ls["Person"], ls["P. Graham"]) {
+		t.Error("Person should be transitive supertype of P. Graham")
+	}
+	if !o.IsSupertype(ls["P. Graham"], ls["P. Graham"]) {
+		t.Error("IsSupertype must be reflexive (keyword filtering at layer 0)")
+	}
+	if o.IsSupertype(ls["Univ."], ls["P. Graham"]) {
+		t.Error("Univ. is unrelated to P. Graham")
+	}
+	sup := o.Supertypes(ls["P. Graham"])
+	if len(sup) != 2 { // Investor, Person
+		t.Errorf("Supertypes = %v, want 2", sup)
+	}
+}
+
+func TestCycleRejection(t *testing.T) {
+	o := New(nil)
+	a := o.AddType("a")
+	b := o.AddType("b")
+	c := o.AddType("c")
+	if err := o.AddSupertype(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.AddSupertype(b, c); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.AddSupertype(c, a); !errors.Is(err, ErrCycle) {
+		t.Fatalf("closing a cycle should fail, got %v", err)
+	}
+	if err := o.AddSupertype(a, a); !errors.Is(err, ErrCycle) {
+		t.Fatalf("self loop should fail, got %v", err)
+	}
+	if err := o.Validate(); err != nil {
+		t.Fatalf("valid DAG rejected: %v", err)
+	}
+}
+
+func TestDepthAndHeight(t *testing.T) {
+	o, ls := paperOntology(t)
+	if d := o.Depth(ls["Person"]); d != 0 {
+		t.Errorf("Depth(Person) = %d, want 0 (root)", d)
+	}
+	if d := o.Depth(ls["P. Graham"]); d != 2 {
+		t.Errorf("Depth(P. Graham) = %d, want 2", d)
+	}
+	if h := o.Height(); h != 2 {
+		t.Errorf("Height = %d, want 2", h)
+	}
+}
+
+func TestRootsAndTypes(t *testing.T) {
+	o, ls := paperOntology(t)
+	roots := o.Roots()
+	want := map[graph.Label]bool{ls["Person"]: true, ls["Organization"]: true, ls["State"]: true}
+	if len(roots) != len(want) {
+		t.Fatalf("Roots = %v, want %d roots", roots, len(want))
+	}
+	for _, r := range roots {
+		if !want[r] {
+			t.Errorf("unexpected root %v", r)
+		}
+	}
+	if o.NumTypes() != 15 {
+		t.Errorf("NumTypes = %d, want 15", o.NumTypes())
+	}
+	if o.NumEdges() != 12 {
+		t.Errorf("NumEdges = %d, want 12", o.NumEdges())
+	}
+}
+
+func TestRemoveSupertype(t *testing.T) {
+	o, ls := paperOntology(t)
+	o.RemoveSupertype(ls["P. Graham"], ls["Investor"])
+	if o.IsDirectSupertype(ls["Investor"], ls["P. Graham"]) {
+		t.Error("edge still present after removal")
+	}
+	if o.IsSupertype(ls["Person"], ls["P. Graham"]) {
+		t.Error("transitive chain should be broken")
+	}
+	// Removal is idempotent.
+	o.RemoveSupertype(ls["P. Graham"], ls["Investor"])
+}
+
+func TestAddTypeIdempotent(t *testing.T) {
+	o := New(nil)
+	a1 := o.AddType("x")
+	a2 := o.AddType("x")
+	if a1 != a2 {
+		t.Fatal("AddType not idempotent")
+	}
+	if o.NumTypes() != 1 {
+		t.Fatalf("NumTypes = %d", o.NumTypes())
+	}
+}
+
+func TestDepthInvalidatedByNewEdges(t *testing.T) {
+	o := New(nil)
+	a := o.AddType("a")
+	b := o.AddType("b")
+	c := o.AddType("c")
+	if o.Depth(a) != 0 {
+		t.Fatal("fresh type should have depth 0")
+	}
+	if err := o.AddSupertype(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if o.Depth(a) != 1 {
+		t.Fatal("depth memo not invalidated after AddSupertype")
+	}
+	if err := o.AddSupertype(b, c); err != nil {
+		t.Fatal(err)
+	}
+	if o.Depth(a) != 2 {
+		t.Fatal("depth memo stale after second edge")
+	}
+}

@@ -1,0 +1,90 @@
+package ontology
+
+import (
+	"slices"
+
+	"bigindex/internal/graph"
+)
+
+// Coverage reports how well an ontology covers a data graph's labels: the
+// fraction of vertices whose label is a type known to the ontology. The
+// paper measures this for DBpedia against YAGO3's ontology (73.2% of
+// entities matched; the rest are "simply matched to the topmost type").
+type Coverage struct {
+	// MatchedLabels / TotalLabels count distinct labels.
+	MatchedLabels, TotalLabels int
+	// MatchedVertices / TotalVertices count vertices.
+	MatchedVertices, TotalVertices int
+	// Untyped lists the labels absent from the ontology, ascending.
+	Untyped []graph.Label
+}
+
+// VertexFraction is the matched-vertex ratio (the paper's 73.2% figure).
+func (c Coverage) VertexFraction() float64 {
+	if c.TotalVertices == 0 {
+		return 0
+	}
+	return float64(c.MatchedVertices) / float64(c.TotalVertices)
+}
+
+// CoverageOf measures how much of g's label set the ontology covers.
+func (o *Ontology) CoverageOf(g *graph.Graph) Coverage {
+	c := Coverage{TotalVertices: g.NumVertices()}
+	for _, l := range g.DistinctLabels() {
+		c.TotalLabels++
+		if o.Has(l) && len(o.DirectSupertypes(l)) > 0 {
+			c.MatchedLabels++
+			c.MatchedVertices += g.LabelCount(l)
+		} else {
+			c.Untyped = append(c.Untyped, l)
+		}
+	}
+	slices.Sort(c.Untyped)
+	return c
+}
+
+// AdoptUntyped attaches every label of g that the ontology does not cover
+// directly under fallback (typically the topmost type), mirroring the
+// paper's treatment of unmatched DBpedia/IMDB entities. It returns the
+// number of labels adopted. Existing structure is never modified.
+func (o *Ontology) AdoptUntyped(g *graph.Graph, fallback graph.Label) (int, error) {
+	o.AddType(o.dict.Name(fallback)) // ensure the fallback exists
+	n := 0
+	for _, l := range o.CoverageOf(g).Untyped {
+		if l == fallback {
+			continue
+		}
+		if err := o.AddSupertype(l, fallback); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// SubtreeTerms returns every label at or below root in the taxonomy that
+// actually occurs in g, ascending. This powers concept-level ("similarity")
+// keyword search — the paper's future-work direction — without touching the
+// framework: a caller expands a concept keyword like Univ. into its
+// occurring subterms and evaluates each combination (see the quickstart
+// example and `bigindex query -expand`).
+func (o *Ontology) SubtreeTerms(root graph.Label, g *graph.Graph) []graph.Label {
+	var out []graph.Label
+	seen := map[graph.Label]bool{root: true}
+	stack := []graph.Label{root}
+	for len(stack) > 0 {
+		l := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if g.LabelCount(l) > 0 {
+			out = append(out, l)
+		}
+		for _, sub := range o.DirectSubtypes(l) {
+			if !seen[sub] {
+				seen[sub] = true
+				stack = append(stack, sub)
+			}
+		}
+	}
+	slices.Sort(out)
+	return out
+}

@@ -1,0 +1,96 @@
+package ontology
+
+import (
+	"math"
+	"testing"
+
+	"bigindex/internal/graph"
+)
+
+func TestCoverageAndAdoptUntyped(t *testing.T) {
+	dict := graph.NewDict()
+	o := New(dict)
+	if err := o.AddSupertypeNames("player", "Person"); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.AddSupertypeNames("club", "Org"); err != nil {
+		t.Fatal(err)
+	}
+	thing := o.AddType("Thing")
+
+	b := graph.NewBuilder(dict)
+	// 3 typed vertices, 2 untyped ones.
+	b.AddVertex("player")
+	b.AddVertex("player")
+	b.AddVertex("club")
+	b.AddVertex("mystery1")
+	b.AddVertex("mystery2")
+	g := b.Build()
+
+	cov := o.CoverageOf(g)
+	if cov.MatchedLabels != 2 || cov.TotalLabels != 4 {
+		t.Fatalf("labels: %+v", cov)
+	}
+	if cov.MatchedVertices != 3 || cov.TotalVertices != 5 {
+		t.Fatalf("vertices: %+v", cov)
+	}
+	if math.Abs(cov.VertexFraction()-0.6) > 1e-12 {
+		t.Fatalf("fraction = %v", cov.VertexFraction())
+	}
+	if len(cov.Untyped) != 2 {
+		t.Fatalf("untyped = %v", cov.Untyped)
+	}
+
+	// Adopt the rest under Thing — the paper's treatment of unmatched
+	// DBpedia entities ("matched to the topmost type").
+	n, err := o.AdoptUntyped(g, thing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("adopted %d, want 2", n)
+	}
+	cov2 := o.CoverageOf(g)
+	if cov2.VertexFraction() != 1 {
+		t.Fatalf("full coverage expected, got %v", cov2.VertexFraction())
+	}
+	// Idempotent.
+	n, err = o.AdoptUntyped(g, thing)
+	if err != nil || n != 0 {
+		t.Fatalf("second adopt: %d %v", n, err)
+	}
+}
+
+func TestSubtreeTerms(t *testing.T) {
+	dict := graph.NewDict()
+	o := New(dict)
+	for _, r := range [][2]string{
+		{"harvard", "Univ"}, {"cornell", "Univ"},
+		{"Univ", "Org"}, {"acme", "Company"}, {"Company", "Org"},
+	} {
+		if err := o.AddSupertypeNames(r[0], r[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b := graph.NewBuilder(dict)
+	b.AddVertex("harvard")
+	b.AddVertex("acme")
+	b.AddVertex("acme")
+	g := b.Build()
+
+	// Under Org: harvard and acme occur; cornell, Univ, Company, Org do not.
+	got := o.SubtreeTerms(dict.Lookup("Org"), g)
+	if len(got) != 2 {
+		t.Fatalf("SubtreeTerms(Org) = %v", got)
+	}
+	// Under Univ: only harvard.
+	got = o.SubtreeTerms(dict.Lookup("Univ"), g)
+	if len(got) != 1 || got[0] != dict.Lookup("harvard") {
+		t.Fatalf("SubtreeTerms(Univ) = %v", got)
+	}
+	// A term itself (occurring) returns itself.
+	got = o.SubtreeTerms(dict.Lookup("acme"), g)
+	if len(got) != 1 {
+		t.Fatalf("SubtreeTerms(acme) = %v", got)
+	}
+}

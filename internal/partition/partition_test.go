@@ -1,0 +1,125 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bigindex/internal/graph"
+)
+
+func randomGraph(rng *rand.Rand, n, e int) *graph.Graph {
+	b := graph.NewBuilder(nil)
+	l := b.Dict().Intern("x")
+	for i := 0; i < n; i++ {
+		b.AddVertexLabel(l)
+	}
+	for i := 0; i < e; i++ {
+		b.AddEdge(graph.V(rng.Intn(n)), graph.V(rng.Intn(n)))
+	}
+	return b.Build()
+}
+
+func TestBFSGrowCoversAllVertices(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		g := randomGraph(rng, n, rng.Intn(3*n))
+		target := 1 + rng.Intn(40)
+		p := BFSGrow(g, target)
+
+		seen := make(map[graph.V]bool)
+		for b, members := range p.Blocks {
+			if len(members) == 0 {
+				return false // empty block
+			}
+			if len(members) > target {
+				return false // oversized block
+			}
+			for _, v := range members {
+				if seen[v] {
+					return false // vertex in two blocks
+				}
+				seen[v] = true
+				if p.BlockOf[v] != b {
+					return false // BlockOf inconsistent
+				}
+			}
+		}
+		return len(seen) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPortals(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := randomGraph(rng, 100, 250)
+	p := BFSGrow(g, 10)
+
+	// Every cross-block edge's head must be an in-portal of its block and
+	// its tail an out-portal of its block.
+	inP := make([]map[graph.V]bool, p.NumBlocks())
+	outP := make([]map[graph.V]bool, p.NumBlocks())
+	for b := range inP {
+		inP[b] = map[graph.V]bool{}
+		outP[b] = map[graph.V]bool{}
+		for _, v := range p.InPortals[b] {
+			inP[b][v] = true
+		}
+		for _, v := range p.OutPortals[b] {
+			outP[b][v] = true
+		}
+	}
+	cut := 0
+	for _, e := range g.Edges() {
+		bf, bt := p.BlockOf[e.From], p.BlockOf[e.To]
+		if bf == bt {
+			continue
+		}
+		cut++
+		if !inP[bt][e.To] {
+			t.Fatalf("edge %v: head not an in-portal", e)
+		}
+		if !outP[bf][e.From] {
+			t.Fatalf("edge %v: tail not an out-portal", e)
+		}
+	}
+	if cut != p.EdgeCut() {
+		t.Fatalf("EdgeCut = %d, counted %d", p.EdgeCut(), cut)
+	}
+}
+
+func TestSingletonBlocks(t *testing.T) {
+	g := randomGraph(rand.New(rand.NewSource(6)), 20, 40)
+	p := BFSGrow(g, 1)
+	if p.NumBlocks() != 20 {
+		t.Fatalf("target 1 should give 20 blocks, got %d", p.NumBlocks())
+	}
+	// Degenerate target is clamped.
+	p2 := BFSGrow(g, 0)
+	if p2.NumBlocks() != 20 {
+		t.Fatalf("target 0 should clamp to 1, got %d blocks", p2.NumBlocks())
+	}
+}
+
+func TestWholeGraphBlock(t *testing.T) {
+	// A connected graph with a huge target collapses to one block.
+	b := graph.NewBuilder(nil)
+	l := b.Dict().Intern("x")
+	for i := 0; i < 10; i++ {
+		b.AddVertexLabel(l)
+	}
+	for i := 0; i < 9; i++ {
+		b.AddEdge(graph.V(i), graph.V(i+1))
+	}
+	g := b.Build()
+	p := BFSGrow(g, 1000)
+	if p.NumBlocks() != 1 {
+		t.Fatalf("connected graph should be 1 block, got %d", p.NumBlocks())
+	}
+	if p.EdgeCut() != 0 {
+		t.Fatalf("no cut expected, got %d", p.EdgeCut())
+	}
+}

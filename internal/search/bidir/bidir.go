@@ -1,0 +1,140 @@
+// Package bidir implements bidirectional expansion keyword search in the
+// style of Kacholia et al. (VLDB'05), the fourth semantics plugged into
+// BiG-index (Sec. 5 lists it among the algorithms the framework optimizes
+// "with minor modifications").
+//
+// BANKS-style purely backward search wastes effort expanding from frequent
+// keywords: their huge posting lists flood the graph. Bidirectional
+// expansion instead grows *backward* only from the most selective keyword —
+// an activation source — and verifies each candidate root it reaches by
+// expanding *forward* toward the remaining keywords. Since every answer
+// root must reach the selective keyword within d_max, restricting the
+// backward phase to it loses nothing; the forward phase recomputes exact
+// distances, so the answers (distinct-root, Σ-distance scored) are
+// identical to bkws/Blinks — only the exploration strategy differs.
+//
+// Candidates are verified in increasing backward distance (the activation
+// order), which yields a sound top-k stop: a future root's score is at
+// least its backward distance to the selective keyword.
+package bidir
+
+import (
+	"fmt"
+
+	"bigindex/internal/graph"
+	"bigindex/internal/search"
+)
+
+// Algorithm is the bidirectional-expansion plug-in.
+type Algorithm struct {
+	dmax int
+}
+
+// New returns a bidir instance with distance bound dmax.
+func New(dmax int) *Algorithm {
+	if dmax < 1 {
+		dmax = 1
+	}
+	return &Algorithm{dmax: dmax}
+}
+
+// Name implements search.Algorithm.
+func (a *Algorithm) Name() string { return "bidir" }
+
+// DMax returns the configured distance bound.
+func (a *Algorithm) DMax() int { return a.dmax }
+
+// Prepare implements search.Algorithm; bidirectional expansion is
+// index-free like bkws.
+func (a *Algorithm) Prepare(g *graph.Graph) (search.Prepared, error) {
+	return &prepared{g: g, dmax: a.dmax}, nil
+}
+
+type prepared struct {
+	g    *graph.Graph
+	dmax int
+}
+
+// Search implements search.Prepared.
+func (p *prepared) Search(q []graph.Label, k int) ([]search.Match, error) {
+	if len(q) == 0 {
+		return nil, fmt.Errorf("bidir: empty query")
+	}
+	sel := 0
+	for i, l := range q {
+		if p.g.LabelCount(l) == 0 {
+			return nil, nil
+		}
+		if p.g.LabelCount(l) < p.g.LabelCount(q[sel]) {
+			sel = i
+		}
+	}
+
+	// Backward activation phase: level-order BFS from the selective
+	// keyword's posting list; candidates surface in increasing distance.
+	seeds := p.g.VerticesWithLabel(q[sel])
+	dist := make(map[graph.V]int, len(seeds)*2)
+	level := make([]graph.V, 0, len(seeds))
+	for _, s := range seeds {
+		dist[s] = 0
+		level = append(level, s)
+	}
+
+	var matches []search.Match
+	verify := func(r graph.V, dSel int) {
+		// Forward phase: exact minimum distances to every keyword. The
+		// selective keyword's distance is recomputed too — the forward
+		// minimum can only match dSel (backward BFS already gave the min).
+		dists, nodes, ok := search.MinDistToLabels(p.g, r, q, p.dmax)
+		if !ok {
+			return
+		}
+		sum := 0
+		for _, d := range dists {
+			sum += d
+		}
+		matches = append(matches, search.Match{
+			Root:  r,
+			Nodes: nodes,
+			Dists: dists,
+			Score: float64(sum),
+		})
+		_ = dSel
+	}
+
+	for d := 0; len(level) > 0; d++ {
+		for _, v := range level {
+			verify(v, d)
+		}
+		if k > 0 && len(matches) >= k {
+			// Any future candidate has backward distance >= d+1 to the
+			// selective keyword, hence score >= d+1.
+			search.SortMatches(matches)
+			if matches[k-1].Score <= float64(d+1) {
+				break
+			}
+		}
+		if d == p.dmax {
+			break
+		}
+		var next []graph.V
+		for _, v := range level {
+			for _, u := range p.g.In(v) {
+				if _, ok := dist[u]; !ok {
+					dist[u] = d + 1
+					next = append(next, u)
+				}
+			}
+		}
+		level = next
+	}
+
+	search.SortMatches(matches)
+	return search.Truncate(matches, k), nil
+}
+
+// NewGeneration implements search.Algorithm; bidir shares the rooted
+// generation step with bkws and Blinks.
+func (a *Algorithm) NewGeneration(data *graph.Graph, q []graph.Label, opt search.GenOptions) search.Generation {
+	return search.NewRootedGeneration(data, q, a.dmax, nil, opt)
+}

@@ -1,0 +1,101 @@
+package bidir
+
+import (
+	"math/rand"
+	"testing"
+
+	"bigindex/internal/graph"
+	"bigindex/internal/search"
+	"bigindex/internal/search/bkws"
+)
+
+func randomGraph(rng *rand.Rand, n, e, labels int) *graph.Graph {
+	b := graph.NewBuilder(nil)
+	ls := make([]graph.Label, labels)
+	for i := range ls {
+		ls[i] = b.Dict().Intern(string(rune('a' + i)))
+	}
+	for i := 0; i < n; i++ {
+		b.AddVertexLabel(ls[rng.Intn(labels)])
+	}
+	for i := 0; i < e; i++ {
+		b.AddEdge(graph.V(rng.Intn(n)), graph.V(rng.Intn(n)))
+	}
+	return b.Build()
+}
+
+func matchKeys(ms []search.Match) map[string]float64 {
+	out := map[string]float64{}
+	for _, m := range ms {
+		out[m.Key()] = m.Score
+	}
+	return out
+}
+
+// TestAgreesWithBkws: bidirectional expansion implements the same semantics
+// as backward search, so exhaustive answer sets must be identical.
+func TestAgreesWithBkws(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	base := bkws.New(3)
+	algo := New(3)
+	for trial := 0; trial < 60; trial++ {
+		n := 3 + rng.Intn(35)
+		g := randomGraph(rng, n, rng.Intn(4*n), 2+rng.Intn(3))
+		nq := 1 + rng.Intn(3)
+		q := make([]graph.Label, nq)
+		for i := range q {
+			q[i] = graph.Label(1 + rng.Intn(g.Dict().Len()))
+		}
+		bp, _ := base.Prepare(g)
+		want, _ := bp.Search(q, 0)
+		p, _ := algo.Prepare(g)
+		got, err := p.Search(q, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gm, wm := matchKeys(got), matchKeys(want)
+		if len(gm) != len(wm) {
+			t.Fatalf("trial %d: %d matches, bkws %d (q=%v)", trial, len(gm), len(wm), q)
+		}
+		for k, s := range wm {
+			if gs, ok := gm[k]; !ok || gs != s {
+				t.Fatalf("trial %d: key %s got %v want %v", trial, k, gs, s)
+			}
+		}
+	}
+}
+
+func TestTopKScores(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	algo := New(4)
+	for trial := 0; trial < 25; trial++ {
+		n := 5 + rng.Intn(30)
+		g := randomGraph(rng, n, rng.Intn(5*n), 3)
+		q := []graph.Label{1, 2}
+		p, _ := algo.Prepare(g)
+		all, _ := p.Search(q, 0)
+		for _, k := range []int{1, 4} {
+			topk, _ := p.Search(q, k)
+			if len(topk) != min(k, len(all)) {
+				t.Fatalf("top-%d returned %d of %d", k, len(topk), len(all))
+			}
+			for i := range topk {
+				if topk[i].Score != all[i].Score {
+					t.Fatalf("top-%d score[%d] = %v, want %v", k, i, topk[i].Score, all[i].Score)
+				}
+			}
+		}
+	}
+}
+
+func TestEmptyAndMissing(t *testing.T) {
+	g := randomGraph(rand.New(rand.NewSource(63)), 10, 20, 2)
+	p, _ := New(3).Prepare(g)
+	if _, err := p.Search(nil, 0); err == nil {
+		t.Fatal("empty query should error")
+	}
+	missing := g.Dict().Intern("never")
+	if ms, err := p.Search([]graph.Label{missing}, 0); err != nil || ms != nil {
+		t.Fatalf("missing keyword: %v %v", ms, err)
+	}
+}

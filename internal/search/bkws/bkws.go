@@ -1,0 +1,179 @@
+// Package bkws implements backward keyword search (Sec. 5.1 of the paper;
+// the BANKS lineage of Bhalotia et al., ICDE'02, with the distinct-root
+// refinement of He et al.): an answer is a root vertex r that reaches, along
+// out-edges, at least one vertex labeled q_i within d_max hops for every
+// query keyword, scored by Σ_i dist(r, p_i) with p_i the nearest q_i vertex.
+//
+// The search runs backward: every keyword seeds a multi-source traversal
+// along in-edges from the vertices carrying that keyword; a vertex reached
+// by all traversals is an answer root. Frontiers are expanded smallest
+// first, the paper's "the vertex set V_i with the minimal size is
+// processed" rule, and top-k search stops once no undiscovered root can
+// beat the current k-th score.
+package bkws
+
+import (
+	"fmt"
+	"slices"
+
+	"bigindex/internal/graph"
+	"bigindex/internal/search"
+)
+
+// Algorithm is the bkws plug-in. The zero value is not usable; construct
+// with New.
+type Algorithm struct {
+	dmax int
+}
+
+// New returns a bkws instance with distance bound dmax (the d_max of the
+// keyword query tuple (Q, d_max)).
+func New(dmax int) *Algorithm {
+	if dmax < 1 {
+		dmax = 1
+	}
+	return &Algorithm{dmax: dmax}
+}
+
+// Name implements search.Algorithm.
+func (a *Algorithm) Name() string { return "bkws" }
+
+// DMax returns the configured distance bound.
+func (a *Algorithm) DMax() int { return a.dmax }
+
+// Prepare implements search.Algorithm. bkws needs no per-graph index — that
+// is its point of comparison with Blinks.
+func (a *Algorithm) Prepare(g *graph.Graph) (search.Prepared, error) {
+	return &prepared{g: g, dmax: a.dmax}, nil
+}
+
+type prepared struct {
+	g    *graph.Graph
+	dmax int
+}
+
+// frontier is one keyword's backward expansion state.
+type frontier struct {
+	kw    int
+	level int
+	cur   []graph.V       // vertices at distance `level`
+	dist  map[graph.V]int // v -> dist(v ->* keyword vertex)
+}
+
+// Search implements search.Prepared.
+func (p *prepared) Search(q []graph.Label, k int) ([]search.Match, error) {
+	if len(q) == 0 {
+		return nil, fmt.Errorf("bkws: empty query")
+	}
+	fronts := make([]*frontier, len(q))
+	for i, l := range q {
+		seeds := p.g.VerticesWithLabel(l)
+		if len(seeds) == 0 {
+			return nil, nil // a keyword with no occurrences has no answers
+		}
+		f := &frontier{kw: i, dist: make(map[graph.V]int, len(seeds)*2)}
+		for _, s := range seeds {
+			f.dist[s] = 0
+			f.cur = append(f.cur, s)
+		}
+		fronts[i] = f
+	}
+
+	found := make(map[graph.V]bool)
+	var matches []search.Match
+
+	tryRoot := func(v graph.V) {
+		if found[v] {
+			return
+		}
+		dists := make([]int, len(q))
+		sum := 0
+		for _, f := range fronts {
+			d, ok := f.dist[v]
+			if !ok {
+				return
+			}
+			dists[f.kw] = d
+			sum += d
+		}
+		found[v] = true
+		matches = append(matches, search.Match{
+			Root:  v,
+			Nodes: search.WitnessNodes(p.g, v, q, dists),
+			Dists: dists,
+			Score: float64(sum),
+		})
+	}
+
+	// Seed roots: keyword vertices themselves may already be roots.
+	for _, f := range fronts {
+		for _, v := range f.cur {
+			tryRoot(v)
+		}
+	}
+
+	for {
+		// Pick the live frontier with the fewest vertices (paper's rule).
+		var best *frontier
+		for _, f := range fronts {
+			if f.level >= p.dmax || len(f.cur) == 0 {
+				continue
+			}
+			if best == nil || len(f.cur) < len(best.cur) {
+				best = f
+			}
+		}
+		if best == nil {
+			break
+		}
+		if k > 0 && len(matches) >= k {
+			// Lower bound on any future root's score: it is completed by a
+			// frontier expansion, so its distance for that keyword is at
+			// least the smallest live frontier level + 1.
+			lb := -1
+			for _, f := range fronts {
+				if f.level < p.dmax && len(f.cur) > 0 && (lb == -1 || f.level+1 < lb) {
+					lb = f.level + 1
+				}
+			}
+			search.SortMatches(matches)
+			if lb >= 0 && matches[min(k, len(matches))-1].Score <= float64(lb) {
+				break
+			}
+		}
+
+		var next []graph.V
+		for _, v := range best.cur {
+			for _, u := range p.g.In(v) {
+				if _, ok := best.dist[u]; !ok {
+					best.dist[u] = best.level + 1
+					next = append(next, u)
+				}
+			}
+		}
+		best.level++
+		best.cur = next
+		for _, u := range next {
+			tryRoot(u)
+		}
+	}
+
+	search.SortMatches(matches)
+	return search.Truncate(matches, k), nil
+}
+
+// NewGeneration implements search.Algorithm; see generation.go (shared
+// root-based generation).
+func (a *Algorithm) NewGeneration(data *graph.Graph, q []graph.Label, opt search.GenOptions) search.Generation {
+	return search.NewRootedGeneration(data, q, a.dmax, nil, opt)
+}
+
+// Roots is a debugging helper: all answer roots of q, ascending.
+func Roots(ms []search.Match) []graph.V {
+	rs := make([]graph.V, 0, len(ms))
+	for _, m := range ms {
+		rs = append(rs, m.Root)
+	}
+	slices.Sort(rs)
+	return rs
+}

@@ -1,0 +1,177 @@
+package rclique
+
+import (
+	"fmt"
+
+	"bigindex/internal/graph"
+	"bigindex/internal/search"
+)
+
+// Exact top-k by branch and bound — Kargar & An's exact counterpart to the
+// center-based approximation. Tuples are grown in specialization order
+// (smallest candidate set first); a partial tuple is pruned when a lower
+// bound on its completed weight already exceeds the current k-th best:
+//
+//	lb(partial) = Σ_{placed pairs} dist
+//	            + Σ_{remaining keyword j} Σ_{placed p} minDist(p, V_qj)
+//
+// where minDist(p, V_qj) is read off p's neighbor-index row in one scan.
+// The bound is admissible (every completion must pay at least the minimum
+// distance from each placed node to some node of each remaining keyword),
+// so the result is the exact top-k.
+
+// SearchExact returns the exact top-k answers (k <= 0 behaves like the
+// exhaustive Search). The receiver algorithm's Prepare must have been used
+// to obtain p; this is exposed through ExactTopK below.
+func (p *prepared) SearchExact(q []graph.Label, k int) ([]search.Match, error) {
+	if len(q) == 0 {
+		return nil, fmt.Errorf("rclique: empty query")
+	}
+	sets := make([][]graph.V, len(q))
+	for i, l := range q {
+		sets[i] = p.g.VerticesWithLabel(l)
+		if len(sets[i]) == 0 {
+			return nil, nil
+		}
+	}
+	if k <= 0 {
+		return p.exhaustive(q, sets), nil
+	}
+
+	order := bySizeOrder(sets)
+
+	// minD[v][j]: min distance from v to any vertex of keyword j (within
+	// R), or -1. Computed lazily per vertex by one neighbor-row scan.
+	minD := make(map[graph.V][]int)
+	slot := make([]int32, p.g.Dict().Len()+1)
+	var extra map[graph.Label][]int
+	for j, l := range q {
+		if slot[l] == 0 {
+			slot[l] = int32(j) + 1
+		} else {
+			if extra == nil {
+				extra = make(map[graph.Label][]int)
+			}
+			extra[l] = append(extra[l], j)
+		}
+	}
+	minOf := func(v graph.V) []int {
+		if m, ok := minD[v]; ok {
+			return m
+		}
+		m := make([]int, len(q))
+		for j := range m {
+			m[j] = -1
+		}
+		fold := func(w graph.V, d int) {
+			l := p.g.Label(w)
+			if ji := slot[l]; ji != 0 {
+				j := int(ji - 1)
+				if m[j] < 0 || d < m[j] {
+					m[j] = d
+				}
+			}
+			if extra != nil {
+				for _, j := range extra[l] {
+					if m[j] < 0 || d < m[j] {
+						m[j] = d
+					}
+				}
+			}
+		}
+		fold(v, 0)
+		for _, e := range p.nbr[v] {
+			fold(e.w, e.d)
+		}
+		minD[v] = m
+		return m
+	}
+
+	// Top-k state: worst kept weight (∞ until k found).
+	var best []search.Match
+	worst := -1.0
+	consider := func(tuple []graph.V, weight float64) {
+		m := search.Match{Root: tuple[0], Nodes: append([]graph.V(nil), tuple...), Score: weight}
+		best = append(best, m)
+		search.SortMatches(best)
+		if len(best) > k {
+			best = best[:k]
+		}
+		if len(best) == k {
+			worst = best[k-1].Score
+		}
+	}
+
+	tuple := make([]graph.V, len(q))
+	var rec func(step int, pairSum int)
+	rec = func(step int, pairSum int) {
+		if step == len(order) {
+			consider(tuple, float64(pairSum))
+			return
+		}
+		ki := order[step]
+		for _, v := range sets[ki] {
+			// Feasibility + incremental pair sum.
+			ok := true
+			add := 0
+			for _, j := range order[:step] {
+				d, within := p.dist(tuple[j], v)
+				if !within {
+					ok = false
+					break
+				}
+				add += d
+			}
+			if !ok {
+				continue
+			}
+			newSum := pairSum + add
+
+			// Admissible bound over remaining keywords.
+			if worst >= 0 {
+				lb := newSum
+				for _, jr := range order[step+1:] {
+					for si := 0; si <= step; si++ {
+						pj := order[si]
+						var pv graph.V
+						if pj == ki {
+							pv = v
+						} else {
+							pv = tuple[pj]
+						}
+						md := minOf(pv)[jr]
+						if md < 0 {
+							ok = false
+							break
+						}
+						lb += md
+					}
+					if !ok {
+						break
+					}
+				}
+				if !ok || float64(lb) > worst {
+					continue
+				}
+			}
+
+			tuple[ki] = v
+			rec(step+1, newSum)
+		}
+	}
+	rec(0, 0)
+	search.SortMatches(best)
+	return best, nil
+}
+
+// ExactTopK runs the exact branch-and-bound top-k against a Prepared
+// produced by this package's Algorithm. It returns false when p is not an
+// r-clique index.
+func ExactTopK(prep search.Prepared, q []graph.Label, k int) ([]search.Match, bool, error) {
+	rp, ok := prep.(*prepared)
+	if !ok {
+		return nil, false, nil
+	}
+	ms, err := rp.SearchExact(q, k)
+	return ms, true, err
+}

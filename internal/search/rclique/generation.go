@@ -1,0 +1,132 @@
+package rclique
+
+import (
+	"bigindex/internal/graph"
+	"bigindex/internal/search"
+)
+
+// generation is r-clique's Step-5 answer generation: enumerate concrete
+// tuples from the specialized per-keyword candidate sets of a generalized
+// answer and verify every pairwise distance on the data graph. Vertex
+// qualification (Def. 4.2 instantiated for this semantics) is "the new node
+// is within R of every node already in the partial answer".
+//
+// Vertex-at-a-time mode recomputes a bounded traversal per qualification
+// check; path-based mode memoizes one traversal per candidate vertex in a
+// session-wide cache shared across partial answers and generalized answers
+// (Sec. 4.3.3's duplicated-computation elimination).
+type generation struct {
+	g      *graph.Graph
+	q      []graph.Label
+	r      int
+	opt    search.GenOptions
+	cache  map[graph.V]map[graph.V]int
+	seen   map[string]bool
+	count  int
+	checks int
+}
+
+func (gen *generation) exhausted() bool {
+	return gen.opt.MaxChecks > 0 && gen.checks > gen.opt.MaxChecks
+}
+
+// Generate implements search.Generation.
+func (gen *generation) Generate(rootCands []graph.V, cands [][]graph.V) []search.Match {
+	if len(cands) != len(gen.q) {
+		return nil
+	}
+	for _, c := range cands {
+		if len(c) == 0 {
+			return nil
+		}
+	}
+
+	order := make([]int, len(cands))
+	for i := range order {
+		order[i] = i
+	}
+	if gen.opt.SpecOrder {
+		order = bySizeOrder(cands)
+	}
+
+	var out []search.Match
+	tuple := make([]graph.V, len(gen.q))
+	var rec func(step int)
+	rec = func(step int) {
+		if gen.opt.K > 0 && gen.count >= gen.opt.K {
+			return
+		}
+		if gen.exhausted() {
+			return
+		}
+		if step == len(order) {
+			m := gen.makeMatch(tuple)
+			if !gen.seen[m.Key()] {
+				gen.seen[m.Key()] = true
+				out = append(out, m)
+				gen.count++
+			}
+			return
+		}
+		i := order[step]
+		for _, v := range cands[i] {
+			if gen.g.Label(v) != gen.q[i] {
+				continue // Prop 4.1 filtering; defensive, normally pre-filtered
+			}
+			ok := true
+			for _, j := range order[:step] {
+				if !gen.within(tuple[j], v) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				tuple[i] = v
+				rec(step + 1)
+			}
+		}
+	}
+	rec(0)
+	return out
+}
+
+func (gen *generation) within(u, v graph.V) bool {
+	gen.checks++
+	_, ok := gen.distOf(u, v)
+	return ok
+}
+
+// distOf returns the undirected distance between u and v when it is <= R.
+func (gen *generation) distOf(u, v graph.V) (int, bool) {
+	if u == v {
+		return 0, true
+	}
+	if gen.opt.PathBased {
+		dm, ok := gen.cache[u]
+		if !ok {
+			dm = search.UndirectedDists(gen.g, u, gen.r)
+			gen.cache[u] = dm
+		}
+		d, ok := dm[v]
+		return d, ok
+	}
+	// Vertex-at-a-time: fresh bounded traversal per check.
+	dm := search.UndirectedDists(gen.g, u, gen.r)
+	d, ok := dm[v]
+	return d, ok
+}
+
+func (gen *generation) makeMatch(tuple []graph.V) search.Match {
+	nodes := append([]graph.V(nil), tuple...)
+	score := 0
+	for i := 0; i < len(nodes); i++ {
+		for j := i + 1; j < len(nodes); j++ {
+			if d, ok := gen.distOf(nodes[i], nodes[j]); ok {
+				score += d
+			} else {
+				score += 2 * gen.r
+			}
+		}
+	}
+	return search.Match{Root: nodes[0], Nodes: nodes, Score: float64(score)}
+}

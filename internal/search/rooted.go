@@ -1,0 +1,234 @@
+package search
+
+import (
+	"slices"
+
+	"bigindex/internal/graph"
+)
+
+// RootedGeneration is the answer generation + verification step (Sec. 5.1
+// step (3), shared by boost-bkws and boost-rkws): candidate roots obtained
+// by specializing generalized answer roots are verified against the data
+// graph, and per-keyword minimum distances are recomputed there, so every
+// emitted match is a true answer (soundness half of Thm 4.2).
+//
+// Two strategies mirror the paper's ablation:
+//
+//   - vertex-at-a-time (Algo 3): each (root, keyword) check runs its own
+//     bounded forward traversal, re-walking shared neighborhoods — the
+//     duplicated computation Sec. 4.3.3 calls out. The specialization-order
+//     optimization (Sec. 4.3.2) orders keywords most-selective-first so
+//     failing roots are abandoned after the cheapest possible work.
+//
+//   - path-at-a-time (Algo 4): one multi-source backward traversal per
+//     keyword, shared across every candidate root and every generalized
+//     answer; verifying a root is then n map lookups.
+type RootedGeneration struct {
+	g       *graph.Graph
+	q       []graph.Label
+	dmax    int
+	opt     GenOptions
+	score   ScoreFunc
+	order   []int // keyword check order
+	kwDist  []map[graph.V]int
+	emitted map[graph.V]bool
+	count   int
+	// Adaptive switch for path-based mode: building the per-keyword
+	// distance maps costs roughly the size of the postings' d_max
+	// neighborhoods, which only amortizes over enough candidate roots.
+	// Until `verified` exceeds `pathThreshold` the session verifies
+	// vertex-at-a-time even in path-based mode, then builds the maps once
+	// and answers the rest by lookup.
+	verified      int
+	pathThreshold int
+}
+
+// ScoreFunc maps a per-keyword distance vector to a ranking score (lower is
+// better). The default, SumDistances, is the Σ_i dist(r, p_i) of He et al.;
+// Sec. 5.3's ranking API lets callers supply their own. Rank preservation
+// across layers (Prop 5.3) is guaranteed only for distance-based scores.
+type ScoreFunc func(dists []int) float64
+
+// SumDistances is the default distance-based score.
+func SumDistances(dists []int) float64 {
+	s := 0
+	for _, d := range dists {
+		s += d
+	}
+	return float64(s)
+}
+
+// NewRootedGeneration opens a rooted generation session. A nil score uses
+// SumDistances.
+func NewRootedGeneration(g *graph.Graph, q []graph.Label, dmax int, score ScoreFunc, opt GenOptions) *RootedGeneration {
+	if score == nil {
+		score = SumDistances
+	}
+	rg := &RootedGeneration{
+		g:       g,
+		q:       q,
+		dmax:    dmax,
+		opt:     opt,
+		score:   score,
+		emitted: make(map[graph.V]bool),
+	}
+	total := 0
+	for _, l := range q {
+		total += g.LabelCount(l)
+	}
+	rg.pathThreshold = max(4, total/16)
+	rg.order = make([]int, len(q))
+	for i := range q {
+		rg.order[i] = i
+	}
+	if opt.SpecOrder {
+		// Fewest specializations first: the label with the smallest posting
+		// list is the most selective check.
+		slices.SortStableFunc(rg.order, func(a, b int) int {
+			return g.LabelCount(q[a]) - g.LabelCount(q[b])
+		})
+	}
+	return rg
+}
+
+// Generate implements Generation. Only rootCands matter for rooted
+// semantics: per-keyword minimum distances must range over every q_i-labeled
+// vertex of the data graph (not only the specialization of the one matched
+// supernode), so keyword candidates serve specialization-order statistics
+// but not filtering.
+func (rg *RootedGeneration) Generate(rootCands []graph.V, cands [][]graph.V) []Match {
+	var out []Match
+	for _, r := range rootCands {
+		if rg.opt.K > 0 && rg.count >= rg.opt.K {
+			break
+		}
+		if rg.emitted[r] {
+			continue
+		}
+		rg.emitted[r] = true
+		m, ok := rg.verify(r)
+		if ok {
+			out = append(out, m)
+			rg.count++
+		}
+	}
+	return out
+}
+
+func (rg *RootedGeneration) verify(r graph.V) (Match, bool) {
+	rg.verified++
+	useMaps := rg.opt.PathBased && (rg.kwDist != nil || rg.verified > rg.pathThreshold)
+	if useMaps && rg.kwDist == nil {
+		rg.kwDist = make([]map[graph.V]int, len(rg.q))
+	}
+	dists := make([]int, len(rg.q))
+	for _, i := range rg.order {
+		d := -1
+		if useMaps && rg.mapWorthwhile(i) {
+			// Rare keyword: one shared backward traversal from its small
+			// posting list answers every root by lookup.
+			if rg.kwDist[i] == nil {
+				rg.kwDist[i] = MultiSourceDists(rg.g, rg.g.VerticesWithLabel(rg.q[i]), rg.dmax, graph.Backward)
+			}
+			if dd, ok := rg.kwDist[i][r]; ok {
+				d = dd
+			}
+		} else {
+			// Popular keyword: a forward probe exits at the first
+			// occurrence, usually within a hop or two — cheaper than
+			// materializing its near-global distance map.
+			d = rg.minDistToLabel(r, rg.q[i])
+		}
+		if d < 0 {
+			return Match{}, false
+		}
+		dists[i] = d
+	}
+	return Match{
+		Root:  r,
+		Nodes: WitnessNodes(rg.g, r, rg.q, dists),
+		Dists: dists,
+		Score: rg.score(dists),
+	}, true
+}
+
+// mapWorthwhile decides per keyword whether the shared distance map pays:
+// a map's cost grows with the posting's d_max neighborhood, while a
+// per-root probe's cost shrinks as the label gets more frequent (it exits
+// at the first occurrence). Rare keywords therefore want the map.
+func (rg *RootedGeneration) mapWorthwhile(i int) bool {
+	n := rg.g.NumVertices()
+	return rg.g.LabelCount(rg.q[i])*24 <= n
+}
+
+// minDistToLabel is the vertex-at-a-time check: a bounded level-order BFS
+// from r that stops at the first level containing label l. Returns -1 if l
+// is not reachable within d_max.
+func (rg *RootedGeneration) minDistToLabel(r graph.V, l graph.Label) int {
+	if rg.g.Label(r) == l {
+		return 0
+	}
+	seen := map[graph.V]bool{r: true}
+	level := []graph.V{r}
+	for d := 0; d < rg.dmax; d++ {
+		var next []graph.V
+		for _, v := range level {
+			for _, w := range rg.g.Out(v) {
+				if !seen[w] {
+					seen[w] = true
+					next = append(next, w)
+				}
+			}
+		}
+		for _, w := range next {
+			if rg.g.Label(w) == l {
+				return d + 1
+			}
+		}
+		level = next
+	}
+	return -1
+}
+
+// WitnessNodes picks, for each keyword, the smallest-ID vertex of that
+// label at the given minimum distance from root, via one level-order BFS.
+// The deterministic tie-break keeps matches comparable across evaluation
+// strategies.
+func WitnessNodes(g *graph.Graph, root graph.V, q []graph.Label, dists []int) []graph.V {
+	maxD := 0
+	for _, d := range dists {
+		if d > maxD {
+			maxD = d
+		}
+	}
+	nodes := make([]graph.V, len(q))
+	have := make([]bool, len(q))
+	seen := map[graph.V]bool{root: true}
+	level := []graph.V{root}
+	for d := 0; d <= maxD; d++ {
+		for _, v := range level {
+			for i, l := range q {
+				if dists[i] == d && g.Label(v) == l {
+					if !have[i] || v < nodes[i] {
+						nodes[i] = v
+						have[i] = true
+					}
+				}
+			}
+		}
+		if d == maxD {
+			break
+		}
+		var next []graph.V
+		for _, v := range level {
+			for _, w := range g.Out(v) {
+				if !seen[w] {
+					seen[w] = true
+					next = append(next, w)
+				}
+			}
+		}
+		level = next
+	}
+	return nodes
+}

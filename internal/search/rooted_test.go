@@ -1,0 +1,74 @@
+package search
+
+import (
+	"testing"
+
+	"bigindex/internal/graph"
+)
+
+// The rooted generation engine is exercised heavily through the bkws,
+// blinks, and core packages; this test pins its contract directly: exact
+// distances, deterministic witnesses, dedup, top-k capping, and the
+// per-keyword adaptive map switch.
+func TestRootedGenerationDirect(t *testing.T) {
+	// r1 -> a -> b ; r2 -> b ; c isolated with label A.
+	bld := graph.NewBuilder(nil)
+	r1 := bld.AddVertex("root")
+	r2 := bld.AddVertexLabel(bld.Dict().Lookup("root"))
+	a := bld.AddVertex("A")
+	bb := bld.AddVertex("B")
+	c := bld.AddVertexLabel(bld.Dict().Lookup("A"))
+	bld.AddEdge(r1, a)
+	bld.AddEdge(a, bb)
+	bld.AddEdge(r2, bb)
+	g := bld.Build()
+	q := []graph.Label{g.Label(a), g.Label(bb)}
+
+	for _, opt := range []GenOptions{
+		{},
+		{SpecOrder: true},
+		{PathBased: true},
+		{SpecOrder: true, PathBased: true},
+	} {
+		rg := NewRootedGeneration(g, q, 3, nil, opt)
+		ms := rg.Generate([]graph.V{r1, r2, r1 /* dup */, c}, nil)
+		// r1 reaches A(1) and B(2); r2 reaches B(1) but not A; a reaches
+		// itself? a is not in rootCands. c reaches nothing but itself (A at 0)
+		// and not B.
+		if len(ms) != 1 {
+			t.Fatalf("opt %+v: matches = %+v", opt, ms)
+		}
+		m := ms[0]
+		if m.Root != r1 || m.Dists[0] != 1 || m.Dists[1] != 2 || m.Score != 3 {
+			t.Fatalf("opt %+v: match = %+v", opt, m)
+		}
+		if m.Nodes[0] != a || m.Nodes[1] != bb {
+			t.Fatalf("opt %+v: witnesses = %v", opt, m.Nodes)
+		}
+		// Duplicate root already emitted: generating again yields nothing.
+		if again := rg.Generate([]graph.V{r1}, nil); len(again) != 0 {
+			t.Fatalf("opt %+v: dedup failed", opt)
+		}
+	}
+
+	// K caps emissions.
+	rg := NewRootedGeneration(g, []graph.Label{g.Label(bb)}, 3, nil, GenOptions{K: 1})
+	ms := rg.Generate([]graph.V{r1, r2, a, bb}, nil)
+	if len(ms) != 1 {
+		t.Fatalf("K=1 emitted %d", len(ms))
+	}
+
+	// Custom score function flows through.
+	double := func(d []int) float64 { return 2 * SumDistances(d) }
+	rg2 := NewRootedGeneration(g, q, 3, double, GenOptions{PathBased: true})
+	ms2 := rg2.Generate([]graph.V{r1}, nil)
+	if len(ms2) != 1 || ms2[0].Score != 6 {
+		t.Fatalf("custom score: %+v", ms2)
+	}
+}
+
+func TestSumDistances(t *testing.T) {
+	if SumDistances(nil) != 0 || SumDistances([]int{1, 2, 3}) != 6 {
+		t.Fatal("SumDistances wrong")
+	}
+}

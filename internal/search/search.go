@@ -1,0 +1,178 @@
+// Package search defines the plug-in contract between the BiG-index
+// framework and keyword search algorithms (the f of the problem statement,
+// Def. 2.3), plus traversal helpers shared by the three implemented
+// semantics (bkws, Blinks, r-clique; Sec. 5).
+//
+// The framework only assumes the index is label- and path-preserving; an
+// algorithm therefore sees a plain graph — sometimes the data graph
+// (baseline eval), sometimes a summary layer (eval_Ont) — and never needs to
+// know which. Search produces Matches; when running under the index, the
+// framework specializes a match's vertices back to the data graph and asks
+// the algorithm to regenerate and verify concrete answers there
+// (the "(3) answer generation and verification" step of Secs. 5.1–5.3).
+package search
+
+import (
+	"fmt"
+	"slices"
+	"strings"
+
+	"bigindex/internal/graph"
+)
+
+// Match is one query answer: a root (for rooted semantics), one matched
+// vertex per query keyword, the per-keyword distances that define the score,
+// and the score itself (lower is better).
+//
+// All vertex IDs are relative to the graph that produced the match: summary
+// supernodes for matches found on an index layer, data vertices for final
+// answers.
+type Match struct {
+	Root  graph.V
+	Nodes []graph.V // Nodes[i] matches q[i]
+	Dists []int     // Dists[i] is the distance contributing q[i]'s score; nil for semantics without per-keyword distances
+	Score float64
+}
+
+// Key returns a canonical identity for the match, used to compare answer
+// sets across evaluation strategies and to deduplicate during hierarchical
+// answer generation.
+//
+// Rooted distance semantics (Dists != nil) identify an answer by its root
+// and per-keyword distance profile — the distinct-root convention of Blinks;
+// which concrete nearest node witnesses a distance is presentational.
+// Node-set semantics (Dists == nil, e.g. r-clique) identify an answer by its
+// matched nodes.
+func (m Match) Key() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "r%d|", m.Root)
+	if m.Dists != nil {
+		for _, d := range m.Dists {
+			fmt.Fprintf(&b, "%d,", d)
+		}
+		return b.String()
+	}
+	for _, n := range m.Nodes {
+		fmt.Fprintf(&b, "%d,", n)
+	}
+	return b.String()
+}
+
+// Subgraph materializes the match as an answer subgraph of g by connecting
+// the root to each matched node with a shortest path (rooted semantics) or
+// the nodes pairwise (when Root equals Nodes[0] and Dists is nil). Used for
+// presenting answers; equality testing uses Key.
+func (m Match) Subgraph(g *graph.Graph) *graph.Subgraph {
+	sub := &graph.Subgraph{Root: m.Root, Score: m.Score}
+	sub.Vertices = append(sub.Vertices, m.Root)
+	for _, n := range m.Nodes {
+		path := ShortestPath(g, m.Root, n, -1, graph.Forward)
+		if path == nil {
+			path = ShortestPathUndirected(g, m.Root, n, -1)
+		}
+		for i := 0; i+1 < len(path); i++ {
+			sub.Vertices = append(sub.Vertices, path[i+1])
+			if g.HasEdge(path[i], path[i+1]) {
+				sub.Edges = append(sub.Edges, graph.Edge{From: path[i], To: path[i+1]})
+			} else {
+				sub.Edges = append(sub.Edges, graph.Edge{From: path[i+1], To: path[i]})
+			}
+		}
+		if len(path) == 0 {
+			sub.Vertices = append(sub.Vertices, n)
+		}
+	}
+	sub.Normalize()
+	return sub
+}
+
+// GenOptions toggles the answer-generation optimizations of Sec. 4.3; the
+// ablation experiments (Figs. 17 and 18) flip them individually.
+type GenOptions struct {
+	// SpecOrder enables the specialization-order optimization (Sec. 4.3.2):
+	// instantiate the candidate set with the fewest specializations first so
+	// partial answers stay small and failures are detected early.
+	SpecOrder bool
+	// PathBased enables path-based answer generation (Sec. 4.3.3 / Algo 4):
+	// specialize one path at a time, sharing traversals across partial
+	// answers, instead of re-traversing per vertex (Algo 3).
+	PathBased bool
+	// K stops generation after K distinct final answers (Sec. 4.3.4);
+	// 0 generates all.
+	K int
+	// MaxChecks caps the total qualification checks a generation session
+	// may spend (0 = unlimited). Combinatorial semantics can face enormous
+	// candidate products when answers are absent; the budget bounds the
+	// tail at the cost of completeness, which top-k early-termination mode
+	// already trades away.
+	MaxChecks int
+}
+
+// Algorithm is a keyword search semantics pluggable into BiG-index.
+type Algorithm interface {
+	// Name identifies the algorithm in reports ("bkws", "blinks", "rclique").
+	Name() string
+
+	// Prepare builds whatever per-graph index the algorithm needs (Blinks'
+	// bi-level index, r-clique's neighbor index, nothing for bkws) and
+	// returns a handle for querying. Prepare time is index-construction
+	// time, not query time.
+	Prepare(g *graph.Graph) (Prepared, error)
+
+	// NewGeneration opens an answer-generation session for Step 5 of Algo 2
+	// on the data graph. A session persists across the generalized answers
+	// of one query so path-based generation can share traversals (Sec.
+	// 4.3.3's point: avoid duplicated computation across partial answers).
+	NewGeneration(data *graph.Graph, q []graph.Label, opt GenOptions) Generation
+}
+
+// Generation generates and verifies concrete data-graph matches from the
+// specialized candidates of generalized answers. Implementations must verify
+// every emitted match against the data graph so that
+// eval_Ont(G,Q,f) = eval(G,Q,f) (Thm 4.2).
+type Generation interface {
+	// Generate handles one generalized answer: rootCands are the layer-0
+	// specializations of its root supernode (nil for rootless semantics);
+	// cands[i] are the layer-0 specializations of the supernodes matched to
+	// keyword q[i], already label-filtered per Prop 4.1.
+	Generate(rootCands []graph.V, cands [][]graph.V) []Match
+}
+
+// Prepared is a queryable per-graph instance of an Algorithm.
+type Prepared interface {
+	// Search returns matches of q ranked by ascending score. k <= 0 returns
+	// every match (the exhaustive mode used by correctness tests and by
+	// hierarchical evaluation when completeness is required); k > 0 returns
+	// the top-k.
+	Search(q []graph.Label, k int) ([]Match, error)
+}
+
+// Rootless is optionally implemented by algorithms whose matches carry no
+// meaningful root (node-set semantics such as r-clique); the framework then
+// skips root-candidate specialization.
+type Rootless interface {
+	Rootless() bool
+}
+
+// SortMatches orders matches by ascending score, breaking ties by Key so
+// results are deterministic.
+func SortMatches(ms []Match) {
+	slices.SortFunc(ms, func(a, b Match) int {
+		switch {
+		case a.Score < b.Score:
+			return -1
+		case a.Score > b.Score:
+			return 1
+		default:
+			return strings.Compare(a.Key(), b.Key())
+		}
+	})
+}
+
+// Truncate returns the first k matches (k <= 0 returns ms unchanged).
+func Truncate(ms []Match, k int) []Match {
+	if k > 0 && len(ms) > k {
+		return ms[:k]
+	}
+	return ms
+}

@@ -1,0 +1,327 @@
+// Package server exposes a BiG-index over HTTP with a JSON API — the
+// deployment surface a system like this ships with (the paper's scenario
+// is a knowledge-graph service answering user keyword queries).
+//
+// Endpoints:
+//
+//	GET /query?q=kw1,kw2&algo=blinks&k=10[&direct=1][&layer=m]
+//	    evaluate a keyword query; free-text keywords are resolved through
+//	    the text index. Returns matches with label names and the plan.
+//	GET /explain?q=kw1,kw2&algo=blinks
+//	    the evaluation plan only (cost model output, no search).
+//	GET /complete?prefix=har&limit=10
+//	    keyword autocompletion over the label vocabulary.
+//	GET /stats
+//	    graph + index statistics.
+//	GET /healthz
+//	    liveness.
+//
+// The server is read-only and safe for concurrent requests: evaluators
+// serialize index preparation internally and everything else is immutable.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"bigindex/internal/core"
+	"bigindex/internal/graph"
+	"bigindex/internal/ontology"
+	"bigindex/internal/search"
+	"bigindex/internal/search/bidir"
+	"bigindex/internal/search/bkws"
+	"bigindex/internal/search/blinks"
+	"bigindex/internal/search/rclique"
+	"bigindex/internal/text"
+)
+
+// Options configures the server.
+type Options struct {
+	// DMax is the distance bound used by rooted algorithms (r-clique uses
+	// DMax-1 as its pairwise bound).
+	DMax int
+	// BlockSize is Blinks' partition block size.
+	BlockSize int
+	// MaxK caps the top-k a client may request (0 = 100).
+	MaxK int
+}
+
+// Server handles HTTP requests against one index.
+type Server struct {
+	idx  *core.Index
+	ont  *ontology.Ontology
+	tix  *text.Index
+	opt  Options
+	mu   sync.Mutex
+	evs  map[string]*core.Evaluator
+	mux  *http.ServeMux
+	boot time.Time
+}
+
+// New creates a server over a built index.
+func New(idx *core.Index, ont *ontology.Ontology, opt Options) *Server {
+	if opt.DMax < 1 {
+		opt.DMax = 4
+	}
+	if opt.BlockSize < 1 {
+		opt.BlockSize = 200
+	}
+	if opt.MaxK <= 0 {
+		opt.MaxK = 100
+	}
+	s := &Server{
+		idx:  idx,
+		ont:  ont,
+		tix:  text.NewIndex(idx.Data().Dict(), idx.Data()),
+		opt:  opt,
+		evs:  map[string]*core.Evaluator{},
+		mux:  http.NewServeMux(),
+		boot: time.Now(),
+	}
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/explain", s.handleExplain)
+	s.mux.HandleFunc("/complete", s.handleComplete)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) algorithm(name string) (search.Algorithm, error) {
+	switch name {
+	case "", "blinks":
+		return blinks.New(blinks.Options{DMax: s.opt.DMax, BlockSize: s.opt.BlockSize}), nil
+	case "bkws":
+		return bkws.New(s.opt.DMax), nil
+	case "bidir":
+		return bidir.New(s.opt.DMax), nil
+	case "rclique":
+		return rclique.New(max(1, s.opt.DMax-1)), nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", name)
+	}
+}
+
+// evaluator returns (creating on first use) the shared evaluator for an
+// algorithm; evaluators cache per-layer prepared indexes across requests.
+func (s *Server) evaluator(name string, k int) (*core.Evaluator, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := name
+	if key == "" {
+		key = "blinks"
+	}
+	ev, ok := s.evs[key]
+	if !ok {
+		algo, err := s.algorithm(name)
+		if err != nil {
+			return nil, err
+		}
+		opt := core.DefaultEvalOptions()
+		if key == "rclique" {
+			opt.K = s.opt.MaxK
+			opt.EarlyK = true
+			opt.GenLimit = 40
+			opt.DegreeExponent = 3
+			opt.GenBudget = 2_000_000
+		} else {
+			opt.DegreeExponent = 1
+		}
+		ev = core.NewEvaluator(s.idx, algo, opt)
+		s.evs[key] = ev
+	}
+	// K is per-request; SetOptions is guarded by s.mu and Eval uses a
+	// snapshot per call path... to stay strictly race-free under
+	// concurrent K values, clamp K at result time instead of mutating.
+	_ = k
+	return ev, nil
+}
+
+type matchJSON struct {
+	Root  string   `json:"root"`
+	Nodes []string `json:"nodes"`
+	Dists []int    `json:"dists,omitempty"`
+	Score float64  `json:"score"`
+}
+
+type queryResponse struct {
+	Query     []string    `json:"query"`
+	Algorithm string      `json:"algorithm"`
+	Layer     int         `json:"layer"`
+	Direct    bool        `json:"direct,omitempty"`
+	Elapsed   string      `json:"elapsed"`
+	Count     int         `json:"count"`
+	Matches   []matchJSON `json:"matches"`
+	Notes     []string    `json:"notes,omitempty"`
+}
+
+func (s *Server) resolve(r *http.Request) ([]graph.Label, []string, error) {
+	qparam := r.URL.Query().Get("q")
+	if qparam == "" {
+		return nil, nil, fmt.Errorf("missing q parameter")
+	}
+	kws := strings.Split(qparam, ",")
+	for i := range kws {
+		kws[i] = strings.TrimSpace(kws[i])
+	}
+	return s.tix.Resolve(kws, s.idx.Data())
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	q, notes, err := s.resolve(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	algoName := r.URL.Query().Get("algo")
+	k, _ := strconv.Atoi(r.URL.Query().Get("k"))
+	if k <= 0 || k > s.opt.MaxK {
+		k = 10
+	}
+	ev, err := s.evaluator(algoName, k)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	direct := r.URL.Query().Get("direct") != ""
+	start := time.Now()
+	var ms []search.Match
+	layer := 0
+	if direct {
+		ms, err = ev.Direct(q, k)
+	} else {
+		var bd *core.Breakdown
+		ms, bd, err = ev.Eval(q)
+		if bd != nil {
+			layer = bd.Layer
+		}
+		ms = search.Truncate(ms, k)
+	}
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+
+	dict := s.idx.Data().Dict()
+	g := s.idx.Data()
+	resp := queryResponse{
+		Algorithm: orDefault(algoName, "blinks"),
+		Layer:     layer,
+		Direct:    direct,
+		Elapsed:   time.Since(start).Round(time.Microsecond).String(),
+		Count:     len(ms),
+		Notes:     notes,
+	}
+	for _, l := range q {
+		resp.Query = append(resp.Query, dict.Name(l))
+	}
+	for _, m := range ms {
+		mj := matchJSON{Root: dict.Name(g.Label(m.Root)), Score: m.Score, Dists: m.Dists}
+		for _, n := range m.Nodes {
+			mj.Nodes = append(mj.Nodes, dict.Name(g.Label(n)))
+		}
+		resp.Matches = append(resp.Matches, mj)
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	q, notes, err := s.resolve(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	ev, err := s.evaluator(r.URL.Query().Get("algo"), 10)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	plan := ev.Explain(q)
+	dict := s.idx.Data().Dict()
+	type layerJSON struct {
+		Layer       int      `json:"layer"`
+		Cost        *float64 `json:"cost,omitempty"`
+		Legal       bool     `json:"legal"`
+		Generalized []string `json:"generalized"`
+	}
+	out := struct {
+		Chosen int         `json:"chosen_layer"`
+		Layers []layerJSON `json:"layers"`
+		Notes  []string    `json:"notes,omitempty"`
+	}{Chosen: plan.Layer, Notes: notes}
+	for m := range plan.Generalized {
+		lj := layerJSON{Layer: m, Legal: plan.Legal[m]}
+		if plan.LayerCosts != nil && m < len(plan.LayerCosts) {
+			c := plan.LayerCosts[m]
+			lj.Cost = &c
+		}
+		for _, l := range plan.Generalized[m] {
+			name, _ := dict.NameOK(l)
+			lj.Generalized = append(lj.Generalized, name)
+		}
+		out.Layers = append(out.Layers, lj)
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
+	prefix := r.URL.Query().Get("prefix")
+	limit, _ := strconv.Atoi(r.URL.Query().Get("limit"))
+	if limit <= 0 || limit > 100 {
+		limit = 10
+	}
+	dict := s.idx.Data().Dict()
+	var names []string
+	for _, l := range s.tix.Prefix(prefix, limit) {
+		names = append(names, dict.Name(l))
+	}
+	writeJSON(w, struct {
+		Prefix      string   `json:"prefix"`
+		Completions []string `json:"completions"`
+	}{prefix, names})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	g := s.idx.Data()
+	gs := graph.ComputeStats(g)
+	writeJSON(w, struct {
+		Graph  graph.Stats       `json:"graph"`
+		Layers []core.LayerStats `json:"layers"`
+		Uptime string            `json:"uptime"`
+	}{gs, s.idx.Stats().Layers, time.Since(s.boot).Round(time.Second).String()})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func orDefault(s, d string) string {
+	if s == "" {
+		return d
+	}
+	return s
+}

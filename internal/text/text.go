@@ -1,0 +1,206 @@
+// Package text resolves free-text keywords to graph labels. The paper
+// treats queries as exact label sets and explicitly leaves textual matching
+// out of scope ("the textual search has not been the focus of this paper"),
+// but any deployed keyword-search system needs the front end: users type
+// "england club", not interned label IDs.
+//
+// The package builds an inverted index from tokenized label names to
+// labels, with exact-token, all-token (AND), and prefix matching. It is a
+// query-time component only — resolution happens before the BiG-index
+// machinery sees the query — so it composes with every search semantics.
+package text
+
+import (
+	"sort"
+	"strings"
+	"unicode"
+
+	"bigindex/internal/graph"
+)
+
+// Index is an inverted token index over a dictionary's label names.
+type Index struct {
+	dict *graph.Dict
+	// postings maps a token to the labels whose name contains it.
+	postings map[string][]graph.Label
+	// tokens is the sorted token vocabulary (for prefix scans).
+	tokens []string
+}
+
+// Tokenize splits a label name into lowercase alphanumeric tokens.
+// "Harvard Univ." -> ["harvard", "univ"]; "yago-s/term/17" ->
+// ["yago", "s", "term", "17"].
+func Tokenize(name string) []string {
+	var toks []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			toks = append(toks, strings.ToLower(cur.String()))
+			cur.Reset()
+		}
+	}
+	for _, r := range name {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			cur.WriteRune(r)
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return toks
+}
+
+// NewIndex indexes every label of dict that occurs in g (pass nil g to
+// index the whole dictionary, including pure ontology types).
+func NewIndex(dict *graph.Dict, g *graph.Graph) *Index {
+	idx := &Index{dict: dict, postings: make(map[string][]graph.Label)}
+	seen := make(map[string]map[graph.Label]bool)
+	for _, l := range dict.Labels() {
+		if g != nil && g.LabelCount(l) == 0 {
+			continue
+		}
+		for _, tok := range Tokenize(dict.Name(l)) {
+			if seen[tok] == nil {
+				seen[tok] = make(map[graph.Label]bool)
+			}
+			if !seen[tok][l] {
+				seen[tok][l] = true
+				idx.postings[tok] = append(idx.postings[tok], l)
+			}
+		}
+	}
+	idx.tokens = make([]string, 0, len(idx.postings))
+	for tok := range idx.postings {
+		idx.tokens = append(idx.tokens, tok)
+		sort.Slice(idx.postings[tok], func(i, j int) bool {
+			return idx.postings[tok][i] < idx.postings[tok][j]
+		})
+	}
+	sort.Strings(idx.tokens)
+	return idx
+}
+
+// NumTokens reports the token vocabulary size.
+func (x *Index) NumTokens() int { return len(x.tokens) }
+
+// Exact returns the labels containing the given token.
+func (x *Index) Exact(token string) []graph.Label {
+	return x.postings[strings.ToLower(strings.TrimSpace(token))]
+}
+
+// Match resolves a free-text keyword: labels whose names contain *all*
+// tokens of the input (AND semantics), ascending. "england club" matches
+// a label named "England Club XI" but not "England".
+func (x *Index) Match(keyword string) []graph.Label {
+	toks := Tokenize(keyword)
+	if len(toks) == 0 {
+		return nil
+	}
+	result := x.postings[toks[0]]
+	for _, tok := range toks[1:] {
+		result = intersect(result, x.postings[tok])
+		if len(result) == 0 {
+			return nil
+		}
+	}
+	return append([]graph.Label(nil), result...)
+}
+
+// Prefix returns the labels having any token with the given prefix —
+// autocomplete-style lookup, bounded by limit (0 = all).
+func (x *Index) Prefix(prefix string, limit int) []graph.Label {
+	prefix = strings.ToLower(strings.TrimSpace(prefix))
+	if prefix == "" {
+		return nil
+	}
+	i := sort.SearchStrings(x.tokens, prefix)
+	seen := make(map[graph.Label]bool)
+	var out []graph.Label
+	for ; i < len(x.tokens) && strings.HasPrefix(x.tokens[i], prefix); i++ {
+		for _, l := range x.postings[x.tokens[i]] {
+			if !seen[l] {
+				seen[l] = true
+				out = append(out, l)
+				if limit > 0 && len(out) >= limit {
+					sortLabels(out)
+					return out
+				}
+			}
+		}
+	}
+	sortLabels(out)
+	return out
+}
+
+// Resolve maps each free-text keyword of a query to one label: the exact
+// full-name match if unique, otherwise the most frequent Match candidate in
+// g. Returns the resolution and a report line per ambiguous keyword.
+func (x *Index) Resolve(keywords []string, g *graph.Graph) ([]graph.Label, []string, error) {
+	out := make([]graph.Label, 0, len(keywords))
+	var notes []string
+	for _, kw := range keywords {
+		// Full-name lookup first.
+		if l := x.dict.Lookup(kw); l != graph.NoLabel && (g == nil || g.LabelCount(l) > 0) {
+			out = append(out, l)
+			continue
+		}
+		cands := x.Match(kw)
+		if len(cands) == 0 {
+			return nil, notes, &NoMatchError{Keyword: kw}
+		}
+		best := cands[0]
+		if g != nil {
+			for _, c := range cands[1:] {
+				if g.LabelCount(c) > g.LabelCount(best) {
+					best = c
+				}
+			}
+		}
+		if len(cands) > 1 {
+			notes = append(notes, kw+": "+x.dict.Name(best)+" (of "+itoa(len(cands))+" candidates)")
+		}
+		out = append(out, best)
+	}
+	return out, notes, nil
+}
+
+// NoMatchError reports a keyword with no label candidates.
+type NoMatchError struct{ Keyword string }
+
+func (e *NoMatchError) Error() string { return "text: no label matches keyword " + e.Keyword }
+
+func intersect(a, b []graph.Label) []graph.Label {
+	var out []graph.Label
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func sortLabels(ls []graph.Label) {
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,123 @@
+package text
+
+import (
+	"errors"
+	"slices"
+	"testing"
+
+	"bigindex/internal/graph"
+)
+
+func fixture(t *testing.T) (*Index, *graph.Graph, *graph.Dict) {
+	t.Helper()
+	dict := graph.NewDict()
+	b := graph.NewBuilder(dict)
+	b.AddVertex("Harvard Univ.")
+	b.AddVertex("Cornell Univ.")
+	b.AddVertex("England Club XI")
+	b.AddVertex("England")
+	b.AddVertex("England") // popular
+	b.AddVertex("P. Graham")
+	g := b.Build()
+	return NewIndex(dict, g), g, dict
+}
+
+func TestTokenize(t *testing.T) {
+	cases := map[string][]string{
+		"Harvard Univ.":   {"harvard", "univ"},
+		"yago-s/term/17":  {"yago", "s", "term", "17"},
+		"  P.  Graham  ":  {"p", "graham"},
+		"":                nil,
+		"...":             nil,
+		"UPPER lower 123": {"upper", "lower", "123"},
+	}
+	for in, want := range cases {
+		if got := Tokenize(in); !slices.Equal(got, want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestExactAndMatch(t *testing.T) {
+	idx, _, dict := fixture(t)
+	if idx.NumTokens() == 0 {
+		t.Fatal("empty index")
+	}
+	// "univ" occurs in two labels.
+	if got := idx.Exact("univ"); len(got) != 2 {
+		t.Fatalf("Exact(univ) = %v", got)
+	}
+	// AND semantics: "england club" matches only the club label.
+	got := idx.Match("england club")
+	if len(got) != 1 || dict.Name(got[0]) != "England Club XI" {
+		t.Fatalf("Match(england club) = %v", got)
+	}
+	// Single token "england" matches both England labels.
+	if got := idx.Match("england"); len(got) != 2 {
+		t.Fatalf("Match(england) = %v", got)
+	}
+	if got := idx.Match("no such thing"); got != nil {
+		t.Fatalf("Match(miss) = %v", got)
+	}
+	if got := idx.Match(""); got != nil {
+		t.Fatalf("Match(empty) = %v", got)
+	}
+}
+
+func TestPrefix(t *testing.T) {
+	idx, _, _ := fixture(t)
+	// "un" prefixes "univ".
+	if got := idx.Prefix("un", 0); len(got) != 2 {
+		t.Fatalf("Prefix(un) = %v", got)
+	}
+	if got := idx.Prefix("e", 1); len(got) != 1 {
+		t.Fatalf("Prefix limit: %v", got)
+	}
+	if got := idx.Prefix("", 0); got != nil {
+		t.Fatalf("empty prefix: %v", got)
+	}
+}
+
+func TestResolve(t *testing.T) {
+	idx, g, dict := fixture(t)
+	// Exact full-name resolution wins.
+	ls, notes, err := idx.Resolve([]string{"England"}, g)
+	if err != nil || len(ls) != 1 || dict.Name(ls[0]) != "England" {
+		t.Fatalf("Resolve exact: %v %v %v", ls, notes, err)
+	}
+	// Ambiguous token resolves to the most frequent label with a note.
+	ls, notes, err = idx.Resolve([]string{"england"}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dict.Name(ls[0]) != "England" { // count 2 beats the club's 1
+		t.Fatalf("ambiguous resolution = %s", dict.Name(ls[0]))
+	}
+	if len(notes) != 1 {
+		t.Fatalf("notes = %v", notes)
+	}
+	// Missing keyword errors with a typed error.
+	_, _, err = idx.Resolve([]string{"zzz"}, g)
+	var nm *NoMatchError
+	if !errors.As(err, &nm) || nm.Keyword != "zzz" {
+		t.Fatalf("want NoMatchError, got %v", err)
+	}
+}
+
+func TestIndexSkipsAbsentLabels(t *testing.T) {
+	dict := graph.NewDict()
+	dict.Intern("ghost label") // in dictionary, not in graph
+	b := graph.NewBuilder(dict)
+	b.AddVertex("real label")
+	g := b.Build()
+
+	idx := NewIndex(dict, g)
+	if got := idx.Match("ghost"); got != nil {
+		t.Fatalf("ghost label indexed: %v", got)
+	}
+	// nil graph indexes everything.
+	idxAll := NewIndex(dict, nil)
+	if got := idxAll.Match("ghost"); len(got) != 1 {
+		t.Fatalf("nil-graph index missed ghost: %v", got)
+	}
+}

@@ -6,6 +6,11 @@
 //	benchrunner -exp fig10,fig13   # several
 //	benchrunner -exp all           # everything, in paper order
 //	benchrunner -list              # show available experiment IDs
+//	benchrunner -json out.json     # machine-readable export (default
+//	                               # BENCH_eval.json; -json "" disables)
+//
+// The JSON export carries the same rows as the text tables plus per-
+// experiment wall time, so the perf trajectory across PRs is diffable.
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
 	list := flag.Bool("list", false, "list available experiments")
+	jsonOut := flag.String("json", "BENCH_eval.json", "write a machine-readable report here (empty = off)")
 	flag.Parse()
 
 	if *list {
@@ -43,6 +49,7 @@ func main() {
 		ids = strings.Split(*exp, ",")
 	}
 
+	var reports []*bench.Report
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		runner, ok := bench.Experiments[id]
@@ -56,10 +63,29 @@ func main() {
 			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", id, err)
 			os.Exit(1)
 		}
+		rep.Elapsed = time.Since(start)
+		reports = append(reports, rep)
 		if err := rep.Write(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "writing report: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("(%s finished in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(%s finished in %v)\n\n", id, rep.Elapsed.Round(time.Millisecond))
+	}
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "creating %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+		err = bench.WriteJSON(f, reports)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("machine-readable report written to %s\n", *jsonOut)
 	}
 }

@@ -12,6 +12,8 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +23,7 @@ import (
 	"bigindex/internal/core"
 	"bigindex/internal/datagen"
 	"bigindex/internal/graph"
+	"bigindex/internal/obs"
 	"bigindex/internal/search"
 	"bigindex/internal/search/bkws"
 	"bigindex/internal/search/blinks"
@@ -238,6 +241,7 @@ func cmdQuery(args []string) error {
 	load := fs.String("load", "", "load a previously saved index instead of building")
 	expand := fs.Bool("expand", false, "expand concept keywords to their occurring subterms (concept-level search)")
 	explain := fs.Bool("explain", false, "print the evaluation plan (per-layer costs) before answering")
+	trace := fs.Bool("trace", false, "print the query's span tree (phase timings) as JSON after answering")
 	fs.Parse(args)
 
 	ds, err := loadPreset(*preset)
@@ -297,13 +301,15 @@ func cmdQuery(args []string) error {
 		fmt.Print(ev.Explain(q).Render(ds.Graph.Dict()))
 	}
 
+	tr := obs.NewTrace("query")
+	ctx := obs.ContextWithSpan(context.Background(), tr.Root())
 	var ms []search.Match
 	start := time.Now()
 	if *direct {
-		ms, err = ev.Direct(q, *k)
+		ms, err = ev.DirectCtx(ctx, q, *k)
 	} else {
 		var bd *core.Breakdown
-		ms, bd, err = ev.Eval(q)
+		ms, bd, err = ev.EvalCtx(ctx, q)
 		if bd != nil {
 			defer fmt.Printf("evaluated at layer %d (search %v, specialize %v, generate %v)\n",
 				bd.Layer, bd.Search, bd.Specialize, bd.Generate)
@@ -313,6 +319,14 @@ func cmdQuery(args []string) error {
 		return err
 	}
 	elapsed := time.Since(start)
+	tr.Root().End()
+	if *trace {
+		js, err := json.MarshalIndent(tr, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("trace: %s\n", js)
+	}
 
 	fmt.Printf("%d answers in %v\n", len(ms), elapsed.Round(time.Microsecond))
 	for i, m := range ms {

@@ -3,23 +3,32 @@
 //
 //	bigindexd -preset yago-s -addr :8080
 //	bigindexd -preset demo -index saved.bigx      # load instead of build
+//	bigindexd -preset demo -pprof localhost:6060  # profiling sidecar
 //
 //	curl 'localhost:8080/query?q=term 17,term 27&algo=blinks&k=5'
+//	curl 'localhost:8080/query?q=term 17&trace=1'
 //	curl 'localhost:8080/explain?q=term 17,term 27'
 //	curl 'localhost:8080/complete?prefix=term'
 //	curl 'localhost:8080/stats'
+//	curl 'localhost:8080/metrics'
+//
+// Logging is structured (log/slog; -log json for JSON lines), metrics are
+// Prometheus text format at /metrics, and -pprof serves net/http/pprof on
+// its own mux so profiling is never exposed on the public listener.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
 	"bigindex/internal/core"
 	"bigindex/internal/datagen"
+	"bigindex/internal/obs"
 	"bigindex/internal/server"
 )
 
@@ -28,36 +37,96 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	indexFile := flag.String("index", "", "load a saved index instead of building")
 	dmax := flag.Int("dmax", 4, "distance bound")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (separate mux; empty = off)")
+	logFormat := flag.String("log", "text", "log format: text or json")
+	logLevel := flag.String("level", "info", "log level: debug, info, warn, error")
+	slowQuery := flag.Duration("slow", 500*time.Millisecond, "slow-query log threshold (0 = disabled)")
 	flag.Parse()
+
+	logger := obs.NewLogger(os.Stderr, parseLevel(*logLevel), *logFormat == "json")
+	reg := obs.NewRegistry()
 
 	ds, err := presetByName(*preset)
 	if err != nil {
-		log.Fatal(err)
+		fatal(logger, "bad preset", err)
 	}
 	var idx *core.Index
 	if *indexFile != "" {
 		f, err := os.Open(*indexFile)
 		if err != nil {
-			log.Fatal(err)
+			fatal(logger, "opening index", err)
 		}
 		idx, err = core.Load(f, ds.Ont)
 		f.Close()
 		if err != nil {
-			log.Fatal(err)
+			fatal(logger, "loading index", err)
 		}
-		log.Printf("loaded index from %s (%d layers)", *indexFile, idx.NumLayers())
+		logger.Info("index loaded", "file", *indexFile, "layers", idx.NumLayers())
 	} else {
 		start := time.Now()
-		idx, err = core.Build(ds.Graph, ds.Ont, core.DefaultBuildOptions())
+		opt := core.DefaultBuildOptions()
+		opt.Obs = reg // build gauges surface on /metrics
+		opt.Logger = logger
+		idx, err = core.Build(ds.Graph, ds.Ont, opt)
 		if err != nil {
-			log.Fatal(err)
+			fatal(logger, "building index", err)
 		}
-		log.Printf("built index for %s in %v (%d layers)", ds.Name, time.Since(start).Round(time.Millisecond), idx.NumLayers())
+		logger.Info("index built", "dataset", ds.Name,
+			"elapsed", time.Since(start).Round(time.Millisecond), "layers", idx.NumLayers())
 	}
 
-	srv := server.New(idx, ds.Ont, server.Options{DMax: *dmax})
-	log.Printf("serving %s on %s", ds.Name, *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv))
+	if *pprofAddr != "" {
+		go servePprof(logger, *pprofAddr)
+	}
+
+	sq := *slowQuery
+	if sq == 0 {
+		sq = -1 // Options: 0 means default, negative disables
+	}
+	srv := server.New(idx, ds.Ont, server.Options{
+		DMax:      *dmax,
+		Metrics:   reg,
+		Logger:    logger,
+		SlowQuery: sq,
+	})
+	logger.Info("serving", "dataset", ds.Name, "addr", *addr)
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		fatal(logger, "listen", err)
+	}
+}
+
+// servePprof exposes the profiling handlers on a dedicated mux: the public
+// listener never sees /debug/pprof even though importing net/http/pprof
+// registers it on http.DefaultServeMux.
+func servePprof(logger *slog.Logger, addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	logger.Info("pprof listening", "addr", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		logger.Error("pprof listener failed", "err", err)
+	}
+}
+
+func parseLevel(s string) slog.Level {
+	switch s {
+	case "debug":
+		return slog.LevelDebug
+	case "warn":
+		return slog.LevelWarn
+	case "error":
+		return slog.LevelError
+	default:
+		return slog.LevelInfo
+	}
+}
+
+func fatal(logger *slog.Logger, msg string, err error) {
+	logger.Error(msg, "err", err)
+	os.Exit(1)
 }
 
 func presetByName(name string) (*datagen.Dataset, error) {

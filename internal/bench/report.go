@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -17,6 +18,9 @@ type Report struct {
 	Header []string
 	Rows   [][]string
 	Notes  []string
+	// Elapsed is the experiment's wall time, set by the runner harness for
+	// the machine-readable export.
+	Elapsed time.Duration
 }
 
 // AddRow appends a formatted row.
@@ -83,4 +87,41 @@ func pct(base, with time.Duration) string {
 		return "n/a"
 	}
 	return fmt.Sprintf("%.1f%%", 100*(1-float64(with)/float64(base)))
+}
+
+// reportJSON is the machine-readable form of one Report; rows stay as
+// rendered strings so the export mirrors the text tables exactly and
+// diffing across PRs needs no knowledge of each experiment's cell types.
+type reportJSON struct {
+	ID        string     `json:"id"`
+	Title     string     `json:"title"`
+	Header    []string   `json:"header,omitempty"`
+	Rows      [][]string `json:"rows"`
+	Notes     []string   `json:"notes,omitempty"`
+	ElapsedMS float64    `json:"elapsed_ms"`
+}
+
+// WriteJSON renders the reports as one JSON document (the BENCH_eval.json
+// export of cmd/benchrunner), keyed by experiment in run order.
+func WriteJSON(w io.Writer, reports []*Report) error {
+	out := struct {
+		Experiments []reportJSON `json:"experiments"`
+	}{Experiments: make([]reportJSON, 0, len(reports))}
+	for _, r := range reports {
+		rows := r.Rows
+		if rows == nil {
+			rows = [][]string{} // "rows": [] rather than null for consumers
+		}
+		out.Experiments = append(out.Experiments, reportJSON{
+			ID:        r.ID,
+			Title:     r.Title,
+			Header:    r.Header,
+			Rows:      rows,
+			Notes:     r.Notes,
+			ElapsedMS: float64(r.Elapsed.Microseconds()) / 1000,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }

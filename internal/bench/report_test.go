@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 	"time"
@@ -25,6 +26,49 @@ func TestReportRendering(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestWriteJSON covers the BENCH_eval.json export: same rows as the text
+// table, plus per-experiment wall time.
+func TestWriteJSON(t *testing.T) {
+	r1 := &Report{ID: "T1", Title: "demo", Header: []string{"a", "b"}, Elapsed: 1500 * time.Microsecond}
+	r1.AddRow("x", 2*time.Millisecond)
+	r1.Notef("a note")
+	r2 := &Report{ID: "T2", Title: "empty"}
+
+	var sb strings.Builder
+	if err := WriteJSON(&sb, []*Report{r1, r2}); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Experiments []struct {
+			ID        string     `json:"id"`
+			Title     string     `json:"title"`
+			Header    []string   `json:"header"`
+			Rows      [][]string `json:"rows"`
+			Notes     []string   `json:"notes"`
+			ElapsedMS float64    `json:"elapsed_ms"`
+		} `json:"experiments"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &got); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, sb.String())
+	}
+	if len(got.Experiments) != 2 {
+		t.Fatalf("experiments = %d", len(got.Experiments))
+	}
+	e := got.Experiments[0]
+	if e.ID != "T1" || e.Title != "demo" || e.ElapsedMS != 1.5 {
+		t.Fatalf("bad experiment header: %+v", e)
+	}
+	if len(e.Rows) != 1 || e.Rows[0][0] != "x" || e.Rows[0][1] != "2.00ms" {
+		t.Fatalf("rows not exported as rendered: %+v", e.Rows)
+	}
+	if len(e.Notes) != 1 || e.Notes[0] != "a note" {
+		t.Fatalf("notes: %+v", e.Notes)
+	}
+	if got.Experiments[1].Rows == nil {
+		t.Fatal("empty report must still export a rows array")
 	}
 }
 

@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
 
 	"bigindex/internal/cost"
 	"bigindex/internal/graph"
+	"bigindex/internal/obs"
 	"bigindex/internal/search"
 )
 
@@ -127,27 +129,44 @@ func (e *Evaluator) preparedFor(m int) (search.Prepared, error) {
 //     algorithm's Generation session (Step 5 / Algos 3 and 4);
 //  4. rank, deduplicate, and apply top-k early termination.
 func (e *Evaluator) Eval(q []graph.Label) ([]search.Match, *Breakdown, error) {
+	return e.EvalCtx(context.Background(), q)
+}
+
+// EvalCtx is Eval with span-based tracing: when ctx carries an obs span
+// (obs.ContextWithSpan), the evaluation phases attach to it as a nested
+// tree — Select, Search, Specialize (with per-layer Spec/Prop-4.1 children),
+// Generate — mirroring the query-cost breakdown of the paper's Figs. 10–14.
+// Without a span in ctx a detached trace is used, so Breakdown timings are
+// always span-derived and always populated.
+func (e *Evaluator) EvalCtx(ctx context.Context, q []graph.Label) ([]search.Match, *Breakdown, error) {
+	parent := obs.SpanFromContext(ctx)
+	if parent == nil {
+		parent = obs.NewTrace("eval").Root()
+	}
 	bd := &Breakdown{}
 
 	// (1) Layer selection.
-	t0 := time.Now()
+	sel := parent.StartChild("Select")
 	m := e.opt.ForcedLayer
 	if m < 0 {
 		m, bd.LayerCosts = cost.OptimalLayerEx(e.idx, q, e.opt.Beta, e.opt.DegreeExponent)
 	} else if m >= e.idx.NumLayers() {
+		sel.End()
 		return nil, nil, fmt.Errorf("core: layer %d out of range (index has %d)", m, e.idx.NumLayers())
 	}
 	bd.Layer = m
 	qGen := e.idx.Configs().GenQuery(q, m)
-	bd.Select = time.Since(t0)
+	sel.SetAttr("layer", m).SetAttr("keywords", len(q))
+	bd.Select = sel.End().Duration()
 
 	// (2) Evaluate f on the summary graph at layer m. Exhaustive mode: one
 	// generalized answer can specialize to zero or many final answers, so
 	// completeness requires every generalized answer; top-k early
 	// termination happens during generation below.
-	t0 = time.Now()
+	srch := parent.StartChild("Search").SetAttr("layer", m)
 	prep, err := e.preparedFor(m)
 	if err != nil {
+		srch.End()
 		return nil, nil, err
 	}
 	limit := e.opt.GenLimit
@@ -156,11 +175,13 @@ func (e *Evaluator) Eval(q []graph.Label) ([]search.Match, *Breakdown, error) {
 	}
 	gens, err := prep.Search(qGen, limit)
 	if err != nil {
+		srch.End()
 		return nil, nil, err
 	}
 	bd.SearchCalls++
 	bd.GenAnswers = len(gens)
-	bd.Search = time.Since(t0)
+	srch.SetAttr("generalized_answers", len(gens))
+	bd.Search = srch.End().Duration()
 
 	if m == 0 {
 		// Evaluating at the data layer is direct evaluation.
@@ -180,7 +201,7 @@ func (e *Evaluator) Eval(q []graph.Label) ([]search.Match, *Breakdown, error) {
 		// Exhaustive mode: generalized answers share supernodes heavily, so
 		// specialize the union once per role instead of per answer —
 		// identical result, far fewer Down-map expansions.
-		ts := time.Now()
+		spec := parent.StartChild("Specialize").SetAttr("layer", m)
 		rootSupers := make([]graph.V, 0, len(gens))
 		kwSupers := make([][]graph.V, len(q))
 		for _, ga := range gens {
@@ -191,16 +212,17 @@ func (e *Evaluator) Eval(q []graph.Label) ([]search.Match, *Breakdown, error) {
 		}
 		var rootCands []graph.V
 		if !isRootless(e.algo) {
-			rootCands = e.idx.specializeRootSet(rootSupers, m)
+			rootCands = e.idx.specializeRootSet(rootSupers, m, spec)
 		}
 		cands := make([][]graph.V, len(q))
 		for i := range q {
-			cands[i] = e.idx.specializeKeywordSet(kwSupers[i], m, q[i], e.opt.IsKey)
+			cands[i] = e.idx.specializeKeywordSet(kwSupers[i], m, q[i], e.opt.IsKey, spec)
 		}
 		bd.Candidates = len(rootCands)
-		bd.Specialize = time.Since(ts)
+		spec.SetAttr("root_candidates", len(rootCands))
+		bd.Specialize = spec.End().Duration()
 
-		tg := time.Now()
+		gen := parent.StartChild("Generate")
 		for _, fm := range session.Generate(rootCands, cands) {
 			key := fm.Key()
 			if !seen[key] {
@@ -208,7 +230,8 @@ func (e *Evaluator) Eval(q []graph.Label) ([]search.Match, *Breakdown, error) {
 				finals = append(finals, fm)
 			}
 		}
-		bd.Generate = time.Since(tg)
+		gen.SetAttr("finals", len(finals))
+		bd.Generate = gen.End().Duration()
 		search.SortMatches(finals)
 		bd.FinalCount = len(finals)
 		return finals, bd, nil
@@ -232,7 +255,10 @@ func (e *Evaluator) Eval(q []graph.Label) ([]search.Match, *Breakdown, error) {
 				break
 			}
 		}
-		ts := time.Now()
+		// Per-answer spans share the phase names of the exhaustive path;
+		// past obs' child cap they are timed but not attached, so the
+		// Breakdown sums stay exact on answer-heavy queries.
+		spec := parent.StartChild("Specialize").SetAttr("layer", m)
 		var rootCands []graph.V
 		if !rootless {
 			rootCands = e.idx.SpecializeRoot(ga.Root, m)
@@ -242,9 +268,11 @@ func (e *Evaluator) Eval(q []graph.Label) ([]search.Match, *Breakdown, error) {
 			cands[i] = e.idx.SpecializeKeyword(node, m, q[i], e.opt.IsKey)
 		}
 		bd.Candidates += len(rootCands)
-		bd.Specialize += time.Since(ts)
+		spec.SetAttr("root_candidates", len(rootCands))
+		bd.Specialize += spec.End().Duration()
 
-		tg := time.Now()
+		gen := parent.StartChild("Generate")
+		before := len(finals)
 		for _, fm := range session.Generate(rootCands, cands) {
 			key := fm.Key()
 			if !seen[key] {
@@ -252,7 +280,8 @@ func (e *Evaluator) Eval(q []graph.Label) ([]search.Match, *Breakdown, error) {
 				finals = append(finals, fm)
 			}
 		}
-		bd.Generate += time.Since(tg)
+		gen.SetAttr("finals", len(finals)-before)
+		bd.Generate += gen.End().Duration()
 	}
 
 	search.SortMatches(finals)
@@ -272,9 +301,19 @@ func isRootless(a search.Algorithm) bool {
 // Direct evaluates f on the data graph without the index (the baseline
 // eval(G, Q, f)); the prepared data-graph index is cached like layers.
 func (e *Evaluator) Direct(q []graph.Label, k int) ([]search.Match, error) {
+	return e.DirectCtx(context.Background(), q, k)
+}
+
+// DirectCtx is Direct with tracing: the whole baseline evaluation is one
+// "Direct" span under the context's span, if any.
+func (e *Evaluator) DirectCtx(ctx context.Context, q []graph.Label, k int) ([]search.Match, error) {
+	sp := obs.SpanFromContext(ctx).StartChild("Direct").SetAttr("k", k)
+	defer sp.End()
 	prep, err := e.preparedFor(0)
 	if err != nil {
 		return nil, err
 	}
-	return prep.Search(q, k)
+	ms, err := prep.Search(q, k)
+	sp.SetAttr("matches", len(ms))
+	return ms, err
 }

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"bigindex/internal/cost"
 	"bigindex/internal/graph"
+	"bigindex/internal/obs"
 )
 
 // Plan describes how a query would be evaluated: the per-layer costs, the
@@ -24,6 +26,20 @@ type Plan struct {
 
 // Explain computes the evaluation plan for q under the evaluator's options.
 func (e *Evaluator) Explain(q []graph.Label) *Plan {
+	return e.ExplainCtx(context.Background(), q)
+}
+
+// ExplainCtx is Explain under the context's span (one "Explain" span with
+// the chosen layer as an attribute).
+func (e *Evaluator) ExplainCtx(ctx context.Context, q []graph.Label) *Plan {
+	sp := obs.SpanFromContext(ctx).StartChild("Explain")
+	defer sp.End()
+	p := e.explain(q)
+	sp.SetAttr("layer", p.Layer)
+	return p
+}
+
+func (e *Evaluator) explain(q []graph.Label) *Plan {
 	p := &Plan{Query: append([]graph.Label(nil), q...)}
 	if e.opt.ForcedLayer >= 0 {
 		p.Layer = e.opt.ForcedLayer

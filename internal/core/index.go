@@ -9,11 +9,15 @@ package core
 import (
 	"errors"
 	"fmt"
+	"log/slog"
+	"strconv"
+	"time"
 
 	"bigindex/internal/bisim"
 	"bigindex/internal/cost"
 	"bigindex/internal/generalize"
 	"bigindex/internal/graph"
+	"bigindex/internal/obs"
 	"bigindex/internal/ontology"
 )
 
@@ -60,6 +64,13 @@ type BuildOptions struct {
 	// construction and coarser summaries) or bisim.ComputeForward plug in
 	// directly; the paper lists such formalisms as future work.
 	Summarizer func(*graph.Graph) *bisim.Result
+	// Obs, when set, receives build gauges under bigindex_build_*:
+	// per-layer config-search / Gen / Bisim wall times, layer sizes,
+	// config rule counts, and sampling effort. Nil records nothing.
+	Obs *obs.Registry
+	// Logger, when set, receives one structured line per built layer and
+	// a build summary. Nil logs nothing.
+	Logger *slog.Logger
 }
 
 // DefaultBuildOptions mirrors the paper's default indexes (Sec. 6.1.2):
@@ -91,23 +102,57 @@ func Build(g *graph.Graph, ont *ontology.Ontology, opt BuildOptions) (*Index, er
 		ont:    ont,
 		layers: []*Layer{{Graph: g}},
 	}
+
+	// Build gauges (all no-ops when opt.Obs is nil): the per-layer Gen /
+	// Bisim / config-search wall times are the construction-cost axes the
+	// bisimulation-efficiency literature measures per iteration.
+	phaseSec := opt.Obs.GaugeVec("bigindex_build_phase_seconds",
+		"Per-layer build phase wall time in seconds.", "layer", "phase")
+	layerVerts := opt.Obs.GaugeVec("bigindex_build_layer_vertices",
+		"Vertices per built summary layer.", "layer")
+	layerEdges := opt.Obs.GaugeVec("bigindex_build_layer_edges",
+		"Edges per built summary layer.", "layer")
+	cfgRules := opt.Obs.GaugeVec("bigindex_build_config_rules",
+		"Generalization rules chosen by the layer's config search (Algo 1).", "layer")
+	cfgSamples := opt.Obs.GaugeVec("bigindex_build_config_samples",
+		"Sample subgraphs drawn by the layer's config search.", "layer")
+	layersG := opt.Obs.Gauge("bigindex_build_layers",
+		"Summary layers in the built index (h).")
+	buildSec := opt.Obs.Gauge("bigindex_build_seconds",
+		"Total index construction wall time in seconds.")
+
+	buildStart := time.Now()
 	top := g
 	for layer := 1; opt.MaxLayers == 0 || layer <= opt.MaxLayers; layer++ {
+		ls := strconv.Itoa(layer)
 		searchOpt := opt.Search
 		searchOpt.Seed += int64(layer) // fresh samples per layer, still deterministic
-		cfg, _ := cost.GreedyConfig(top, ont, searchOpt)
+		t0 := time.Now()
+		cfg, est := cost.GreedyConfig(top, ont, searchOpt)
+		configDur := time.Since(t0)
+		phaseSec.With(ls, "config").Set(configDur.Seconds())
+		cfgRules.With(ls).Set(float64(cfg.Len()))
+		if est != nil {
+			cfgSamples.With(ls).Set(float64(est.NumSamples()))
+		}
 		if cfg.Len() == 0 {
 			break // nothing left to generalize
 		}
 		if err := cfg.Validate(ont); err != nil {
 			return nil, fmt.Errorf("core: layer %d configuration invalid: %w", layer, err)
 		}
+		t0 = time.Now()
 		gen := cfg.Apply(top)
+		genDur := time.Since(t0)
+		phaseSec.With(ls, "gen").Set(genDur.Seconds())
 		summarize := opt.Summarizer
 		if summarize == nil {
 			summarize = bisim.Compute
 		}
+		t0 = time.Now()
 		res := summarize(gen)
+		bisimDur := time.Since(t0)
+		phaseSec.With(ls, "bisim").Set(bisimDur.Seconds())
 		ratio := float64(res.Summary.Size()) / float64(max(1, top.Size()))
 		if ratio > 1-opt.MinGain && layer > 1 {
 			break // compression potential exhausted (Sec. 3.1 termination)
@@ -119,7 +164,28 @@ func Build(g *graph.Graph, ont *ontology.Ontology, opt BuildOptions) (*Index, er
 			Down:   res.Members,
 		})
 		idx.seq = append(idx.seq, cfg)
+		layerVerts.With(ls).Set(float64(res.Summary.NumVertices()))
+		layerEdges.With(ls).Set(float64(res.Summary.NumEdges()))
+		if opt.Logger != nil {
+			opt.Logger.Info("layer built",
+				"layer", layer,
+				"vertices", res.Summary.NumVertices(),
+				"edges", res.Summary.NumEdges(),
+				"ratio", ratio,
+				"config_rules", cfg.Len(),
+				"config_ms", configDur.Milliseconds(),
+				"gen_ms", genDur.Milliseconds(),
+				"bisim_ms", bisimDur.Milliseconds())
+		}
 		top = res.Summary
+	}
+	layersG.Set(float64(len(idx.layers) - 1))
+	buildSec.Set(time.Since(buildStart).Seconds())
+	if opt.Logger != nil {
+		opt.Logger.Info("index built",
+			"layers", len(idx.layers)-1,
+			"index_size", idx.TotalSize(),
+			"elapsed_ms", time.Since(buildStart).Milliseconds())
 	}
 	return idx, nil
 }
@@ -205,17 +271,22 @@ func (x *Index) SpecializeKeyword(s graph.V, m int, kw graph.Label, early bool) 
 
 // specializeRootSet expands a set of layer-m supernodes to data vertices
 // without label filtering, deduplicating at every level (batch form of
-// SpecializeRoot used by exhaustive evaluation).
-func (x *Index) specializeRootSet(supers []graph.V, m int) []graph.V {
+// SpecializeRoot used by exhaustive evaluation). Each Spec step from layer
+// j to j−1 is one child span of sp (nil sp disables tracing).
+func (x *Index) specializeRootSet(supers []graph.V, m int, sp *obs.Span) []graph.V {
 	set := dedupVs(supers)
 	for j := m; j >= 1; j-- {
+		c := sp.StartChild("Spec/L" + strconv.Itoa(j-1)).SetAttr("role", "root").SetAttr("in", len(set))
 		set = x.SpecializeStep(set, j, nil)
+		c.SetAttr("out", len(set)).End()
 	}
 	return set
 }
 
-// specializeKeywordSet is the batch form of SpecializeKeyword.
-func (x *Index) specializeKeywordSet(supers []graph.V, m int, kw graph.Label, early bool) []graph.V {
+// specializeKeywordSet is the batch form of SpecializeKeyword; the
+// per-layer spans record how much the Prop 4.1 label filter prunes (the
+// in→out contraction at each step).
+func (x *Index) specializeKeywordSet(supers []graph.V, m int, kw graph.Label, early bool, sp *obs.Span) []graph.V {
 	set := dedupVs(supers)
 	for j := m; j >= 1; j-- {
 		want := x.seq.GenLabel(kw, j-1)
@@ -224,7 +295,11 @@ func (x *Index) specializeKeywordSet(supers []graph.V, m int, kw graph.Label, ea
 		if early || j == 1 {
 			keep = func(v graph.V) bool { return lg.Label(v) == want }
 		}
+		c := sp.StartChild("Spec/L" + strconv.Itoa(j-1)).
+			SetAttr("role", "keyword").SetAttr("keyword", int(kw)).
+			SetAttr("filtered", keep != nil).SetAttr("in", len(set))
 		set = x.SpecializeStep(set, j, keep)
+		c.SetAttr("out", len(set)).End()
 	}
 	return set
 }

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// HTTPOptions configures Instrument.
+type HTTPOptions struct {
+	// Registry receives http_requests_total{path,code} and
+	// http_request_seconds{path}. Nil records nothing.
+	Registry *Registry
+	// Logger emits one line per request with method, path, status,
+	// duration, and whatever the handler deposited via AddLogAttrs.
+	// Nil logs nothing.
+	Logger *slog.Logger
+	// SlowQuery is the latency threshold above which the request is also
+	// logged at Warn with its full span-tree JSON (the slow-query log).
+	// 0 disables.
+	SlowQuery time.Duration
+	// Normalize maps a request to its metric path label; return "" to use
+	// r.URL.Path. Servers with a fixed endpoint set use it to keep label
+	// cardinality bounded against scanner traffic.
+	Normalize func(*http.Request) string
+	// MetricPrefix prefixes the registered metric names ("bigindex" if
+	// empty).
+	MetricPrefix string
+}
+
+// Instrument wraps next with request metrics, a per-request trace rooted
+// at the request path (available to handlers via SpanFromContext), a
+// request-scoped log-attribute bag, structured request logging, and the
+// slow-query log.
+func Instrument(next http.Handler, opt HTTPOptions) http.Handler {
+	prefix := opt.MetricPrefix
+	if prefix == "" {
+		prefix = "bigindex"
+	}
+	requests := opt.Registry.CounterVec(prefix+"_http_requests_total",
+		"HTTP requests by path and status code.", "path", "code")
+	latency := opt.Registry.HistogramVec(prefix+"_http_request_seconds",
+		"HTTP request latency in seconds by path.", nil, "path")
+	inflight := opt.Registry.Gauge(prefix+"_http_inflight_requests",
+		"Requests currently being served.")
+	slow := opt.Registry.Counter(prefix+"_http_slow_requests_total",
+		"Requests slower than the slow-query threshold.")
+
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		path := r.URL.Path
+		if opt.Normalize != nil {
+			if p := opt.Normalize(r); p != "" {
+				path = p
+			}
+		}
+		tr := NewTrace(path)
+		ctx := ContextWithSpan(r.Context(), tr.Root())
+		ctx, bag := ContextWithLogBag(ctx)
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+
+		inflight.Add(1)
+		start := time.Now()
+		next.ServeHTTP(rec, r.WithContext(ctx))
+		elapsed := time.Since(start)
+		inflight.Add(-1)
+		tr.Root().End()
+
+		requests.With(path, strconv.Itoa(rec.code)).Inc()
+		latency.With(path).Observe(elapsed.Seconds())
+		isSlow := opt.SlowQuery > 0 && elapsed >= opt.SlowQuery
+		if isSlow {
+			slow.Inc()
+		}
+
+		if opt.Logger != nil {
+			args := []any{
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", rec.code),
+				slog.Duration("elapsed", elapsed),
+			}
+			args = append(args, bag.Attrs()...)
+			opt.Logger.Info("request", args...)
+			if isSlow {
+				if js, err := json.Marshal(tr); err == nil {
+					opt.Logger.Warn("slow request",
+						slog.String("path", r.URL.Path),
+						slog.Duration("elapsed", elapsed),
+						slog.String("trace", string(js)))
+				}
+			}
+		}
+	})
+}
+
+// statusRecorder captures the response status for metrics and logs.
+type statusRecorder struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (s *statusRecorder) WriteHeader(code int) {
+	if !s.wrote {
+		s.code = code
+		s.wrote = true
+	}
+	s.ResponseWriter.WriteHeader(code)
+}
+
+func (s *statusRecorder) Write(b []byte) (int, error) {
+	s.wrote = true
+	return s.ResponseWriter.Write(b)
+}

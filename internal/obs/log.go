@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"sync"
+)
+
+// NewLogger builds a slog.Logger writing to w at the given level, in
+// logfmt-style text or JSON. This is the one place the binaries construct
+// loggers so the output format stays uniform across bigindexd and the CLI.
+func NewLogger(w io.Writer, level slog.Level, jsonFormat bool) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	if jsonFormat {
+		return slog.New(slog.NewJSONHandler(w, opts))
+	}
+	return slog.New(slog.NewTextHandler(w, opts))
+}
+
+// DiscardLogger returns a logger that drops everything — the default for
+// library components when the caller wires no logger.
+func DiscardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.Level(127)}))
+}
+
+// LogBag collects request-scoped log attributes: HTTP handlers deposit
+// facts (query, algo, layer, result count) as they learn them and the
+// middleware emits them all on the single per-request log line.
+type LogBag struct {
+	mu    sync.Mutex
+	attrs []slog.Attr
+}
+
+// Add appends attributes. Nil-safe.
+func (b *LogBag) Add(attrs ...slog.Attr) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.attrs = append(b.attrs, attrs...)
+	b.mu.Unlock()
+}
+
+// Attrs snapshots the collected attributes as []any for slog's variadic
+// argument list.
+func (b *LogBag) Attrs() []any {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]any, len(b.attrs))
+	for i, a := range b.attrs {
+		out[i] = a
+	}
+	return out
+}
+
+type logBagCtxKey struct{}
+
+// ContextWithLogBag installs a fresh bag and returns it with the derived
+// context.
+func ContextWithLogBag(ctx context.Context) (context.Context, *LogBag) {
+	b := &LogBag{}
+	return context.WithValue(ctx, logBagCtxKey{}, b), b
+}
+
+// AddLogAttrs appends attributes to the context's bag; a context without a
+// bag (e.g. a non-HTTP caller) makes this a no-op.
+func AddLogAttrs(ctx context.Context, attrs ...slog.Attr) {
+	if ctx == nil {
+		return
+	}
+	b, _ := ctx.Value(logBagCtxKey{}).(*LogBag)
+	b.Add(attrs...)
+}

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if again := r.Counter("c_total", "a counter"); again != c {
+		t.Fatal("re-registering a counter must return the same instance")
+	}
+	g := r.Gauge("g", "a gauge")
+	g.Set(2.5)
+	g.Add(-1)
+	if g.Value() != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", g.Value())
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	// None of these may panic; all return nil receivers whose methods are
+	// no-ops (the "observability disabled" path in core.Build).
+	r.Counter("x", "").Inc()
+	r.Gauge("x", "").Set(1)
+	r.Histogram("x", "", nil).Observe(1)
+	r.CounterVec("x", "", "l").With("v").Add(2)
+	r.GaugeVec("x", "", "l").With("v").Add(1)
+	r.HistogramVec("x", "", nil, "l").With("v").Observe(1)
+	var buf strings.Builder
+	r.WritePrometheus(&buf)
+	if buf.Len() != 0 {
+		t.Fatalf("nil registry wrote %q", buf.String())
+	}
+}
+
+func TestHistogramBucketMath(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{0.1, 0.5, 1})
+	for _, v := range []float64{0.05, 0.1, 0.3, 0.7, 2, 5} {
+		h.Observe(v)
+	}
+	// le=0.1 is inclusive: 0.05 and 0.1 land there.
+	want := []int64{2, 3, 4, 6} // cumulative: <=0.1, <=0.5, <=1, +Inf
+	got := h.BucketCounts()
+	if len(got) != len(want) {
+		t.Fatalf("bucket count = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket[%d] = %d, want %d (%v)", i, got[i], want[i], got)
+		}
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if s := h.Sum(); s < 8.149 || s > 8.151 {
+		t.Fatalf("sum = %v, want 8.15", s)
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("http_requests_total", "Requests.", "path", "code").With("/query", "200").Add(3)
+	r.Gauge("layers", "Index layers.").Set(7)
+	r.Histogram("q_seconds", "Query latency.", []float64{0.5}).Observe(0.25)
+
+	var buf strings.Builder
+	r.WritePrometheus(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP http_requests_total Requests.",
+		"# TYPE http_requests_total counter",
+		`http_requests_total{path="/query",code="200"} 3`,
+		"# TYPE layers gauge",
+		"layers 7",
+		"# TYPE q_seconds histogram",
+		`q_seconds_bucket{le="0.5"} 1`,
+		`q_seconds_bucket{le="+Inf"} 1`,
+		"q_seconds_sum 0.25",
+		"q_seconds_count 1",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("c", "", "q").With(`a"b\c` + "\nd").Inc()
+	var buf strings.Builder
+	r.WritePrometheus(&buf)
+	if !strings.Contains(buf.String(), `c{q="a\"b\\c\nd"} 1`) {
+		t.Fatalf("bad escaping:\n%s", buf.String())
+	}
+}
+
+func TestConcurrentMetrics(t *testing.T) {
+	r := NewRegistry()
+	vec := r.CounterVec("c_total", "", "worker")
+	h := r.Histogram("h", "", nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				vec.With("w").Inc()
+				h.Observe(float64(j) / 1000)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if vec.With("w").Value() != 8000 {
+		t.Fatalf("counter = %d", vec.With("w").Value())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d", h.Count())
+	}
+}

@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"time"
+)
+
+// maxChildren bounds the rendered span tree: children beyond the cap are
+// still timed (StartChild always returns a live span, so aggregates like
+// core.Breakdown stay exact) but are not attached, only counted in
+// dropped_children. Keeps per-answer spans from exploding trace JSON on
+// queries with thousands of generalized answers.
+const maxChildren = 128
+
+// Trace is one tree of timed spans, usually one per query. The zero value
+// is not useful; use NewTrace. All methods are nil-safe so code can trace
+// unconditionally and pay nothing when no trace is installed.
+type Trace struct {
+	root *Span
+}
+
+// NewTrace starts a trace whose root span has the given name.
+func NewTrace(name string) *Trace {
+	t := &Trace{}
+	t.root = &Span{trace: t, name: name, start: time.Now()}
+	return t
+}
+
+// Root returns the root span (nil on a nil trace).
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// MarshalJSON renders the span tree. Spans still running render with their
+// duration so far.
+func (t *Trace) MarshalJSON() ([]byte, error) {
+	if t == nil || t.root == nil {
+		return []byte("null"), nil
+	}
+	return json.Marshal(t.root.snapshot(t.root.start))
+}
+
+// Span is one timed phase. Spans nest via StartChild and carry arbitrary
+// attributes. A span is owned by the goroutine that started it; StartChild
+// and attribute updates on the *same* span from multiple goroutines are
+// nevertheless safe (mutex-guarded), matching the evaluator's concurrency
+// contract.
+type Span struct {
+	trace *Trace
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	end      time.Time
+	attrs    map[string]any
+	children []*Span
+	dropped  int
+}
+
+// StartChild starts a nested span. On a nil receiver it returns nil, and
+// every Span method on nil is a no-op, so call sites need no checks.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{trace: s.trace, name: name, start: time.Now()}
+	s.mu.Lock()
+	if len(s.children) < maxChildren {
+		s.children = append(s.children, c)
+	} else {
+		s.dropped++
+	}
+	s.mu.Unlock()
+	return c
+}
+
+// End marks the span finished (idempotent) and returns it for chaining.
+func (s *Span) End() *Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	if s.end.IsZero() {
+		s.end = time.Now()
+	}
+	s.mu.Unlock()
+	return s
+}
+
+// Duration is end−start, or time-so-far when the span is still running
+// (0 on nil).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	end := s.end
+	s.mu.Unlock()
+	if end.IsZero() {
+		return time.Since(s.start)
+	}
+	return end.Sub(s.start)
+}
+
+// Name returns the span name ("" on nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// SetAttr attaches a key/value attribute, returning the span for chaining.
+func (s *Span) SetAttr(key string, v any) *Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]any)
+	}
+	s.attrs[key] = v
+	s.mu.Unlock()
+	return s
+}
+
+// Trace returns the trace this span belongs to (nil on nil).
+func (s *Span) Trace() *Trace {
+	if s == nil {
+		return nil
+	}
+	return s.trace
+}
+
+// Children returns a snapshot of the attached child spans.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Span(nil), s.children...)
+}
+
+// SpanJSON is the rendered form of one span. Times are microseconds:
+// start_us is the offset from the trace root's start.
+type SpanJSON struct {
+	Name     string         `json:"name"`
+	StartUS  int64          `json:"start_us"`
+	DurUS    int64          `json:"dur_us"`
+	Attrs    map[string]any `json:"attrs,omitempty"`
+	Dropped  int            `json:"dropped_children,omitempty"`
+	Children []SpanJSON     `json:"children,omitempty"`
+}
+
+func (s *Span) snapshot(origin time.Time) SpanJSON {
+	s.mu.Lock()
+	attrs := make(map[string]any, len(s.attrs))
+	for k, v := range s.attrs {
+		attrs[k] = v
+	}
+	children := append([]*Span(nil), s.children...)
+	dropped := s.dropped
+	s.mu.Unlock()
+	if len(attrs) == 0 {
+		attrs = nil
+	}
+	out := SpanJSON{
+		Name:    s.name,
+		StartUS: s.start.Sub(origin).Microseconds(),
+		DurUS:   s.Duration().Microseconds(),
+		Attrs:   attrs,
+		Dropped: dropped,
+	}
+	for _, c := range children {
+		out.Children = append(out.Children, c.snapshot(origin))
+	}
+	return out
+}
+
+type spanCtxKey struct{}
+
+// ContextWithSpan installs sp as the current span; instrumented code down
+// the call chain attaches children to it.
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	return context.WithValue(ctx, spanCtxKey{}, sp)
+}
+
+// SpanFromContext returns the current span, or nil when the context
+// carries none — the nil span is a valid no-op receiver.
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	sp, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return sp
+}

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestSpanNesting(t *testing.T) {
+	tr := NewTrace("query")
+	root := tr.Root()
+	sel := root.StartChild("Select").SetAttr("layer", 3).End()
+	search := root.StartChild("Search")
+	spec := search.StartChild("Spec/L3").End()
+	search.End()
+	root.End()
+
+	if sel.Duration() < 0 || spec.Duration() < 0 {
+		t.Fatal("negative durations")
+	}
+	kids := root.Children()
+	if len(kids) != 2 || kids[0].Name() != "Select" || kids[1].Name() != "Search" {
+		t.Fatalf("children = %v", kids)
+	}
+	if len(search.Children()) != 1 {
+		t.Fatalf("nested children = %d", len(search.Children()))
+	}
+}
+
+func TestSpanJSON(t *testing.T) {
+	tr := NewTrace("/query")
+	root := tr.Root()
+	root.StartChild("Select").SetAttr("layer", 2).End()
+	g := root.StartChild("Generate")
+	g.StartChild("verify").End()
+	g.End()
+	root.End()
+
+	js, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got SpanJSON
+	if err := json.Unmarshal(js, &got); err != nil {
+		t.Fatalf("trace JSON does not round-trip: %v\n%s", err, js)
+	}
+	if got.Name != "/query" || len(got.Children) != 2 {
+		t.Fatalf("bad tree: %+v", got)
+	}
+	if got.Children[0].Name != "Select" || got.Children[0].Attrs["layer"] != float64(2) {
+		t.Fatalf("bad Select span: %+v", got.Children[0])
+	}
+	if len(got.Children[1].Children) != 1 || got.Children[1].Children[0].Name != "verify" {
+		t.Fatalf("bad Generate span: %+v", got.Children[1])
+	}
+	if got.DurUS < 0 || got.Children[1].StartUS < got.Children[0].StartUS {
+		t.Fatalf("bad timing: %+v", got)
+	}
+}
+
+func TestSpanChildCap(t *testing.T) {
+	tr := NewTrace("t")
+	root := tr.Root()
+	var total time.Duration
+	for i := 0; i < maxChildren+50; i++ {
+		sp := root.StartChild(fmt.Sprintf("c%d", i))
+		total += sp.End().Duration() // dropped children must still time
+	}
+	if n := len(root.Children()); n != maxChildren {
+		t.Fatalf("attached children = %d, want %d", n, maxChildren)
+	}
+	js, _ := json.Marshal(tr)
+	var got SpanJSON
+	_ = json.Unmarshal(js, &got)
+	if got.Dropped != 50 {
+		t.Fatalf("dropped = %d, want 50", got.Dropped)
+	}
+	if total < 0 {
+		t.Fatal("dropped spans did not accumulate duration")
+	}
+}
+
+func TestNilSpanSafety(t *testing.T) {
+	var sp *Span
+	// The nil span is the "tracing disabled" path: all of this must no-op.
+	c := sp.StartChild("x")
+	if c != nil {
+		t.Fatal("nil StartChild must return nil")
+	}
+	sp.SetAttr("k", 1).End()
+	if sp.Duration() != 0 || sp.Name() != "" || sp.Trace() != nil {
+		t.Fatal("nil span leaked state")
+	}
+	var tr *Trace
+	if tr.Root() != nil {
+		t.Fatal("nil trace root")
+	}
+	if js, err := json.Marshal(tr); err != nil || string(js) != "null" {
+		t.Fatalf("nil trace JSON = %s, %v", js, err)
+	}
+}
+
+func TestSpanContext(t *testing.T) {
+	if SpanFromContext(context.Background()) != nil {
+		t.Fatal("empty context must yield nil span")
+	}
+	tr := NewTrace("t")
+	ctx := ContextWithSpan(context.Background(), tr.Root())
+	if SpanFromContext(ctx) != tr.Root() {
+		t.Fatal("span did not round-trip through context")
+	}
+}

@@ -13,8 +13,15 @@
 //	    keyword autocompletion over the label vocabulary.
 //	GET /stats
 //	    graph + index statistics.
+//	GET /metrics
+//	    Prometheus text exposition (request counters, latency histograms,
+//	    per-phase query timings, index/build gauges).
 //	GET /healthz
 //	    liveness.
+//
+// /query also accepts &trace=1, which embeds the query's span tree (layer
+// selection → summary search → per-layer specialization → generation) in
+// the response as "trace".
 //
 // The server is read-only and safe for concurrent requests: evaluators
 // serialize index preparation internally and everything else is immutable.
@@ -23,6 +30,7 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
@@ -31,6 +39,7 @@ import (
 
 	"bigindex/internal/core"
 	"bigindex/internal/graph"
+	"bigindex/internal/obs"
 	"bigindex/internal/ontology"
 	"bigindex/internal/search"
 	"bigindex/internal/search/bidir"
@@ -49,18 +58,40 @@ type Options struct {
 	BlockSize int
 	// MaxK caps the top-k a client may request (0 = 100).
 	MaxK int
+	// Metrics is the registry served at /metrics. Nil creates a private
+	// one; pass the registry used for core.Build to expose build gauges
+	// alongside the serving metrics.
+	Metrics *obs.Registry
+	// Logger receives one structured line per request plus the slow-query
+	// log. Nil discards.
+	Logger *slog.Logger
+	// SlowQuery is the latency threshold for the slow-query log
+	// (0 = 500ms; negative disables).
+	SlowQuery time.Duration
 }
 
 // Server handles HTTP requests against one index.
 type Server struct {
-	idx  *core.Index
-	ont  *ontology.Ontology
-	tix  *text.Index
-	opt  Options
-	mu   sync.Mutex
-	evs  map[string]*core.Evaluator
-	mux  *http.ServeMux
-	boot time.Time
+	idx     *core.Index
+	ont     *ontology.Ontology
+	tix     *text.Index
+	opt     Options
+	mu      sync.Mutex
+	evs     map[string]*core.Evaluator
+	mux     *http.ServeMux
+	handler http.Handler
+	boot    time.Time
+
+	reg      *obs.Registry
+	phaseSec *obs.HistogramVec // query phase latency, labeled by Breakdown phase
+	querySec *obs.HistogramVec // end-to-end evaluation latency by algorithm/mode
+	matches  *obs.CounterVec   // matches returned by algorithm
+}
+
+// knownPaths bounds the path label cardinality of the HTTP metrics.
+var knownPaths = map[string]bool{
+	"/query": true, "/explain": true, "/complete": true,
+	"/stats": true, "/metrics": true, "/healthz": true,
 }
 
 // New creates a server over a built index.
@@ -74,6 +105,18 @@ func New(idx *core.Index, ont *ontology.Ontology, opt Options) *Server {
 	if opt.MaxK <= 0 {
 		opt.MaxK = 100
 	}
+	if opt.Metrics == nil {
+		opt.Metrics = obs.NewRegistry()
+	}
+	if opt.Logger == nil {
+		opt.Logger = obs.DiscardLogger()
+	}
+	switch {
+	case opt.SlowQuery == 0:
+		opt.SlowQuery = 500 * time.Millisecond
+	case opt.SlowQuery < 0:
+		opt.SlowQuery = 0
+	}
 	s := &Server{
 		idx:  idx,
 		ont:  ont,
@@ -82,17 +125,51 @@ func New(idx *core.Index, ont *ontology.Ontology, opt Options) *Server {
 		evs:  map[string]*core.Evaluator{},
 		mux:  http.NewServeMux(),
 		boot: time.Now(),
+		reg:  opt.Metrics,
 	}
+	s.phaseSec = s.reg.HistogramVec("bigindex_query_phase_seconds",
+		"Query evaluation phase latency in seconds (the paper's Figs. 10-14 axes).",
+		nil, "phase")
+	s.querySec = s.reg.HistogramVec("bigindex_query_seconds",
+		"End-to-end query evaluation latency in seconds.", nil, "algo", "mode")
+	s.matches = s.reg.CounterVec("bigindex_query_matches_total",
+		"Final answers returned.", "algo")
+	st := s.idx.Stats()
+	s.reg.Gauge("bigindex_index_layers", "Summary layers in the served index (h).").
+		Set(float64(idx.NumLayers() - 1))
+	s.reg.Gauge("bigindex_index_size", "BiG-index size (sum of summary graph sizes).").
+		Set(float64(idx.TotalSize()))
+	s.reg.Gauge("bigindex_graph_vertices", "Data graph vertices.").
+		Set(float64(st.Layers[0].Vertices))
+	s.reg.Gauge("bigindex_graph_edges", "Data graph edges.").
+		Set(float64(st.Layers[0].Edges))
+
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/explain", s.handleExplain)
 	s.mux.HandleFunc("/complete", s.handleComplete)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.Handle("/metrics", s.reg.Handler())
+	s.handler = obs.Instrument(s.mux, obs.HTTPOptions{
+		Registry:  s.reg,
+		Logger:    opt.Logger,
+		SlowQuery: opt.SlowQuery,
+		Normalize: func(r *http.Request) string {
+			if knownPaths[r.URL.Path] {
+				return r.URL.Path
+			}
+			return "other"
+		},
+	})
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler (through the obs middleware: request
+// metrics, per-request trace, request log).
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
+
+// Metrics returns the server's registry (for tests and embedding).
+func (s *Server) Metrics() *obs.Registry { return s.reg }
 
 func (s *Server) algorithm(name string) (search.Algorithm, error) {
 	switch name {
@@ -111,7 +188,12 @@ func (s *Server) algorithm(name string) (search.Algorithm, error) {
 
 // evaluator returns (creating on first use) the shared evaluator for an
 // algorithm; evaluators cache per-layer prepared indexes across requests.
-func (s *Server) evaluator(name string, k int) (*core.Evaluator, error) {
+// Evaluators are shared across requests with different k values, so their
+// options never encode a per-request k (mutating them would race with
+// in-flight queries): non-rclique evaluators run exhaustively (K=0) and
+// handleQuery clamps to the request's k at result time; rclique pins K to
+// the server-wide MaxK cap, which every request k is clamped under.
+func (s *Server) evaluator(name string) (*core.Evaluator, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	key := name
@@ -137,10 +219,6 @@ func (s *Server) evaluator(name string, k int) (*core.Evaluator, error) {
 		ev = core.NewEvaluator(s.idx, algo, opt)
 		s.evs[key] = ev
 	}
-	// K is per-request; SetOptions is guarded by s.mu and Eval uses a
-	// snapshot per call path... to stay strictly race-free under
-	// concurrent K values, clamp K at result time instead of mutating.
-	_ = k
 	return ev, nil
 }
 
@@ -152,14 +230,15 @@ type matchJSON struct {
 }
 
 type queryResponse struct {
-	Query     []string    `json:"query"`
-	Algorithm string      `json:"algorithm"`
-	Layer     int         `json:"layer"`
-	Direct    bool        `json:"direct,omitempty"`
-	Elapsed   string      `json:"elapsed"`
-	Count     int         `json:"count"`
-	Matches   []matchJSON `json:"matches"`
-	Notes     []string    `json:"notes,omitempty"`
+	Query     []string        `json:"query"`
+	Algorithm string          `json:"algorithm"`
+	Layer     int             `json:"layer"`
+	Direct    bool            `json:"direct,omitempty"`
+	Elapsed   string          `json:"elapsed"`
+	Count     int             `json:"count"`
+	Matches   []matchJSON     `json:"matches"`
+	Notes     []string        `json:"notes,omitempty"`
+	Trace     json.RawMessage `json:"trace,omitempty"`
 }
 
 func (s *Server) resolve(r *http.Request) ([]graph.Label, []string, error) {
@@ -175,6 +254,7 @@ func (s *Server) resolve(r *http.Request) ([]graph.Label, []string, error) {
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
 	q, notes, err := s.resolve(r)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
@@ -185,40 +265,68 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if k <= 0 || k > s.opt.MaxK {
 		k = 10
 	}
-	ev, err := s.evaluator(algoName, k)
+	ev, err := s.evaluator(algoName)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
 
+	algo := orDefault(algoName, "blinks")
 	direct := r.URL.Query().Get("direct") != ""
+	mode := "eval"
+	if direct {
+		mode = "direct"
+	}
+	obs.AddLogAttrs(ctx,
+		slog.String("query", r.URL.Query().Get("q")),
+		slog.String("algo", algo),
+		slog.Int("k", k),
+		slog.String("mode", mode))
+
 	start := time.Now()
 	var ms []search.Match
 	layer := 0
 	if direct {
-		ms, err = ev.Direct(q, k)
+		ms, err = ev.DirectCtx(ctx, q, k)
 	} else {
 		var bd *core.Breakdown
-		ms, bd, err = ev.Eval(q)
+		ms, bd, err = ev.EvalCtx(ctx, q)
 		if bd != nil {
 			layer = bd.Layer
+			s.phaseSec.With("select").Observe(bd.Select.Seconds())
+			s.phaseSec.With("search").Observe(bd.Search.Seconds())
+			s.phaseSec.With("specialize").Observe(bd.Specialize.Seconds())
+			s.phaseSec.With("generate").Observe(bd.Generate.Seconds())
 		}
+		// The shared evaluator runs exhaustively (or at the MaxK cap for
+		// rclique); the per-request k applies here, at result time.
 		ms = search.Truncate(ms, k)
 	}
+	elapsed := time.Since(start)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
+	s.querySec.With(algo, mode).Observe(elapsed.Seconds())
+	s.matches.With(algo).Add(int64(len(ms)))
+	obs.AddLogAttrs(ctx, slog.Int("layer", layer), slog.Int("count", len(ms)))
 
 	dict := s.idx.Data().Dict()
 	g := s.idx.Data()
 	resp := queryResponse{
-		Algorithm: orDefault(algoName, "blinks"),
+		Algorithm: algo,
 		Layer:     layer,
 		Direct:    direct,
-		Elapsed:   time.Since(start).Round(time.Microsecond).String(),
+		Elapsed:   elapsed.Round(time.Microsecond).String(),
 		Count:     len(ms),
 		Notes:     notes,
+	}
+	if want, _ := strconv.ParseBool(r.URL.Query().Get("trace")); want {
+		if tr := obs.SpanFromContext(ctx).Trace(); tr != nil {
+			if js, err := json.Marshal(tr); err == nil {
+				resp.Trace = js
+			}
+		}
 	}
 	for _, l := range q {
 		resp.Query = append(resp.Query, dict.Name(l))
@@ -239,12 +347,12 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	ev, err := s.evaluator(r.URL.Query().Get("algo"), 10)
+	ev, err := s.evaluator(r.URL.Query().Get("algo"))
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	plan := ev.Explain(q)
+	plan := ev.ExplainCtx(r.Context(), q)
 	dict := s.idx.Data().Dict()
 	type layerJSON struct {
 		Layer       int      `json:"layer"`

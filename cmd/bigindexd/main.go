@@ -7,23 +7,39 @@
 //
 //	curl 'localhost:8080/query?q=term 17,term 27&algo=blinks&k=5'
 //	curl 'localhost:8080/query?q=term 17&trace=1'
+//	curl 'localhost:8080/query?q=term 17&timeout=250ms'
 //	curl 'localhost:8080/explain?q=term 17,term 27'
 //	curl 'localhost:8080/complete?prefix=term'
 //	curl 'localhost:8080/stats'
 //	curl 'localhost:8080/metrics'
+//	curl 'localhost:8080/readyz'
 //
 // Logging is structured (log/slog; -log json for JSON lines), metrics are
 // Prometheus text format at /metrics, and -pprof serves net/http/pprof on
 // its own mux so profiling is never exposed on the public listener.
+//
+// The daemon is built for rough traffic: per-query deadlines degrade
+// long-running evaluations to partial results (-query-timeout), a
+// load-shedding gate bounds concurrent evaluations (-max-inflight,
+// -shed-wait), the http.Server carries read/write/idle timeouts so slow
+// clients cannot pin connections, and SIGINT/SIGTERM trigger a graceful
+// drain: /readyz flips to 503 (-drain-grace gives load balancers time to
+// notice), in-flight queries get -drain-timeout to finish, and the process
+// exits 0.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
 	"time"
 
 	"bigindex/internal/core"
@@ -41,6 +57,20 @@ func main() {
 	logFormat := flag.String("log", "text", "log format: text or json")
 	logLevel := flag.String("level", "info", "log level: debug, info, warn, error")
 	slowQuery := flag.Duration("slow", 500*time.Millisecond, "slow-query log threshold (0 = disabled)")
+	queryTimeout := flag.Duration("query-timeout", 30*time.Second,
+		"per-query evaluation deadline; expired queries return partial results (0 = none)")
+	maxInFlight := flag.Int("max-inflight", 4*runtime.GOMAXPROCS(0),
+		"max concurrently evaluating queries before shedding with 429 (0 = unbounded)")
+	shedWait := flag.Duration("shed-wait", 100*time.Millisecond,
+		"how long a query may wait for an evaluation slot before being shed")
+	readTimeout := flag.Duration("read-timeout", 30*time.Second, "http.Server read timeout")
+	writeTimeout := flag.Duration("write-timeout", 0,
+		"http.Server write timeout (0 = query-timeout + 30s, so degraded responses can still be written)")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "http.Server keep-alive idle timeout")
+	drainGrace := flag.Duration("drain-grace", 500*time.Millisecond,
+		"after a shutdown signal, how long /readyz advertises 503 before connections close")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second,
+		"how long in-flight requests get to finish during graceful shutdown")
 	flag.Parse()
 
 	logger := obs.NewLogger(os.Stderr, parseLevel(*logLevel), *logFormat == "json")
@@ -83,15 +113,77 @@ func main() {
 	if sq == 0 {
 		sq = -1 // Options: 0 means default, negative disables
 	}
+	sw := *shedWait
+	if sw == 0 {
+		sw = -1 // Options: 0 means default, negative sheds immediately
+	}
 	srv := server.New(idx, ds.Ont, server.Options{
-		DMax:      *dmax,
-		Metrics:   reg,
-		Logger:    logger,
-		SlowQuery: sq,
+		DMax:         *dmax,
+		Metrics:      reg,
+		Logger:       logger,
+		SlowQuery:    sq,
+		QueryTimeout: *queryTimeout,
+		MaxInFlight:  *maxInFlight,
+		ShedWait:     sw,
 	})
-	logger.Info("serving", "dataset", ds.Name, "addr", *addr)
-	if err := http.ListenAndServe(*addr, srv); err != nil {
+
+	wt := *writeTimeout
+	if wt == 0 {
+		// The write timeout must outlast the query deadline or degraded
+		// partial responses would be cut off mid-write.
+		wt = *queryTimeout + 30*time.Second
+	}
+	httpSrv := &http.Server{
+		Handler:           srv,
+		ReadTimeout:       *readTimeout,
+		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      wt,
+		IdleTimeout:       *idleTimeout,
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
 		fatal(logger, "listen", err)
+	}
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+
+	logger.Info("serving", "dataset", ds.Name, "addr", ln.Addr().String(),
+		"query_timeout", *queryTimeout, "max_inflight", *maxInFlight)
+	if err := serve(ln, httpSrv, srv, logger, *drainGrace, *drainTimeout, sigs); err != nil {
+		fatal(logger, "listen", err)
+	}
+}
+
+// serve runs httpSrv on ln until a shutdown signal arrives, then drains
+// gracefully: readiness flips to 503 so load balancers stop routing, grace
+// passes so they have a chance to notice, in-flight requests get up to
+// drainTimeout to finish via http.Server.Shutdown, and serve returns nil
+// for a clean exit 0. A listener error before any signal is returned as-is.
+func serve(ln net.Listener, httpSrv *http.Server, srv *server.Server, logger *slog.Logger,
+	grace, drainTimeout time.Duration, sigs <-chan os.Signal) error {
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		if err == http.ErrServerClosed {
+			return nil
+		}
+		return err
+	case sig := <-sigs:
+		logger.Info("shutdown signal received; draining",
+			"signal", fmt.Sprint(sig), "grace", grace, "timeout", drainTimeout)
+		srv.SetDraining(true)
+		time.Sleep(grace)
+		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			logger.Warn("drain timed out; forcing close", "err", err)
+			httpSrv.Close()
+		}
+		logger.Info("drained; exiting")
+		return nil
 	}
 }
 

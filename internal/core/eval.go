@@ -132,13 +132,43 @@ func (e *Evaluator) Eval(q []graph.Label) ([]search.Match, *Breakdown, error) {
 	return e.EvalCtx(context.Background(), q)
 }
 
-// EvalCtx is Eval with span-based tracing: when ctx carries an obs span
-// (obs.ContextWithSpan), the evaluation phases attach to it as a nested
-// tree — Select, Search, Specialize (with per-layer Spec/Prop-4.1 children),
-// Generate — mirroring the query-cost breakdown of the paper's Figs. 10–14.
-// Without a span in ctx a detached trace is used, so Breakdown timings are
-// always span-derived and always populated.
+// EvalCtx is Eval with span-based tracing and cooperative cancellation.
+//
+// Tracing: when ctx carries an obs span (obs.ContextWithSpan), the
+// evaluation phases attach to it as a nested tree — Select, Search,
+// Specialize (with per-layer Spec/Prop-4.1 children), Generate — mirroring
+// the query-cost breakdown of the paper's Figs. 10–14. Without a span in
+// ctx a detached trace is used, so Breakdown timings are always
+// span-derived and always populated.
+//
+// Cancellation: ctx is threaded into the algorithm's SearchCtx/GenerateCtx
+// loops and checked between specialize/generate steps. When ctx expires
+// mid-evaluation, EvalCtx returns the final answers accumulated so far
+// together with the context's error. The partial result is sound — every
+// returned match was generated and verified against the data graph, and
+// specialization only refines already-found generalized answers (Prop 5.2)
+// — it is merely possibly incomplete, which callers surface as a degraded
+// answer set rather than a failure.
 func (e *Evaluator) EvalCtx(ctx context.Context, q []graph.Label) ([]search.Match, *Breakdown, error) {
+	return e.evalCtx(ctx, q, e.opt.ForcedLayer)
+}
+
+// EvalLayer is EvalLayerCtx without cancellation or an ambient span.
+func (e *Evaluator) EvalLayer(q []graph.Label, layer int) ([]search.Match, *Breakdown, error) {
+	return e.EvalLayerCtx(context.Background(), q, layer)
+}
+
+// EvalLayerCtx evaluates with the layer pinned for this query only (the
+// server's &layer= parameter and the layer-sweep experiments), overriding
+// Options.ForcedLayer without mutating the shared evaluator's options —
+// evaluators are shared across concurrent queries, so per-request knobs
+// must never be written into them. layer < 0 selects the optimal layer
+// with the cost model, as EvalCtx does.
+func (e *Evaluator) EvalLayerCtx(ctx context.Context, q []graph.Label, layer int) ([]search.Match, *Breakdown, error) {
+	return e.evalCtx(ctx, q, layer)
+}
+
+func (e *Evaluator) evalCtx(ctx context.Context, q []graph.Label, forced int) ([]search.Match, *Breakdown, error) {
 	parent := obs.SpanFromContext(ctx)
 	if parent == nil {
 		parent = obs.NewTrace("eval").Root()
@@ -147,7 +177,7 @@ func (e *Evaluator) EvalCtx(ctx context.Context, q []graph.Label) ([]search.Matc
 
 	// (1) Layer selection.
 	sel := parent.StartChild("Select")
-	m := e.opt.ForcedLayer
+	m := forced
 	if m < 0 {
 		m, bd.LayerCosts = cost.OptimalLayerEx(e.idx, q, e.opt.Beta, e.opt.DegreeExponent)
 	} else if m >= e.idx.NumLayers() {
@@ -173,8 +203,9 @@ func (e *Evaluator) EvalCtx(ctx context.Context, q []graph.Label) ([]search.Matc
 	if m == 0 {
 		limit = e.opt.K
 	}
-	gens, err := prep.Search(qGen, limit)
-	if err != nil {
+	gens, err := prep.SearchCtx(ctx, qGen, limit)
+	if err != nil && ctx.Err() == nil {
+		// A real search failure, not a cancellation.
 		srch.End()
 		return nil, nil, err
 	}
@@ -184,10 +215,16 @@ func (e *Evaluator) EvalCtx(ctx context.Context, q []graph.Label) ([]search.Matc
 	bd.Search = srch.End().Duration()
 
 	if m == 0 {
-		// Evaluating at the data layer is direct evaluation.
+		// Evaluating at the data layer is direct evaluation; on
+		// cancellation the prefix found so far is the degraded answer set.
 		search.SortMatches(gens)
 		bd.FinalCount = len(search.Truncate(gens, e.opt.K))
-		return search.Truncate(gens, e.opt.K), bd, nil
+		return search.Truncate(gens, e.opt.K), bd, err
+	}
+	if err != nil {
+		// Interrupted during summary search: nothing has been specialized
+		// to the data graph yet, so there are no finals to salvage.
+		return nil, bd, err
 	}
 
 	// (3) Specialize + generate, in generalized-rank order.
@@ -223,7 +260,7 @@ func (e *Evaluator) EvalCtx(ctx context.Context, q []graph.Label) ([]search.Matc
 		bd.Specialize = spec.End().Duration()
 
 		gen := parent.StartChild("Generate")
-		for _, fm := range session.Generate(rootCands, cands) {
+		for _, fm := range session.GenerateCtx(ctx, rootCands, cands) {
 			key := fm.Key()
 			if !seen[key] {
 				seen[key] = true
@@ -234,7 +271,7 @@ func (e *Evaluator) EvalCtx(ctx context.Context, q []graph.Label) ([]search.Matc
 		bd.Generate = gen.End().Duration()
 		search.SortMatches(finals)
 		bd.FinalCount = len(finals)
-		return finals, bd, nil
+		return finals, bd, context.Cause(ctx)
 	}
 
 	if e.opt.EarlyK {
@@ -243,6 +280,12 @@ func (e *Evaluator) EvalCtx(ctx context.Context, q []graph.Label) ([]search.Matc
 	}
 	rootless := isRootless(e.algo)
 	for _, ga := range gens {
+		// Cancellation checkpoint between generalized answers: the finals
+		// accumulated so far are complete, verified answers (Prop 5.2), so
+		// stopping here degrades the answer set without unsoundness.
+		if ctx.Err() != nil {
+			break
+		}
 		if e.opt.K > 0 && len(finals) >= e.opt.K {
 			if e.opt.EarlyK {
 				break // Sec. 4.3.4: stop at the first k answers
@@ -273,7 +316,7 @@ func (e *Evaluator) EvalCtx(ctx context.Context, q []graph.Label) ([]search.Matc
 
 		gen := parent.StartChild("Generate")
 		before := len(finals)
-		for _, fm := range session.Generate(rootCands, cands) {
+		for _, fm := range session.GenerateCtx(ctx, rootCands, cands) {
 			key := fm.Key()
 			if !seen[key] {
 				seen[key] = true
@@ -287,7 +330,7 @@ func (e *Evaluator) EvalCtx(ctx context.Context, q []graph.Label) ([]search.Matc
 	search.SortMatches(finals)
 	finals = search.Truncate(finals, e.opt.K)
 	bd.FinalCount = len(finals)
-	return finals, bd, nil
+	return finals, bd, context.Cause(ctx)
 }
 
 // isRootless reports whether the algorithm's matches have no meaningful
@@ -304,8 +347,10 @@ func (e *Evaluator) Direct(q []graph.Label, k int) ([]search.Match, error) {
 	return e.DirectCtx(context.Background(), q, k)
 }
 
-// DirectCtx is Direct with tracing: the whole baseline evaluation is one
-// "Direct" span under the context's span, if any.
+// DirectCtx is Direct with tracing and cooperative cancellation: the whole
+// baseline evaluation is one "Direct" span under the context's span, if
+// any, and when ctx expires mid-search the matches found so far come back
+// with the context's error (sound but possibly incomplete, like EvalCtx).
 func (e *Evaluator) DirectCtx(ctx context.Context, q []graph.Label, k int) ([]search.Match, error) {
 	sp := obs.SpanFromContext(ctx).StartChild("Direct").SetAttr("k", k)
 	defer sp.End()
@@ -313,7 +358,7 @@ func (e *Evaluator) DirectCtx(ctx context.Context, q []graph.Label, k int) ([]se
 	if err != nil {
 		return nil, err
 	}
-	ms, err := prep.Search(q, k)
+	ms, err := prep.SearchCtx(ctx, q, k)
 	sp.SetAttr("matches", len(ms))
 	return ms, err
 }

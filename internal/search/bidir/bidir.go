@@ -19,6 +19,7 @@
 package bidir
 
 import (
+	"context"
 	"fmt"
 
 	"bigindex/internal/graph"
@@ -57,9 +58,18 @@ type prepared struct {
 
 // Search implements search.Prepared.
 func (p *prepared) Search(q []graph.Label, k int) ([]search.Match, error) {
+	return p.SearchCtx(context.Background(), q, k)
+}
+
+// SearchCtx implements search.Prepared with cooperative cancellation:
+// candidate verifications and backward expansions are (throttled)
+// checkpoints, and on cancellation the verified roots found so far are
+// returned with the context's error.
+func (p *prepared) SearchCtx(ctx context.Context, q []graph.Label, k int) ([]search.Match, error) {
 	if len(q) == 0 {
 		return nil, fmt.Errorf("bidir: empty query")
 	}
+	cancel := search.NewCanceller(ctx)
 	sel := 0
 	for i, l := range q {
 		if p.g.LabelCount(l) == 0 {
@@ -102,8 +112,12 @@ func (p *prepared) Search(q []graph.Label, k int) ([]search.Match, error) {
 		_ = dSel
 	}
 
+activation:
 	for d := 0; len(level) > 0; d++ {
 		for _, v := range level {
+			if cancel.Cancelled() {
+				break activation
+			}
 			verify(v, d)
 		}
 		if k > 0 && len(matches) >= k {
@@ -119,6 +133,9 @@ func (p *prepared) Search(q []graph.Label, k int) ([]search.Match, error) {
 		}
 		var next []graph.V
 		for _, v := range level {
+			if cancel.Cancelled() {
+				break activation
+			}
 			for _, u := range p.g.In(v) {
 				if _, ok := dist[u]; !ok {
 					dist[u] = d + 1
@@ -130,7 +147,7 @@ func (p *prepared) Search(q []graph.Label, k int) ([]search.Match, error) {
 	}
 
 	search.SortMatches(matches)
-	return search.Truncate(matches, k), nil
+	return search.Truncate(matches, k), cancel.Err()
 }
 
 // NewGeneration implements search.Algorithm; bidir shares the rooted

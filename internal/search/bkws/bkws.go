@@ -13,6 +13,7 @@
 package bkws
 
 import (
+	"context"
 	"fmt"
 	"slices"
 
@@ -62,9 +63,17 @@ type frontier struct {
 
 // Search implements search.Prepared.
 func (p *prepared) Search(q []graph.Label, k int) ([]search.Match, error) {
+	return p.SearchCtx(context.Background(), q, k)
+}
+
+// SearchCtx implements search.Prepared with cooperative cancellation: every
+// frontier expansion is a (throttled) checkpoint, and on cancellation the
+// roots discovered so far are returned with the context's error.
+func (p *prepared) SearchCtx(ctx context.Context, q []graph.Label, k int) ([]search.Match, error) {
 	if len(q) == 0 {
 		return nil, fmt.Errorf("bkws: empty query")
 	}
+	cancel := search.NewCanceller(ctx)
 	fronts := make([]*frontier, len(q))
 	for i, l := range q {
 		seeds := p.g.VerticesWithLabel(l)
@@ -112,7 +121,11 @@ func (p *prepared) Search(q []graph.Label, k int) ([]search.Match, error) {
 		}
 	}
 
+expand:
 	for {
+		if cancel.Cancelled() {
+			break
+		}
 		// Pick the live frontier with the fewest vertices (paper's rule).
 		var best *frontier
 		for _, f := range fronts {
@@ -144,6 +157,9 @@ func (p *prepared) Search(q []graph.Label, k int) ([]search.Match, error) {
 
 		var next []graph.V
 		for _, v := range best.cur {
+			if cancel.Cancelled() {
+				break expand
+			}
 			for _, u := range p.g.In(v) {
 				if _, ok := best.dist[u]; !ok {
 					best.dist[u] = best.level + 1
@@ -159,7 +175,7 @@ func (p *prepared) Search(q []graph.Label, k int) ([]search.Match, error) {
 	}
 
 	search.SortMatches(matches)
-	return search.Truncate(matches, k), nil
+	return search.Truncate(matches, k), cancel.Err()
 }
 
 // NewGeneration implements search.Algorithm; see generation.go (shared

@@ -17,6 +17,7 @@ package blinks
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -178,9 +179,18 @@ func (p *pq) Pop() interface{} {
 // keywords' priority queues ("expanding backward and forward", Sec. 5.3),
 // with the BLINKS top-k stopping rule.
 func (p *prepared) Search(q []graph.Label, k int) ([]search.Match, error) {
+	return p.SearchCtx(context.Background(), q, k)
+}
+
+// SearchCtx implements search.Prepared with cooperative cancellation: every
+// finalize event (queue pop) is a (throttled) checkpoint, and on
+// cancellation the answers emitted so far are returned with the context's
+// error.
+func (p *prepared) SearchCtx(ctx context.Context, q []graph.Label, k int) ([]search.Match, error) {
 	if len(q) == 0 {
 		return nil, fmt.Errorf("blinks: empty query")
 	}
+	cancel := search.NewCanceller(ctx)
 	n := len(q)
 	queues := make([]*pq, n)
 	final := make([]map[graph.V]int, n)
@@ -226,6 +236,9 @@ func (p *prepared) Search(q []graph.Label, k int) ([]search.Match, error) {
 	}
 
 	for {
+		if cancel.Cancelled() {
+			break
+		}
 		// Stopping rule: every queue empty, or top-k bound reached. Any
 		// future root is emitted at a finalize event popped from some live
 		// queue, so its score is at least the smallest live queue top.
@@ -286,7 +299,7 @@ func (p *prepared) Search(q []graph.Label, k int) ([]search.Match, error) {
 	}
 
 	search.SortMatches(matches)
-	return search.Truncate(matches, k), nil
+	return search.Truncate(matches, k), cancel.Err()
 }
 
 // NewGeneration implements search.Algorithm; Blinks shares the rooted

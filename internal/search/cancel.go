@@ -1,0 +1,62 @@
+package search
+
+import "context"
+
+// cancelCheckInterval is how many Cancelled calls pass between real context
+// polls. A power of two keeps the hot-path check one increment, one mask,
+// and one predictable branch; 256 expansions is far below the latency any
+// caller can observe, so cancellation still lands "promptly" from the
+// client's point of view.
+const cancelCheckInterval = 256
+
+// Canceller is a branch-cheap cooperative cancellation checkpoint for
+// search inner loops. Frontier expansions and candidate scans call
+// Cancelled once per unit of work; the context itself is only polled every
+// cancelCheckInterval calls (and on the very first call, so an
+// already-expired deadline is noticed before any real work happens).
+//
+// Once cancelled, Cancelled keeps returning true and Err reports the
+// cancellation cause, letting loops drain out and return the sound partial
+// results accumulated so far.
+type Canceller struct {
+	ctx   context.Context
+	done  <-chan struct{}
+	calls int
+	err   error
+}
+
+// NewCanceller returns a checkpoint for ctx. A nil or Background context
+// yields a canceller that never fires, so unconditional instrumentation of
+// the hot loops costs only the counter increment.
+func NewCanceller(ctx context.Context) *Canceller {
+	if ctx == nil {
+		return &Canceller{}
+	}
+	return &Canceller{ctx: ctx, done: ctx.Done()}
+}
+
+// Cancelled reports whether the context has been cancelled, polling it on
+// the first call and then every cancelCheckInterval-th call.
+func (c *Canceller) Cancelled() bool {
+	if c.err != nil {
+		return true
+	}
+	if c.done == nil {
+		return false
+	}
+	c.calls++
+	if c.calls&(cancelCheckInterval-1) != 1 {
+		return false
+	}
+	select {
+	case <-c.done:
+		c.err = context.Cause(c.ctx)
+		return true
+	default:
+		return false
+	}
+}
+
+// Err returns the cancellation cause once Cancelled has returned true, nil
+// before that.
+func (c *Canceller) Err() error { return c.err }

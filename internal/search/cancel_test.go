@@ -1,0 +1,74 @@
+package search
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestCancellerNilNeverFires(t *testing.T) {
+	for _, c := range []*Canceller{NewCanceller(nil), NewCanceller(context.Background())} {
+		for i := 0; i < 4*cancelCheckInterval; i++ {
+			if c.Cancelled() {
+				t.Fatal("canceller without a cancellable context fired")
+			}
+		}
+		if c.Err() != nil {
+			t.Fatalf("Err = %v, want nil", c.Err())
+		}
+	}
+}
+
+// An already-cancelled context must be noticed on the very first checkpoint,
+// before any real work happens — the deterministic-test contract.
+func TestCancellerFirstCallDetects(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := NewCanceller(ctx)
+	if !c.Cancelled() {
+		t.Fatal("first Cancelled() call missed an already-cancelled context")
+	}
+	if !errors.Is(c.Err(), context.Canceled) {
+		t.Fatalf("Err = %v, want context.Canceled", c.Err())
+	}
+	// Sticky: keeps reporting cancelled without re-polling.
+	if !c.Cancelled() {
+		t.Fatal("Cancelled() not sticky")
+	}
+}
+
+// Cancellation arriving mid-stream is observed within one poll interval.
+func TestCancellerThrottledDetection(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	c := NewCanceller(ctx)
+	for i := 0; i < 10; i++ {
+		if c.Cancelled() {
+			t.Fatal("fired before cancellation")
+		}
+	}
+	cancel()
+	fired := false
+	for i := 0; i < cancelCheckInterval+1; i++ {
+		if c.Cancelled() {
+			fired = true
+			break
+		}
+	}
+	if !fired {
+		t.Fatalf("cancellation not observed within %d checkpoints", cancelCheckInterval+1)
+	}
+}
+
+func TestCancellerReportsDeadlineCause(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	<-ctx.Done()
+	c := NewCanceller(ctx)
+	if !c.Cancelled() {
+		t.Fatal("expired deadline not detected")
+	}
+	if !errors.Is(c.Err(), context.DeadlineExceeded) {
+		t.Fatalf("Err = %v, want context.DeadlineExceeded", c.Err())
+	}
+}

@@ -1,0 +1,65 @@
+package rclique
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"bigindex/internal/graph"
+)
+
+// A pre-cancelled context must stop SearchCtx at its first checkpoint, and
+// whatever partial matches come back must be a subset of the exhaustive
+// answer set (sound but possibly incomplete). Both the exhaustive (k <= 0)
+// and the center-based top-k paths carry checkpoints.
+func TestSearchCtxCancelled(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	g := randomGraph(rng, 20, 60, 2)
+	p, err := New(2).Prepare(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := []graph.Label{1, 2}
+	full, err := p.Search(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullKeys := matchKeys(full)
+
+	for _, k := range []int{0, 3} {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		ms, err := p.SearchCtx(ctx, q, k)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("k=%d: err = %v, want context.Canceled", k, err)
+		}
+		for _, m := range ms {
+			if _, ok := fullKeys[m.Key()]; !ok {
+				t.Fatalf("k=%d: partial result %s not in the exhaustive answer set", k, m.Key())
+			}
+		}
+	}
+}
+
+// SearchCtx under a background context is exactly Search.
+func TestSearchCtxBackgroundMatchesSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	g := randomGraph(rng, 16, 48, 2)
+	p, err := New(2).Prepare(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := []graph.Label{1, 2}
+	want, err := p.Search(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.SearchCtx(context.Background(), q, 0)
+	if err != nil {
+		t.Fatalf("background SearchCtx errored: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("SearchCtx found %d matches, Search found %d", len(got), len(want))
+	}
+}

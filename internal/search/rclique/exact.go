@@ -35,7 +35,7 @@ func (p *prepared) SearchExact(q []graph.Label, k int) ([]search.Match, error) {
 		}
 	}
 	if k <= 0 {
-		return p.exhaustive(q, sets), nil
+		return p.exhaustive(search.NewCanceller(nil), q, sets), nil
 	}
 
 	order := bySizeOrder(sets)

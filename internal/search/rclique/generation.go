@@ -1,6 +1,8 @@
 package rclique
 
 import (
+	"context"
+
 	"bigindex/internal/graph"
 	"bigindex/internal/search"
 )
@@ -32,6 +34,15 @@ func (gen *generation) exhausted() bool {
 
 // Generate implements search.Generation.
 func (gen *generation) Generate(rootCands []graph.V, cands [][]graph.V) []search.Match {
+	return gen.GenerateCtx(context.Background(), rootCands, cands)
+}
+
+// GenerateCtx implements search.Generation with cooperative cancellation:
+// the combinatorial tuple recursion checks the context at every step, so a
+// cancelled session stops generating and returns the verified tuples built
+// so far.
+func (gen *generation) GenerateCtx(ctx context.Context, rootCands []graph.V, cands [][]graph.V) []search.Match {
+	cancel := search.NewCanceller(ctx)
 	if len(cands) != len(gen.q) {
 		return nil
 	}
@@ -56,7 +67,7 @@ func (gen *generation) Generate(rootCands []graph.V, cands [][]graph.V) []search
 		if gen.opt.K > 0 && gen.count >= gen.opt.K {
 			return
 		}
-		if gen.exhausted() {
+		if gen.exhausted() || cancel.Cancelled() {
 			return
 		}
 		if step == len(order) {
@@ -70,6 +81,9 @@ func (gen *generation) Generate(rootCands []graph.V, cands [][]graph.V) []search
 		}
 		i := order[step]
 		for _, v := range cands[i] {
+			if cancel.Cancelled() {
+				return
+			}
 			if gen.g.Label(v) != gen.q[i] {
 				continue // Prop 4.1 filtering; defensive, normally pre-filtered
 			}

@@ -15,6 +15,7 @@ package rclique
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"runtime"
 	"slices"
@@ -165,9 +166,19 @@ func (p *prepared) dist(u, w graph.V) (int, bool) {
 
 // Search implements search.Prepared.
 func (p *prepared) Search(q []graph.Label, k int) ([]search.Match, error) {
+	return p.SearchCtx(context.Background(), q, k)
+}
+
+// SearchCtx implements search.Prepared with cooperative cancellation:
+// tuple enumeration (exhaustive mode) and center scans (top-k mode) are
+// (throttled) checkpoints — the combinatorial candidate products are
+// exactly where this semantics blows up — and on cancellation the feasible
+// tuples found so far are returned with the context's error.
+func (p *prepared) SearchCtx(ctx context.Context, q []graph.Label, k int) ([]search.Match, error) {
 	if len(q) == 0 {
 		return nil, fmt.Errorf("rclique: empty query")
 	}
+	cancel := search.NewCanceller(ctx)
 	sets := make([][]graph.V, len(q))
 	for i, l := range q {
 		sets[i] = p.g.VerticesWithLabel(l)
@@ -176,26 +187,33 @@ func (p *prepared) Search(q []graph.Label, k int) ([]search.Match, error) {
 		}
 	}
 	if k <= 0 {
-		return p.exhaustive(q, sets), nil
+		return p.exhaustive(cancel, q, sets), cancel.Err()
 	}
-	return p.topK(q, sets, k), nil
+	out := p.topK(cancel, q, sets, k)
+	return out, cancel.Err()
 }
 
 // exhaustive enumerates every feasible tuple: exact semantics, used for
 // correctness testing and as the completeness source when r-clique runs on
 // summary layers under BiG-index.
-func (p *prepared) exhaustive(q []graph.Label, sets [][]graph.V) []search.Match {
+func (p *prepared) exhaustive(cancel *search.Canceller, q []graph.Label, sets [][]graph.V) []search.Match {
 	order := bySizeOrder(sets)
 	var out []search.Match
 	tuple := make([]graph.V, len(q))
 	var rec func(step int)
 	rec = func(step int) {
+		if cancel.Cancelled() {
+			return
+		}
 		if step == len(order) {
 			out = append(out, p.makeMatch(tuple))
 			return
 		}
 		i := order[step]
 		for _, v := range sets[i] {
+			if cancel.Cancelled() {
+				return
+			}
 			ok := true
 			for _, j := range order[:step] {
 				if _, within := p.dist(tuple[j], v); !within {
@@ -276,15 +294,18 @@ func (h *spHeap) Pop() interface{} {
 // topK is the Kargar-An procedure: compute the approximate best answer of
 // the full search space, then repeatedly emit the best space and decompose
 // it into n subspaces, each excluding one chosen node.
-func (p *prepared) topK(q []graph.Label, sets [][]graph.V, k int) []search.Match {
+func (p *prepared) topK(cancel *search.Canceller, q []graph.Label, sets [][]graph.V, k int) []search.Match {
 	h := &spHeap{}
 	excl := make([]map[graph.V]bool, len(sets))
-	if st := p.bestOf(q, sets, excl); st != nil {
+	if st := p.bestOf(cancel, q, sets, excl); st != nil {
 		heap.Push(h, st)
 	}
 	seen := make(map[string]bool)
 	var out []search.Match
 	for h.Len() > 0 && len(out) < k {
+		if cancel.Cancelled() {
+			break
+		}
 		st := heap.Pop(h).(*spState)
 		m := p.makeMatch(st.best)
 		if !seen[m.Key()] {
@@ -305,7 +326,7 @@ func (p *prepared) topK(q []graph.Label, sets [][]graph.V, k int) []search.Match
 			if len(ei) >= len(st.sets[i]) {
 				continue // keyword i exhausted
 			}
-			if next := p.bestOf(q, st.sets, sub); next != nil {
+			if next := p.bestOf(cancel, q, st.sets, sub); next != nil {
 				heap.Push(h, next)
 			}
 		}
@@ -322,7 +343,7 @@ func (p *prepared) topK(q []graph.Label, sets [][]graph.V, k int) []search.Match
 // row finds, for every other keyword, the nearest non-excluded candidate
 // (within R). Deterministic tie-breaks (ascending IDs) keep runs
 // reproducible. Returns nil when the space has no feasible centered answer.
-func (p *prepared) bestOf(q []graph.Label, sets [][]graph.V, excl []map[graph.V]bool) *spState {
+func (p *prepared) bestOf(cancel *search.Canceller, q []graph.Label, sets [][]graph.V, excl []map[graph.V]bool) *spState {
 	var best []graph.V
 	bestW := -1.0
 	// Dense label -> query-index table: bestOf scans millions of neighbor
@@ -353,6 +374,9 @@ func (p *prepared) bestOf(q []graph.Label, sets [][]graph.V, excl []map[graph.V]
 	{
 		i := center
 		for _, u := range sets[i] {
+			if cancel.Cancelled() {
+				break
+			}
 			if excl[i] != nil && excl[i][u] {
 				continue
 			}

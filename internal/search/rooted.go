@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"slices"
 
 	"bigindex/internal/graph"
@@ -97,9 +98,20 @@ func NewRootedGeneration(g *graph.Graph, q []graph.Label, dmax int, score ScoreF
 // supernode), so keyword candidates serve specialization-order statistics
 // but not filtering.
 func (rg *RootedGeneration) Generate(rootCands []graph.V, cands [][]graph.V) []Match {
+	return rg.GenerateCtx(context.Background(), rootCands, cands)
+}
+
+// GenerateCtx implements Generation: each candidate-root verification is a
+// cancellation checkpoint, so a cancelled context stops the session after
+// the current root and returns the verified (sound) matches so far.
+func (rg *RootedGeneration) GenerateCtx(ctx context.Context, rootCands []graph.V, cands [][]graph.V) []Match {
+	cancel := NewCanceller(ctx)
 	var out []Match
 	for _, r := range rootCands {
 		if rg.opt.K > 0 && rg.count >= rg.opt.K {
+			break
+		}
+		if cancel.Cancelled() {
 			break
 		}
 		if rg.emitted[r] {

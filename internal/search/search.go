@@ -13,6 +13,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"slices"
 	"strings"
@@ -136,6 +137,14 @@ type Generation interface {
 	// cands[i] are the layer-0 specializations of the supernodes matched to
 	// keyword q[i], already label-filtered per Prop 4.1.
 	Generate(rootCands []graph.V, cands [][]graph.V) []Match
+
+	// GenerateCtx is Generate with cooperative cancellation: the session
+	// checks ctx at its qualification/verification checkpoints and, once
+	// cancelled, stops generating and returns the (fully verified, hence
+	// sound) matches produced so far. Callers detect the interruption
+	// through ctx.Err(); the return value itself carries no error because
+	// every returned match is a true answer regardless.
+	GenerateCtx(ctx context.Context, rootCands []graph.V, cands [][]graph.V) []Match
 }
 
 // Prepared is a queryable per-graph instance of an Algorithm.
@@ -145,6 +154,15 @@ type Prepared interface {
 	// hierarchical evaluation when completeness is required); k > 0 returns
 	// the top-k.
 	Search(q []graph.Label, k int) ([]Match, error)
+
+	// SearchCtx is Search with cooperative cancellation: the frontier /
+	// iterator loops check ctx every few hundred expansions (via Canceller)
+	// and, once cancelled, stop expanding and return the matches found so
+	// far — still sorted and truncated — together with the context's error.
+	// A non-nil error with a non-empty match slice therefore means "sound
+	// but possibly incomplete", which the framework surfaces as a degraded
+	// (partial) result rather than a failure.
+	SearchCtx(ctx context.Context, q []graph.Label, k int) ([]Match, error)
 }
 
 // Rootless is optionally implemented by algorithms whose matches carry no

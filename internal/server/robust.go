@@ -1,0 +1,128 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"runtime/debug"
+	"time"
+
+	"log/slog"
+)
+
+// statusClientClosedRequest is the (nginx-convention) status recorded for
+// requests whose client went away mid-evaluation. Nothing reads the
+// response — it exists so metrics and logs distinguish "client hung up"
+// from real 5xx failures.
+const statusClientClosedRequest = 499
+
+// shedded wraps a handler with the load-shedding gate: at most MaxInFlight
+// queries evaluate concurrently, an excess request waits up to ShedWait
+// for a slot, and past that it is shed with 429 + Retry-After so clients
+// back off instead of piling goroutines onto an overloaded process. Only
+// the expensive endpoints (/query) sit behind the gate — health, metrics,
+// and stats must stay responsive exactly when the process is saturated.
+func (s *Server) shedded(next http.HandlerFunc) http.HandlerFunc {
+	if s.sem == nil {
+		return next
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		acquired := false
+		select {
+		case s.sem <- struct{}{}:
+			acquired = true
+		default:
+		}
+		if !acquired && s.opt.ShedWait > 0 {
+			t := time.NewTimer(s.opt.ShedWait)
+			select {
+			case s.sem <- struct{}{}:
+				acquired = true
+			case <-r.Context().Done():
+			case <-t.C:
+			}
+			t.Stop()
+		}
+		if !acquired {
+			if r.Context().Err() != nil {
+				s.cancelled.With("client").Inc()
+				httpError(w, statusClientClosedRequest, fmt.Errorf("client closed request"))
+				return
+			}
+			s.shed.Inc()
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusTooManyRequests,
+				fmt.Errorf("query capacity exhausted (%d in flight); retry shortly", cap(s.sem)))
+			return
+		}
+		s.inflightQ.Add(1)
+		defer func() {
+			s.inflightQ.Add(-1)
+			<-s.sem
+		}()
+		next(w, r)
+	}
+}
+
+// recoverPanics converts a handler panic into a 500 with a stack-tagged
+// log line and a counter increment, keeping the serving goroutine pool
+// intact: one poisoned query must not take the process down. The
+// http.ErrAbortHandler sentinel is re-raised — that is net/http's own
+// "abort this response" protocol, not a bug.
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ww := &writeTracker{ResponseWriter: w}
+		defer func() {
+			p := recover()
+			if p == nil {
+				return
+			}
+			if p == http.ErrAbortHandler {
+				panic(p)
+			}
+			s.panics.Inc()
+			s.opt.Logger.Error("panic serving request",
+				slog.String("path", r.URL.Path),
+				slog.Any("panic", p),
+				slog.String("stack", string(debug.Stack())))
+			if !ww.wrote {
+				httpError(ww, http.StatusInternalServerError, fmt.Errorf("internal server error"))
+			}
+		}()
+		next.ServeHTTP(ww, r)
+	})
+}
+
+// writeTracker remembers whether anything was written so the panic handler
+// knows if a 500 status can still be sent.
+type writeTracker struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (t *writeTracker) WriteHeader(code int) {
+	t.wrote = true
+	t.ResponseWriter.WriteHeader(code)
+}
+
+func (t *writeTracker) Write(b []byte) (int, error) {
+	t.wrote = true
+	return t.ResponseWriter.Write(b)
+}
+
+// SetDraining flips the /readyz readiness signal. The daemon sets it at
+// the start of graceful shutdown so load balancers stop routing new
+// traffic while in-flight queries finish.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// Draining reports whether the server is in its shutdown drain.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}

@@ -18,23 +18,37 @@
 //	    per-phase query timings, index/build gauges).
 //	GET /healthz
 //	    liveness.
+//	GET /readyz
+//	    readiness; 503 while the server is draining for shutdown.
 //
 // /query also accepts &trace=1, which embeds the query's span tree (layer
 // selection → summary search → per-layer specialization → generation) in
-// the response as "trace".
+// the response as "trace", and &timeout=, a per-request deadline clamped
+// under Options.QueryTimeout. When the deadline expires mid-evaluation the
+// response is still 200 with "degraded": true and the (sound but possibly
+// incomplete) matches found so far — specialization only refines
+// already-found generalized answers (Prop 5.2), so a prefix of the answer
+// set is never wrong, just short.
 //
 // The server is read-only and safe for concurrent requests: evaluators
 // serialize index preparation internally and everything else is immutable.
+// Requests are wrapped in a robustness layer (see robust.go): a
+// load-shedding gate on /query, panic containment, and a drain-aware
+// readiness endpoint.
 package server
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bigindex/internal/core"
@@ -68,30 +82,53 @@ type Options struct {
 	// SlowQuery is the latency threshold for the slow-query log
 	// (0 = 500ms; negative disables).
 	SlowQuery time.Duration
+	// QueryTimeout is the per-request evaluation deadline. A &timeout=
+	// parameter may shorten it but never exceed it. On expiry the query
+	// degrades to the partial answers found so far instead of failing.
+	// 0 disables the server-imposed deadline (client timeouts still apply).
+	QueryTimeout time.Duration
+	// MaxInFlight caps concurrently evaluating /query requests; excess
+	// requests wait up to ShedWait for a slot and are then shed with
+	// 429 + Retry-After. 0 disables load shedding.
+	MaxInFlight int
+	// ShedWait is the bounded wait for an evaluation slot when MaxInFlight
+	// is hit (0 = 100ms; negative = shed immediately).
+	ShedWait time.Duration
+	// ExtraAlgorithms registers additional search semantics by name,
+	// resolved before the built-in set. Entries sharing a built-in name
+	// shadow it. Used for custom plug-ins and fault-injection tests.
+	ExtraAlgorithms map[string]search.Algorithm
 }
 
 // Server handles HTTP requests against one index.
 type Server struct {
-	idx     *core.Index
-	ont     *ontology.Ontology
-	tix     *text.Index
-	opt     Options
-	mu      sync.Mutex
-	evs     map[string]*core.Evaluator
-	mux     *http.ServeMux
-	handler http.Handler
-	boot    time.Time
+	idx      *core.Index
+	ont      *ontology.Ontology
+	tix      *text.Index
+	opt      Options
+	mu       sync.Mutex
+	evs      map[string]*core.Evaluator
+	mux      *http.ServeMux
+	handler  http.Handler
+	boot     time.Time
+	sem      chan struct{} // load-shedding slots (nil = unbounded)
+	draining atomic.Bool   // readiness flips to 503 during shutdown drain
 
-	reg      *obs.Registry
-	phaseSec *obs.HistogramVec // query phase latency, labeled by Breakdown phase
-	querySec *obs.HistogramVec // end-to-end evaluation latency by algorithm/mode
-	matches  *obs.CounterVec   // matches returned by algorithm
+	reg       *obs.Registry
+	phaseSec  *obs.HistogramVec // query phase latency, labeled by Breakdown phase
+	querySec  *obs.HistogramVec // end-to-end evaluation latency by algorithm/mode
+	matches   *obs.CounterVec   // matches returned by algorithm
+	cancelled *obs.CounterVec   // interrupted queries, by reason (deadline/client)
+	degraded  *obs.Counter      // 200s with partial results after a deadline
+	shed      *obs.Counter      // 429s from the load-shedding gate
+	panics    *obs.Counter      // handler panics contained by recoverPanics
+	inflightQ *obs.Gauge        // queries currently evaluating
 }
 
 // knownPaths bounds the path label cardinality of the HTTP metrics.
 var knownPaths = map[string]bool{
 	"/query": true, "/explain": true, "/complete": true,
-	"/stats": true, "/metrics": true, "/healthz": true,
+	"/stats": true, "/metrics": true, "/healthz": true, "/readyz": true,
 }
 
 // New creates a server over a built index.
@@ -117,6 +154,12 @@ func New(idx *core.Index, ont *ontology.Ontology, opt Options) *Server {
 	case opt.SlowQuery < 0:
 		opt.SlowQuery = 0
 	}
+	switch {
+	case opt.ShedWait == 0:
+		opt.ShedWait = 100 * time.Millisecond
+	case opt.ShedWait < 0:
+		opt.ShedWait = 0
+	}
 	s := &Server{
 		idx:  idx,
 		ont:  ont,
@@ -127,6 +170,9 @@ func New(idx *core.Index, ont *ontology.Ontology, opt Options) *Server {
 		boot: time.Now(),
 		reg:  opt.Metrics,
 	}
+	if opt.MaxInFlight > 0 {
+		s.sem = make(chan struct{}, opt.MaxInFlight)
+	}
 	s.phaseSec = s.reg.HistogramVec("bigindex_query_phase_seconds",
 		"Query evaluation phase latency in seconds (the paper's Figs. 10-14 axes).",
 		nil, "phase")
@@ -134,6 +180,16 @@ func New(idx *core.Index, ont *ontology.Ontology, opt Options) *Server {
 		"End-to-end query evaluation latency in seconds.", nil, "algo", "mode")
 	s.matches = s.reg.CounterVec("bigindex_query_matches_total",
 		"Final answers returned.", "algo")
+	s.cancelled = s.reg.CounterVec("bigindex_query_cancelled_total",
+		"Queries interrupted before completion, by reason (deadline, client).", "reason")
+	s.degraded = s.reg.Counter("bigindex_query_degraded_total",
+		"Queries that returned partial results after their deadline expired.")
+	s.shed = s.reg.Counter("bigindex_query_shed_total",
+		"Queries rejected with 429 by the load-shedding gate.")
+	s.panics = s.reg.Counter("bigindex_panic_recovered_total",
+		"Handler panics contained by the recovery middleware.")
+	s.inflightQ = s.reg.Gauge("bigindex_queries_inflight",
+		"Queries currently being evaluated (admitted past the shedding gate).")
 	st := s.idx.Stats()
 	s.reg.Gauge("bigindex_index_layers", "Summary layers in the served index (h).").
 		Set(float64(idx.NumLayers() - 1))
@@ -144,13 +200,14 @@ func New(idx *core.Index, ont *ontology.Ontology, opt Options) *Server {
 	s.reg.Gauge("bigindex_graph_edges", "Data graph edges.").
 		Set(float64(st.Layers[0].Edges))
 
-	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/query", s.shedded(s.handleQuery))
 	s.mux.HandleFunc("/explain", s.handleExplain)
 	s.mux.HandleFunc("/complete", s.handleComplete)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/readyz", s.handleReady)
 	s.mux.Handle("/metrics", s.reg.Handler())
-	s.handler = obs.Instrument(s.mux, obs.HTTPOptions{
+	s.handler = obs.Instrument(s.recoverPanics(s.mux), obs.HTTPOptions{
 		Registry:  s.reg,
 		Logger:    opt.Logger,
 		SlowQuery: opt.SlowQuery,
@@ -172,6 +229,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.S
 func (s *Server) Metrics() *obs.Registry { return s.reg }
 
 func (s *Server) algorithm(name string) (search.Algorithm, error) {
+	if a, ok := s.opt.ExtraAlgorithms[name]; ok {
+		return a, nil
+	}
 	switch name {
 	case "", "blinks":
 		return blinks.New(blinks.Options{DMax: s.opt.DMax, BlockSize: s.opt.BlockSize}), nil
@@ -236,9 +296,48 @@ type queryResponse struct {
 	Direct    bool            `json:"direct,omitempty"`
 	Elapsed   string          `json:"elapsed"`
 	Count     int             `json:"count"`
+	Degraded  bool            `json:"degraded,omitempty"`
+	Reason    string          `json:"degraded_reason,omitempty"`
 	Matches   []matchJSON     `json:"matches"`
 	Notes     []string        `json:"notes,omitempty"`
 	Trace     json.RawMessage `json:"trace,omitempty"`
+}
+
+// intParam parses an optional integer query parameter: absent keeps def,
+// malformed is a client error (the old behaviour silently swallowed the
+// strconv error and treated "abc" as the default, masking typos).
+func intParam(r *http.Request, name string, def int) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %s=%q is not an integer", name, raw)
+	}
+	return v, nil
+}
+
+// queryDeadline resolves the effective evaluation deadline: the server's
+// QueryTimeout, optionally shortened (never extended) by a &timeout=
+// duration parameter.
+func (s *Server) queryDeadline(r *http.Request) (time.Duration, error) {
+	timeout := s.opt.QueryTimeout
+	raw := r.URL.Query().Get("timeout")
+	if raw == "" {
+		return timeout, nil
+	}
+	d, err := time.ParseDuration(raw)
+	if err != nil {
+		return 0, fmt.Errorf("parameter timeout=%q is not a duration (try 500ms, 2s)", raw)
+	}
+	if d <= 0 {
+		return 0, fmt.Errorf("parameter timeout=%q must be positive", raw)
+	}
+	if timeout == 0 || d < timeout {
+		timeout = d
+	}
+	return timeout, nil
 }
 
 func (s *Server) resolve(r *http.Request) ([]graph.Label, []string, error) {
@@ -261,14 +360,38 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	algoName := r.URL.Query().Get("algo")
-	k, _ := strconv.Atoi(r.URL.Query().Get("k"))
+	k, err := intParam(r, "k", 10)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
 	if k <= 0 || k > s.opt.MaxK {
 		k = 10
+	}
+	forcedLayer, err := intParam(r, "layer", -1)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if forcedLayer >= s.idx.NumLayers() {
+		httpError(w, http.StatusBadRequest,
+			fmt.Errorf("layer %d out of range (index has layers 0..%d)", forcedLayer, s.idx.NumLayers()-1))
+		return
+	}
+	timeout, err := s.queryDeadline(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
 	}
 	ev, err := s.evaluator(algoName)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
 	}
 
 	algo := orDefault(algoName, "blinks")
@@ -290,7 +413,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		ms, err = ev.DirectCtx(ctx, q, k)
 	} else {
 		var bd *core.Breakdown
-		ms, bd, err = ev.EvalCtx(ctx, q)
+		ms, bd, err = ev.EvalLayerCtx(ctx, q, forcedLayer)
 		if bd != nil {
 			layer = bd.Layer
 			s.phaseSec.With("select").Observe(bd.Select.Seconds())
@@ -303,9 +426,27 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		ms = search.Truncate(ms, k)
 	}
 	elapsed := time.Since(start)
+	degradedReason := ""
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err)
-		return
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			// The evaluation deadline expired: degrade to the partial
+			// answers rather than failing. Every returned match is verified
+			// (Prop 5.2 keeps the prefix sound); the set is just short.
+			s.cancelled.With("deadline").Inc()
+			s.degraded.Inc()
+			degradedReason = "deadline"
+			obs.AddLogAttrs(ctx, slog.Bool("degraded", true))
+		case errors.Is(err, context.Canceled):
+			// The client went away; nothing will read the response. Record
+			// the abort for the cancellation counter and close out.
+			s.cancelled.With("client").Inc()
+			httpError(w, statusClientClosedRequest, fmt.Errorf("client closed request"))
+			return
+		default:
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
 	}
 	s.querySec.With(algo, mode).Observe(elapsed.Seconds())
 	s.matches.With(algo).Add(int64(len(ms)))
@@ -319,6 +460,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Direct:    direct,
 		Elapsed:   elapsed.Round(time.Microsecond).String(),
 		Count:     len(ms),
+		Degraded:  degradedReason != "",
+		Reason:    degradedReason,
 		Notes:     notes,
 	}
 	if want, _ := strconv.ParseBool(r.URL.Query().Get("trace")); want {
@@ -382,7 +525,11 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 	prefix := r.URL.Query().Get("prefix")
-	limit, _ := strconv.Atoi(r.URL.Query().Get("limit"))
+	limit, err := intParam(r, "limit", 10)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
 	if limit <= 0 || limit > 100 {
 		limit = 10
 	}
@@ -412,13 +559,19 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
+// writeJSON encodes to a buffer before touching the ResponseWriter: a
+// mid-encode failure must not emit an implicit 200 followed by a
+// half-written body and a second WriteHeader — it becomes a clean 500.
 func writeJSON(w http.ResponseWriter, v interface{}) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {
 		httpError(w, http.StatusInternalServerError, err)
+		return
 	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(buf.Bytes())
 }
 
 func httpError(w http.ResponseWriter, code int, err error) {

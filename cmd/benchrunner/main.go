@@ -8,6 +8,9 @@
 //	benchrunner -list              # show available experiment IDs
 //	benchrunner -json out.json     # machine-readable export (default
 //	                               # BENCH_eval.json; -json "" disables)
+//	benchrunner -exp cache         # query-cache cold/warm latencies;
+//	                               # also written to -cache-json
+//	                               # (default BENCH_cache.json)
 //
 // The JSON export carries the same rows as the text tables plus per-
 // experiment wall time, so the perf trajectory across PRs is diffable.
@@ -28,6 +31,8 @@ func main() {
 	exp := flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
 	list := flag.Bool("list", false, "list available experiments")
 	jsonOut := flag.String("json", "BENCH_eval.json", "write a machine-readable report here (empty = off)")
+	cacheOut := flag.String("cache-json", "BENCH_cache.json",
+		"when the cache experiment runs, also write its report here (empty = off)")
 	flag.Parse()
 
 	if *list {
@@ -73,19 +78,34 @@ func main() {
 	}
 
 	if *jsonOut != "" {
-		f, err := os.Create(*jsonOut)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "creating %s: %v\n", *jsonOut, err)
-			os.Exit(1)
-		}
-		err = bench.WriteJSON(f, reports)
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonOut, err)
-			os.Exit(1)
-		}
-		fmt.Printf("machine-readable report written to %s\n", *jsonOut)
+		writeJSON(*jsonOut, reports)
 	}
+	if *cacheOut != "" {
+		var cacheReports []*bench.Report
+		for _, r := range reports {
+			if r.ID == "cache" {
+				cacheReports = append(cacheReports, r)
+			}
+		}
+		if len(cacheReports) > 0 {
+			writeJSON(*cacheOut, cacheReports)
+		}
+	}
+}
+
+func writeJSON(path string, reports []*bench.Report) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "creating %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	err = bench.WriteJSON(f, reports)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "writing %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Printf("machine-readable report written to %s\n", path)
 }

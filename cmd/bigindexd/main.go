@@ -26,6 +26,11 @@
 // drain: /readyz flips to 503 (-drain-grace gives load balancers time to
 // notice), in-flight queries get -drain-timeout to finish, and the process
 // exits 0.
+//
+// Query results are cached (-cache-size, -cache-ttl, -cache-bytes;
+// internal/qcache) and -warm-file pre-populates the cache from a
+// workload file before the listener opens, so the first burst of
+// production traffic hits warm entries.
 package main
 
 import (
@@ -39,6 +44,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -71,6 +77,11 @@ func main() {
 		"after a shutdown signal, how long /readyz advertises 503 before connections close")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second,
 		"how long in-flight requests get to finish during graceful shutdown")
+	cacheSize := flag.Int("cache-size", 4096, "query result cache entries (0 = disabled)")
+	cacheTTL := flag.Duration("cache-ttl", time.Minute, "query result cache entry lifetime (0 = no expiry)")
+	cacheBytes := flag.Int64("cache-bytes", 64<<20, "query result cache byte budget (0 = unbounded)")
+	warmFile := flag.String("warm-file", "",
+		"pre-populate the query cache from this workload file before serving (one query per line: kw1,kw2 [| algo [| k]])")
 	flag.Parse()
 
 	logger := obs.NewLogger(os.Stderr, parseLevel(*logLevel), *logFormat == "json")
@@ -125,7 +136,14 @@ func main() {
 		QueryTimeout: *queryTimeout,
 		MaxInFlight:  *maxInFlight,
 		ShedWait:     sw,
+		Cache:        cacheOptions(*cacheSize, *cacheTTL, *cacheBytes),
 	})
+
+	if *warmFile != "" {
+		if err := warmCache(srv, logger, *warmFile); err != nil {
+			fatal(logger, "warming cache", err)
+		}
+	}
 
 	wt := *writeTimeout
 	if wt == 0 {
@@ -201,6 +219,41 @@ func servePprof(logger *slog.Logger, addr string) {
 	if err := http.ListenAndServe(addr, mux); err != nil {
 		logger.Error("pprof listener failed", "err", err)
 	}
+}
+
+// cacheOptions maps the daemon's flag conventions (0 = off/unbounded)
+// onto server.CacheOptions' (0 = default, negative = off/unbounded).
+func cacheOptions(size int, ttl time.Duration, bytes int64) server.CacheOptions {
+	co := server.CacheOptions{Size: size, TTL: ttl, Bytes: bytes}
+	if size <= 0 {
+		co.Size = -1
+	}
+	if ttl <= 0 {
+		co.TTL = -1
+	}
+	if bytes <= 0 {
+		co.Bytes = -1
+	}
+	return co
+}
+
+// warmCache pre-populates the query cache from a workload file (one
+// query per line: "kw1,kw2 [| algo [| k]]"; #-comments and blanks are
+// skipped). Individual bad lines are logged, not fatal — a stale
+// workload file should not keep the daemon from serving.
+func warmCache(srv *server.Server, logger *slog.Logger, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	n, err := srv.Warm(context.Background(), strings.Split(string(data), "\n"))
+	if err != nil {
+		logger.Warn("some warm queries failed", "file", path, "err", err)
+	}
+	logger.Info("cache warmed", "file", path, "queries", n,
+		"elapsed", time.Since(start).Round(time.Millisecond))
+	return nil
 }
 
 func parseLevel(s string) slog.Level {

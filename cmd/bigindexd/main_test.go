@@ -27,7 +27,7 @@ type slowAlgo struct {
 	release chan struct{}
 }
 
-func (a *slowAlgo) Name() string                                  { return "slow" }
+func (a *slowAlgo) Name() string                                    { return "slow" }
 func (a *slowAlgo) Prepare(g *graph.Graph) (search.Prepared, error) { return &slowPrepared{a}, nil }
 func (a *slowAlgo) NewGeneration(data *graph.Graph, q []graph.Label, opt search.GenOptions) search.Generation {
 	return slowGen{}
@@ -56,6 +56,57 @@ type slowGen struct{}
 func (slowGen) Generate(rootCands []graph.V, cands [][]graph.V) []search.Match { return nil }
 func (slowGen) GenerateCtx(ctx context.Context, rootCands []graph.V, cands [][]graph.V) []search.Match {
 	return nil
+}
+
+// The daemon's cache flags say 0 = off/unbounded; server.Options says
+// 0 = default and negative = off/unbounded. cacheOptions translates.
+func TestCacheOptionsMapping(t *testing.T) {
+	co := cacheOptions(0, 0, 0)
+	if co.Size != -1 || co.TTL != -1 || co.Bytes != -1 {
+		t.Fatalf("zero flags should disable: %+v", co)
+	}
+	co = cacheOptions(128, time.Second, 1<<20)
+	if co.Size != 128 || co.TTL != time.Second || co.Bytes != 1<<20 {
+		t.Fatalf("positive flags should pass through: %+v", co)
+	}
+}
+
+// -warm-file pre-populates the cache before the listener opens; bad
+// lines are logged but never fatal.
+func TestWarmCacheFile(t *testing.T) {
+	ds := datagen.Generate(datagen.Options{
+		Name: "warm", Entities: 200, Terms: 40, LeafTypes: 6, Seed: 11,
+	})
+	bopt := core.DefaultBuildOptions()
+	bopt.Search.SampleCount = 20
+	idx, err := core.Build(ds.Graph, ds.Ont, bopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(idx, ds.Ont, server.Options{DMax: 3})
+
+	kw := ""
+	bestC := 0
+	for _, l := range ds.Graph.DistinctLabels() {
+		if c := ds.Graph.LabelCount(l); c > bestC {
+			bestC = c
+			kw = ds.Graph.Dict().Name(l)
+		}
+	}
+	path := t.TempDir() + "/warm.txt"
+	content := "# workload\n" + kw + "\n" + kw + " | bkws | 5\nzzzznotaterm\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := warmCache(srv, obs.DiscardLogger(), path); err != nil {
+		t.Fatalf("warmCache: %v", err)
+	}
+	if got := srv.Cache().Len(); got != 2 {
+		t.Fatalf("cache entries after warm = %d, want 2", got)
+	}
+	if err := warmCache(srv, obs.DiscardLogger(), path+".missing"); err == nil {
+		t.Fatal("missing warm file not reported")
+	}
 }
 
 // TestGracefulDrain drives the serve loop end to end over a real listener:

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"log/slog"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"bigindex/internal/bisim"
@@ -43,6 +44,11 @@ type Index struct {
 	ont    *ontology.Ontology
 	layers []*Layer
 	seq    generalize.Sequence
+	// epoch counts structural updates (Refresh, ontology-mapping
+	// removal). Result caches embed it in their keys, so invalidation
+	// after a data-graph update is implicit: entries computed against a
+	// previous version can never match a post-update lookup.
+	epoch atomic.Uint64
 }
 
 // BuildOptions controls index construction.
@@ -203,6 +209,14 @@ func (x *Index) Configs() generalize.Sequence { return x.seq }
 // Ontology returns the ontology the index was built against.
 func (x *Index) Ontology() *ontology.Ontology { return x.ont }
 
+// Epoch identifies the version of the data the index currently serves:
+// 0 at build/load time, incremented by every Refresh and by
+// RemoveOntologyMapping when it drops layers. Query result caches key
+// on it (internal/qcache), which makes their invalidation after an
+// update implicit and sound — a stale entry's key can never equal a
+// fresh query's key.
+func (x *Index) Epoch() uint64 { return x.epoch.Load() }
+
 // Layer returns layer m (read-only by convention).
 func (x *Index) Layer(m int) *Layer { return x.layers[m] }
 
@@ -276,7 +290,7 @@ func (x *Index) SpecializeKeyword(s graph.V, m int, kw graph.Label, early bool) 
 func (x *Index) specializeRootSet(supers []graph.V, m int, sp *obs.Span) []graph.V {
 	set := dedupVs(supers)
 	for j := m; j >= 1; j-- {
-		c := sp.StartChild("Spec/L" + strconv.Itoa(j-1)).SetAttr("role", "root").SetAttr("in", len(set))
+		c := sp.StartChild("Spec/L"+strconv.Itoa(j-1)).SetAttr("role", "root").SetAttr("in", len(set))
 		set = x.SpecializeStep(set, j, nil)
 		c.SetAttr("out", len(set)).End()
 	}
@@ -295,7 +309,7 @@ func (x *Index) specializeKeywordSet(supers []graph.V, m int, kw graph.Label, ea
 		if early || j == 1 {
 			keep = func(v graph.V) bool { return lg.Label(v) == want }
 		}
-		c := sp.StartChild("Spec/L" + strconv.Itoa(j-1)).
+		c := sp.StartChild("Spec/L"+strconv.Itoa(j-1)).
 			SetAttr("role", "keyword").SetAttr("keyword", int(kw)).
 			SetAttr("filtered", keep != nil).SetAttr("in", len(set))
 		set = x.SpecializeStep(set, j, keep)
@@ -376,6 +390,7 @@ func (x *Index) RemoveOntologyMapping(sub, super graph.Label) int {
 			dropped := len(x.layers) - (i + 1)
 			x.layers = x.layers[:i+1]
 			x.seq = x.seq[:i]
+			x.epoch.Add(1)
 			return dropped
 		}
 	}

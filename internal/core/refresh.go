@@ -47,5 +47,8 @@ func (x *Index) Refresh(g *graph.Graph) error {
 	}
 	x.layers = newLayers
 	x.seq = x.seq[:len(newLayers)-1]
+	// Bump the version last: a cache keying on the new epoch must only
+	// ever observe the refreshed hierarchy.
+	x.epoch.Add(1)
 	return nil
 }

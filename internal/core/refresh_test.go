@@ -65,6 +65,37 @@ func TestRefreshMatchesRebuild(t *testing.T) {
 	}
 }
 
+// Every successful Refresh bumps the index epoch exactly once, and a
+// rejected Refresh leaves it alone — result caches key on the epoch, so
+// this is the invalidation contract they depend on.
+func TestRefreshBumpsEpoch(t *testing.T) {
+	ds := smallDataset(302)
+	idx := buildIndex(t, ds)
+	if got := idx.Epoch(); got != 0 {
+		t.Fatalf("fresh index epoch = %d, want 0", got)
+	}
+	if err := idx.Refresh(ds.Graph); err != nil {
+		t.Fatalf("Refresh: %v", err)
+	}
+	if got := idx.Epoch(); got != 1 {
+		t.Fatalf("epoch after Refresh = %d, want 1", got)
+	}
+	foreign := graph.NewBuilder(nil)
+	foreign.AddVertex("x")
+	if err := idx.Refresh(foreign.Build()); err == nil {
+		t.Fatal("foreign dictionary accepted")
+	}
+	if got := idx.Epoch(); got != 1 {
+		t.Fatalf("epoch after rejected Refresh = %d, want 1", got)
+	}
+	if err := idx.Refresh(ds.Graph); err != nil {
+		t.Fatalf("second Refresh: %v", err)
+	}
+	if got := idx.Epoch(); got != 2 {
+		t.Fatalf("epoch after second Refresh = %d, want 2", got)
+	}
+}
+
 func TestRefreshRejectsForeignDict(t *testing.T) {
 	ds := smallDataset(301)
 	idx := buildIndex(t, ds)

@@ -1,0 +1,500 @@
+// Package qcache is the query result cache of the serving path: a
+// sharded LRU with TTL and byte-budget eviction, keyed on a canonical
+// digest of the full query identity — algorithm, canonicalized keyword
+// labels, k, forced layer, and the index *epoch* — with singleflight
+// in-flight deduplication so N concurrent identical queries run exactly
+// one evaluation and share the result.
+//
+// Keyword-search workloads are highly skewed (the motivation behind
+// BLINKS' bi-level index materialization and EMBANKS' disk caching):
+// a small set of popular queries dominates traffic, so a result cache
+// converts the common case from a multi-phase hierarchical evaluation
+// into a map lookup.
+//
+// Invalidation is implicit and sound: the cache key embeds the index
+// epoch (core.Index.Epoch, bumped by every Refresh), so an entry
+// computed against a previous version of the data graph can never be
+// returned for a post-update query — its key no longer matches anything
+// a new request can ask for. Stale-epoch entries are additionally
+// pruned eagerly the first time the cache observes a new epoch, so dead
+// entries do not sit on the byte budget until LRU pressure finds them.
+//
+// Empty answer sets ("negative" entries) are cached like any other
+// result — a query with no matches costs a full evaluation to discover,
+// and skewed workloads repeat misses just like hits.
+package qcache
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"hash/fnv"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bigindex/internal/graph"
+	"bigindex/internal/obs"
+)
+
+// Options configures a Cache.
+type Options struct {
+	// Shards is the number of independent lock domains, rounded up to a
+	// power of two (0 = 16). More shards reduce mutex contention under
+	// concurrent traffic; the key's hash picks the shard.
+	Shards int
+	// MaxEntries caps the number of cached results across all shards
+	// (0 = 4096). Per shard, the least recently used entry is evicted
+	// when the shard's share of the cap is exceeded.
+	MaxEntries int
+	// TTL expires entries by age (0 = no TTL). Expired entries are
+	// dropped lazily on lookup and count as evictions, not hits.
+	TTL time.Duration
+	// MaxBytes bounds the cache's estimated memory footprint across all
+	// shards (0 = unbounded). Entries carry caller-estimated sizes; a
+	// shard evicts from its LRU tail until its share of the budget fits.
+	MaxBytes int64
+	// Obs, when set, registers the cache's counters and gauges
+	// (bigindex_qcache_*). Nil records nothing.
+	Obs *obs.Registry
+	// Clock overrides time.Now for TTL tests.
+	Clock func() time.Time
+}
+
+// Outcome classifies how Do obtained a query's result.
+type Outcome string
+
+const (
+	// Hit: the result came from the cache; no evaluation ran.
+	Hit Outcome = "hit"
+	// Miss: this caller ran the evaluation (singleflight leader).
+	Miss Outcome = "miss"
+	// Shared: another in-flight identical query ran the evaluation and
+	// this caller received its result (singleflight follower).
+	Shared Outcome = "shared"
+	// Bypass: the cache was skipped entirely (&nocache=1 or disabled).
+	Bypass Outcome = "bypass"
+)
+
+// Result is what a compute function hands back to Do: the value, its
+// estimated footprint for the byte budget, and whether it may be stored.
+// Degraded (partial) results set Store=false — they are shared with
+// concurrent identical queries but never cached, because a later query
+// with a healthy deadline must recompute the full answer.
+type Result struct {
+	V        any
+	Bytes    int64
+	Store    bool
+	Negative bool // empty answer set; counted separately on hits
+}
+
+type entry struct {
+	key      string
+	val      any
+	bytes    int64
+	epoch    uint64
+	negative bool
+	expires  time.Time // zero = no TTL
+}
+
+type shard struct {
+	mu    sync.Mutex
+	byKey map[string]*list.Element // values are *entry elements
+	lru   *list.List               // front = most recently used
+	bytes int64
+	maxN  int
+	maxB  int64
+}
+
+// Cache is a sharded, epoch-aware query result cache. All methods are
+// safe for concurrent use; a nil *Cache is inert (Get always misses,
+// Do always computes with Outcome Bypass).
+type Cache struct {
+	shards    []*shard
+	mask      uint64
+	ttl       time.Duration
+	now       func() time.Time
+	flight    group
+	lastEpoch atomic.Uint64
+
+	entries atomic.Int64
+	bytes   atomic.Int64
+
+	hits      *obs.Counter
+	misses    *obs.Counter
+	shared    *obs.Counter
+	negHits   *obs.Counter
+	evictions *obs.CounterVec // reason: lru | ttl | bytes | epoch
+	entriesG  *obs.Gauge
+	bytesG    *obs.Gauge
+	ratioG    *obs.Gauge
+}
+
+// New creates a cache. The zero Options value yields 16 shards, 4096
+// entries, no TTL, and no byte budget.
+func New(opt Options) *Cache {
+	nShards := 1
+	want := opt.Shards
+	if want <= 0 {
+		want = 16
+	}
+	for nShards < want {
+		nShards <<= 1
+	}
+	maxN := opt.MaxEntries
+	if maxN <= 0 {
+		maxN = 4096
+	}
+	perN := (maxN + nShards - 1) / nShards
+	var perB int64
+	if opt.MaxBytes > 0 {
+		perB = (opt.MaxBytes + int64(nShards) - 1) / int64(nShards)
+	}
+	now := opt.Clock
+	if now == nil {
+		now = time.Now
+	}
+	c := &Cache{
+		shards: make([]*shard, nShards),
+		mask:   uint64(nShards - 1),
+		ttl:    opt.TTL,
+		now:    now,
+	}
+	for i := range c.shards {
+		c.shards[i] = &shard{
+			byKey: make(map[string]*list.Element),
+			lru:   list.New(),
+			maxN:  perN,
+			maxB:  perB,
+		}
+	}
+	if r := opt.Obs; r != nil {
+		c.hits = r.Counter("bigindex_qcache_hits_total",
+			"Query cache hits (evaluation skipped).")
+		c.misses = r.Counter("bigindex_qcache_misses_total",
+			"Query cache misses (the request ran the evaluation).")
+		c.shared = r.Counter("bigindex_qcache_shared_total",
+			"Requests that shared a concurrent identical query's evaluation (singleflight).")
+		c.negHits = r.Counter("bigindex_qcache_negative_hits_total",
+			"Cache hits on cached empty answer sets.")
+		c.evictions = r.CounterVec("bigindex_qcache_evictions_total",
+			"Entries evicted from the query cache, by reason.", "reason")
+		c.entriesG = r.Gauge("bigindex_qcache_entries", "Entries in the query cache.")
+		c.bytesG = r.Gauge("bigindex_qcache_bytes", "Estimated query cache footprint in bytes.")
+		c.ratioG = r.Gauge("bigindex_qcache_hit_ratio",
+			"Fraction of cache lookups answered from the cache (hits / lookups).")
+	}
+	return c
+}
+
+// CanonicalLabels sorts and deduplicates a resolved keyword set in
+// place, returning the canonical slice. Semantically identical queries
+// ("b a a" and "a b") then share one cache key, one singleflight slot,
+// and one evaluation — keyword search is set semantics (Def. 2.3), so
+// order and multiplicity never change the answer.
+func CanonicalLabels(q []graph.Label) []graph.Label {
+	if len(q) < 2 {
+		return q
+	}
+	// Insertion sort: query keyword sets are tiny (the paper's Q1-Q8 use
+	// 2-6 keywords).
+	for i := 1; i < len(q); i++ {
+		for j := i; j > 0 && q[j] < q[j-1]; j-- {
+			q[j], q[j-1] = q[j-1], q[j]
+		}
+	}
+	out := q[:1]
+	for _, l := range q[1:] {
+		if l != out[len(out)-1] {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// Key builds the canonical cache digest for a query. q must already be
+// canonical (CanonicalLabels); the epoch binds the entry to one version
+// of the data graph, making post-Refresh invalidation implicit.
+func Key(algo string, direct bool, q []graph.Label, k, layer int, epoch uint64) string {
+	b := make([]byte, 0, len(algo)+24+12*len(q))
+	b = strconv.AppendUint(b, epoch, 10)
+	b = append(b, '|')
+	b = append(b, algo...)
+	if direct {
+		b = append(b, "|d"...)
+	}
+	b = append(b, '|')
+	for i, l := range q {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendInt(b, int64(l), 10)
+	}
+	b = append(b, '|')
+	b = strconv.AppendInt(b, int64(k), 10)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, int64(layer), 10)
+	return string(b)
+}
+
+func (c *Cache) shardFor(key string) *shard {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	return c.shards[h.Sum64()&c.mask]
+}
+
+// lookup finds an unexpired entry and bumps its recency. It records the
+// TTL eviction counter but no hit/miss counters — callers attribute the
+// lookup to an Outcome themselves.
+func (c *Cache) lookup(key string) (any, bool, bool) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	el, ok := s.byKey[key]
+	if !ok {
+		s.mu.Unlock()
+		return nil, false, false
+	}
+	e := el.Value.(*entry)
+	if !e.expires.IsZero() && c.now().After(e.expires) {
+		s.removeLocked(el, &c.entries, &c.bytes)
+		s.mu.Unlock()
+		c.evictions.With("ttl").Inc()
+		c.syncGauges()
+		return nil, false, false
+	}
+	s.lru.MoveToFront(el)
+	val, neg := e.val, e.negative
+	s.mu.Unlock()
+	return val, neg, true
+}
+
+// Get returns the cached value for key, if present and unexpired.
+func (c *Cache) Get(key string) (any, bool) {
+	if c == nil {
+		return nil, false
+	}
+	v, neg, ok := c.lookup(key)
+	if !ok {
+		c.misses.Inc()
+		c.updateRatio()
+		return nil, false
+	}
+	c.hits.Inc()
+	if neg {
+		c.negHits.Inc()
+	}
+	c.updateRatio()
+	return v, true
+}
+
+// Put stores a storable result under key for the given epoch. An entry
+// larger than a whole shard's byte budget is not stored.
+func (c *Cache) Put(key string, epoch uint64, res Result) {
+	if c == nil || !res.Store {
+		return
+	}
+	s := c.shardFor(key)
+	if s.maxB > 0 && res.Bytes > s.maxB {
+		return
+	}
+	var exp time.Time
+	if c.ttl > 0 {
+		exp = c.now().Add(c.ttl)
+	}
+	e := &entry{key: key, val: res.V, bytes: res.Bytes, epoch: epoch,
+		negative: res.Negative, expires: exp}
+	s.mu.Lock()
+	if el, ok := s.byKey[key]; ok {
+		// Replace in place (e.g. a nocache refresh racing a miss fill).
+		old := el.Value.(*entry)
+		s.bytes += res.Bytes - old.bytes
+		c.bytes.Add(res.Bytes - old.bytes)
+		el.Value = e
+		s.lru.MoveToFront(el)
+	} else {
+		s.byKey[key] = s.lru.PushFront(e)
+		s.bytes += res.Bytes
+		c.entries.Add(1)
+		c.bytes.Add(res.Bytes)
+	}
+	var lruEv, bytesEv int64
+	for s.lru.Len() > s.maxN {
+		s.removeLocked(s.lru.Back(), &c.entries, &c.bytes)
+		lruEv++
+	}
+	for s.maxB > 0 && s.bytes > s.maxB && s.lru.Len() > 0 {
+		s.removeLocked(s.lru.Back(), &c.entries, &c.bytes)
+		bytesEv++
+	}
+	s.mu.Unlock()
+	if lruEv > 0 {
+		c.evictions.With("lru").Add(lruEv)
+	}
+	if bytesEv > 0 {
+		c.evictions.With("bytes").Add(bytesEv)
+	}
+	c.syncGauges()
+}
+
+// removeLocked unlinks el from the shard. Caller holds s.mu.
+func (s *shard) removeLocked(el *list.Element, entries, bytes *atomic.Int64) {
+	e := el.Value.(*entry)
+	delete(s.byKey, e.key)
+	s.lru.Remove(el)
+	s.bytes -= e.bytes
+	entries.Add(-1)
+	bytes.Add(-e.bytes)
+}
+
+// pruneEpoch drops every entry not computed at the given epoch the
+// first time the cache observes it. Key-embedded epochs already make
+// stale entries unreachable; pruning just stops them from occupying the
+// entry and byte budgets until LRU pressure would find them.
+func (c *Cache) pruneEpoch(epoch uint64) {
+	last := c.lastEpoch.Load()
+	if last == epoch || !c.lastEpoch.CompareAndSwap(last, epoch) {
+		return
+	}
+	var pruned int64
+	for _, s := range c.shards {
+		s.mu.Lock()
+		for el := s.lru.Front(); el != nil; {
+			next := el.Next()
+			if el.Value.(*entry).epoch != epoch {
+				s.removeLocked(el, &c.entries, &c.bytes)
+				pruned++
+			}
+			el = next
+		}
+		s.mu.Unlock()
+	}
+	if pruned > 0 {
+		c.evictions.With("epoch").Add(pruned)
+		c.syncGauges()
+	}
+}
+
+// errFilled signals that the singleflight leader found the entry
+// already cached (a previous leader filled it between this caller's
+// miss and its registration); the carried value is a hit.
+var errFilled = errors.New("qcache: filled while registering")
+
+// Do answers one query through the cache: a hit returns immediately; on
+// a miss, concurrent callers with the same key collapse onto one
+// compute invocation (the singleflight leader) and share its outcome.
+// The leader's Result is stored only when Store is set and compute
+// returned no error. ctx bounds only a follower's wait — the leader's
+// compute runs under whatever context the caller closed over.
+//
+// The returned Outcome says how the value was obtained. On error the
+// value is nil: followers receive the leader's error verbatim, and a
+// follower whose own ctx expires first gets that ctx's error.
+func (c *Cache) Do(ctx context.Context, epoch uint64, key string, compute func() (Result, error)) (any, Outcome, error) {
+	if c == nil {
+		res, err := compute()
+		return res.V, Bypass, err
+	}
+	c.pruneEpoch(epoch)
+	if v, neg, ok := c.lookup(key); ok {
+		c.hits.Inc()
+		if neg {
+			c.negHits.Inc()
+		}
+		c.updateRatio()
+		return v, Hit, nil
+	}
+	v, leader, err := c.flight.do(ctx, key, func() (Result, error) {
+		// Double-check under the flight slot: a previous leader may have
+		// filled the entry between our miss and our registration.
+		if v, _, ok := c.lookup(key); ok {
+			return Result{V: v}, errFilled
+		}
+		res, err := compute()
+		if err == nil {
+			c.Put(key, epoch, res)
+		}
+		return res, err
+	})
+	out := Shared
+	if leader {
+		out = Miss
+	}
+	if errors.Is(err, errFilled) {
+		err = nil
+		out = Hit
+	}
+	switch out {
+	case Hit:
+		c.hits.Inc()
+	case Miss:
+		c.misses.Inc()
+	case Shared:
+		if err == nil {
+			c.shared.Inc()
+		} else {
+			// A follower that came away without a result (its own ctx
+			// expired, or the leader failed) did not share an evaluation.
+			c.misses.Inc()
+		}
+	}
+	c.updateRatio()
+	return v, out, err
+}
+
+// Stats is a point-in-time cache summary (tests and introspection).
+type Stats struct {
+	Entries int64
+	Bytes   int64
+	Hits    int64
+	Misses  int64
+	Shared  int64
+}
+
+// Stats reports current occupancy and lifetime counters. Counter fields
+// stay zero when the cache was built without a registry.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	return Stats{
+		Entries: c.entries.Load(),
+		Bytes:   c.bytes.Load(),
+		Hits:    c.hits.Value(),
+		Misses:  c.misses.Value(),
+		Shared:  c.shared.Value(),
+	}
+}
+
+// Len reports the number of cached entries.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	return int(c.entries.Load())
+}
+
+// Waiters reports how many followers are parked on key's in-flight
+// evaluation (tests synchronize singleflight scenarios on it).
+func (c *Cache) Waiters(key string) int {
+	if c == nil {
+		return 0
+	}
+	return c.flight.waiters(key)
+}
+
+func (c *Cache) syncGauges() {
+	c.entriesG.Set(float64(c.entries.Load()))
+	c.bytesG.Set(float64(c.bytes.Load()))
+}
+
+func (c *Cache) updateRatio() {
+	if c.ratioG == nil {
+		return
+	}
+	h := float64(c.hits.Value())
+	lookups := h + float64(c.misses.Value()) + float64(c.shared.Value())
+	if lookups > 0 {
+		c.ratioG.Set(h / lookups)
+	}
+}

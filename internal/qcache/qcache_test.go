@@ -1,0 +1,332 @@
+package qcache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bigindex/internal/graph"
+	"bigindex/internal/obs"
+)
+
+func stored(v any) func() (Result, error) {
+	return func() (Result, error) {
+		return Result{V: v, Bytes: 16, Store: true}, nil
+	}
+}
+
+func TestCanonicalLabels(t *testing.T) {
+	cases := []struct{ in, want []graph.Label }{
+		{nil, nil},
+		{[]graph.Label{5}, []graph.Label{5}},
+		{[]graph.Label{2, 1, 1}, []graph.Label{1, 2}},
+		{[]graph.Label{3, 3, 3}, []graph.Label{3}},
+		{[]graph.Label{4, 1, 3, 1, 4}, []graph.Label{1, 3, 4}},
+	}
+	for _, c := range cases {
+		got := CanonicalLabels(append([]graph.Label(nil), c.in...))
+		if len(got) != len(c.want) {
+			t.Fatalf("CanonicalLabels(%v) = %v, want %v", c.in, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("CanonicalLabels(%v) = %v, want %v", c.in, got, c.want)
+			}
+		}
+	}
+}
+
+func TestKeyDiscriminates(t *testing.T) {
+	base := Key("blinks", false, []graph.Label{1, 2}, 10, -1, 0)
+	same := Key("blinks", false, []graph.Label{1, 2}, 10, -1, 0)
+	if base != same {
+		t.Fatalf("identical queries produced different keys: %q vs %q", base, same)
+	}
+	variants := []string{
+		Key("bkws", false, []graph.Label{1, 2}, 10, -1, 0),   // algorithm
+		Key("blinks", true, []graph.Label{1, 2}, 10, -1, 0),  // direct mode
+		Key("blinks", false, []graph.Label{1, 3}, 10, -1, 0), // labels
+		Key("blinks", false, []graph.Label{1, 2}, 5, -1, 0),  // k
+		Key("blinks", false, []graph.Label{1, 2}, 10, 2, 0),  // layer
+		Key("blinks", false, []graph.Label{1, 2}, 10, -1, 1), // epoch
+	}
+	seen := map[string]bool{base: true}
+	for i, v := range variants {
+		if seen[v] {
+			t.Fatalf("variant %d collides: %q", i, v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestGetPutLRU(t *testing.T) {
+	c := New(Options{Shards: 1, MaxEntries: 3})
+	for i := 0; i < 3; i++ {
+		c.Put(fmt.Sprintf("k%d", i), 0, Result{V: i, Bytes: 8, Store: true})
+	}
+	// Touch k0 so k1 is the LRU victim when k3 arrives.
+	if v, ok := c.Get("k0"); !ok || v.(int) != 0 {
+		t.Fatalf("k0: %v %v", v, ok)
+	}
+	c.Put("k3", 0, Result{V: 3, Bytes: 8, Store: true})
+	if _, ok := c.Get("k1"); ok {
+		t.Fatal("k1 survived past the entry cap")
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s evicted unexpectedly", k)
+		}
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+}
+
+func TestByteBudgetEviction(t *testing.T) {
+	c := New(Options{Shards: 1, MaxEntries: 100, MaxBytes: 100})
+	c.Put("a", 0, Result{V: "a", Bytes: 60, Store: true})
+	c.Put("b", 0, Result{V: "b", Bytes: 60, Store: true}) // over budget: a evicted
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("a survived past the byte budget")
+	}
+	if _, ok := c.Get("b"); !ok {
+		t.Fatal("b missing")
+	}
+	if got := c.Stats().Bytes; got != 60 {
+		t.Fatalf("bytes = %d, want 60", got)
+	}
+	// An entry bigger than the whole budget is refused outright.
+	c.Put("huge", 0, Result{V: "x", Bytes: 1000, Store: true})
+	if _, ok := c.Get("huge"); ok {
+		t.Fatal("oversized entry stored")
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	now := time.Unix(1000, 0)
+	var mu sync.Mutex
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	c := New(Options{Shards: 1, TTL: time.Minute, Clock: clock})
+	c.Put("k", 0, Result{V: 42, Bytes: 8, Store: true})
+	if _, ok := c.Get("k"); !ok {
+		t.Fatal("fresh entry missing")
+	}
+	mu.Lock()
+	now = now.Add(2 * time.Minute)
+	mu.Unlock()
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("expired entry served")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("expired entry retained: Len = %d", c.Len())
+	}
+}
+
+func TestStoreFlagAndNegative(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := New(Options{Obs: reg})
+	c.Put("degraded", 0, Result{V: "partial", Bytes: 8, Store: false})
+	if _, ok := c.Get("degraded"); ok {
+		t.Fatal("Store=false entry cached")
+	}
+	c.Put("empty", 0, Result{V: []int{}, Bytes: 8, Store: true, Negative: true})
+	if _, ok := c.Get("empty"); !ok {
+		t.Fatal("negative entry not cached")
+	}
+	if got := c.negHits.Value(); got != 1 {
+		t.Fatalf("negative hits = %d, want 1", got)
+	}
+}
+
+func TestEpochPrune(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := New(Options{Shards: 1, Obs: reg})
+	ctx := context.Background()
+	k0 := Key("blinks", false, []graph.Label{1}, 10, -1, 0)
+	if _, out, err := c.Do(ctx, 0, k0, stored("old")); err != nil || out != Miss {
+		t.Fatalf("first Do: %v %v", out, err)
+	}
+	if _, out, _ := c.Do(ctx, 0, k0, stored("old")); out != Hit {
+		t.Fatalf("second Do: %v, want hit", out)
+	}
+	// The graph refreshed: epoch 1. The old entry must neither hit (its
+	// key embeds epoch 0) nor survive the prune.
+	k1 := Key("blinks", false, []graph.Label{1}, 10, -1, 1)
+	v, out, err := c.Do(ctx, 1, k1, stored("new"))
+	if err != nil || out != Miss || v.(string) != "new" {
+		t.Fatalf("post-refresh Do: %v %v %v", v, out, err)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("stale entry survived the epoch prune: Len = %d", c.Len())
+	}
+	if got := c.evictions.With("epoch").Value(); got != 1 {
+		t.Fatalf("epoch evictions = %d, want 1", got)
+	}
+}
+
+func TestDoErrorNotCached(t *testing.T) {
+	c := New(Options{})
+	boom := errors.New("boom")
+	calls := 0
+	fail := func() (Result, error) { calls++; return Result{}, boom }
+	if _, _, err := c.Do(context.Background(), 0, "k", fail); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, _, err := c.Do(context.Background(), 0, "k", fail); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if calls != 2 {
+		t.Fatalf("failed computes cached: calls = %d, want 2", calls)
+	}
+}
+
+func TestNilCacheIsInert(t *testing.T) {
+	var c *Cache
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("nil cache hit")
+	}
+	c.Put("k", 0, Result{V: 1, Store: true})
+	v, out, err := c.Do(context.Background(), 0, "k", stored(7))
+	if err != nil || out != Bypass || v.(int) != 7 {
+		t.Fatalf("nil Do: %v %v %v", v, out, err)
+	}
+	if c.Len() != 0 || c.Waiters("k") != 0 {
+		t.Fatal("nil cache reported occupancy")
+	}
+}
+
+// TestSingleflight: 50 concurrent identical queries run exactly one
+// compute; 49 share the leader's result. The leader holds the compute
+// open until every follower is parked, so the counts are deterministic.
+func TestSingleflight(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := New(Options{Obs: reg})
+	const n = 50
+	var computes atomic.Int64
+	release := make(chan struct{})
+	compute := func() (Result, error) {
+		computes.Add(1)
+		<-release
+		return Result{V: "answer", Bytes: 16, Store: true}, nil
+	}
+
+	var wg sync.WaitGroup
+	outcomes := make([]Outcome, n)
+	vals := make([]any, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, out, err := c.Do(context.Background(), 0, "q", compute)
+			if err != nil {
+				t.Errorf("Do %d: %v", i, err)
+			}
+			vals[i], outcomes[i] = v, out
+		}(i)
+	}
+	// Wait until all followers are parked on the in-flight call, then
+	// let the leader finish.
+	deadline := time.Now().Add(10 * time.Second)
+	for c.Waiters("q") != n-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("followers parked: %d, want %d", c.Waiters("q"), n-1)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("computes = %d, want 1", got)
+	}
+	var leaders, followers int
+	for i := 0; i < n; i++ {
+		if vals[i].(string) != "answer" {
+			t.Fatalf("caller %d got %v", i, vals[i])
+		}
+		switch outcomes[i] {
+		case Miss:
+			leaders++
+		case Shared:
+			followers++
+		default:
+			t.Fatalf("caller %d outcome %v", i, outcomes[i])
+		}
+	}
+	if leaders != 1 || followers != n-1 {
+		t.Fatalf("leaders = %d followers = %d, want 1/%d", leaders, followers, n-1)
+	}
+	if got := c.shared.Value(); got != n-1 {
+		t.Fatalf("shared counter = %d, want %d", got, n-1)
+	}
+	// And the stored entry now hits.
+	if _, out, _ := c.Do(context.Background(), 0, "q", compute); out != Hit {
+		t.Fatalf("follow-up outcome %v, want hit", out)
+	}
+}
+
+// A follower whose context expires while waiting gets its own context
+// error promptly; the leader is unaffected.
+func TestSingleflightFollowerCancel(t *testing.T) {
+	c := New(Options{})
+	release := make(chan struct{})
+	leaderIn := make(chan struct{})
+	go func() {
+		_, _, _ = c.Do(context.Background(), 0, "q", func() (Result, error) {
+			close(leaderIn)
+			<-release
+			return Result{V: 1, Bytes: 8, Store: true}, nil
+		})
+	}()
+	<-leaderIn
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		for c.Waiters("q") == 0 {
+			time.Sleep(time.Millisecond)
+		}
+		cancel()
+	}()
+	_, _, err := c.Do(ctx, 0, "q", func() (Result, error) {
+		t.Error("follower computed")
+		return Result{}, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("follower err = %v, want context.Canceled", err)
+	}
+	close(release)
+}
+
+// Hammer the cache from many goroutines with overlapping keys, puts,
+// epoch bumps, and singleflight computes; run under -race in CI.
+func TestConcurrentMixedOps(t *testing.T) {
+	c := New(Options{Shards: 4, MaxEntries: 64, MaxBytes: 4096, TTL: time.Minute})
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ctx := context.Background()
+			for i := 0; i < 200; i++ {
+				epoch := uint64(i / 100) // one epoch bump mid-run
+				key := Key("blinks", false, []graph.Label{graph.Label(i % 7)}, 10, -1, epoch)
+				_, _, _ = c.Do(ctx, epoch, key, func() (Result, error) {
+					return Result{V: i, Bytes: int64(8 + i%32), Store: i%5 != 0}, nil
+				})
+				if i%3 == 0 {
+					c.Get(key)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 64 {
+		t.Fatalf("entry cap exceeded: %d", c.Len())
+	}
+	if c.Stats().Bytes > 4096 {
+		t.Fatalf("byte budget exceeded: %d", c.Stats().Bytes)
+	}
+}

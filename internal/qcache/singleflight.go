@@ -1,0 +1,71 @@
+package qcache
+
+import (
+	"context"
+	"sync"
+)
+
+// group collapses concurrent calls with the same key onto one function
+// invocation (the "leader"); the rest ("followers") park until the
+// leader finishes and share its result. Unlike a bare mutex around the
+// computation, a follower stops waiting as soon as its own context
+// expires — a slow leader cannot pin followers past their deadlines.
+type call struct {
+	done chan struct{} // closed when the leader finishes
+	val  Result
+	err  error
+	n    int // followers currently waiting (under group.mu)
+}
+
+type group struct {
+	mu    sync.Mutex
+	calls map[string]*call
+}
+
+// do runs fn once per key across concurrent callers and reports whether
+// this caller was the leader. Followers return fn's value and error
+// verbatim, or their own ctx error if it expires while waiting.
+func (g *group) do(ctx context.Context, key string, fn func() (Result, error)) (any, bool, error) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*call)
+	}
+	if c, ok := g.calls[key]; ok {
+		c.n++
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			g.mu.Lock()
+			c.n--
+			g.mu.Unlock()
+			return c.val.V, false, c.err
+		case <-ctx.Done():
+			g.mu.Lock()
+			c.n--
+			g.mu.Unlock()
+			return nil, false, context.Cause(ctx)
+		}
+	}
+	c := &call{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val.V, true, c.err
+}
+
+// waiters reports the followers currently parked on key (0 when no
+// evaluation is in flight).
+func (g *group) waiters(key string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	c, ok := g.calls[key]
+	if !ok {
+		return 0
+	}
+	return c.n
+}

@@ -24,7 +24,7 @@ type stubAlgo struct {
 	fn   func(ctx context.Context, q []graph.Label, k int) ([]search.Match, error)
 }
 
-func (a *stubAlgo) Name() string                                  { return a.name }
+func (a *stubAlgo) Name() string                                    { return a.name }
 func (a *stubAlgo) Prepare(g *graph.Graph) (search.Prepared, error) { return &stubPrepared{a}, nil }
 func (a *stubAlgo) NewGeneration(data *graph.Graph, q []graph.Label, opt search.GenOptions) search.Generation {
 	return stubGen{}

@@ -30,6 +30,15 @@
 // already-found generalized answers (Prop 5.2), so a prefix of the answer
 // set is never wrong, just short.
 //
+// Query results are cached (internal/qcache): repeats of a query are
+// answered without evaluating, concurrent identical queries share one
+// evaluation (singleflight), and "cached": true marks a response served
+// from the cache. Keywords are canonicalized (sorted, deduplicated)
+// before the cache key is built, so "b,a,a" and "a,b" are one query.
+// &nocache=1 bypasses the cache for a single request. Entries key on
+// the index epoch, so a Refresh invalidates the whole cache implicitly;
+// degraded (partial) results are never stored.
+//
 // The server is read-only and safe for concurrent requests: evaluators
 // serialize index preparation internally and everything else is immutable.
 // Requests are wrapped in a robustness layer (see robust.go): a
@@ -55,6 +64,7 @@ import (
 	"bigindex/internal/graph"
 	"bigindex/internal/obs"
 	"bigindex/internal/ontology"
+	"bigindex/internal/qcache"
 	"bigindex/internal/search"
 	"bigindex/internal/search/bidir"
 	"bigindex/internal/search/bkws"
@@ -98,6 +108,24 @@ type Options struct {
 	// resolved before the built-in set. Entries sharing a built-in name
 	// shadow it. Used for custom plug-ins and fault-injection tests.
 	ExtraAlgorithms map[string]search.Algorithm
+	// Cache sizes the /query result cache (internal/qcache): hits skip
+	// evaluation entirely, and concurrent identical queries share one
+	// evaluation. The zero value enables a default-sized cache; set
+	// Cache.Size < 0 to disable caching.
+	Cache CacheOptions
+}
+
+// CacheOptions sizes the query result cache.
+type CacheOptions struct {
+	// Size caps cached results (0 = 4096; negative disables caching).
+	Size int
+	// TTL expires entries by age (0 = 60s; negative = no TTL). The TTL
+	// bounds staleness only against out-of-band mutations; index
+	// refreshes invalidate instantly via the epoch in the cache key.
+	TTL time.Duration
+	// Bytes bounds the cache's estimated memory footprint
+	// (0 = 64 MiB; negative = unbounded).
+	Bytes int64
 }
 
 // Server handles HTTP requests against one index.
@@ -113,8 +141,10 @@ type Server struct {
 	boot     time.Time
 	sem      chan struct{} // load-shedding slots (nil = unbounded)
 	draining atomic.Bool   // readiness flips to 503 during shutdown drain
+	cache    *qcache.Cache // query result cache (nil = disabled)
 
 	reg       *obs.Registry
+	cacheSec  *obs.HistogramVec // end-to-end /query latency by cache outcome
 	phaseSec  *obs.HistogramVec // query phase latency, labeled by Breakdown phase
 	querySec  *obs.HistogramVec // end-to-end evaluation latency by algorithm/mode
 	matches   *obs.CounterVec   // matches returned by algorithm
@@ -173,6 +203,30 @@ func New(idx *core.Index, ont *ontology.Ontology, opt Options) *Server {
 	if opt.MaxInFlight > 0 {
 		s.sem = make(chan struct{}, opt.MaxInFlight)
 	}
+	if opt.Cache.Size >= 0 {
+		co := qcache.Options{
+			MaxEntries: opt.Cache.Size,
+			TTL:        opt.Cache.TTL,
+			MaxBytes:   opt.Cache.Bytes,
+			Obs:        s.reg,
+		}
+		switch {
+		case co.TTL == 0:
+			co.TTL = time.Minute
+		case co.TTL < 0:
+			co.TTL = 0
+		}
+		switch {
+		case co.MaxBytes == 0:
+			co.MaxBytes = 64 << 20
+		case co.MaxBytes < 0:
+			co.MaxBytes = 0
+		}
+		s.cache = qcache.New(co)
+	}
+	s.cacheSec = s.reg.HistogramVec("bigindex_query_cache_seconds",
+		"End-to-end /query latency in seconds by cache outcome (hit, miss, shared, bypass).",
+		nil, "outcome")
 	s.phaseSec = s.reg.HistogramVec("bigindex_query_phase_seconds",
 		"Query evaluation phase latency in seconds (the paper's Figs. 10-14 axes).",
 		nil, "phase")
@@ -289,11 +343,173 @@ type matchJSON struct {
 	Score float64  `json:"score"`
 }
 
+// cachedResult is one query's evaluation outcome as it flows through
+// the result cache: the matches, the layer they were evaluated at, and
+// whether the evaluation was cut short by its deadline. Degraded
+// results are shared with concurrent identical queries (they were going
+// to share the same interrupted evaluation anyway) but never stored —
+// a later query with a healthy deadline must recompute the full answer.
+type cachedResult struct {
+	matches  []search.Match
+	layer    int
+	degraded string // non-empty = degradation reason ("deadline")
+}
+
+// approxResultBytes estimates a result's heap footprint for the cache's
+// byte budget: slice headers plus per-match vertex and distance
+// payloads. An estimate is fine — the budget bounds order of magnitude,
+// not accounting truth.
+func approxResultBytes(ms []search.Match) int64 {
+	n := int64(64) // entry + slice header overhead; floor for negative entries
+	for i := range ms {
+		n += 48 + 8*int64(len(ms[i].Nodes)) + 8*int64(len(ms[i].Dists))
+	}
+	return n
+}
+
+// evalQuery runs one uncached evaluation (the body the cache wraps):
+// direct baseline eval or hierarchical eval at a pinned/auto layer,
+// with per-phase latency metrics and the per-request k applied at
+// result time (shared evaluators run exhaustively; see evaluator()).
+func (s *Server) evalQuery(ctx context.Context, ev *core.Evaluator, q []graph.Label, k, forcedLayer int, direct bool) (cachedResult, error) {
+	if direct {
+		ms, err := ev.DirectCtx(ctx, q, k)
+		return cachedResult{matches: ms}, err
+	}
+	ms, bd, err := ev.EvalLayerCtx(ctx, q, forcedLayer)
+	layer := 0
+	if bd != nil {
+		layer = bd.Layer
+		s.phaseSec.With("select").Observe(bd.Select.Seconds())
+		s.phaseSec.With("search").Observe(bd.Search.Seconds())
+		s.phaseSec.With("specialize").Observe(bd.Specialize.Seconds())
+		s.phaseSec.With("generate").Observe(bd.Generate.Seconds())
+	}
+	return cachedResult{matches: search.Truncate(ms, k), layer: layer}, err
+}
+
+// runQuery answers one query through the result cache: a cache hit
+// skips evaluation, concurrent identical queries collapse onto one
+// evaluation (singleflight), and &nocache=1 or a disabled cache bypass
+// both. A deadline expiry inside the evaluation comes back as a
+// degraded cachedResult with a nil error; other errors pass through.
+func (s *Server) runQuery(ctx context.Context, ev *core.Evaluator, algo string, q []graph.Label,
+	k, forcedLayer int, direct, nocache bool) (cachedResult, qcache.Outcome, error) {
+	compute := func(cctx context.Context) (qcache.Result, error) {
+		cr, err := s.evalQuery(cctx, ev, q, k, forcedLayer, direct)
+		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				cr.degraded = "deadline"
+				return qcache.Result{V: cr, Store: false}, nil
+			}
+			return qcache.Result{}, err
+		}
+		return qcache.Result{
+			V:        cr,
+			Bytes:    approxResultBytes(cr.matches),
+			Store:    true,
+			Negative: len(cr.matches) == 0,
+		}, nil
+	}
+	if nocache || s.cache == nil {
+		res, err := compute(ctx)
+		cr, _ := res.V.(cachedResult)
+		return cr, qcache.Bypass, err
+	}
+	epoch := s.idx.Epoch()
+	key := qcache.Key(algo, direct, q, k, forcedLayer, epoch)
+	// The Cache span is a leaf beside the evaluation spans: it records the
+	// lookup outcome while Select/Search/... stay children of the root.
+	sp := obs.SpanFromContext(ctx).StartChild("Cache")
+	v, outcome, err := s.cache.Do(ctx, epoch, key, func() (qcache.Result, error) {
+		return compute(ctx)
+	})
+	sp.SetAttr("outcome", string(outcome)).End()
+	if err != nil && outcome == qcache.Shared && errors.Is(err, context.Canceled) && ctx.Err() == nil {
+		// The singleflight leader's client vanished and took the shared
+		// evaluation down with it; this request's client is still
+		// waiting, so evaluate independently instead of failing.
+		res, err2 := compute(ctx)
+		cr, _ := res.V.(cachedResult)
+		return cr, qcache.Bypass, err2
+	}
+	cr, _ := v.(cachedResult)
+	return cr, outcome, err
+}
+
+// Warm pre-populates the result cache by evaluating workload queries
+// through the same cached path /query uses (bigindexd's -warm-file).
+// Each entry is "kw1,kw2[ | algo[ | k]]" — fields are |-separated
+// because keywords themselves may contain spaces; blank lines and
+// #-comments are skipped. Returns how many queries were warmed;
+// per-query failures are joined into the returned error without
+// stopping the sweep.
+func (s *Server) Warm(ctx context.Context, queries []string) (int, error) {
+	if s.cache == nil {
+		return 0, fmt.Errorf("query cache is disabled")
+	}
+	warmed := 0
+	var errs []error
+	for _, line := range queries {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			errs = append(errs, err)
+			break
+		}
+		fields := strings.Split(line, "|")
+		for i := range fields {
+			fields[i] = strings.TrimSpace(fields[i])
+		}
+		algoName := ""
+		k := 10
+		if len(fields) > 1 {
+			algoName = fields[1]
+		}
+		if len(fields) > 2 && fields[2] != "" {
+			v, err := strconv.Atoi(fields[2])
+			if err != nil || v <= 0 || v > s.opt.MaxK {
+				errs = append(errs, fmt.Errorf("warm %q: bad k %q", line, fields[2]))
+				continue
+			}
+			k = v
+		}
+		q, _, err := s.resolveKeywords(strings.Split(fields[0], ","))
+		if err != nil {
+			errs = append(errs, fmt.Errorf("warm %q: %w", line, err))
+			continue
+		}
+		ev, err := s.evaluator(algoName)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("warm %q: %w", line, err))
+			continue
+		}
+		cr, _, err := s.runQuery(ctx, ev, orDefault(algoName, "blinks"), q, k, -1, false, false)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("warm %q: %w", line, err))
+			continue
+		}
+		if cr.degraded != "" {
+			errs = append(errs, fmt.Errorf("warm %q: degraded (%s), not cached", line, cr.degraded))
+			continue
+		}
+		warmed++
+	}
+	return warmed, errors.Join(errs...)
+}
+
+// Cache returns the server's result cache (nil when disabled); tests
+// and embedding daemons use it for introspection.
+func (s *Server) Cache() *qcache.Cache { return s.cache }
+
 type queryResponse struct {
 	Query     []string        `json:"query"`
 	Algorithm string          `json:"algorithm"`
 	Layer     int             `json:"layer"`
 	Direct    bool            `json:"direct,omitempty"`
+	Cached    bool            `json:"cached,omitempty"`
 	Elapsed   string          `json:"elapsed"`
 	Count     int             `json:"count"`
 	Degraded  bool            `json:"degraded,omitempty"`
@@ -340,16 +556,29 @@ func (s *Server) queryDeadline(r *http.Request) (time.Duration, error) {
 	return timeout, nil
 }
 
+// resolve maps the request's q parameter to a *canonical* label set:
+// free-text keywords go through the text index, then the labels are
+// sorted and deduplicated (keyword search is set semantics, Def. 2.3).
+// Canonicalization means semantically identical queries — "b,a,a" and
+// "a,b" — share one cache key, one singleflight slot, and one
+// evaluation.
 func (s *Server) resolve(r *http.Request) ([]graph.Label, []string, error) {
 	qparam := r.URL.Query().Get("q")
 	if qparam == "" {
 		return nil, nil, fmt.Errorf("missing q parameter")
 	}
-	kws := strings.Split(qparam, ",")
+	return s.resolveKeywords(strings.Split(qparam, ","))
+}
+
+func (s *Server) resolveKeywords(kws []string) ([]graph.Label, []string, error) {
 	for i := range kws {
 		kws[i] = strings.TrimSpace(kws[i])
 	}
-	return s.tix.Resolve(kws, s.idx.Data())
+	q, notes, err := s.tix.Resolve(kws, s.idx.Data())
+	if err != nil {
+		return nil, notes, err
+	}
+	return qcache.CanonicalLabels(q), notes, nil
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -396,6 +625,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	algo := orDefault(algoName, "blinks")
 	direct := r.URL.Query().Get("direct") != ""
+	nocache := r.URL.Query().Get("nocache") != ""
 	mode := "eval"
 	if direct {
 		mode = "direct"
@@ -407,36 +637,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		slog.String("mode", mode))
 
 	start := time.Now()
-	var ms []search.Match
-	layer := 0
-	if direct {
-		ms, err = ev.DirectCtx(ctx, q, k)
-	} else {
-		var bd *core.Breakdown
-		ms, bd, err = ev.EvalLayerCtx(ctx, q, forcedLayer)
-		if bd != nil {
-			layer = bd.Layer
-			s.phaseSec.With("select").Observe(bd.Select.Seconds())
-			s.phaseSec.With("search").Observe(bd.Search.Seconds())
-			s.phaseSec.With("specialize").Observe(bd.Specialize.Seconds())
-			s.phaseSec.With("generate").Observe(bd.Generate.Seconds())
-		}
-		// The shared evaluator runs exhaustively (or at the MaxK cap for
-		// rclique); the per-request k applies here, at result time.
-		ms = search.Truncate(ms, k)
-	}
+	cr, outcome, err := s.runQuery(ctx, ev, algo, q, k, forcedLayer, direct, nocache)
 	elapsed := time.Since(start)
-	degradedReason := ""
+	degradedReason := cr.degraded
 	if err != nil {
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):
-			// The evaluation deadline expired: degrade to the partial
-			// answers rather than failing. Every returned match is verified
-			// (Prop 5.2 keeps the prefix sound); the set is just short.
-			s.cancelled.With("deadline").Inc()
-			s.degraded.Inc()
+			// The deadline expired while waiting on another query's
+			// in-flight evaluation: there are no partials of our own, so
+			// degrade to an empty (sound, trivially incomplete) answer set.
 			degradedReason = "deadline"
-			obs.AddLogAttrs(ctx, slog.Bool("degraded", true))
 		case errors.Is(err, context.Canceled):
 			// The client went away; nothing will read the response. Record
 			// the abort for the cancellation counter and close out.
@@ -448,16 +658,28 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	if degradedReason != "" {
+		// Deadline expiry mid-evaluation degrades to the partial answers
+		// rather than failing. Every returned match is verified (Prop 5.2
+		// keeps the prefix sound); the set is just short.
+		s.cancelled.With("deadline").Inc()
+		s.degraded.Inc()
+		obs.AddLogAttrs(ctx, slog.Bool("degraded", true))
+	}
+	ms := cr.matches
 	s.querySec.With(algo, mode).Observe(elapsed.Seconds())
+	s.cacheSec.With(string(outcome)).Observe(elapsed.Seconds())
 	s.matches.With(algo).Add(int64(len(ms)))
-	obs.AddLogAttrs(ctx, slog.Int("layer", layer), slog.Int("count", len(ms)))
+	obs.AddLogAttrs(ctx, slog.Int("layer", cr.layer), slog.Int("count", len(ms)),
+		slog.String("cache", string(outcome)))
 
 	dict := s.idx.Data().Dict()
 	g := s.idx.Data()
 	resp := queryResponse{
 		Algorithm: algo,
-		Layer:     layer,
+		Layer:     cr.layer,
 		Direct:    direct,
+		Cached:    outcome == qcache.Hit,
 		Elapsed:   elapsed.Round(time.Microsecond).String(),
 		Count:     len(ms),
 		Degraded:  degradedReason != "",
@@ -547,11 +769,26 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	g := s.idx.Data()
 	gs := graph.ComputeStats(g)
-	writeJSON(w, struct {
+	type cacheJSON struct {
+		Entries int64 `json:"entries"`
+		Bytes   int64 `json:"bytes"`
+		Hits    int64 `json:"hits"`
+		Misses  int64 `json:"misses"`
+		Shared  int64 `json:"shared"`
+	}
+	out := struct {
 		Graph  graph.Stats       `json:"graph"`
 		Layers []core.LayerStats `json:"layers"`
+		Epoch  uint64            `json:"epoch"`
+		Cache  *cacheJSON        `json:"cache,omitempty"`
 		Uptime string            `json:"uptime"`
-	}{gs, s.idx.Stats().Layers, time.Since(s.boot).Round(time.Second).String()})
+	}{gs, s.idx.Stats().Layers, s.idx.Epoch(), nil,
+		time.Since(s.boot).Round(time.Second).String()}
+	if s.cache != nil {
+		cs := s.cache.Stats()
+		out.Cache = &cacheJSON{cs.Entries, cs.Bytes, cs.Hits, cs.Misses, cs.Shared}
+	}
+	writeJSON(w, out)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {

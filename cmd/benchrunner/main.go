@@ -33,6 +33,8 @@ func main() {
 	jsonOut := flag.String("json", "BENCH_eval.json", "write a machine-readable report here (empty = off)")
 	cacheOut := flag.String("cache-json", "BENCH_cache.json",
 		"when the cache experiment runs, also write its report here (empty = off)")
+	snapOut := flag.String("snapshot-json", "BENCH_snapshot.json",
+		"when the snapshot experiment runs, also write its report here (empty = off)")
 	flag.Parse()
 
 	if *list {
@@ -89,6 +91,17 @@ func main() {
 		}
 		if len(cacheReports) > 0 {
 			writeJSON(*cacheOut, cacheReports)
+		}
+	}
+	if *snapOut != "" {
+		var snapReports []*bench.Report
+		for _, r := range reports {
+			if r.ID == "snapshot" {
+				snapReports = append(snapReports, r)
+			}
+		}
+		if len(snapReports) > 0 {
+			writeJSON(*snapOut, snapReports)
 		}
 	}
 }

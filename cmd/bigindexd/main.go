@@ -35,6 +35,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -50,8 +51,10 @@ import (
 
 	"bigindex/internal/core"
 	"bigindex/internal/datagen"
+	"bigindex/internal/graph"
 	"bigindex/internal/obs"
 	"bigindex/internal/server"
+	"bigindex/internal/snapshot"
 )
 
 func main() {
@@ -82,6 +85,14 @@ func main() {
 	cacheBytes := flag.Int64("cache-bytes", 64<<20, "query result cache byte budget (0 = unbounded)")
 	warmFile := flag.String("warm-file", "",
 		"pre-populate the query cache from this workload file before serving (one query per line: kw1,kw2 [| algo [| k]])")
+	snapshotFile := flag.String("snapshot", "",
+		"crash-safe index snapshot path: boot from it when valid (falling back to a rebuild on corruption or source mismatch), re-save after every build and reload")
+	reloadMinBackoff := flag.Duration("reload-min-backoff", time.Second,
+		"first retry delay after a failed reload (doubles per consecutive failure)")
+	reloadMaxBackoff := flag.Duration("reload-max-backoff", 5*time.Minute,
+		"retry delay cap for failed reloads")
+	reloadFails := flag.Int64("reload-fails", 5,
+		"consecutive reload failures before the circuit opens (stale index keeps serving; /stats and metrics report it)")
 	flag.Parse()
 
 	logger := obs.NewLogger(os.Stderr, parseLevel(*logLevel), *logFormat == "json")
@@ -91,6 +102,11 @@ func main() {
 	if err != nil {
 		fatal(logger, "bad preset", err)
 	}
+	snapLoadSec := reg.Gauge("bigindex_snapshot_load_seconds",
+		"Wall time of the last successful snapshot load.")
+	snapSaveSec := reg.Gauge("bigindex_snapshot_save_seconds",
+		"Wall time of the last successful snapshot save.")
+
 	var idx *core.Index
 	if *indexFile != "" {
 		f, err := os.Open(*indexFile)
@@ -104,16 +120,7 @@ func main() {
 		}
 		logger.Info("index loaded", "file", *indexFile, "layers", idx.NumLayers())
 	} else {
-		start := time.Now()
-		opt := core.DefaultBuildOptions()
-		opt.Obs = reg // build gauges surface on /metrics
-		opt.Logger = logger
-		idx, err = core.Build(ds.Graph, ds.Ont, opt)
-		if err != nil {
-			fatal(logger, "building index", err)
-		}
-		logger.Info("index built", "dataset", ds.Name,
-			"elapsed", time.Since(start).Round(time.Millisecond), "layers", idx.NumLayers())
+		idx = bootIndex(ds, *snapshotFile, reg, logger, snapLoadSec, snapSaveSec)
 	}
 
 	if *pprofAddr != "" {
@@ -145,6 +152,38 @@ func main() {
 		}
 	}
 
+	// Hot reload: POST /admin/reload or SIGHUP re-reads the data graph,
+	// rebuilds the hierarchy with the stored configurations, swaps it in
+	// without interrupting in-flight queries, then re-persists the
+	// snapshot and re-warms the cache. Failures keep the last good index
+	// serving and retry on a jittered exponential backoff.
+	rl := server.NewReloader(srv, server.ReloaderOptions{
+		Source: func(context.Context) (*graph.Graph, error) {
+			fresh, err := presetByName(*preset)
+			if err != nil {
+				return nil, err
+			}
+			return fresh.Graph, nil
+		},
+		AfterSwap: func(ctx context.Context, idx *core.Index) error {
+			var errs []error
+			if *snapshotFile != "" {
+				errs = append(errs, persistSnapshot(*snapshotFile, idx, ds.Name, logger, snapSaveSec))
+			}
+			if *warmFile != "" {
+				errs = append(errs, warmCache(srv, logger, *warmFile))
+			}
+			return errors.Join(errs...)
+		},
+		MinBackoff:    *reloadMinBackoff,
+		MaxBackoff:    *reloadMaxBackoff,
+		FailThreshold: *reloadFails,
+		Logger:        logger,
+	})
+	rlCtx, rlCancel := context.WithCancel(context.Background())
+	defer rlCancel()
+	go rl.Run(rlCtx)
+
 	wt := *writeTimeout
 	if wt == 0 {
 		// The write timeout must outlast the query deadline or degraded
@@ -165,12 +204,82 @@ func main() {
 	}
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	hups := make(chan os.Signal, 1)
+	signal.Notify(hups, syscall.SIGHUP)
 
 	logger.Info("serving", "dataset", ds.Name, "addr", ln.Addr().String(),
 		"query_timeout", *queryTimeout, "max_inflight", *maxInFlight)
-	if err := serve(ln, httpSrv, srv, logger, *drainGrace, *drainTimeout, sigs); err != nil {
+	if err := serve(ln, httpSrv, srv, logger, *drainGrace, *drainTimeout, sigs, hups, rl); err != nil {
 		fatal(logger, "listen", err)
 	}
+}
+
+// bootIndex restores the index from the snapshot when one is configured
+// and valid; any other outcome — no file yet, corruption, a snapshot of a
+// different source graph — logs its precise reason and falls back to a
+// full build, after which the (re)built index is snapshotted for the next
+// boot. Corruption can therefore cost time but never availability.
+func bootIndex(ds *datagen.Dataset, snapPath string, reg *obs.Registry,
+	logger *slog.Logger, loadSec, saveSec *obs.Gauge) *core.Index {
+	if snapPath != "" {
+		start := time.Now()
+		idx, meta, err := snapshot.LoadFileFor(snapPath, ds.Ont, ds.Graph.Digest())
+		if err == nil {
+			elapsed := time.Since(start)
+			loadSec.Set(elapsed.Seconds())
+			logger.Info("index restored from snapshot",
+				"file", snapPath,
+				"layers", idx.NumLayers(),
+				"epoch", meta.Epoch,
+				"created", time.Unix(meta.CreatedUnix, 0).UTC().Format(time.RFC3339),
+				"note", meta.BuildNote,
+				"elapsed", elapsed.Round(time.Millisecond))
+			return idx
+		}
+		switch {
+		case snapshot.IsNotExist(err):
+			logger.Info("no snapshot yet; building index", "file", snapPath)
+		case errors.Is(err, snapshot.ErrSourceMismatch):
+			logger.Warn("snapshot is from a different source graph; rebuilding", "file", snapPath, "err", err)
+		case errors.Is(err, snapshot.ErrBadSnapshot):
+			logger.Warn("snapshot is corrupt; rebuilding", "file", snapPath, "err", err)
+		default:
+			logger.Warn("snapshot unreadable; rebuilding", "file", snapPath, "err", err)
+		}
+	}
+	start := time.Now()
+	opt := core.DefaultBuildOptions()
+	opt.Obs = reg // build gauges surface on /metrics
+	opt.Logger = logger
+	idx, err := core.Build(ds.Graph, ds.Ont, opt)
+	if err != nil {
+		fatal(logger, "building index", err)
+	}
+	logger.Info("index built", "dataset", ds.Name,
+		"elapsed", time.Since(start).Round(time.Millisecond), "layers", idx.NumLayers())
+	if snapPath != "" {
+		// Best effort: a failed save leaves the daemon serving; the next
+		// successful reload retries the persist.
+		_ = persistSnapshot(snapPath, idx, ds.Name, logger, saveSec)
+	}
+	return idx
+}
+
+// persistSnapshot writes the crash-safe snapshot and records its wall
+// time; failures are logged and returned, never fatal.
+func persistSnapshot(path string, idx *core.Index, note string,
+	logger *slog.Logger, saveSec *obs.Gauge) error {
+	start := time.Now()
+	meta := snapshot.Meta{CreatedUnix: time.Now().Unix(), BuildNote: note}
+	if err := snapshot.SaveFile(path, idx, meta); err != nil {
+		logger.Warn("snapshot save failed", "file", path, "err", err)
+		return err
+	}
+	elapsed := time.Since(start)
+	saveSec.Set(elapsed.Seconds())
+	logger.Info("snapshot saved", "file", path, "epoch", idx.Epoch(),
+		"elapsed", elapsed.Round(time.Millisecond))
+	return nil
 }
 
 // serve runs httpSrv on ln until a shutdown signal arrives, then drains
@@ -178,30 +287,39 @@ func main() {
 // passes so they have a chance to notice, in-flight requests get up to
 // drainTimeout to finish via http.Server.Shutdown, and serve returns nil
 // for a clean exit 0. A listener error before any signal is returned as-is.
+// SIGHUP (hups) schedules an asynchronous index reload through rl and
+// keeps serving; both hups and rl may be nil (tests).
 func serve(ln net.Listener, httpSrv *http.Server, srv *server.Server, logger *slog.Logger,
-	grace, drainTimeout time.Duration, sigs <-chan os.Signal) error {
+	grace, drainTimeout time.Duration, sigs, hups <-chan os.Signal, rl *server.Reloader) error {
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
 
-	select {
-	case err := <-errCh:
-		if err == http.ErrServerClosed {
+	for {
+		select {
+		case err := <-errCh:
+			if err == http.ErrServerClosed {
+				return nil
+			}
+			return err
+		case <-hups:
+			logger.Info("SIGHUP received; scheduling index reload")
+			if rl != nil {
+				rl.Trigger()
+			}
+		case sig := <-sigs:
+			logger.Info("shutdown signal received; draining",
+				"signal", fmt.Sprint(sig), "grace", grace, "timeout", drainTimeout)
+			srv.SetDraining(true)
+			time.Sleep(grace)
+			ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+			defer cancel()
+			if err := httpSrv.Shutdown(ctx); err != nil {
+				logger.Warn("drain timed out; forcing close", "err", err)
+				httpSrv.Close()
+			}
+			logger.Info("drained; exiting")
 			return nil
 		}
-		return err
-	case sig := <-sigs:
-		logger.Info("shutdown signal received; draining",
-			"signal", fmt.Sprint(sig), "grace", grace, "timeout", drainTimeout)
-		srv.SetDraining(true)
-		time.Sleep(grace)
-		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
-		defer cancel()
-		if err := httpSrv.Shutdown(ctx); err != nil {
-			logger.Warn("drain timed out; forcing close", "err", err)
-			httpSrv.Close()
-		}
-		logger.Info("drained; exiting")
-		return nil
 	}
 }
 

@@ -33,6 +33,7 @@ var Experiments = map[string]Runner{
 	"headline":    RunHeadline,
 	"summarizers": RunSummarizers,
 	"cache":       RunCache,
+	"snapshot":    RunSnapshot,
 }
 
 // ExperimentOrder is the canonical run order for `benchrunner -exp all`.
@@ -40,7 +41,7 @@ var ExperimentOrder = []string{
 	"table2", "table3", "table4", "fig9",
 	"fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
 	"fig16", "fig17", "fig18", "fig19",
-	"exp3", "exp4", "headline", "summarizers", "cache",
+	"exp3", "exp4", "headline", "summarizers", "cache", "snapshot",
 }
 
 // RunTable2 reproduces Table 2: dataset statistics.

@@ -196,6 +196,75 @@ func Build(g *graph.Graph, ont *ontology.Ontology, opt BuildOptions) (*Index, er
 	return idx, nil
 }
 
+// NewFromLayers assembles an Index from explicitly provided layers — the
+// constructor behind snapshot restore (internal/snapshot), where the
+// layers were decoded from disk rather than built. Structural invariants
+// are enforced so a decoder bug or a tampered file can never produce a
+// silently wrong index:
+//
+//   - layer 0 is the data graph: no config, no vertex maps;
+//   - every layer i >= 1 carries a config, an Up map covering exactly the
+//     vertices of layer i-1, and a Down table that is Up's exact inverse
+//     (every supernode has at least one member and every membership
+//     round-trips);
+//   - every layer shares layer 0's dictionary.
+//
+// When ont is non-nil each configuration is validated against it, as
+// Build would have. The index starts at epoch 0; use RestoreEpoch to
+// carry a persisted epoch forward.
+func NewFromLayers(ont *ontology.Ontology, layers []*Layer) (*Index, error) {
+	if len(layers) == 0 || layers[0] == nil || layers[0].Graph == nil {
+		return nil, fmt.Errorf("core: NewFromLayers requires a data-graph layer")
+	}
+	if layers[0].Config != nil || layers[0].Up != nil || layers[0].Down != nil {
+		return nil, fmt.Errorf("core: layer 0 must not carry a config or vertex maps")
+	}
+	idx := &Index{ont: ont, layers: layers}
+	dict := layers[0].Graph.Dict()
+	for i, l := range layers[1:] {
+		li := i + 1
+		if l == nil || l.Graph == nil || l.Config == nil {
+			return nil, fmt.Errorf("core: layer %d is incomplete", li)
+		}
+		if l.Graph.Dict() != dict {
+			return nil, fmt.Errorf("core: layer %d does not share the data graph dictionary", li)
+		}
+		if ont != nil {
+			if err := l.Config.Validate(ont); err != nil {
+				return nil, fmt.Errorf("core: layer %d config incompatible with ontology: %w", li, err)
+			}
+		}
+		below, here := layers[li-1].Graph.NumVertices(), l.Graph.NumVertices()
+		if len(l.Up) != below {
+			return nil, fmt.Errorf("core: layer %d Up covers %d vertices, layer %d has %d", li, len(l.Up), li-1, below)
+		}
+		if len(l.Down) != here {
+			return nil, fmt.Errorf("core: layer %d Down covers %d supernodes, layer has %d", li, len(l.Down), here)
+		}
+		members := 0
+		seen := make([]bool, below)
+		for s, row := range l.Down {
+			if len(row) == 0 {
+				return nil, fmt.Errorf("core: layer %d supernode %d has no members", li, s)
+			}
+			for _, v := range row {
+				if int(v) >= below || int(l.Up[v]) != s || seen[v] {
+					return nil, fmt.Errorf("core: layer %d Up/Down maps are not mutually inverse at supernode %d", li, s)
+				}
+				seen[v] = true
+			}
+			members += len(row)
+		}
+		if members != below {
+			// Every Down entry round-tripped through Up exactly once, so a
+			// count match means the rows partition layer i-1 exactly.
+			return nil, fmt.Errorf("core: layer %d Down covers %d members, want %d", li, members, below)
+		}
+		idx.seq = append(idx.seq, l.Config)
+	}
+	return idx, nil
+}
+
 // NumLayers reports h+1 (data graph + summary layers). Implements
 // cost.LayerGraphs.
 func (x *Index) NumLayers() int { return len(x.layers) }
@@ -216,6 +285,13 @@ func (x *Index) Ontology() *ontology.Ontology { return x.ont }
 // update implicit and sound — a stale entry's key can never equal a
 // fresh query's key.
 func (x *Index) Epoch() uint64 { return x.epoch.Load() }
+
+// RestoreEpoch overwrites the epoch counter. It exists solely so snapshot
+// restore can carry the persisted epoch across a process restart (keeping
+// /stats monotonic and staleness accounting honest); never call it on an
+// index that is serving traffic — epoch-keyed caches rely on the counter
+// only ever increasing.
+func (x *Index) RestoreEpoch(e uint64) { x.epoch.Store(e) }
 
 // Layer returns layer m (read-only by convention).
 func (x *Index) Layer(m int) *Layer { return x.layers[m] }

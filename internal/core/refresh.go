@@ -4,21 +4,29 @@ import (
 	"fmt"
 
 	"bigindex/internal/bisim"
+	"bigindex/internal/generalize"
 	"bigindex/internal/graph"
 )
 
-// Refresh rebuilds the index hierarchy over a new version of the data graph
-// while keeping the stored configurations — the data-update maintenance
-// strategy of Sec. 3.2: label-to-supertype decisions rarely change when
-// edges and vertices do, so only the (cheap) Gen + Bisim pipeline reruns,
-// skipping Algorithm 1's configuration search entirely.
+// Refreshed rebuilds the index hierarchy over a new version of the data
+// graph while keeping the stored configurations — the data-update
+// maintenance strategy of Sec. 3.2: label-to-supertype decisions rarely
+// change when edges and vertices do, so only the (cheap) Gen + Bisim
+// pipeline reruns, skipping Algorithm 1's configuration search entirely.
+//
+// The receiver is left untouched, so Refreshed is safe to call while x
+// concurrently serves queries: the caller swaps the returned index in
+// atomically once it is complete (the server's hot reload). The new
+// index's epoch is x's epoch + 1, so epoch-keyed result caches can never
+// answer post-swap traffic from pre-swap entries.
 //
 // The new graph must use the same dictionary as the old one (labels keep
-// their meaning). Layers whose configuration no longer generalizes anything
-// present in the evolved graph are dropped from the top.
-func (x *Index) Refresh(g *graph.Graph) error {
+// their meaning; see graph.Rebase for bringing a freshly read graph onto
+// it). Layers whose configuration no longer generalizes anything present
+// in the evolved graph are dropped from the top.
+func (x *Index) Refreshed(g *graph.Graph) (*Index, error) {
 	if g.Dict() != x.layers[0].Graph.Dict() {
-		return fmt.Errorf("core: Refresh requires the original dictionary")
+		return nil, fmt.Errorf("core: Refresh requires the original dictionary")
 	}
 	newLayers := []*Layer{{Graph: g}}
 	top := g
@@ -45,8 +53,25 @@ func (x *Index) Refresh(g *graph.Graph) error {
 		})
 		top = res.Summary
 	}
-	x.layers = newLayers
-	x.seq = x.seq[:len(newLayers)-1]
+	n := &Index{
+		ont:    x.ont,
+		layers: newLayers,
+		seq:    append(generalize.Sequence(nil), x.seq[:len(newLayers)-1]...),
+	}
+	n.epoch.Store(x.epoch.Load() + 1)
+	return n, nil
+}
+
+// Refresh is the in-place form of Refreshed: it replaces the receiver's
+// hierarchy and bumps its epoch. It must not race with in-flight queries
+// on x — concurrent serving uses Refreshed plus an atomic swap instead.
+func (x *Index) Refresh(g *graph.Graph) error {
+	n, err := x.Refreshed(g)
+	if err != nil {
+		return err
+	}
+	x.layers = n.layers
+	x.seq = n.seq
 	// Bump the version last: a cache keying on the new epoch must only
 	// ever observe the refreshed hierarchy.
 	x.epoch.Add(1)

@@ -1,0 +1,87 @@
+package faultio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFailWriter(t *testing.T) {
+	var buf bytes.Buffer
+	w := FailWriter(&buf, 5)
+	n, err := w.Write([]byte("abc"))
+	if n != 3 || err != nil {
+		t.Fatalf("in-budget write: n=%d err=%v", n, err)
+	}
+	// Straddling write: the in-budget prefix lands, the rest errors.
+	n, err = w.Write([]byte("defg"))
+	if n != 2 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("straddling write: n=%d err=%v", n, err)
+	}
+	if buf.String() != "abcde" {
+		t.Fatalf("written %q, want %q", buf.String(), "abcde")
+	}
+	if _, err := w.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-budget write: %v", err)
+	}
+}
+
+func TestShortWriterLies(t *testing.T) {
+	var buf bytes.Buffer
+	w := ShortWriter(&buf, 4)
+	for _, chunk := range []string{"ab", "cd", "ef"} {
+		n, err := w.Write([]byte(chunk))
+		if n != len(chunk) || err != nil {
+			t.Fatalf("lying disk reported n=%d err=%v for %q", n, err, chunk)
+		}
+	}
+	if buf.String() != "abcd" {
+		t.Fatalf("kept %q, want %q", buf.String(), "abcd")
+	}
+}
+
+func TestFailReader(t *testing.T) {
+	r := FailReader(strings.NewReader("abcdef"), 4)
+	got, err := io.ReadAll(r)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err=%v, want ErrInjected", err)
+	}
+	if string(got) != "abcd" {
+		t.Fatalf("read %q before failing, want %q", got, "abcd")
+	}
+}
+
+func TestShortReaderCleanEOF(t *testing.T) {
+	got, err := io.ReadAll(ShortReader(strings.NewReader("abcdef"), 4))
+	if err != nil || string(got) != "abcd" {
+		t.Fatalf("got %q err=%v", got, err)
+	}
+}
+
+func TestSlowWrappersForward(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := SlowWriter(&buf, time.Microsecond).Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(SlowReader(strings.NewReader("y"), time.Microsecond))
+	if err != nil || string(got) != "y" || buf.String() != "x" {
+		t.Fatalf("slow wrappers mangled data: %q %q %v", buf.String(), got, err)
+	}
+}
+
+func TestHooksAndFlip(t *testing.T) {
+	if !errors.Is(FsyncError(nil), ErrInjected) {
+		t.Fatal("FsyncError sentinel")
+	}
+	if !errors.Is(RenameError("a", "b"), ErrInjected) {
+		t.Fatal("RenameError sentinel")
+	}
+	orig := []byte{1, 2, 3}
+	flipped := Flip(orig, 1)
+	if flipped[1] != 2^0xff || orig[1] != 2 {
+		t.Fatalf("Flip must copy: orig=%v flipped=%v", orig, flipped)
+	}
+}

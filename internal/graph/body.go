@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"encoding/binary"
 	"fmt"
 	"io"
 )
@@ -71,6 +72,120 @@ func ReadBody(r io.Reader, dict *Dict) (*Graph, error) {
 		b.AddEdge(V(from), V(to))
 	}
 	return b.Build(), nil
+}
+
+// ReadBodyBytes decodes a WriteBody payload held fully in memory — the
+// fast path for snapshot loading, where the reader-stack call per u32 of
+// ReadBody dominates restore time. Every bound is checked against the
+// buffer length before the corresponding allocation, so a hostile count
+// can never allocate beyond the bytes actually present, and the payload
+// must be consumed exactly (a section carries one body, nothing else).
+//
+// WriteBody emits edges sorted by (From, To) with duplicates removed, so
+// the CSR arrays are filled directly from the wire — no edge-list
+// materialization, copy, or sort. Input violating that order (no writer
+// in this repo produces it, but the format does not forbid it) falls back
+// to the Builder, which sorts and deduplicates.
+func ReadBodyBytes(data []byte, dict *Dict) (*Graph, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("%w: truncated body", ErrBadFormat)
+	}
+	nV := binary.LittleEndian.Uint32(data)
+	if uint64(len(data)) < 8+4*uint64(nV) {
+		return nil, fmt.Errorf("%w: body shorter than %d vertex labels", ErrBadFormat, nV)
+	}
+	labels := make([]Label, nV)
+	off := 4
+	for i := range labels {
+		l := binary.LittleEndian.Uint32(data[off:])
+		off += 4
+		if l == 0 || int(l) > dict.Len() {
+			return nil, fmt.Errorf("%w: vertex label %d outside dictionary", ErrBadFormat, l)
+		}
+		labels[i] = Label(l)
+	}
+	nE := binary.LittleEndian.Uint32(data[off:])
+	off += 4
+	if uint64(len(data)-off) != 8*uint64(nE) {
+		return nil, fmt.Errorf("%w: body length inconsistent with %d edges", ErrBadFormat, nE)
+	}
+
+	outOff := make([]uint32, nV+1)
+	inOff := make([]uint32, nV+1)
+	sorted := true
+	var prevF, prevT uint32
+	for i, p := uint32(0), off; i < nE; i, p = i+1, p+8 {
+		f := binary.LittleEndian.Uint32(data[p:])
+		t := binary.LittleEndian.Uint32(data[p+4:])
+		if f >= nV || t >= nV {
+			return nil, fmt.Errorf("%w: edge (%d,%d) out of range", ErrBadFormat, f, t)
+		}
+		if i > 0 && (f < prevF || (f == prevF && t <= prevT)) {
+			sorted = false
+		}
+		prevF, prevT = f, t
+		outOff[f+1]++
+		inOff[t+1]++
+	}
+	if !sorted {
+		b := NewBuilder(dict)
+		for _, l := range labels {
+			b.AddVertexLabel(l)
+		}
+		for i, p := uint32(0), off; i < nE; i, p = i+1, p+8 {
+			b.AddEdge(V(binary.LittleEndian.Uint32(data[p:])),
+				V(binary.LittleEndian.Uint32(data[p+4:])))
+		}
+		return b.Build(), nil
+	}
+
+	for i := uint32(0); i < nV; i++ {
+		outOff[i+1] += outOff[i]
+		inOff[i+1] += inOff[i]
+	}
+	outAdj := make([]V, nE)
+	inAdj := make([]V, nE)
+	next := make([]uint32, nV)
+	copy(next, inOff[:nV])
+	for i, p := uint32(0), off; i < nE; i, p = i+1, p+8 {
+		f := binary.LittleEndian.Uint32(data[p:])
+		t := binary.LittleEndian.Uint32(data[p+4:])
+		outAdj[i] = V(t) // edges arrive in CSR order already
+		inAdj[next[t]] = V(f)
+		next[t]++
+	}
+	// Posting lists carved out of one flat allocation rather than grown
+	// per label; rows stay ascending because the fill walks vertices in
+	// order. Capped subslices keep the rows from aliasing on append.
+	counts := make([]uint32, dict.Len()+1)
+	for _, l := range labels {
+		counts[l]++
+	}
+	flat := make([]V, nV)
+	posting := make(map[Label][]V)
+	var start uint32
+	for l := 1; l <= dict.Len(); l++ {
+		if counts[l] == 0 {
+			continue
+		}
+		end := start + counts[l]
+		posting[Label(l)] = flat[start:end:end]
+		counts[l] = start // reuse as this label's write cursor
+		start = end
+	}
+	for v, l := range labels {
+		flat[counts[l]] = V(v)
+		counts[l]++
+	}
+	return &Graph{
+		dict:    dict,
+		labels:  labels,
+		outOff:  outOff,
+		outAdj:  outAdj,
+		inOff:   inOff,
+		inAdj:   inAdj,
+		posting: posting,
+	}, nil
 }
 
 // WriteDict serializes the dictionary alone (for containers).

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
 
@@ -14,23 +15,32 @@ import (
 //	nLabels u32   | for each: len u32, bytes
 //	nVertices u32 | for each: label u32
 //	nEdges u32    | for each: from u32, to u32
+//	crc u32       | CRC-32 (IEEE) of every preceding byte (version >= 2)
 //
 // The format stores the dictionary inline so a graph round-trips without an
 // external dictionary; on load a fresh Dict is created.
+//
+// Version 2 appends the CRC trailer. Version 1 files (no trailer) are still
+// read: they predate the trailer and their record counts bound the parse,
+// but they cannot detect in-range bit flips (an edge endpoint silently
+// rewritten to another valid vertex) or a file cut exactly after a
+// complete prefix of the stream — the trailer closes both holes.
 
 const (
 	ioMagic   = "BIGG"
-	ioVersion = 1
+	ioVersion = 2
 )
 
 // ErrBadFormat is returned when decoding input that is not a serialized
 // graph produced by WriteTo.
 var ErrBadFormat = errors.New("graph: bad serialized format")
 
-// WriteTo serializes g to w in the binary format above.
+// WriteTo serializes g to w in the binary format above (version 2: body
+// followed by a CRC-32 trailer over every preceding byte).
 func (g *Graph) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriter(w)
-	cw := &countWriter{w: bw}
+	crc := crc32.NewIEEE()
+	cw := &countWriter{w: io.MultiWriter(bw, crc)}
 
 	if _, err := cw.Write([]byte(ioMagic)); err != nil {
 		return cw.n, err
@@ -75,35 +85,49 @@ func (g *Graph) WriteTo(w io.Writer) (int64, error) {
 			}
 		}
 	}
+
+	// Trailer: the checksum itself is not part of the checksummed stream.
+	var tb [4]byte
+	binary.LittleEndian.PutUint32(tb[:], crc.Sum32())
+	if _, err := bw.Write(tb[:]); err != nil {
+		return cw.n, err
+	}
+	cw.n += 4
 	return cw.n, bw.Flush()
 }
 
-// Read deserializes a graph written by WriteTo.
+// Read deserializes a graph written by WriteTo. Version 2 input is
+// verified against its CRC trailer; version 1 input is accepted as-is for
+// compatibility with pre-trailer files.
 func Read(r io.Reader) (*Graph, error) {
 	br := bufio.NewReader(r)
+	crc := crc32.NewIEEE()
+	// Everything up to the trailer is hashed as it is parsed; the trailer
+	// itself is read from br directly, past the tee.
+	tr := io.TeeReader(br, crc)
 
 	magic := make([]byte, 4)
-	if _, err := io.ReadFull(br, magic); err != nil {
+	if _, err := io.ReadFull(tr, magic); err != nil {
 		return nil, fmt.Errorf("graph: reading magic: %w", err)
 	}
 	if string(magic) != ioMagic {
 		return nil, ErrBadFormat
 	}
-	ver, err := readU32(br)
+	ver, err := readU32(tr)
 	if err != nil {
 		return nil, err
 	}
-	if ver != ioVersion {
+	if ver != 1 && ver != ioVersion {
 		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, ver)
 	}
 
-	nLabels, err := readU32(br)
+	nLabels, err := readU32(tr)
 	if err != nil {
 		return nil, err
 	}
 	dict := NewDict()
 	for i := uint32(0); i < nLabels; i++ {
-		n, err := readU32(br)
+		n, err := readU32(tr)
 		if err != nil {
 			return nil, err
 		}
@@ -111,19 +135,19 @@ func Read(r io.Reader) (*Graph, error) {
 			return nil, fmt.Errorf("%w: label length %d too large", ErrBadFormat, n)
 		}
 		buf := make([]byte, n)
-		if _, err := io.ReadFull(br, buf); err != nil {
+		if _, err := io.ReadFull(tr, buf); err != nil {
 			return nil, fmt.Errorf("graph: reading label: %w", err)
 		}
 		dict.Intern(string(buf))
 	}
 
-	nV, err := readU32(br)
+	nV, err := readU32(tr)
 	if err != nil {
 		return nil, err
 	}
 	b := NewBuilder(dict)
 	for i := uint32(0); i < nV; i++ {
-		l, err := readU32(br)
+		l, err := readU32(tr)
 		if err != nil {
 			return nil, err
 		}
@@ -133,16 +157,16 @@ func Read(r io.Reader) (*Graph, error) {
 		b.AddVertexLabel(Label(l))
 	}
 
-	nE, err := readU32(br)
+	nE, err := readU32(tr)
 	if err != nil {
 		return nil, err
 	}
 	for i := uint32(0); i < nE; i++ {
-		from, err := readU32(br)
+		from, err := readU32(tr)
 		if err != nil {
 			return nil, err
 		}
-		to, err := readU32(br)
+		to, err := readU32(tr)
 		if err != nil {
 			return nil, err
 		}
@@ -150,6 +174,17 @@ func Read(r io.Reader) (*Graph, error) {
 			return nil, fmt.Errorf("%w: edge (%d,%d) out of range", ErrBadFormat, from, to)
 		}
 		b.AddEdge(V(from), V(to))
+	}
+
+	if ver >= 2 {
+		want := crc.Sum32()
+		var tb [4]byte
+		if _, err := io.ReadFull(br, tb[:]); err != nil {
+			return nil, fmt.Errorf("%w: missing checksum trailer: %v", ErrBadFormat, err)
+		}
+		if got := binary.LittleEndian.Uint32(tb[:]); got != want {
+			return nil, fmt.Errorf("%w: checksum mismatch (file %08x, computed %08x)", ErrBadFormat, got, want)
+		}
 	}
 	return b.Build(), nil
 }

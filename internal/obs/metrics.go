@@ -185,6 +185,15 @@ func (g *Gauge) expose(w io.Writer, name, labels string) {
 	fmt.Fprintf(w, "%s%s %s\n", name, braced(labels), formatFloat(g.Value()))
 }
 
+// funcGauge is a gauge whose value is computed at exposition time. It
+// backs Registry.GaugeFunc for values that are derived rather than stored
+// (e.g. seconds since the served index was last refreshed).
+type funcGauge func() float64
+
+func (g funcGauge) expose(w io.Writer, name, labels string) {
+	fmt.Fprintf(w, "%s%s %s\n", name, braced(labels), formatFloat(g()))
+}
+
 // Histogram is a fixed-bucket latency/size histogram. Buckets are upper
 // bounds in ascending order; an implicit +Inf bucket catches the rest.
 type Histogram struct {
@@ -272,6 +281,17 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	}
 	f := r.familyFor(name, help, "gauge", nil, nil)
 	return f.child(nil, func() metric { return &Gauge{} }).(*Gauge)
+}
+
+// GaugeFunc registers the unlabeled gauge `name` whose value is fn(),
+// evaluated at every exposition. fn must be safe for concurrent calls.
+// Registering the same name again keeps the first function. Nil-safe.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	if r == nil || fn == nil {
+		return
+	}
+	f := r.familyFor(name, help, "gauge", nil, nil)
+	f.child(nil, func() metric { return funcGauge(fn) })
 }
 
 // Histogram returns the unlabeled histogram `name` (nil buckets =

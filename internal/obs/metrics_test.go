@@ -127,3 +127,31 @@ func TestConcurrentMetrics(t *testing.T) {
 		t.Fatalf("histogram count = %d", h.Count())
 	}
 }
+
+// GaugeFunc computes its value at exposition time — the staleness-seconds
+// pattern, where the value is a function of the clock rather than a
+// stored sample.
+func TestGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	v := 1.5
+	r.GaugeFunc("staleness_seconds", "Seconds since last reload.", func() float64 { return v })
+
+	var buf strings.Builder
+	r.WritePrometheus(&buf)
+	if !strings.Contains(buf.String(), "staleness_seconds 1.5\n") ||
+		!strings.Contains(buf.String(), "# TYPE staleness_seconds gauge") {
+		t.Fatalf("exposition:\n%s", buf.String())
+	}
+
+	v = 2.5 // re-expose: the function is consulted each time
+	buf.Reset()
+	r.WritePrometheus(&buf)
+	if !strings.Contains(buf.String(), "staleness_seconds 2.5\n") {
+		t.Fatalf("re-exposition:\n%s", buf.String())
+	}
+
+	// Nil receiver and nil fn are safe no-ops (matching Gauge semantics).
+	var nilReg *Registry
+	nilReg.GaugeFunc("x", "", func() float64 { return 0 })
+	r.GaugeFunc("y", "", nil)
+}

@@ -213,11 +213,11 @@ func TestConcurrentIdenticalQueriesEvalOnce(t *testing.T) {
 		ExtraAlgorithms: map[string]search.Algorithm{"sf": slow},
 	})
 	kw := popularTerm(ds)
-	q, _, err := s.resolveKeywords([]string{kw})
+	q, _, err := s.resolveKeywords(s.st(), []string{kw})
 	if err != nil {
 		t.Fatal(err)
 	}
-	key := qcache.Key("sf", true, q, 10, -1, s.idx.Epoch())
+	key := qcache.Key("sf", true, q, 10, -1, s.Index().Epoch())
 	path := "/query?q=" + url.QueryEscape(kw) + "&algo=sf&direct=1"
 
 	var wg sync.WaitGroup
@@ -295,10 +295,10 @@ func TestRefreshMidFlightNeverServesStale(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	if err := s.idx.Refresh(ds.Graph); err != nil {
+	if err := s.Index().Refresh(ds.Graph); err != nil {
 		t.Fatalf("Refresh: %v", err)
 	}
-	if got := s.idx.Epoch(); got != 1 {
+	if got := s.Index().Epoch(); got != 1 {
 		t.Fatalf("epoch after Refresh = %d, want 1", got)
 	}
 	close(release)

@@ -1,0 +1,264 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bigindex/internal/core"
+	"bigindex/internal/datagen"
+	"bigindex/internal/graph"
+	"bigindex/internal/obs"
+)
+
+func post(t *testing.T, s *Server, path string) (*httptest.ResponseRecorder, map[string]interface{}) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	body := map[string]interface{}{}
+	_ = json.Unmarshal(rec.Body.Bytes(), &body)
+	return rec, body
+}
+
+// regenSource re-generates the same dataset on every call, each time with
+// a fresh dictionary — exercising the rebase path exactly like a daemon
+// that re-reads its data file from disk.
+func regenSource(fail *atomic.Bool) func(context.Context) (*graph.Graph, error) {
+	return func(context.Context) (*graph.Graph, error) {
+		if fail != nil && fail.Load() {
+			return nil, errors.New("injected source outage")
+		}
+		ds := datagen.Generate(datagen.Options{
+			Name: "srv", Entities: 1200, Terms: 100, LeafTypes: 8, Seed: 99,
+		})
+		return ds.Graph, nil
+	}
+}
+
+func TestAdminReloadSwapsIndex(t *testing.T) {
+	s, ds := testServer(t)
+	NewReloader(s, ReloaderOptions{Source: regenSource(nil)})
+	kw := popularTerm(ds)
+
+	rec, before := get(t, s, "/query?q="+kw+"&algo=bkws&k=5")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("pre-reload query: %d", rec.Code)
+	}
+
+	rec, body := post(t, s, "/admin/reload")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("reload: %d: %s", rec.Code, rec.Body.String())
+	}
+	if body["status"] != "reloaded" || body["epoch"] != float64(1) {
+		t.Fatalf("reload body: %v", body)
+	}
+	if got := s.Index().Epoch(); got != 1 {
+		t.Fatalf("served epoch = %d, want 1", got)
+	}
+
+	// Same data regenerated → same answers, from the new index.
+	rec, after := get(t, s, "/query?q="+kw+"&algo=bkws&k=5")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("post-reload query: %d", rec.Code)
+	}
+	if fmt.Sprint(before["answers"]) != fmt.Sprint(after["answers"]) {
+		t.Fatal("identical data reloaded but answers changed")
+	}
+
+	// /stats reports the reload state.
+	_, stats := get(t, s, "/stats")
+	rl, _ := stats["reload"].(map[string]interface{})
+	if rl == nil {
+		t.Fatalf("no reload block in /stats: %v", stats)
+	}
+	if rl["circuit_open"] != false || rl["consecutive_failures"] != float64(0) {
+		t.Fatalf("reload stats: %v", rl)
+	}
+	if stats["epoch"] != float64(1) {
+		t.Fatalf("stats epoch: %v", stats["epoch"])
+	}
+}
+
+func TestAdminReloadMethodAndUnconfigured(t *testing.T) {
+	s, _ := testServer(t)
+
+	// No reloader wired: the admin surface stays closed.
+	rec, _ := post(t, s, "/admin/reload")
+	if rec.Code != http.StatusNotImplemented {
+		t.Fatalf("unconfigured reload: %d", rec.Code)
+	}
+
+	NewReloader(s, ReloaderOptions{Source: regenSource(nil)})
+	rec, _ = get(t, s, "/admin/reload")
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET reload: %d", rec.Code)
+	}
+	if rec.Header().Get("Allow") != http.MethodPost {
+		t.Fatalf("Allow header: %q", rec.Header().Get("Allow"))
+	}
+}
+
+func TestReloadFailureKeepsServing(t *testing.T) {
+	s, ds := testServer(t)
+	var down atomic.Bool
+	down.Store(true)
+	NewReloader(s, ReloaderOptions{Source: regenSource(&down)})
+
+	rec, _ := post(t, s, "/admin/reload")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("failed reload: %d", rec.Code)
+	}
+	if got := s.Index().Epoch(); got != 0 {
+		t.Fatalf("failed reload advanced epoch to %d", got)
+	}
+
+	// The last good index keeps answering and readiness stays green.
+	rec, _ = get(t, s, "/query?q="+popularTerm(ds)+"&algo=bidir&k=3")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("query after failed reload: %d", rec.Code)
+	}
+	rec, _ = get(t, s, "/readyz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("readyz after failed reload: %d", rec.Code)
+	}
+	_, stats := get(t, s, "/stats")
+	rl, _ := stats["reload"].(map[string]interface{})
+	if rl == nil || rl["consecutive_failures"] != float64(1) {
+		t.Fatalf("reload stats after failure: %v", rl)
+	}
+
+	// Recovery resets the failure count.
+	down.Store(false)
+	if rec, _ := post(t, s, "/admin/reload"); rec.Code != http.StatusOK {
+		t.Fatalf("recovery reload: %d", rec.Code)
+	}
+	_, stats = get(t, s, "/stats")
+	rl, _ = stats["reload"].(map[string]interface{})
+	if rl["consecutive_failures"] != float64(0) || rl["circuit_open"] != false {
+		t.Fatalf("reload stats after recovery: %v", rl)
+	}
+}
+
+// The background loop retries failed reloads with backoff until the
+// circuit opens, and a healed source closes it again — all without the
+// serving index ever regressing.
+func TestRunBackoffOpensAndClosesCircuit(t *testing.T) {
+	s, _ := testServer(t)
+	var down atomic.Bool
+	down.Store(true)
+	rl := NewReloader(s, ReloaderOptions{
+		Source:        regenSource(&down),
+		MinBackoff:    time.Millisecond,
+		MaxBackoff:    5 * time.Millisecond,
+		FailThreshold: 3,
+		Seed:          1,
+		Logger:        obs.DiscardLogger(),
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() { defer close(done); rl.Run(ctx) }()
+
+	rl.Trigger()
+	waitFor(t, "circuit open", func() bool { return rl.Health().CircuitOpen })
+	if got := s.Index().Epoch(); got != 0 {
+		t.Fatalf("failing loop advanced epoch to %d", got)
+	}
+
+	down.Store(false)
+	waitFor(t, "circuit closed after recovery", func() bool {
+		h := rl.Health()
+		return !h.CircuitOpen && h.ConsecutiveFailures == 0
+	})
+	if got := s.Index().Epoch(); got == 0 {
+		t.Fatal("recovered loop never swapped a fresh index in")
+	}
+
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after cancel")
+	}
+}
+
+func waitFor(t *testing.T, what string, ok func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if ok() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// AfterSwap failing must not fail the reload: the fresh index is already
+// serving, so the response is a success carrying the persist error.
+func TestAfterSwapFailureIsNonFatal(t *testing.T) {
+	s, _ := testServer(t)
+	NewReloader(s, ReloaderOptions{
+		Source:    regenSource(nil),
+		AfterSwap: func(context.Context, *core.Index) error { return errors.New("disk full") },
+	})
+	rec, body := post(t, s, "/admin/reload")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("reload with failing AfterSwap: %d", rec.Code)
+	}
+	if body["persist_error"] != "disk full" {
+		t.Fatalf("persist_error: %v", body["persist_error"])
+	}
+	if got := s.Index().Epoch(); got != 1 {
+		t.Fatalf("epoch = %d, want 1", got)
+	}
+}
+
+// In-flight queries run against a consistent index bundle while reloads
+// swap underneath them; run with -race this is the hot-swap safety proof.
+func TestQueriesDuringReloads(t *testing.T) {
+	s, ds := testServer(t)
+	NewReloader(s, ReloaderOptions{Source: regenSource(nil)})
+	kw := popularTerm(ds)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(algo string) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				req := httptest.NewRequest(http.MethodGet, "/query?q="+kw+"&algo="+algo+"&k=3", nil)
+				rec := httptest.NewRecorder()
+				s.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					t.Errorf("%s during reload: %d: %s", algo, rec.Code, rec.Body.String())
+					return
+				}
+			}
+		}([]string{"bkws", "bidir", "blinks", "rclique"}[i])
+	}
+	for i := 0; i < 3; i++ {
+		if rec, _ := post(t, s, "/admin/reload"); rec.Code != http.StatusOK {
+			t.Errorf("reload %d: %d", i, rec.Code)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if got := s.Index().Epoch(); got != 3 {
+		t.Fatalf("epoch = %d, want 3", got)
+	}
+}

@@ -128,20 +128,31 @@ type CacheOptions struct {
 	Bytes int64
 }
 
+// indexState bundles everything derived from one version of the index:
+// the index itself, the text index over its data graph, and the shared
+// evaluators (which cache per-layer prepared indexes). A hot reload swaps
+// the whole bundle atomically, so a request that loaded the state at entry
+// sees one consistent version end to end; the old bundle stays valid for
+// requests still holding it and is garbage-collected when they finish.
+type indexState struct {
+	idx *core.Index
+	tix *text.Index
+	mu  sync.Mutex
+	evs map[string]*core.Evaluator
+}
+
 // Server handles HTTP requests against one index.
 type Server struct {
-	idx      *core.Index
+	state    atomic.Pointer[indexState]
 	ont      *ontology.Ontology
-	tix      *text.Index
 	opt      Options
-	mu       sync.Mutex
-	evs      map[string]*core.Evaluator
 	mux      *http.ServeMux
 	handler  http.Handler
 	boot     time.Time
-	sem      chan struct{} // load-shedding slots (nil = unbounded)
-	draining atomic.Bool   // readiness flips to 503 during shutdown drain
-	cache    *qcache.Cache // query result cache (nil = disabled)
+	sem      chan struct{}            // load-shedding slots (nil = unbounded)
+	draining atomic.Bool              // readiness flips to 503 during shutdown drain
+	cache    *qcache.Cache            // query result cache (nil = disabled)
+	reloader atomic.Pointer[Reloader] // set by SetReloader; nil = /admin/reload disabled
 
 	reg       *obs.Registry
 	cacheSec  *obs.HistogramVec // end-to-end /query latency by cache outcome
@@ -153,12 +164,19 @@ type Server struct {
 	shed      *obs.Counter      // 429s from the load-shedding gate
 	panics    *obs.Counter      // handler panics contained by recoverPanics
 	inflightQ *obs.Gauge        // queries currently evaluating
+
+	// Index-shape gauges, re-set on every hot swap.
+	idxLayers *obs.Gauge
+	idxSize   *obs.Gauge
+	gVerts    *obs.Gauge
+	gEdges    *obs.Gauge
 }
 
 // knownPaths bounds the path label cardinality of the HTTP metrics.
 var knownPaths = map[string]bool{
 	"/query": true, "/explain": true, "/complete": true,
 	"/stats": true, "/metrics": true, "/healthz": true, "/readyz": true,
+	"/admin/reload": true,
 }
 
 // New creates a server over a built index.
@@ -191,15 +209,13 @@ func New(idx *core.Index, ont *ontology.Ontology, opt Options) *Server {
 		opt.ShedWait = 0
 	}
 	s := &Server{
-		idx:  idx,
 		ont:  ont,
-		tix:  text.NewIndex(idx.Data().Dict(), idx.Data()),
 		opt:  opt,
-		evs:  map[string]*core.Evaluator{},
 		mux:  http.NewServeMux(),
 		boot: time.Now(),
 		reg:  opt.Metrics,
 	}
+	s.state.Store(newIndexState(idx))
 	if opt.MaxInFlight > 0 {
 		s.sem = make(chan struct{}, opt.MaxInFlight)
 	}
@@ -244,20 +260,17 @@ func New(idx *core.Index, ont *ontology.Ontology, opt Options) *Server {
 		"Handler panics contained by the recovery middleware.")
 	s.inflightQ = s.reg.Gauge("bigindex_queries_inflight",
 		"Queries currently being evaluated (admitted past the shedding gate).")
-	st := s.idx.Stats()
-	s.reg.Gauge("bigindex_index_layers", "Summary layers in the served index (h).").
-		Set(float64(idx.NumLayers() - 1))
-	s.reg.Gauge("bigindex_index_size", "BiG-index size (sum of summary graph sizes).").
-		Set(float64(idx.TotalSize()))
-	s.reg.Gauge("bigindex_graph_vertices", "Data graph vertices.").
-		Set(float64(st.Layers[0].Vertices))
-	s.reg.Gauge("bigindex_graph_edges", "Data graph edges.").
-		Set(float64(st.Layers[0].Edges))
+	s.idxLayers = s.reg.Gauge("bigindex_index_layers", "Summary layers in the served index (h).")
+	s.idxSize = s.reg.Gauge("bigindex_index_size", "BiG-index size (sum of summary graph sizes).")
+	s.gVerts = s.reg.Gauge("bigindex_graph_vertices", "Data graph vertices.")
+	s.gEdges = s.reg.Gauge("bigindex_graph_edges", "Data graph edges.")
+	s.setIndexGauges(idx)
 
 	s.mux.HandleFunc("/query", s.shedded(s.handleQuery))
 	s.mux.HandleFunc("/explain", s.handleExplain)
 	s.mux.HandleFunc("/complete", s.handleComplete)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/admin/reload", s.handleAdminReload)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/readyz", s.handleReady)
 	s.mux.Handle("/metrics", s.reg.Handler())
@@ -282,6 +295,46 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.S
 // Metrics returns the server's registry (for tests and embedding).
 func (s *Server) Metrics() *obs.Registry { return s.reg }
 
+func newIndexState(idx *core.Index) *indexState {
+	return &indexState{
+		idx: idx,
+		tix: text.NewIndex(idx.Data().Dict(), idx.Data()),
+		evs: map[string]*core.Evaluator{},
+	}
+}
+
+// st returns the current index state; handlers load it once at entry so a
+// concurrent swap cannot mix two index versions within one request.
+func (s *Server) st() *indexState { return s.state.Load() }
+
+// Index returns the currently served index.
+func (s *Server) Index() *core.Index { return s.st().idx }
+
+// SwapIndex atomically replaces the served index with a new version: the
+// text index and evaluator pool are rebuilt against it, the index-shape
+// gauges are re-set, and subsequent requests see only the new bundle.
+// In-flight requests finish against the version they started with — both
+// are internally consistent, and the result cache cannot bleed between
+// them because its keys embed the index epoch, which the new version has
+// bumped. The server's own epoch-keyed caching makes an explicit cache
+// flush unnecessary (and racy: a flush could evict entries a concurrent
+// old-epoch request just stored, or keep ones it stores after).
+func (s *Server) SwapIndex(idx *core.Index) {
+	s.state.Store(newIndexState(idx))
+	s.setIndexGauges(idx)
+}
+
+func (s *Server) setIndexGauges(idx *core.Index) {
+	s.idxLayers.Set(float64(idx.NumLayers() - 1))
+	s.idxSize.Set(float64(idx.TotalSize()))
+	s.gVerts.Set(float64(idx.Data().NumVertices()))
+	s.gEdges.Set(float64(idx.Data().NumEdges()))
+}
+
+// SetReloader wires a Reloader into the server: /admin/reload starts
+// delegating to it and /stats reports its health. Called once at startup.
+func (s *Server) SetReloader(r *Reloader) { s.reloader.Store(r) }
+
 func (s *Server) algorithm(name string) (search.Algorithm, error) {
 	if a, ok := s.opt.ExtraAlgorithms[name]; ok {
 		return a, nil
@@ -301,20 +354,21 @@ func (s *Server) algorithm(name string) (search.Algorithm, error) {
 }
 
 // evaluator returns (creating on first use) the shared evaluator for an
-// algorithm; evaluators cache per-layer prepared indexes across requests.
-// Evaluators are shared across requests with different k values, so their
-// options never encode a per-request k (mutating them would race with
-// in-flight queries): non-rclique evaluators run exhaustively (K=0) and
-// handleQuery clamps to the request's k at result time; rclique pins K to
-// the server-wide MaxK cap, which every request k is clamped under.
-func (s *Server) evaluator(name string) (*core.Evaluator, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// algorithm against one index version; evaluators cache per-layer prepared
+// indexes across requests. Evaluators are shared across requests with
+// different k values, so their options never encode a per-request k
+// (mutating them would race with in-flight queries): non-rclique
+// evaluators run exhaustively (K=0) and handleQuery clamps to the
+// request's k at result time; rclique pins K to the server-wide MaxK cap,
+// which every request k is clamped under.
+func (s *Server) evaluator(st *indexState, name string) (*core.Evaluator, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	key := name
 	if key == "" {
 		key = "blinks"
 	}
-	ev, ok := s.evs[key]
+	ev, ok := st.evs[key]
 	if !ok {
 		algo, err := s.algorithm(name)
 		if err != nil {
@@ -330,8 +384,8 @@ func (s *Server) evaluator(name string) (*core.Evaluator, error) {
 		} else {
 			opt.DegreeExponent = 1
 		}
-		ev = core.NewEvaluator(s.idx, algo, opt)
-		s.evs[key] = ev
+		ev = core.NewEvaluator(st.idx, algo, opt)
+		st.evs[key] = ev
 	}
 	return ev, nil
 }
@@ -393,7 +447,7 @@ func (s *Server) evalQuery(ctx context.Context, ev *core.Evaluator, q []graph.La
 // evaluation (singleflight), and &nocache=1 or a disabled cache bypass
 // both. A deadline expiry inside the evaluation comes back as a
 // degraded cachedResult with a nil error; other errors pass through.
-func (s *Server) runQuery(ctx context.Context, ev *core.Evaluator, algo string, q []graph.Label,
+func (s *Server) runQuery(ctx context.Context, st *indexState, ev *core.Evaluator, algo string, q []graph.Label,
 	k, forcedLayer int, direct, nocache bool) (cachedResult, qcache.Outcome, error) {
 	compute := func(cctx context.Context) (qcache.Result, error) {
 		cr, err := s.evalQuery(cctx, ev, q, k, forcedLayer, direct)
@@ -416,7 +470,7 @@ func (s *Server) runQuery(ctx context.Context, ev *core.Evaluator, algo string, 
 		cr, _ := res.V.(cachedResult)
 		return cr, qcache.Bypass, err
 	}
-	epoch := s.idx.Epoch()
+	epoch := st.idx.Epoch()
 	key := qcache.Key(algo, direct, q, k, forcedLayer, epoch)
 	// The Cache span is a leaf beside the evaluation spans: it records the
 	// lookup outcome while Select/Search/... stay children of the root.
@@ -448,6 +502,7 @@ func (s *Server) Warm(ctx context.Context, queries []string) (int, error) {
 	if s.cache == nil {
 		return 0, fmt.Errorf("query cache is disabled")
 	}
+	st := s.st()
 	warmed := 0
 	var errs []error
 	for _, line := range queries {
@@ -476,17 +531,17 @@ func (s *Server) Warm(ctx context.Context, queries []string) (int, error) {
 			}
 			k = v
 		}
-		q, _, err := s.resolveKeywords(strings.Split(fields[0], ","))
+		q, _, err := s.resolveKeywords(st, strings.Split(fields[0], ","))
 		if err != nil {
 			errs = append(errs, fmt.Errorf("warm %q: %w", line, err))
 			continue
 		}
-		ev, err := s.evaluator(algoName)
+		ev, err := s.evaluator(st, algoName)
 		if err != nil {
 			errs = append(errs, fmt.Errorf("warm %q: %w", line, err))
 			continue
 		}
-		cr, _, err := s.runQuery(ctx, ev, orDefault(algoName, "blinks"), q, k, -1, false, false)
+		cr, _, err := s.runQuery(ctx, st, ev, orDefault(algoName, "blinks"), q, k, -1, false, false)
 		if err != nil {
 			errs = append(errs, fmt.Errorf("warm %q: %w", line, err))
 			continue
@@ -562,19 +617,19 @@ func (s *Server) queryDeadline(r *http.Request) (time.Duration, error) {
 // Canonicalization means semantically identical queries — "b,a,a" and
 // "a,b" — share one cache key, one singleflight slot, and one
 // evaluation.
-func (s *Server) resolve(r *http.Request) ([]graph.Label, []string, error) {
+func (s *Server) resolve(st *indexState, r *http.Request) ([]graph.Label, []string, error) {
 	qparam := r.URL.Query().Get("q")
 	if qparam == "" {
 		return nil, nil, fmt.Errorf("missing q parameter")
 	}
-	return s.resolveKeywords(strings.Split(qparam, ","))
+	return s.resolveKeywords(st, strings.Split(qparam, ","))
 }
 
-func (s *Server) resolveKeywords(kws []string) ([]graph.Label, []string, error) {
+func (s *Server) resolveKeywords(st *indexState, kws []string) ([]graph.Label, []string, error) {
 	for i := range kws {
 		kws[i] = strings.TrimSpace(kws[i])
 	}
-	q, notes, err := s.tix.Resolve(kws, s.idx.Data())
+	q, notes, err := st.tix.Resolve(kws, st.idx.Data())
 	if err != nil {
 		return nil, notes, err
 	}
@@ -583,7 +638,8 @@ func (s *Server) resolveKeywords(kws []string) ([]graph.Label, []string, error) 
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	ctx := r.Context()
-	q, notes, err := s.resolve(r)
+	st := s.st() // one consistent index version for the whole request
+	q, notes, err := s.resolve(st, r)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
@@ -602,9 +658,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	if forcedLayer >= s.idx.NumLayers() {
+	if forcedLayer >= st.idx.NumLayers() {
 		httpError(w, http.StatusBadRequest,
-			fmt.Errorf("layer %d out of range (index has layers 0..%d)", forcedLayer, s.idx.NumLayers()-1))
+			fmt.Errorf("layer %d out of range (index has layers 0..%d)", forcedLayer, st.idx.NumLayers()-1))
 		return
 	}
 	timeout, err := s.queryDeadline(r)
@@ -612,7 +668,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	ev, err := s.evaluator(algoName)
+	ev, err := s.evaluator(st, algoName)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
@@ -637,7 +693,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		slog.String("mode", mode))
 
 	start := time.Now()
-	cr, outcome, err := s.runQuery(ctx, ev, algo, q, k, forcedLayer, direct, nocache)
+	cr, outcome, err := s.runQuery(ctx, st, ev, algo, q, k, forcedLayer, direct, nocache)
 	elapsed := time.Since(start)
 	degradedReason := cr.degraded
 	if err != nil {
@@ -673,8 +729,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	obs.AddLogAttrs(ctx, slog.Int("layer", cr.layer), slog.Int("count", len(ms)),
 		slog.String("cache", string(outcome)))
 
-	dict := s.idx.Data().Dict()
-	g := s.idx.Data()
+	dict := st.idx.Data().Dict()
+	g := st.idx.Data()
 	resp := queryResponse{
 		Algorithm: algo,
 		Layer:     cr.layer,
@@ -707,18 +763,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
-	q, notes, err := s.resolve(r)
+	st := s.st()
+	q, notes, err := s.resolve(st, r)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	ev, err := s.evaluator(r.URL.Query().Get("algo"))
+	ev, err := s.evaluator(st, r.URL.Query().Get("algo"))
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
 	plan := ev.ExplainCtx(r.Context(), q)
-	dict := s.idx.Data().Dict()
+	dict := st.idx.Data().Dict()
 	type layerJSON struct {
 		Layer       int      `json:"layer"`
 		Cost        *float64 `json:"cost,omitempty"`
@@ -755,9 +812,10 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 	if limit <= 0 || limit > 100 {
 		limit = 10
 	}
-	dict := s.idx.Data().Dict()
+	st := s.st()
+	dict := st.idx.Data().Dict()
 	var names []string
-	for _, l := range s.tix.Prefix(prefix, limit) {
+	for _, l := range st.tix.Prefix(prefix, limit) {
 		names = append(names, dict.Name(l))
 	}
 	writeJSON(w, struct {
@@ -767,7 +825,8 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	g := s.idx.Data()
+	st := s.st()
+	g := st.idx.Data()
 	gs := graph.ComputeStats(g)
 	type cacheJSON struct {
 		Entries int64 `json:"entries"`
@@ -776,17 +835,33 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Misses  int64 `json:"misses"`
 		Shared  int64 `json:"shared"`
 	}
+	type reloadJSON struct {
+		LastSuccess      string `json:"last_success"`
+		StalenessSeconds int64  `json:"staleness_seconds"`
+		Failures         int64  `json:"consecutive_failures"`
+		CircuitOpen      bool   `json:"circuit_open"`
+	}
 	out := struct {
 		Graph  graph.Stats       `json:"graph"`
 		Layers []core.LayerStats `json:"layers"`
 		Epoch  uint64            `json:"epoch"`
 		Cache  *cacheJSON        `json:"cache,omitempty"`
+		Reload *reloadJSON       `json:"reload,omitempty"`
 		Uptime string            `json:"uptime"`
-	}{gs, s.idx.Stats().Layers, s.idx.Epoch(), nil,
+	}{gs, st.idx.Stats().Layers, st.idx.Epoch(), nil, nil,
 		time.Since(s.boot).Round(time.Second).String()}
 	if s.cache != nil {
 		cs := s.cache.Stats()
 		out.Cache = &cacheJSON{cs.Entries, cs.Bytes, cs.Hits, cs.Misses, cs.Shared}
+	}
+	if rl := s.reloader.Load(); rl != nil {
+		h := rl.Health()
+		out.Reload = &reloadJSON{
+			LastSuccess:      h.LastSuccess.UTC().Format(time.RFC3339),
+			StalenessSeconds: int64(h.Staleness.Seconds()),
+			Failures:         h.ConsecutiveFailures,
+			CircuitOpen:      h.CircuitOpen,
+		}
 	}
 	writeJSON(w, out)
 }

@@ -1,0 +1,63 @@
+package snapshot
+
+import (
+	"bytes"
+	"testing"
+
+	"bigindex/internal/core"
+	"bigindex/internal/datagen"
+)
+
+// FuzzLoad hardens the snapshot decoder the way internal/graph's FuzzRead
+// hardens the graph decoder: arbitrary bytes must produce either a typed
+// error or a fully validated index — never a panic, a hang, an oversized
+// allocation, or a structurally inconsistent hierarchy.
+func FuzzLoad(f *testing.F) {
+	ds := datagen.Generate(datagen.Options{
+		Name: "fuzz", Entities: 80, Terms: 20, LeafTypes: 4, Seed: 13,
+	})
+	opt := core.DefaultBuildOptions()
+	opt.Search.SampleCount = 10
+	idx, err := core.Build(ds.Graph, ds.Ont, opt)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, idx, Meta{CreatedUnix: 1}); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("BIGS"))
+	f.Add([]byte("BIGG1234junk"))
+	if len(valid) > 64 {
+		f.Add(append([]byte(nil), valid[:len(valid)/2]...)) // truncation
+		flip := append([]byte(nil), valid...)
+		flip[40] ^= 0xff
+		f.Add(flip) // bit rot
+		long := append([]byte(nil), valid...)
+		f.Add(append(long, 0xEE)) // trailing garbage
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, meta, err := Read(bytes.NewReader(data), nil)
+		if err != nil {
+			if got != nil {
+				t.Fatal("error with non-nil index")
+			}
+			return
+		}
+		// A successfully decoded snapshot must be internally consistent:
+		// NewFromLayers enforced the layer invariants, so spot-check what
+		// the decoder itself is responsible for.
+		if got.NumLayers() != meta.Layers || got.Epoch() != meta.Epoch {
+			t.Fatalf("meta (%d layers, epoch %d) disagrees with index (%d, %d)",
+				meta.Layers, meta.Epoch, got.NumLayers(), got.Epoch())
+		}
+		if got.Data().Digest() != meta.SourceDigest {
+			t.Fatal("decoded data graph disagrees with stored digest")
+		}
+	})
+}

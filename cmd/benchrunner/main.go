@@ -11,6 +11,10 @@
 //	benchrunner -exp cache         # query-cache cold/warm latencies;
 //	                               # also written to -cache-json
 //	                               # (default BENCH_cache.json)
+//	benchrunner -exp obs           # flight-recorder overhead off vs
+//	                               # sample=0.01 vs sample=1.0; also
+//	                               # written to -obs-json
+//	                               # (default BENCH_obs.json)
 //
 // The JSON export carries the same rows as the text tables plus per-
 // experiment wall time, so the perf trajectory across PRs is diffable.
@@ -35,6 +39,8 @@ func main() {
 		"when the cache experiment runs, also write its report here (empty = off)")
 	snapOut := flag.String("snapshot-json", "BENCH_snapshot.json",
 		"when the snapshot experiment runs, also write its report here (empty = off)")
+	obsOut := flag.String("obs-json", "BENCH_obs.json",
+		"when the obs experiment runs, also write its report here (empty = off)")
 	flag.Parse()
 
 	if *list {
@@ -102,6 +108,17 @@ func main() {
 		}
 		if len(snapReports) > 0 {
 			writeJSON(*snapOut, snapReports)
+		}
+	}
+	if *obsOut != "" {
+		var obsReports []*bench.Report
+		for _, r := range reports {
+			if r.ID == "obs" {
+				obsReports = append(obsReports, r)
+			}
+		}
+		if len(obsReports) > 0 {
+			writeJSON(*obsOut, obsReports)
 		}
 	}
 }

@@ -93,10 +93,17 @@ func main() {
 		"retry delay cap for failed reloads")
 	reloadFails := flag.Int64("reload-fails", 5,
 		"consecutive reload failures before the circuit opens (stale index keeps serving; /stats and metrics report it)")
+	debugEndpoints := flag.Bool("debug-endpoints", false,
+		"expose the flight-recorder endpoints /debug/traces, /debug/active, /debug/index (off by default: they reveal query text)")
+	traceSample := flag.Float64("trace-sample", 0.01,
+		"uniform keep probability for unremarkable query traces; slow/errored/degraded/shed queries are always kept (negative = recorder off)")
+	traceStoreSize := flag.Int("trace-store-size", 512, "flight-recorder trace ring capacity")
+	traceKeepSlowest := flag.Int("trace-keep-slowest", 8, "K slowest queries retained per window by the flight recorder")
 	flag.Parse()
 
 	logger := obs.NewLogger(os.Stderr, parseLevel(*logLevel), *logFormat == "json")
 	reg := obs.NewRegistry()
+	obs.RegisterRuntimeMetrics(reg)
 
 	ds, err := presetByName(*preset)
 	if err != nil {
@@ -144,6 +151,12 @@ func main() {
 		MaxInFlight:  *maxInFlight,
 		ShedWait:     sw,
 		Cache:        cacheOptions(*cacheSize, *cacheTTL, *cacheBytes),
+		Debug: server.DebugOptions{
+			Endpoints:   *debugEndpoints,
+			Sample:      *traceSample,
+			StoreSize:   *traceStoreSize,
+			KeepSlowest: *traceKeepSlowest,
+		},
 	})
 
 	if *warmFile != "" {

@@ -34,6 +34,7 @@ var Experiments = map[string]Runner{
 	"summarizers": RunSummarizers,
 	"cache":       RunCache,
 	"snapshot":    RunSnapshot,
+	"obs":         RunObs,
 }
 
 // ExperimentOrder is the canonical run order for `benchrunner -exp all`.
@@ -41,7 +42,7 @@ var ExperimentOrder = []string{
 	"table2", "table3", "table4", "fig9",
 	"fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
 	"fig16", "fig17", "fig18", "fig19",
-	"exp3", "exp4", "headline", "summarizers", "cache", "snapshot",
+	"exp3", "exp4", "headline", "summarizers", "cache", "snapshot", "obs",
 }
 
 // RunTable2 reproduces Table 2: dataset statistics.

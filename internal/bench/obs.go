@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"time"
+
+	"bigindex/internal/core"
+	"bigindex/internal/graph"
+	"bigindex/internal/obs"
+)
+
+// Observability-overhead experiment parameters: the same deterministic
+// two-keyword workload evaluated with the flight recorder disabled, at
+// the production sampling rate, and with every trace retained.
+const (
+	obsPoolSize = 48
+	obsSamples  = 300
+)
+
+// RunObs measures the cost of the query tracing + flight-recorder path
+// on yago-s: per-query span trees are built, paper-phase attrs recorded,
+// and the trace handed to the recorder's tail-sampling decision, exactly
+// as the server does per request. The recorder-off pass is the baseline;
+// the acceptance bar is <5% p50 overhead at the default sample=0.01.
+func RunObs() (*Report, error) {
+	return runObs(obsPoolSize, obsSamples)
+}
+
+func runObs(poolSize, samples int) (*Report, error) {
+	f, err := GetFixture("yago-s")
+	if err != nil {
+		return nil, err
+	}
+	ev := core.NewEvaluator(f.Index, NewBlinks(), BlinksEvalOptions("yago-s"))
+	pool := cacheQueryPool(f, poolSize)
+	if len(pool) < 2 {
+		return nil, fmt.Errorf("bench: query pool too small (%d)", len(pool))
+	}
+	seq := make([]int, samples)
+	for i := range seq {
+		seq[i] = i % len(pool)
+	}
+
+	// Warm the per-layer prepared indexes (construction time, excluded).
+	for _, q := range pool {
+		if _, _, err := ev.Eval(q); err != nil {
+			return nil, err
+		}
+	}
+
+	ctx := context.Background()
+	// runPass replays the workload. rec == nil is the baseline: no trace
+	// in the context, so every span call in eval and the algorithms takes
+	// the nil fast path; with a recorder each query gets the full server
+	// treatment — root span, child spans, attrs, tail-sampling Finish.
+	runPass := func(rec *obs.Recorder) ([]time.Duration, error) {
+		ts := make([]time.Duration, 0, samples)
+		for _, i := range seq {
+			q := pool[i]
+			start := time.Now()
+			if rec == nil {
+				if _, _, err := ev.EvalCtx(ctx, q); err != nil {
+					return nil, err
+				}
+			} else {
+				tr := obs.NewTrace("query")
+				qctx := obs.ContextWithSpan(ctx, tr.Root())
+				_, _, err := ev.EvalCtx(qctx, q)
+				if err != nil {
+					return nil, err
+				}
+				elapsed := time.Since(start)
+				tr.Root().End()
+				rec.Finish(tr, "blinks", labelsString(q), "ok", elapsed)
+			}
+			ts = append(ts, time.Since(start))
+		}
+		return ts, nil
+	}
+
+	r := &Report{ID: "obs", Title: "Flight recorder overhead on yago-s (blinks, two-keyword workload)",
+		Header: []string{"mode", "queries", "p50", "p99", "traces kept"}}
+
+	off, err := runPass(nil)
+	if err != nil {
+		return nil, err
+	}
+	offP50 := percentile(off, 0.50)
+	r.AddRow("recorder off", samples, offP50.String(), percentile(off, 0.99).String(), "-")
+
+	// KeepSlowest/Window are production defaults; only the uniform sample
+	// rate varies between the two instrumented passes.
+	recSampled := obs.NewRecorder(obs.RecorderOptions{Sample: 0.01})
+	sampled, err := runPass(recSampled)
+	if err != nil {
+		return nil, err
+	}
+	sampledP50 := percentile(sampled, 0.50)
+	r.AddRow("sample=0.01", samples, sampledP50.String(),
+		percentile(sampled, 0.99).String(), recSampled.Len())
+
+	recAll := obs.NewRecorder(obs.RecorderOptions{Sample: 1.0})
+	all, err := runPass(recAll)
+	if err != nil {
+		return nil, err
+	}
+	r.AddRow("sample=1.0", samples, percentile(all, 0.50).String(),
+		percentile(all, 0.99).String(), recAll.Len())
+
+	if offP50 > 0 {
+		overhead := 100 * (float64(sampledP50)/float64(offP50) - 1)
+		r.Notef("p50 overhead at sample=0.01: %.1f%% (off %v -> sampled %v); acceptance bar <5%%",
+			overhead, offP50, sampledP50)
+	}
+	r.Notef("pool %d two-keyword queries, %d samples, round-robin replay; spans + attrs + tail-sampling Finish per query",
+		len(pool), samples)
+	return r, nil
+}
+
+func labelsString(q []graph.Label) string {
+	s := ""
+	for i, l := range q {
+		if i > 0 {
+			s += ","
+		}
+		s += strconv.Itoa(int(l))
+	}
+	return s
+}

@@ -78,6 +78,17 @@ type Breakdown struct {
 	Candidates  int           // specialized root candidates examined
 	FinalCount  int           // final answers returned
 	SearchCalls int
+
+	// Paper-phase counters (the flight recorder's vocabulary): how the
+	// query exercised the machinery of Secs. 4.2–4.3.
+	LayersAvail    int             // layers the cost model chose from (Formula 4 domain)
+	Prop41Checked  int             // candidates examined by the Prop 4.1 label filter
+	Prop41Filtered int             // … dropped by it
+	IsKeySteps     int             // early-filtered Spec steps above layer 1 (Sec. 4.3.1)
+	SpecFanout     []int           // candidates emerging from each layer-descent step
+	EarlyStops     int             // Sec. 4.3.4 first-k stops in the eval loop
+	BoundStops     int             // Prop 5.2 score-bound top-k stops
+	Gen            search.GenStats // Def 4.2/4.3 qualification work during generation
 }
 
 // Evaluator runs eval_Ont(G, Q, f) for one algorithm over one index,
@@ -173,7 +184,8 @@ func (e *Evaluator) evalCtx(ctx context.Context, q []graph.Label, forced int) ([
 	if parent == nil {
 		parent = obs.NewTrace("eval").Root()
 	}
-	bd := &Breakdown{}
+	bd := &Breakdown{LayersAvail: e.idx.NumLayers()}
+	tally := &specTally{}
 
 	// (1) Layer selection.
 	sel := parent.StartChild("Select")
@@ -203,7 +215,10 @@ func (e *Evaluator) evalCtx(ctx context.Context, q []graph.Label, forced int) ([
 	if m == 0 {
 		limit = e.opt.K
 	}
-	gens, err := prep.SearchCtx(ctx, qGen, limit)
+	// The Search child becomes the ambient span so the algorithm's own
+	// counters (expansions/finalized/early_topk, …) attach to it rather
+	// than to the query root.
+	gens, err := prep.SearchCtx(obs.ContextWithSpan(ctx, srch), qGen, limit)
 	if err != nil && ctx.Err() == nil {
 		// A real search failure, not a cancellation.
 		srch.End()
@@ -249,14 +264,15 @@ func (e *Evaluator) evalCtx(ctx context.Context, q []graph.Label, forced int) ([
 		}
 		var rootCands []graph.V
 		if !isRootless(e.algo) {
-			rootCands = e.idx.specializeRootSet(rootSupers, m, spec)
+			rootCands = e.idx.specializeRootSet(rootSupers, m, spec, tally)
 		}
 		cands := make([][]graph.V, len(q))
 		for i := range q {
-			cands[i] = e.idx.specializeKeywordSet(kwSupers[i], m, q[i], e.opt.IsKey, spec)
+			cands[i] = e.idx.specializeKeywordSet(kwSupers[i], m, q[i], e.opt.IsKey, spec, tally)
 		}
 		bd.Candidates = len(rootCands)
 		spec.SetAttr("root_candidates", len(rootCands))
+		tally.fill(bd, spec)
 		bd.Specialize = spec.End().Duration()
 
 		gen := parent.StartChild("Generate")
@@ -267,7 +283,9 @@ func (e *Evaluator) evalCtx(ctx context.Context, q []graph.Label, forced int) ([
 				finals = append(finals, fm)
 			}
 		}
+		bd.Gen = genStatsOf(session)
 		gen.SetAttr("finals", len(finals))
+		setGenAttrs(gen, bd.Gen)
 		bd.Generate = gen.End().Duration()
 		search.SortMatches(finals)
 		bd.FinalCount = len(finals)
@@ -288,6 +306,7 @@ func (e *Evaluator) evalCtx(ctx context.Context, q []graph.Label, forced int) ([
 		}
 		if e.opt.K > 0 && len(finals) >= e.opt.K {
 			if e.opt.EarlyK {
+				bd.EarlyStops++
 				break // Sec. 4.3.4: stop at the first k answers
 			}
 			// Prop 5.2: any answer specialized from ga scores >= ga.Score,
@@ -295,6 +314,7 @@ func (e *Evaluator) evalCtx(ctx context.Context, q []graph.Label, forced int) ([
 			// nothing better can appear.
 			search.SortMatches(finals)
 			if float64(finals[e.opt.K-1].Score) <= ga.Score {
+				bd.BoundStops++
 				break
 			}
 		}
@@ -304,11 +324,11 @@ func (e *Evaluator) evalCtx(ctx context.Context, q []graph.Label, forced int) ([
 		spec := parent.StartChild("Specialize").SetAttr("layer", m)
 		var rootCands []graph.V
 		if !rootless {
-			rootCands = e.idx.SpecializeRoot(ga.Root, m)
+			rootCands = e.idx.specializeRootSet([]graph.V{ga.Root}, m, spec, tally)
 		}
 		cands := make([][]graph.V, len(q))
 		for i, node := range ga.Nodes {
-			cands[i] = e.idx.SpecializeKeyword(node, m, q[i], e.opt.IsKey)
+			cands[i] = e.idx.specializeKeywordSet([]graph.V{node}, m, q[i], e.opt.IsKey, spec, tally)
 		}
 		bd.Candidates += len(rootCands)
 		spec.SetAttr("root_candidates", len(rootCands))
@@ -316,6 +336,7 @@ func (e *Evaluator) evalCtx(ctx context.Context, q []graph.Label, forced int) ([
 
 		gen := parent.StartChild("Generate")
 		before := len(finals)
+		prevStats := genStatsOf(session)
 		for _, fm := range session.GenerateCtx(ctx, rootCands, cands) {
 			key := fm.Key()
 			if !seen[key] {
@@ -323,14 +344,59 @@ func (e *Evaluator) evalCtx(ctx context.Context, q []graph.Label, forced int) ([
 				finals = append(finals, fm)
 			}
 		}
+		delta := genStatsOf(session)
+		delta.VertexChecks -= prevStats.VertexChecks
+		delta.VertexQualified -= prevStats.VertexQualified
+		delta.PathChecks -= prevStats.PathChecks
+		delta.PathQualified -= prevStats.PathQualified
+		delta.EarlyKStops -= prevStats.EarlyKStops
 		gen.SetAttr("finals", len(finals)-before)
+		setGenAttrs(gen, delta)
 		bd.Generate += gen.End().Duration()
 	}
+	bd.Gen = genStatsOf(session)
+	tally.fill(bd, parent)
 
 	search.SortMatches(finals)
 	finals = search.Truncate(finals, e.opt.K)
 	bd.FinalCount = len(finals)
 	return finals, bd, context.Cause(ctx)
+}
+
+// genStatsOf reads the session's qualification counters when the
+// Generation implements search.StatsReporter (all built-ins do).
+func genStatsOf(s search.Generation) search.GenStats {
+	if sr, ok := s.(search.StatsReporter); ok {
+		return sr.Stats()
+	}
+	return search.GenStats{}
+}
+
+// setGenAttrs mirrors the Def 4.2/4.3 qualification counters onto a
+// Generate span so stored traces carry them.
+func setGenAttrs(sp *obs.Span, st search.GenStats) {
+	if sp == nil {
+		return
+	}
+	sp.SetAttr("vertex_checks", st.VertexChecks).
+		SetAttr("vertex_qualified", st.VertexQualified).
+		SetAttr("path_checks", st.PathChecks).
+		SetAttr("path_qualified", st.PathQualified)
+}
+
+// fill copies the tally into the breakdown and mirrors the Prop 4.1 /
+// isKey totals onto sp (the Specialize span in exhaustive mode, the query
+// span in per-answer mode where Specialize spans are per generalized
+// answer).
+func (t *specTally) fill(bd *Breakdown, sp *obs.Span) {
+	bd.Prop41Checked = t.prop41Checked
+	bd.Prop41Filtered = t.prop41Filtered
+	bd.IsKeySteps = t.isKeySteps
+	bd.SpecFanout = t.fanout
+	if sp != nil && t.prop41Checked > 0 {
+		sp.SetAttr("prop41_checked", t.prop41Checked).
+			SetAttr("prop41_filtered", t.prop41Filtered)
+	}
 }
 
 // isRootless reports whether the algorithm's matches have no meaningful
@@ -358,7 +424,7 @@ func (e *Evaluator) DirectCtx(ctx context.Context, q []graph.Label, k int) ([]se
 	if err != nil {
 		return nil, err
 	}
-	ms, err := prep.SearchCtx(ctx, q, k)
+	ms, err := prep.SearchCtx(obs.ContextWithSpan(ctx, sp), q, k)
 	sp.SetAttr("matches", len(ms))
 	return ms, err
 }

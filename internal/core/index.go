@@ -313,8 +313,17 @@ func (x *Index) ChiUp(v graph.V, from, to int) graph.V {
 // keep all); it implements the candidate filtering of Prop 4.1 when given a
 // label test.
 func (x *Index) SpecializeStep(supernodes []graph.V, m int, keep func(graph.V) bool) []graph.V {
+	out, _ := x.specializeStepCounted(supernodes, m, keep)
+	return out
+}
+
+// specializeStepCounted is SpecializeStep reporting how many distinct
+// members were examined before the keep filter — examined−len(out) is the
+// Prop 4.1 pruning at this step.
+func (x *Index) specializeStepCounted(supernodes []graph.V, m int, keep func(graph.V) bool) ([]graph.V, int) {
 	down := x.layers[m].Down
 	var out []graph.V
+	examined := 0
 	seen := make(map[graph.V]bool)
 	for _, s := range supernodes {
 		for _, v := range down[s] {
@@ -322,12 +331,23 @@ func (x *Index) SpecializeStep(supernodes []graph.V, m int, keep func(graph.V) b
 				continue
 			}
 			seen[v] = true
+			examined++
 			if keep == nil || keep(v) {
 				out = append(out, v)
 			}
 		}
 	}
-	return out
+	return out, examined
+}
+
+// specTally accumulates the paper-phase specialization counters of one
+// query: Prop 4.1 filter work, isKey early-filter steps (Sec. 4.3.1), and
+// the candidate fan-out of each layer-descent step. Nil disables counting.
+type specTally struct {
+	prop41Checked  int   // candidates examined by the Prop 4.1 label filter
+	prop41Filtered int   // … dropped by it
+	isKeySteps     int   // label-filtered Spec steps above layer 1
+	fanout         []int // candidates emerging from each descent step
 }
 
 // SpecializeRoot expands a layer-m supernode all the way to data vertices
@@ -363,12 +383,15 @@ func (x *Index) SpecializeKeyword(s graph.V, m int, kw graph.Label, early bool) 
 // without label filtering, deduplicating at every level (batch form of
 // SpecializeRoot used by exhaustive evaluation). Each Spec step from layer
 // j to j−1 is one child span of sp (nil sp disables tracing).
-func (x *Index) specializeRootSet(supers []graph.V, m int, sp *obs.Span) []graph.V {
+func (x *Index) specializeRootSet(supers []graph.V, m int, sp *obs.Span, tally *specTally) []graph.V {
 	set := dedupVs(supers)
 	for j := m; j >= 1; j-- {
 		c := sp.StartChild("Spec/L"+strconv.Itoa(j-1)).SetAttr("role", "root").SetAttr("in", len(set))
 		set = x.SpecializeStep(set, j, nil)
 		c.SetAttr("out", len(set)).End()
+		if tally != nil {
+			tally.fanout = append(tally.fanout, len(set))
+		}
 	}
 	return set
 }
@@ -376,7 +399,7 @@ func (x *Index) specializeRootSet(supers []graph.V, m int, sp *obs.Span) []graph
 // specializeKeywordSet is the batch form of SpecializeKeyword; the
 // per-layer spans record how much the Prop 4.1 label filter prunes (the
 // in→out contraction at each step).
-func (x *Index) specializeKeywordSet(supers []graph.V, m int, kw graph.Label, early bool, sp *obs.Span) []graph.V {
+func (x *Index) specializeKeywordSet(supers []graph.V, m int, kw graph.Label, early bool, sp *obs.Span, tally *specTally) []graph.V {
 	set := dedupVs(supers)
 	for j := m; j >= 1; j-- {
 		want := x.seq.GenLabel(kw, j-1)
@@ -388,8 +411,19 @@ func (x *Index) specializeKeywordSet(supers []graph.V, m int, kw graph.Label, ea
 		c := sp.StartChild("Spec/L"+strconv.Itoa(j-1)).
 			SetAttr("role", "keyword").SetAttr("keyword", int(kw)).
 			SetAttr("filtered", keep != nil).SetAttr("in", len(set))
-		set = x.SpecializeStep(set, j, keep)
+		var examined int
+		set, examined = x.specializeStepCounted(set, j, keep)
 		c.SetAttr("out", len(set)).End()
+		if tally != nil {
+			tally.fanout = append(tally.fanout, len(set))
+			if keep != nil {
+				tally.prop41Checked += examined
+				tally.prop41Filtered += examined - len(set)
+				if j > 1 {
+					tally.isKeySteps++
+				}
+			}
+		}
 	}
 	return set
 }

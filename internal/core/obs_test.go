@@ -146,6 +146,64 @@ func TestBuildObservability(t *testing.T) {
 	}
 }
 
+// TestBreakdownPaperPhaseCounters pins the layer above G⁰ and checks the
+// Breakdown's paper-phase counters: Prop 4.1 candidate accounting, the
+// per-step specialization fan-out, and the Def 4.2/4.3 qualification
+// counts from the generation session.
+func TestBreakdownPaperPhaseCounters(t *testing.T) {
+	ds := smallDataset(304)
+	idx := buildIndex(t, ds)
+	if idx.NumLayers() < 2 {
+		t.Skip("single-layer index")
+	}
+	ev := NewEvaluator(idx, blinks.New(blinks.Options{DMax: 3, BlockSize: 64}), DefaultEvalOptions())
+	rng := rand.New(rand.NewSource(11))
+
+	var bd *Breakdown
+	for try := 0; try < 20; try++ {
+		q := pickQuery(rng, ds, 2, 3)
+		if q == nil {
+			t.Skip("no query available")
+		}
+		_, b, err := ev.EvalLayer(q, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.GenAnswers > 0 {
+			bd = b
+			break
+		}
+	}
+	if bd == nil {
+		t.Skip("no query produced generalized answers")
+	}
+
+	if bd.LayersAvail != idx.NumLayers() {
+		t.Fatalf("LayersAvail = %d, want %d", bd.LayersAvail, idx.NumLayers())
+	}
+	if bd.Prop41Checked <= 0 {
+		t.Fatalf("Prop41Checked = %d, want > 0 (keyword specialization ran)", bd.Prop41Checked)
+	}
+	if bd.Prop41Filtered < 0 || bd.Prop41Filtered > bd.Prop41Checked {
+		t.Fatalf("Prop41Filtered = %d out of range [0, %d]", bd.Prop41Filtered, bd.Prop41Checked)
+	}
+	if len(bd.SpecFanout) == 0 {
+		t.Fatal("SpecFanout empty: no specialization steps recorded")
+	}
+	for _, f := range bd.SpecFanout {
+		if f < 0 {
+			t.Fatalf("negative fan-out %d", f)
+		}
+	}
+	g := bd.Gen
+	if g.VertexChecks < g.VertexQualified || g.PathChecks < g.PathQualified {
+		t.Fatalf("qualified exceeds checked: %+v", g)
+	}
+	if g.VertexChecks == 0 && g.PathChecks == 0 && bd.FinalCount > 0 {
+		t.Fatalf("finals produced with zero Def 4.2/4.3 checks: %+v", bd)
+	}
+}
+
 func names(spans []obs.SpanJSON) []string {
 	out := make([]string, len(spans))
 	for i, s := range spans {

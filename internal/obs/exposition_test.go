@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Hostile label values must escape per the Prometheus text format —
+// backslash, double-quote, and newline — and, crucially, two distinct
+// label tuples must never collapse into (or be read back as) one series.
+func TestHostileLabelValues(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		val  string
+		want string // the rendered sample line
+	}{
+		{"backslash", `a\b`, `c{q="a\\b"} 1`},
+		{"quote", `a"b`, `c{q="a\"b"} 1`},
+		{"newline", "a\nb", `c{q="a\nb"} 1`},
+		{"all three", "\\\"\n", `c{q="\\\"\n"} 1`},
+		{"nul byte", "a\x00b", "c{q=\"a\x00b\"} 1"},
+		{"unicode", "héllo", `c{q="héllo"} 1`},
+		{"comma equals", `a="x",b`, `c{q="a=\"x\",b"} 1`},
+		{"empty", "", `c{q=""} 1`},
+		{"trailing backslash", `a\`, `c{q="a\\"} 1`},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewRegistry()
+			r.CounterVec("c", "", "q").With(tc.val).Inc()
+			var buf strings.Builder
+			r.WritePrometheus(&buf)
+			if !strings.Contains(buf.String(), tc.want+"\n") {
+				t.Fatalf("value %q: missing %q in\n%s", tc.val, tc.want, buf.String())
+			}
+		})
+	}
+}
+
+// Label tuples that would collide under naive concatenation (the classic
+// NUL-separator bug) must stay distinct series.
+func TestLabelTupleNoCollision(t *testing.T) {
+	r := NewRegistry()
+	vec := r.CounterVec("c", "", "a", "b")
+	vec.With("x\x00", "y").Add(1)
+	vec.With("x", "\x00y").Add(2)
+	if vec.With("x\x00", "y").Value() != 1 || vec.With("x", "\x00y").Value() != 2 {
+		t.Fatal("label tuples collided")
+	}
+	var buf strings.Builder
+	r.WritePrometheus(&buf)
+	if strings.Count(buf.String(), "c{") != 2 {
+		t.Fatalf("want 2 series:\n%s", buf.String())
+	}
+}
+
+// HELP text with newlines and backslashes must be escaped, not corrupt the
+// exposition framing.
+func TestHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", "line one\nline two \\ done").Inc()
+	var buf strings.Builder
+	r.WritePrometheus(&buf)
+	if !strings.Contains(buf.String(), `# HELP c line one\nline two \\ done`) {
+		t.Fatalf("HELP not escaped:\n%s", buf.String())
+	}
+}
+
+// A bucket remembers the trace ID of its most recent observation and
+// renders it OpenMetrics-style after the bucket sample.
+func TestHistogramExemplar(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "", []float64{0.1, 1})
+	h.ObserveExemplar(0.05, "trace-a")
+	h.ObserveExemplar(0.5, "trace-b")
+	h.ObserveExemplar(50, "trace-inf") // lands in +Inf
+	h.ObserveExemplar(0.06, "")        // no trace: plain observation
+	var buf strings.Builder
+	r.WritePrometheus(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		`lat_bucket{le="0.1"} 2 # {trace_id="trace-a"} 0.05`,
+		`lat_bucket{le="1"} 3 # {trace_id="trace-b"} 0.5`,
+		`lat_bucket{le="+Inf"} 4 # {trace_id="trace-inf"} 50`,
+		"lat_count 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// ObserveExemplar with hostile trace IDs must not break the exposition.
+func TestExemplarEscaping(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "", []float64{1})
+	h.ObserveExemplar(0.5, "id\"with\\quotes\n")
+	var buf strings.Builder
+	r.WritePrometheus(&buf)
+	if !strings.Contains(buf.String(), `# {trace_id="id\"with\\quotes\n"} 0.5`) {
+		t.Fatalf("exemplar not escaped:\n%s", buf.String())
+	}
+}
+
+// /metrics is GET/HEAD only.
+func TestMetricsHandlerMethodNotAllowed(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", "").Inc()
+	h := r.Handler()
+	for _, method := range []string{"POST", "PUT", "DELETE"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(method, "/metrics", nil))
+		if rec.Code != 405 {
+			t.Fatalf("%s /metrics = %d, want 405", method, rec.Code)
+		}
+		if allow := rec.Header().Get("Allow"); !strings.Contains(allow, "GET") {
+			t.Fatalf("Allow = %q", allow)
+		}
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "c 1") {
+		t.Fatalf("GET /metrics = %d:\n%s", rec.Code, rec.Body.String())
+	}
+}
+
+// A scrape racing concurrent observations must be safe (run under -race)
+// and always see internally-consistent text.
+func TestScrapeRacesObservations(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "", []float64{0.01, 0.1, 1})
+	vec := r.CounterVec("reqs", "", "code")
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; ; j++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.ObserveExemplar(float64(j%100)/50, "t")
+				vec.With("200").Inc()
+			}
+		}(i)
+	}
+	for i := 0; i < 50; i++ {
+		rec := httptest.NewRecorder()
+		r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+		if rec.Code != 200 {
+			t.Fatalf("scrape %d = %d", i, rec.Code)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// The runtime gauges sample lazily at scrape time and expose sane values.
+func TestRuntimeMetrics(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntimeMetrics(r)
+	var buf strings.Builder
+	r.WritePrometheus(&buf)
+	out := buf.String()
+	for _, name := range []string{
+		"bigindex_goroutines ",
+		"bigindex_heap_alloc_bytes ",
+		"bigindex_gc_pause_last_seconds ",
+		"bigindex_uptime_seconds ",
+	} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("missing %q in:\n%s", name, out)
+		}
+	}
+	if strings.Contains(out, "bigindex_goroutines 0\n") {
+		t.Fatalf("goroutine gauge is zero:\n%s", out)
+	}
+}

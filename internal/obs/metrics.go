@@ -16,6 +16,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // DefBuckets are the default latency histogram bounds in seconds, spanning
@@ -46,8 +47,17 @@ type family struct {
 	buckets []float64 // histograms only
 
 	mu       sync.Mutex
-	children map[string]metric
+	children map[string]*labelled
 	order    []string // insertion keys, sorted at exposition time
+}
+
+// labelled pairs a child metric with its label values. The values are kept
+// as a slice (not re-split from the map key) so a label value containing
+// the key separator byte can never shift values onto the wrong label
+// names at exposition time.
+type labelled struct {
+	vals []string
+	m    metric
 }
 
 type metric interface {
@@ -79,7 +89,7 @@ func (r *Registry) familyFor(name, help, typ string, buckets []float64, labels [
 	f := &family{
 		name: name, help: help, typ: typ,
 		labels: append([]string(nil), labels...), buckets: buckets,
-		children: make(map[string]metric),
+		children: make(map[string]*labelled),
 	}
 	r.families = append(r.families, f)
 	r.byName[name] = f
@@ -90,35 +100,59 @@ func (f *family) child(values []string, mk func() metric) metric {
 	if len(values) != len(f.labels) {
 		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d", f.name, len(f.labels), len(values)))
 	}
-	key := strings.Join(values, "\x00")
+	// Quote each value into the key: a plain separator join would let
+	// values containing the separator collide into one child.
+	var kb []byte
+	for _, v := range values {
+		kb = strconv.AppendQuote(kb, v)
+	}
+	key := string(kb)
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if m, ok := f.children[key]; ok {
-		return m
+	if c, ok := f.children[key]; ok {
+		return c.m
 	}
-	m := mk()
-	f.children[key] = m
+	c := &labelled{vals: append([]string(nil), values...), m: mk()}
+	f.children[key] = c
 	f.order = append(f.order, key)
-	return m
+	return c.m
 }
 
-// renderLabels renders `k1="v1",k2="v2"` for one child key.
-func (f *family) renderLabels(key string) string {
+// renderLabels renders `k1="v1",k2="v2"` for one child's label values,
+// escaping each value per the text exposition format.
+func (f *family) renderLabels(vals []string) string {
 	if len(f.labels) == 0 {
 		return ""
 	}
-	values := strings.Split(key, "\x00")
 	parts := make([]string, len(f.labels))
 	for i, l := range f.labels {
-		parts[i] = l + `="` + escapeLabel(values[i]) + `"`
+		parts[i] = l + `="` + escapeLabel(vals[i]) + `"`
 	}
 	return strings.Join(parts, ",")
 }
 
+// escapeLabel escapes a label value per the Prometheus text format:
+// backslash, newline, and double quote become \\, \n, and \". Backslash
+// must be escaped first or the later replacements would double-escape
+// their own output.
 func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\n\"") {
+		return v
+	}
 	v = strings.ReplaceAll(v, `\`, `\\`)
 	v = strings.ReplaceAll(v, "\n", `\n`)
 	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// escapeHelp escapes a HELP string per the text format (backslash and
+// newline only; quotes are legal in help text).
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
 	return v
 }
 
@@ -196,15 +230,31 @@ func (g funcGauge) expose(w io.Writer, name, labels string) {
 
 // Histogram is a fixed-bucket latency/size histogram. Buckets are upper
 // bounds in ascending order; an implicit +Inf bucket catches the rest.
+// Each bucket can carry an exemplar — the trace ID of its most recent
+// observation — rendered in OpenMetrics style so a latency spike in a
+// bucket points straight at a stored flight-recorder trace.
 type Histogram struct {
-	bounds  []float64
-	counts  []atomic.Int64 // len(bounds)+1, last is +Inf
-	sumBits atomic.Uint64
-	n       atomic.Int64
+	bounds    []float64
+	counts    []atomic.Int64 // len(bounds)+1, last is +Inf
+	exemplars []atomic.Pointer[Exemplar]
+	sumBits   atomic.Uint64
+	n         atomic.Int64
+}
+
+// Exemplar is one bucket's trace cross-link: the observed value, the trace
+// that produced it, and when.
+type Exemplar struct {
+	TraceID string
+	Value   float64
+	Time    time.Time
 }
 
 func newHistogram(bounds []float64) *Histogram {
-	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+	return &Histogram{
+		bounds:    bounds,
+		counts:    make([]atomic.Int64, len(bounds)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(bounds)+1),
+	}
 }
 
 // Observe records one value. Nil-safe.
@@ -212,6 +262,11 @@ func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
 	}
+	h.observe(v)
+}
+
+// observe records v and returns the bucket index it landed in.
+func (h *Histogram) observe(v float64) int {
 	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
 	h.counts[i].Add(1)
 	h.n.Add(1)
@@ -219,9 +274,32 @@ func (h *Histogram) Observe(v float64) {
 		old := h.sumBits.Load()
 		next := math.Float64bits(math.Float64frombits(old) + v)
 		if h.sumBits.CompareAndSwap(old, next) {
-			return
+			return i
 		}
 	}
+}
+
+// ObserveExemplar records v and remembers traceID as the exemplar of the
+// bucket v lands in (the bucket's most recent observation). An empty
+// traceID degrades to a plain Observe. Nil-safe.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	if h == nil {
+		return
+	}
+	i := h.observe(v)
+	if traceID == "" {
+		return
+	}
+	h.exemplars[i].Store(&Exemplar{TraceID: traceID, Value: v, Time: time.Now()})
+}
+
+// BucketExemplar returns the exemplar currently held by bucket i (the
+// +Inf bucket is index len(bounds)); nil when the bucket has none.
+func (h *Histogram) BucketExemplar(i int) *Exemplar {
+	if h == nil || i < 0 || i >= len(h.exemplars) {
+		return nil
+	}
+	return h.exemplars[i].Load()
 }
 
 // Count returns the number of observations (0 on nil).
@@ -258,11 +336,25 @@ func (h *Histogram) BucketCounts() []int64 {
 func (h *Histogram) expose(w io.Writer, name, labels string) {
 	cum := h.BucketCounts()
 	for i, b := range h.bounds {
-		fmt.Fprintf(w, "%s_bucket%s %d\n", name, braced(joinLabels(labels, `le="`+formatFloat(b)+`"`)), cum[i])
+		fmt.Fprintf(w, "%s_bucket%s %d%s\n", name,
+			braced(joinLabels(labels, `le="`+formatFloat(b)+`"`)), cum[i], h.exemplarSuffix(i))
 	}
-	fmt.Fprintf(w, "%s_bucket%s %d\n", name, braced(joinLabels(labels, `le="+Inf"`)), cum[len(cum)-1])
+	fmt.Fprintf(w, "%s_bucket%s %d%s\n", name,
+		braced(joinLabels(labels, `le="+Inf"`)), cum[len(cum)-1], h.exemplarSuffix(len(cum)-1))
 	fmt.Fprintf(w, "%s_sum%s %s\n", name, braced(labels), formatFloat(h.Sum()))
 	fmt.Fprintf(w, "%s_count%s %d\n", name, braced(labels), h.Count())
+}
+
+// exemplarSuffix renders the OpenMetrics exemplar annotation for bucket i
+// (` # {trace_id="…"} value timestamp`), or "" when the bucket has none.
+func (h *Histogram) exemplarSuffix(i int) string {
+	ex := h.exemplars[i].Load()
+	if ex == nil {
+		return ""
+	}
+	return ` # {trace_id="` + escapeLabel(ex.TraceID) + `"} ` +
+		formatFloat(ex.Value) + " " +
+		strconv.FormatFloat(float64(ex.Time.UnixMilli())/1000, 'f', 3, 64)
 }
 
 // Counter returns the unlabeled counter `name`, registering it on first use.
@@ -380,25 +472,32 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	for _, f := range fams {
 		f.mu.Lock()
 		keys := append([]string(nil), f.order...)
-		children := make(map[string]metric, len(keys))
+		children := make(map[string]*labelled, len(keys))
 		for _, k := range keys {
 			children[k] = f.children[k]
 		}
 		f.mu.Unlock()
 		sort.Strings(keys)
 		if f.help != "" {
-			fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+			fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help))
 		}
 		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
 		for _, k := range keys {
-			children[k].expose(w, f.name, f.renderLabels(k))
+			c := children[k]
+			c.m.expose(w, f.name, f.renderLabels(c.vals))
 		}
 	}
 }
 
-// Handler serves the registry at an endpoint (GET /metrics).
+// Handler serves the registry at an endpoint (GET /metrics). Non-read
+// methods get 405 with an Allow header.
 func (r *Registry) Handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		r.WritePrometheus(w)
 	})

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// RegisterRuntimeMetrics registers process-level gauges on the registry,
+// sampled lazily at scrape time via GaugeFunc:
+//
+//	bigindex_goroutines            runtime.NumGoroutine
+//	bigindex_heap_alloc_bytes      MemStats.HeapAlloc
+//	bigindex_gc_pause_last_seconds most recent GC stop-the-world pause
+//	bigindex_uptime_seconds        seconds since this call
+//
+// ReadMemStats is not free, so one snapshot per scrape is shared by the
+// mem-derived gauges and refreshed at most once per second (a registry is
+// typically scraped every 10–60s; sub-second re-scrapes reuse the cache).
+func RegisterRuntimeMetrics(r *Registry) {
+	if r == nil {
+		return
+	}
+	start := time.Now()
+	var (
+		mu     sync.Mutex
+		ms     runtime.MemStats
+		msTime time.Time
+	)
+	memStats := func() runtime.MemStats {
+		mu.Lock()
+		defer mu.Unlock()
+		if time.Since(msTime) > time.Second {
+			runtime.ReadMemStats(&ms)
+			msTime = time.Now()
+		}
+		return ms
+	}
+	r.GaugeFunc("bigindex_goroutines",
+		"Number of live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("bigindex_heap_alloc_bytes",
+		"Bytes of allocated heap objects (runtime.MemStats.HeapAlloc).",
+		func() float64 { return float64(memStats().HeapAlloc) })
+	r.GaugeFunc("bigindex_gc_pause_last_seconds",
+		"Duration of the most recent GC stop-the-world pause.",
+		func() float64 {
+			s := memStats()
+			if s.NumGC == 0 {
+				return 0
+			}
+			return float64(s.PauseNs[(s.NumGC+255)%256]) / 1e9
+		})
+	r.GaugeFunc("bigindex_uptime_seconds",
+		"Seconds since process metrics were registered.",
+		func() float64 { return time.Since(start).Seconds() })
+}

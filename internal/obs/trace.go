@@ -3,7 +3,10 @@ package obs
 import (
 	"context"
 	"encoding/json"
+	"math/rand"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -18,14 +21,40 @@ const maxChildren = 128
 // is not useful; use NewTrace. All methods are nil-safe so code can trace
 // unconditionally and pay nothing when no trace is installed.
 type Trace struct {
+	id   string
 	root *Span
 }
 
-// NewTrace starts a trace whose root span has the given name.
+// traceIDBase randomizes trace IDs across process restarts so an exemplar
+// trace ID scraped before a restart cannot collide with a fresh trace's.
+// Within a process the atomic counter makes IDs unique; the golden-ratio
+// multiply spreads consecutive counters across the hex space so IDs don't
+// look sequential in dashboards.
+var (
+	traceIDBase = rand.Uint64()
+	traceIDSeq  atomic.Uint64
+)
+
+func newTraceID() string {
+	n := traceIDSeq.Add(1)
+	return strconv.FormatUint(traceIDBase^(n*0x9E3779B97F4A7C15), 16)
+}
+
+// NewTrace starts a trace whose root span has the given name. Every trace
+// gets a process-unique hex ID, the cross-link between stored traces
+// (/debug/traces/{id}) and histogram exemplars.
 func NewTrace(name string) *Trace {
-	t := &Trace{}
+	t := &Trace{id: newTraceID()}
 	t.root = &Span{trace: t, name: name, start: time.Now()}
 	return t
+}
+
+// ID returns the trace's identifier ("" on nil).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
 }
 
 // Root returns the root span (nil on a nil trace).
@@ -129,6 +158,17 @@ func (s *Span) SetAttr(key string, v any) *Span {
 	return s
 }
 
+// Ended reports whether End has been called. A nil span reports true —
+// it never runs.
+func (s *Span) Ended() bool {
+	if s == nil {
+		return true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.end.IsZero()
+}
+
 // Trace returns the trace this span belongs to (nil on nil).
 func (s *Span) Trace() *Trace {
 	if s == nil {
@@ -181,6 +221,43 @@ func (s *Span) snapshot(origin time.Time) SpanJSON {
 		out.Children = append(out.Children, c.snapshot(origin))
 	}
 	return out
+}
+
+// Snapshot renders the whole span tree (nil-safe; zero SpanJSON when the
+// trace is empty). It is the same rendering MarshalJSON produces, exposed
+// as a value so the flight recorder can retain span trees without an
+// encode/decode round trip.
+func (t *Trace) Snapshot() SpanJSON {
+	if t == nil || t.root == nil {
+		return SpanJSON{}
+	}
+	return t.root.snapshot(t.root.start)
+}
+
+// CurrentPath walks the span tree from this span along the most recently
+// started still-running child at each level and returns the names joined
+// with ">" — "the phase a live query is in right now". "" on nil.
+func (s *Span) CurrentPath() string {
+	if s == nil {
+		return ""
+	}
+	path := s.Name()
+	cur := s
+	for {
+		children := cur.Children()
+		var next *Span
+		for i := len(children) - 1; i >= 0; i-- {
+			if !children[i].Ended() {
+				next = children[i]
+				break
+			}
+		}
+		if next == nil {
+			return path
+		}
+		path += ">" + next.Name()
+		cur = next
+	}
 }
 
 type spanCtxKey struct{}

@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"bigindex/internal/graph"
+	"bigindex/internal/obs"
 	"bigindex/internal/search"
 )
 
@@ -70,6 +71,9 @@ func (p *prepared) SearchCtx(ctx context.Context, q []graph.Label, k int) ([]sea
 		return nil, fmt.Errorf("bidir: empty query")
 	}
 	cancel := search.NewCanceller(ctx)
+	sp := obs.SpanFromContext(ctx)
+	verifiedN := 0
+	earlyStop := false
 	sel := 0
 	for i, l := range q {
 		if p.g.LabelCount(l) == 0 {
@@ -92,6 +96,7 @@ func (p *prepared) SearchCtx(ctx context.Context, q []graph.Label, k int) ([]sea
 
 	var matches []search.Match
 	verify := func(r graph.V, dSel int) {
+		verifiedN++
 		// Forward phase: exact minimum distances to every keyword. The
 		// selective keyword's distance is recomputed too — the forward
 		// minimum can only match dSel (backward BFS already gave the min).
@@ -125,6 +130,7 @@ activation:
 			// selective keyword, hence score >= d+1.
 			search.SortMatches(matches)
 			if matches[k-1].Score <= float64(d+1) {
+				earlyStop = true
 				break
 			}
 		}
@@ -146,6 +152,11 @@ activation:
 		level = next
 	}
 
+	if sp != nil {
+		sp.SetAttr("verified", verifiedN).
+			SetAttr("roots", len(matches)).
+			SetAttr("early_topk", earlyStop)
+	}
 	search.SortMatches(matches)
 	return search.Truncate(matches, k), cancel.Err()
 }

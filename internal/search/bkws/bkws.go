@@ -18,6 +18,7 @@ import (
 	"slices"
 
 	"bigindex/internal/graph"
+	"bigindex/internal/obs"
 	"bigindex/internal/search"
 )
 
@@ -74,6 +75,9 @@ func (p *prepared) SearchCtx(ctx context.Context, q []graph.Label, k int) ([]sea
 		return nil, fmt.Errorf("bkws: empty query")
 	}
 	cancel := search.NewCanceller(ctx)
+	sp := obs.SpanFromContext(ctx)
+	expansions := 0
+	earlyStop := false
 	fronts := make([]*frontier, len(q))
 	for i, l := range q {
 		seeds := p.g.VerticesWithLabel(l)
@@ -151,6 +155,7 @@ expand:
 			}
 			search.SortMatches(matches)
 			if lb >= 0 && matches[min(k, len(matches))-1].Score <= float64(lb) {
+				earlyStop = true
 				break
 			}
 		}
@@ -160,6 +165,7 @@ expand:
 			if cancel.Cancelled() {
 				break expand
 			}
+			expansions++
 			for _, u := range p.g.In(v) {
 				if _, ok := best.dist[u]; !ok {
 					best.dist[u] = best.level + 1
@@ -174,6 +180,11 @@ expand:
 		}
 	}
 
+	if sp != nil {
+		sp.SetAttr("expansions", expansions).
+			SetAttr("roots", len(matches)).
+			SetAttr("early_topk", earlyStop)
+	}
 	search.SortMatches(matches)
 	return search.Truncate(matches, k), cancel.Err()
 }

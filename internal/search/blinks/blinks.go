@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 
 	"bigindex/internal/graph"
+	"bigindex/internal/obs"
 	"bigindex/internal/partition"
 	"bigindex/internal/search"
 )
@@ -191,6 +192,9 @@ func (p *prepared) SearchCtx(ctx context.Context, q []graph.Label, k int) ([]sea
 		return nil, fmt.Errorf("blinks: empty query")
 	}
 	cancel := search.NewCanceller(ctx)
+	sp := obs.SpanFromContext(ctx)
+	finalized := 0
+	earlyStop := false
 	n := len(q)
 	queues := make([]*pq, n)
 	final := make([]map[graph.V]int, n)
@@ -263,6 +267,7 @@ func (p *prepared) SearchCtx(ctx context.Context, q []graph.Label, k int) ([]sea
 		if k > 0 && len(matches) >= k && p.opt.Score == nil {
 			search.SortMatches(matches)
 			if matches[k-1].Score <= float64(minTop) {
+				earlyStop = true
 				break
 			}
 		}
@@ -272,6 +277,7 @@ func (p *prepared) SearchCtx(ctx context.Context, q []graph.Label, k int) ([]sea
 		if _, ok := final[live][it.v]; ok {
 			continue
 		}
+		finalized++
 		final[live][it.v] = it.d
 		if haveAll[it.v]++; haveAll[it.v] == n {
 			emit(it.v)
@@ -298,6 +304,11 @@ func (p *prepared) SearchCtx(ctx context.Context, q []graph.Label, k int) ([]sea
 		}
 	}
 
+	if sp != nil {
+		sp.SetAttr("finalized", finalized).
+			SetAttr("roots", len(matches)).
+			SetAttr("early_topk", earlyStop)
+	}
 	search.SortMatches(matches)
 	return search.Truncate(matches, k), cancel.Err()
 }

@@ -26,7 +26,13 @@ type generation struct {
 	seen   map[string]bool
 	count  int
 	checks int
+	stats  search.GenStats
 }
+
+// Stats implements search.StatsReporter. Path-based mode answers
+// qualification from the shared memoized traversals (Def. 4.3 style);
+// vertex-at-a-time mode re-traverses per check (Def. 4.2 style).
+func (gen *generation) Stats() search.GenStats { return gen.stats }
 
 func (gen *generation) exhausted() bool {
 	return gen.opt.MaxChecks > 0 && gen.checks > gen.opt.MaxChecks
@@ -62,9 +68,11 @@ func (gen *generation) GenerateCtx(ctx context.Context, rootCands []graph.V, can
 
 	var out []search.Match
 	tuple := make([]graph.V, len(gen.q))
+	earlyK := false
 	var rec func(step int)
 	rec = func(step int) {
 		if gen.opt.K > 0 && gen.count >= gen.opt.K {
+			earlyK = true
 			return
 		}
 		if gen.exhausted() || cancel.Cancelled() {
@@ -101,12 +109,26 @@ func (gen *generation) GenerateCtx(ctx context.Context, rootCands []graph.V, can
 		}
 	}
 	rec(0)
+	if earlyK {
+		gen.stats.EarlyKStops++
+	}
 	return out
 }
 
 func (gen *generation) within(u, v graph.V) bool {
 	gen.checks++
 	_, ok := gen.distOf(u, v)
+	if gen.opt.PathBased {
+		gen.stats.PathChecks++
+		if ok {
+			gen.stats.PathQualified++
+		}
+	} else {
+		gen.stats.VertexChecks++
+		if ok {
+			gen.stats.VertexQualified++
+		}
+	}
 	return ok
 }
 

@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 
 	"bigindex/internal/graph"
+	"bigindex/internal/obs"
 	"bigindex/internal/search"
 )
 
@@ -186,10 +187,18 @@ func (p *prepared) SearchCtx(ctx context.Context, q []graph.Label, k int) ([]sea
 			return nil, nil
 		}
 	}
+	sp := obs.SpanFromContext(ctx)
 	if k <= 0 {
-		return p.exhaustive(cancel, q, sets), cancel.Err()
+		out := p.exhaustive(cancel, q, sets)
+		if sp != nil {
+			sp.SetAttr("mode", "exhaustive").SetAttr("matches", len(out))
+		}
+		return out, cancel.Err()
 	}
 	out := p.topK(cancel, q, sets, k)
+	if sp != nil {
+		sp.SetAttr("mode", "topk").SetAttr("matches", len(out))
+	}
 	return out, cancel.Err()
 }
 

@@ -42,6 +42,7 @@ type RootedGeneration struct {
 	// and answers the rest by lookup.
 	verified      int
 	pathThreshold int
+	stats         GenStats
 }
 
 // ScoreFunc maps a per-keyword distance vector to a ranking score (lower is
@@ -109,6 +110,7 @@ func (rg *RootedGeneration) GenerateCtx(ctx context.Context, rootCands []graph.V
 	var out []Match
 	for _, r := range rootCands {
 		if rg.opt.K > 0 && rg.count >= rg.opt.K {
+			rg.stats.EarlyKStops++
 			break
 		}
 		if cancel.Cancelled() {
@@ -142,14 +144,20 @@ func (rg *RootedGeneration) verify(r graph.V) (Match, bool) {
 			if rg.kwDist[i] == nil {
 				rg.kwDist[i] = MultiSourceDists(rg.g, rg.g.VerticesWithLabel(rg.q[i]), rg.dmax, graph.Backward)
 			}
+			rg.stats.PathChecks++
 			if dd, ok := rg.kwDist[i][r]; ok {
 				d = dd
+				rg.stats.PathQualified++
 			}
 		} else {
 			// Popular keyword: a forward probe exits at the first
 			// occurrence, usually within a hop or two — cheaper than
 			// materializing its near-global distance map.
+			rg.stats.VertexChecks++
 			d = rg.minDistToLabel(r, rg.q[i])
+			if d >= 0 {
+				rg.stats.VertexQualified++
+			}
 		}
 		if d < 0 {
 			return Match{}, false
@@ -163,6 +171,9 @@ func (rg *RootedGeneration) verify(r graph.V) (Match, bool) {
 		Score: rg.score(dists),
 	}, true
 }
+
+// Stats implements StatsReporter.
+func (rg *RootedGeneration) Stats() GenStats { return rg.stats }
 
 // mapWorthwhile decides per keyword whether the shared distance map pays:
 // a map's cost grows with the posting's d_max neighborhood, while a

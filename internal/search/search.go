@@ -147,6 +147,37 @@ type Generation interface {
 	GenerateCtx(ctx context.Context, rootCands []graph.V, cands [][]graph.V) []Match
 }
 
+// GenStats counts the paper-phase work of one generation session, in the
+// vocabulary of Sec. 4.3: vertex-at-a-time qualification checks (Def. 4.2,
+// Algo 3), path-based qualification checks answered from shared traversal
+// maps (Def. 4.3, Algo 4), how many of each qualified, and early top-k
+// terminations (Sec. 4.3.4). The framework aggregates these per query into
+// core.Breakdown and the server exports them as counters, so bench numbers
+// can be read against the paper's ablation figures.
+type GenStats struct {
+	VertexChecks    int64 // Def 4.2 qualification checks attempted
+	VertexQualified int64 // … that qualified
+	PathChecks      int64 // Def 4.3 shared-traversal lookups attempted
+	PathQualified   int64 // … that qualified
+	EarlyKStops     int64 // Sec 4.3.4 top-k early terminations
+}
+
+// Merge adds o into s.
+func (s *GenStats) Merge(o GenStats) {
+	s.VertexChecks += o.VertexChecks
+	s.VertexQualified += o.VertexQualified
+	s.PathChecks += o.PathChecks
+	s.PathQualified += o.PathQualified
+	s.EarlyKStops += o.EarlyKStops
+}
+
+// StatsReporter is optionally implemented by Generation sessions that
+// count their qualification work. Stats reports session totals so far (a
+// session persists across the generalized answers of one query).
+type StatsReporter interface {
+	Stats() GenStats
+}
+
 // Prepared is a queryable per-graph instance of an Algorithm.
 type Prepared interface {
 	// Search returns matches of q ranked by ascending score. k <= 0 returns

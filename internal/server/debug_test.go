@@ -1,0 +1,302 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"bigindex/internal/graph"
+	"bigindex/internal/search"
+)
+
+// The debug endpoints are off unless explicitly enabled: they must 404 on
+// a default server even though the recorder itself is running.
+func TestDebugEndpointsOffByDefault(t *testing.T) {
+	s, _ := robustServer(t, Options{})
+	for _, path := range []string{"/debug/traces", "/debug/traces/x", "/debug/active", "/debug/index"} {
+		rec, _ := get(t, s, path)
+		if rec.Code != http.StatusNotFound {
+			t.Fatalf("%s = %d, want 404 with endpoints off", path, rec.Code)
+		}
+	}
+}
+
+// The acceptance path: a deadline-degraded query is always retained by
+// tail sampling (outcome != ok) and retrievable by ID with its span tree.
+func TestDebugTraceDegradedRetained(t *testing.T) {
+	slow := &stubAlgo{name: "slow", fn: func(ctx context.Context, q []graph.Label, k int) ([]search.Match, error) {
+		ms := []search.Match{{Root: 0, Score: 1}}
+		<-ctx.Done()
+		return ms, context.Cause(ctx)
+	}}
+	s, ds := robustServer(t, Options{
+		ExtraAlgorithms: map[string]search.Algorithm{"slow": slow},
+		Debug:           DebugOptions{Endpoints: true},
+	})
+	kw := popularTerm(ds)
+
+	rec, body := get(t, s, "/query?q="+kw+"&algo=slow&direct=1&timeout=50ms")
+	if rec.Code != http.StatusOK || body["degraded"] != true {
+		t.Fatalf("setup query: %d %v", rec.Code, body)
+	}
+
+	rec, body = get(t, s, "/debug/traces?outcome=degraded")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/traces = %d: %s", rec.Code, rec.Body.String())
+	}
+	traces, _ := body["traces"].([]interface{})
+	if len(traces) != 1 {
+		t.Fatalf("want 1 degraded trace, got %v", body)
+	}
+	entry := traces[0].(map[string]interface{})
+	id, _ := entry["id"].(string)
+	if id == "" || entry["outcome"] != "degraded" || entry["keep"] != "outcome" {
+		t.Fatalf("trace summary: %v", entry)
+	}
+	if _, hasSpans := entry["spans"]; hasSpans {
+		t.Fatalf("list view must not carry span trees: %v", entry)
+	}
+
+	rec, body = get(t, s, "/debug/traces/"+id)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/traces/%s = %d: %s", id, rec.Code, rec.Body.String())
+	}
+	if body["id"] != id {
+		t.Fatalf("trace body id = %v", body["id"])
+	}
+	raw := rec.Body.String()
+	// The full record carries the span tree: the query root span and the
+	// Direct child the evaluator opened for this request.
+	for _, want := range []string{`"spans"`, `"Direct"`, `"dur_us"`} {
+		if !strings.Contains(raw, want) {
+			t.Fatalf("trace body missing %s:\n%s", want, raw)
+		}
+	}
+
+	rec, _ = get(t, s, "/debug/traces/does-not-exist")
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("missing id = %d, want 404", rec.Code)
+	}
+	rec, _ = get(t, s, "/debug/traces?min=banana")
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad min = %d, want 400", rec.Code)
+	}
+}
+
+// A full (non-direct) evaluation retained at sample=1 carries the
+// paper-phase spans and counters: the Specialize span tree with the
+// Prop 4.1 in→out attrs, and the phase counters surface on /metrics with
+// an exemplar trace ID on the latency histogram.
+func TestDebugTracePaperPhaseCounters(t *testing.T) {
+	s, ds := robustServer(t, Options{
+		Debug: DebugOptions{Endpoints: true, Sample: 1},
+	})
+	if s.Index().NumLayers() < 2 {
+		t.Skip("dataset built a single layer; no specialization to observe")
+	}
+	kw := popularTerm(ds)
+
+	// Pin layer 1 so the query must specialize back to G⁰ (the cost model
+	// may legitimately pick layer 0 on a small index, which has no
+	// Specialize phase to observe).
+	rec, _ := get(t, s, "/query?q="+kw+"&algo=blinks&layer=1")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("query = %d: %s", rec.Code, rec.Body.String())
+	}
+
+	rec, body := get(t, s, "/debug/traces?limit=1")
+	traces, _ := body["traces"].([]interface{})
+	if rec.Code != http.StatusOK || len(traces) != 1 {
+		t.Fatalf("/debug/traces = %d %v", rec.Code, body)
+	}
+	id := traces[0].(map[string]interface{})["id"].(string)
+
+	rec, _ = get(t, s, "/debug/traces/"+id)
+	raw := rec.Body.String()
+	for _, want := range []string{`"Select"`, `"Search"`, `"Specialize"`, `"layer"`} {
+		if !strings.Contains(raw, want) {
+			t.Fatalf("trace missing %s:\n%s", want, raw)
+		}
+	}
+
+	rec, _ = get(t, s, "/metrics")
+	metrics := rec.Body.String()
+	for _, name := range []string{
+		"bigindex_query_layer_total{algo=\"blinks\"",
+		"bigindex_prop41_candidates_total",
+		"bigindex_topk_stops_total",
+		"bigindex_gen_checks_total",
+		"bigindex_spec_fanout_bucket",
+		"bigindex_trace_kept_total",
+	} {
+		if !strings.Contains(metrics, name) {
+			t.Fatalf("/metrics missing %s", name)
+		}
+	}
+	// Exemplar: the query latency bucket cross-links to the trace we just
+	// fetched (the only query so far, so its ID is the one remembered).
+	if !strings.Contains(metrics, `# {trace_id="`+id+`"}`) {
+		t.Fatalf("/metrics missing exemplar for trace %s", id)
+	}
+}
+
+// /debug/active surfaces in-flight queries with their current span path;
+// the entry disappears once the query completes.
+func TestDebugActive(t *testing.T) {
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	block := &stubAlgo{name: "block", fn: func(ctx context.Context, q []graph.Label, k int) ([]search.Match, error) {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return nil, nil
+	}}
+	s, ds := robustServer(t, Options{
+		ExtraAlgorithms: map[string]search.Algorithm{"block": block},
+		Debug:           DebugOptions{Endpoints: true},
+	})
+	kw := popularTerm(ds)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		get(t, s, "/query?q="+kw+"&algo=block&direct=1")
+	}()
+	<-started
+
+	rec, body := get(t, s, "/debug/active")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/active = %d", rec.Code)
+	}
+	active, _ := body["active"].([]interface{})
+	if len(active) != 1 {
+		t.Fatalf("want 1 active query, got %v", body)
+	}
+	entry := active[0].(map[string]interface{})
+	if entry["algo"] != "block" || entry["trace_id"] == "" {
+		t.Fatalf("active entry: %v", entry)
+	}
+	if cur, _ := entry["current"].(string); !strings.Contains(cur, "Direct") {
+		t.Fatalf("current span path = %q, want through Direct", cur)
+	}
+	if el, _ := entry["elapsed_us"].(float64); el <= 0 {
+		t.Fatalf("elapsed_us = %v", entry["elapsed_us"])
+	}
+
+	close(release)
+	wg.Wait()
+	_, body = get(t, s, "/debug/active")
+	if n, _ := body["count"].(float64); n != 0 {
+		t.Fatalf("active after completion: %v", body)
+	}
+}
+
+// A shed query reaches the recorder with outcome=shed even though it never
+// entered evaluation.
+func TestDebugTraceShedRetained(t *testing.T) {
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	block := &stubAlgo{name: "block", fn: func(ctx context.Context, q []graph.Label, k int) ([]search.Match, error) {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		<-release
+		return nil, nil
+	}}
+	s, ds := robustServer(t, Options{
+		MaxInFlight:     1,
+		ShedWait:        -1,
+		ExtraAlgorithms: map[string]search.Algorithm{"block": block},
+		Debug:           DebugOptions{Endpoints: true},
+	})
+	kw := popularTerm(ds)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		get(t, s, "/query?q="+kw+"&algo=block&direct=1")
+	}()
+	<-started
+
+	rec, _ := get(t, s, "/query?q="+kw+"&algo=block&direct=1")
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("second query = %d, want 429", rec.Code)
+	}
+	close(release)
+	wg.Wait()
+
+	_, body := get(t, s, "/debug/traces?outcome=shed")
+	traces, _ := body["traces"].([]interface{})
+	if len(traces) != 1 {
+		t.Fatalf("want 1 shed trace, got %v", body)
+	}
+}
+
+// /debug/index reports the hierarchy's per-layer shape, the generalization
+// quality measures, the epoch, and the data-graph digest.
+func TestDebugIndex(t *testing.T) {
+	s, _ := robustServer(t, Options{Debug: DebugOptions{Endpoints: true}})
+	rec, body := get(t, s, "/debug/index")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/index = %d: %s", rec.Code, rec.Body.String())
+	}
+	layers, _ := body["layers"].([]interface{})
+	if len(layers) != s.Index().NumLayers() {
+		t.Fatalf("layers = %d, want %d", len(layers), s.Index().NumLayers())
+	}
+	l0 := layers[0].(map[string]interface{})
+	if l0["compression_ratio"] != 1.0 {
+		t.Fatalf("layer 0 ratio = %v, want 1", l0["compression_ratio"])
+	}
+	if len(layers) > 1 {
+		l1 := layers[1].(map[string]interface{})
+		if r, _ := l1["compression_ratio"].(float64); r <= 0 || r > 1 {
+			t.Fatalf("layer 1 ratio = %v", l1["compression_ratio"])
+		}
+		if d, _ := l1["distortion"].(float64); d < 0 || d >= 1 {
+			t.Fatalf("layer 1 distortion = %v", l1["distortion"])
+		}
+		if cr, _ := l1["config_rules"].(float64); cr <= 0 {
+			t.Fatalf("layer 1 config_rules = %v", l1["config_rules"])
+		}
+	}
+	if dg, _ := body["digest"].(string); dg == "" {
+		t.Fatal("digest missing")
+	}
+	if ts, _ := body["total_size"].(float64); ts <= 0 {
+		t.Fatalf("total_size = %v", body["total_size"])
+	}
+	if _, ok := body["epoch"].(float64); !ok {
+		t.Fatalf("epoch missing: %v", body)
+	}
+}
+
+// Sample < 0 disables the recorder entirely; queries still work and the
+// debug endpoints answer with empty data rather than failing.
+func TestDebugRecorderDisabled(t *testing.T) {
+	s, ds := robustServer(t, Options{
+		Debug: DebugOptions{Endpoints: true, Sample: -1},
+	})
+	kw := popularTerm(ds)
+	rec, _ := get(t, s, "/query?q="+kw)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("query = %d", rec.Code)
+	}
+	rec, body := get(t, s, "/debug/traces")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/traces = %d", rec.Code)
+	}
+	if n, _ := body["retained"].(float64); n != 0 {
+		t.Fatalf("disabled recorder retained %v traces", n)
+	}
+}

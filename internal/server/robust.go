@@ -7,6 +7,8 @@ import (
 	"time"
 
 	"log/slog"
+
+	"bigindex/internal/obs"
 )
 
 // statusClientClosedRequest is the (nginx-convention) status recorded for
@@ -22,10 +24,19 @@ const statusClientClosedRequest = 499
 // the expensive endpoints (/query) sit behind the gate — health, metrics,
 // and stats must stay responsive exactly when the process is saturated.
 func (s *Server) shedded(next http.HandlerFunc) http.HandlerFunc {
-	if s.sem == nil {
-		return next
-	}
 	return func(w http.ResponseWriter, r *http.Request) {
+		// Register the query with the flight recorder's live registry before
+		// the gate: an in-flight query stuck waiting for a slot is exactly
+		// the kind /debug/active must surface.
+		tr := obs.SpanFromContext(r.Context()).Trace()
+		start := time.Now()
+		tok := s.recorder.Begin(tr, r.URL.Query().Get("algo"), r.URL.Query().Get("q"))
+		defer s.recorder.End(tok)
+
+		if s.sem == nil {
+			next(w, r)
+			return
+		}
 		acquired := false
 		select {
 		case s.sem <- struct{}{}:
@@ -45,10 +56,14 @@ func (s *Server) shedded(next http.HandlerFunc) http.HandlerFunc {
 		if !acquired {
 			if r.Context().Err() != nil {
 				s.cancelled.With("client").Inc()
+				s.recorder.Finish(tr, r.URL.Query().Get("algo"), r.URL.Query().Get("q"),
+					"cancelled", time.Since(start))
 				httpError(w, statusClientClosedRequest, fmt.Errorf("client closed request"))
 				return
 			}
 			s.shed.Inc()
+			s.recorder.Finish(tr, r.URL.Query().Get("algo"), r.URL.Query().Get("q"),
+				"shed", time.Since(start))
 			w.Header().Set("Retry-After", "1")
 			httpError(w, http.StatusTooManyRequests,
 				fmt.Errorf("query capacity exhausted (%d in flight); retry shortly", cap(s.sem)))

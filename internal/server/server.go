@@ -113,6 +113,28 @@ type Options struct {
 	// evaluation. The zero value enables a default-sized cache; set
 	// Cache.Size < 0 to disable caching.
 	Cache CacheOptions
+	// Debug configures the flight recorder and the /debug endpoints. The
+	// recorder itself is always on (tail sampling is cheap: keep/drop is
+	// decided per query at query end); the endpoints exposing it are
+	// default-off.
+	Debug DebugOptions
+}
+
+// DebugOptions configures the flight recorder (obs.Recorder) and its
+// debug endpoints.
+type DebugOptions struct {
+	// Endpoints enables GET /debug/traces, /debug/traces/{id},
+	// /debug/active, and /debug/index. Default off: stored traces carry
+	// query contents, which an operator opts into exposing.
+	Endpoints bool
+	// Sample is the recorder's uniform keep probability for unremarkable
+	// queries (0 = 0.01). Negative disables the recorder entirely —
+	// the overhead-ablation baseline.
+	Sample float64
+	// StoreSize is the trace ring capacity (0 = 512).
+	StoreSize int
+	// KeepSlowest is K, the slowest-per-window retention (0 = 8).
+	KeepSlowest int
 }
 
 // CacheOptions sizes the query result cache.
@@ -153,6 +175,7 @@ type Server struct {
 	draining atomic.Bool              // readiness flips to 503 during shutdown drain
 	cache    *qcache.Cache            // query result cache (nil = disabled)
 	reloader atomic.Pointer[Reloader] // set by SetReloader; nil = /admin/reload disabled
+	recorder *obs.Recorder            // flight recorder (nil = disabled)
 
 	reg       *obs.Registry
 	cacheSec  *obs.HistogramVec // end-to-end /query latency by cache outcome
@@ -164,6 +187,14 @@ type Server struct {
 	shed      *obs.Counter      // 429s from the load-shedding gate
 	panics    *obs.Counter      // handler panics contained by recoverPanics
 	inflightQ *obs.Gauge        // queries currently evaluating
+
+	// Paper-phase counters fed from core.Breakdown after each evaluation.
+	layerChosen *obs.CounterVec // queries by algo and evaluated layer (Formula 4 outcome)
+	prop41      *obs.CounterVec // Prop 4.1 label-filter candidates, by result
+	isKeySteps  *obs.Counter    // Sec. 4.3.1 early-filtered Spec steps
+	topkStops   *obs.CounterVec // top-k early terminations, by kind
+	genChecks   *obs.CounterVec // Def 4.2/4.3 qualification checks, by kind and result
+	specFanout  *obs.Histogram  // candidates per layer-descent step
 
 	// Index-shape gauges, re-set on every hot swap.
 	idxLayers *obs.Gauge
@@ -177,6 +208,7 @@ var knownPaths = map[string]bool{
 	"/query": true, "/explain": true, "/complete": true,
 	"/stats": true, "/metrics": true, "/healthz": true, "/readyz": true,
 	"/admin/reload": true,
+	"/debug/traces": true, "/debug/active": true, "/debug/index": true,
 }
 
 // New creates a server over a built index.
@@ -260,6 +292,31 @@ func New(idx *core.Index, ont *ontology.Ontology, opt Options) *Server {
 		"Handler panics contained by the recovery middleware.")
 	s.inflightQ = s.reg.Gauge("bigindex_queries_inflight",
 		"Queries currently being evaluated (admitted past the shedding gate).")
+	if opt.Debug.Sample >= 0 {
+		s.recorder = obs.NewRecorder(obs.RecorderOptions{
+			Sample:      opt.Debug.Sample,
+			StoreSize:   opt.Debug.StoreSize,
+			KeepSlowest: opt.Debug.KeepSlowest,
+			Metrics:     s.reg,
+		})
+	}
+	s.layerChosen = s.reg.CounterVec("bigindex_query_layer_total",
+		"Queries by algorithm and the layer the cost model evaluated them at (Formula 4).",
+		"algo", "layer")
+	s.prop41 = s.reg.CounterVec("bigindex_prop41_candidates_total",
+		"Specialization candidates examined by the Prop 4.1 label filter, by result (kept, filtered).",
+		"result")
+	s.isKeySteps = s.reg.Counter("bigindex_iskey_steps_total",
+		"Early-filtered specialization steps above layer 1 (the isKey optimization, Sec. 4.3.1).")
+	s.topkStops = s.reg.CounterVec("bigindex_topk_stops_total",
+		"Top-k early terminations by kind: earlyk (Sec. 4.3.4 first-k), bound (Prop 5.2 score bound), generate (inside a generation session).",
+		"kind")
+	s.genChecks = s.reg.CounterVec("bigindex_gen_checks_total",
+		"Answer-generation qualification checks by kind (vertex = Def 4.2 / Algo 3, path = Def 4.3 / Algo 4) and result (qualified, rejected).",
+		"kind", "result")
+	s.specFanout = s.reg.Histogram("bigindex_spec_fanout",
+		"Candidates emerging from each specialization layer-descent step.",
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384})
 	s.idxLayers = s.reg.Gauge("bigindex_index_layers", "Summary layers in the served index (h).")
 	s.idxSize = s.reg.Gauge("bigindex_index_size", "BiG-index size (sum of summary graph sizes).")
 	s.gVerts = s.reg.Gauge("bigindex_graph_vertices", "Data graph vertices.")
@@ -274,6 +331,12 @@ func New(idx *core.Index, ont *ontology.Ontology, opt Options) *Server {
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/readyz", s.handleReady)
 	s.mux.Handle("/metrics", s.reg.Handler())
+	if opt.Debug.Endpoints {
+		s.mux.HandleFunc("/debug/traces", s.handleDebugTraces)
+		s.mux.HandleFunc("/debug/traces/", s.handleDebugTraceByID)
+		s.mux.HandleFunc("/debug/active", s.handleDebugActive)
+		s.mux.HandleFunc("/debug/index", s.handleDebugIndex)
+	}
 	s.handler = obs.Instrument(s.recoverPanics(s.mux), obs.HTTPOptions{
 		Registry:  s.reg,
 		Logger:    opt.Logger,
@@ -282,11 +345,17 @@ func New(idx *core.Index, ont *ontology.Ontology, opt Options) *Server {
 			if knownPaths[r.URL.Path] {
 				return r.URL.Path
 			}
+			if strings.HasPrefix(r.URL.Path, "/debug/traces/") {
+				return "/debug/traces/{id}"
+			}
 			return "other"
 		},
 	})
 	return s
 }
+
+// Recorder returns the server's flight recorder (nil when disabled).
+func (s *Server) Recorder() *obs.Recorder { return s.recorder }
 
 // ServeHTTP implements http.Handler (through the obs middleware: request
 // metrics, per-request trace, request log).
@@ -425,7 +494,7 @@ func approxResultBytes(ms []search.Match) int64 {
 // direct baseline eval or hierarchical eval at a pinned/auto layer,
 // with per-phase latency metrics and the per-request k applied at
 // result time (shared evaluators run exhaustively; see evaluator()).
-func (s *Server) evalQuery(ctx context.Context, ev *core.Evaluator, q []graph.Label, k, forcedLayer int, direct bool) (cachedResult, error) {
+func (s *Server) evalQuery(ctx context.Context, ev *core.Evaluator, algo string, q []graph.Label, k, forcedLayer int, direct bool) (cachedResult, error) {
 	if direct {
 		ms, err := ev.DirectCtx(ctx, q, k)
 		return cachedResult{matches: ms}, err
@@ -438,8 +507,29 @@ func (s *Server) evalQuery(ctx context.Context, ev *core.Evaluator, q []graph.La
 		s.phaseSec.With("search").Observe(bd.Search.Seconds())
 		s.phaseSec.With("specialize").Observe(bd.Specialize.Seconds())
 		s.phaseSec.With("generate").Observe(bd.Generate.Seconds())
+		s.observeBreakdown(algo, bd)
 	}
 	return cachedResult{matches: search.Truncate(ms, k), layer: layer}, err
+}
+
+// observeBreakdown exports the Breakdown's paper-phase counters so metrics
+// speak the paper's vocabulary (Formula 4 / Prop 4.1 / Defs 4.2-4.3 /
+// Secs. 4.3.1 and 4.3.4); see DESIGN.md for the mapping.
+func (s *Server) observeBreakdown(algo string, bd *core.Breakdown) {
+	s.layerChosen.With(algo, strconv.Itoa(bd.Layer)).Inc()
+	s.prop41.With("kept").Add(int64(bd.Prop41Checked - bd.Prop41Filtered))
+	s.prop41.With("filtered").Add(int64(bd.Prop41Filtered))
+	s.isKeySteps.Add(int64(bd.IsKeySteps))
+	s.topkStops.With("earlyk").Add(int64(bd.EarlyStops))
+	s.topkStops.With("bound").Add(int64(bd.BoundStops))
+	s.topkStops.With("generate").Add(bd.Gen.EarlyKStops)
+	s.genChecks.With("vertex", "qualified").Add(bd.Gen.VertexQualified)
+	s.genChecks.With("vertex", "rejected").Add(bd.Gen.VertexChecks - bd.Gen.VertexQualified)
+	s.genChecks.With("path", "qualified").Add(bd.Gen.PathQualified)
+	s.genChecks.With("path", "rejected").Add(bd.Gen.PathChecks - bd.Gen.PathQualified)
+	for _, f := range bd.SpecFanout {
+		s.specFanout.Observe(float64(f))
+	}
 }
 
 // runQuery answers one query through the result cache: a cache hit
@@ -450,7 +540,7 @@ func (s *Server) evalQuery(ctx context.Context, ev *core.Evaluator, q []graph.La
 func (s *Server) runQuery(ctx context.Context, st *indexState, ev *core.Evaluator, algo string, q []graph.Label,
 	k, forcedLayer int, direct, nocache bool) (cachedResult, qcache.Outcome, error) {
 	compute := func(cctx context.Context) (qcache.Result, error) {
-		cr, err := s.evalQuery(cctx, ev, q, k, forcedLayer, direct)
+		cr, err := s.evalQuery(cctx, ev, algo, q, k, forcedLayer, direct)
 		if err != nil {
 			if errors.Is(err, context.DeadlineExceeded) {
 				cr.degraded = "deadline"
@@ -695,6 +785,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	cr, outcome, err := s.runQuery(ctx, st, ev, algo, q, k, forcedLayer, direct, nocache)
 	elapsed := time.Since(start)
+	// The flight recorder's tail-sampling decision: the trace of every
+	// query reaches Finish with its terminal outcome; errored / degraded /
+	// cancelled queries are always retained, the rest compete as
+	// slowest-of-window or uniform sample.
+	tr := obs.SpanFromContext(ctx).Trace()
+	qRaw := r.URL.Query().Get("q")
 	degradedReason := cr.degraded
 	if err != nil {
 		switch {
@@ -707,9 +803,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			// The client went away; nothing will read the response. Record
 			// the abort for the cancellation counter and close out.
 			s.cancelled.With("client").Inc()
+			s.recorder.Finish(tr, algo, qRaw, "cancelled", elapsed)
 			httpError(w, statusClientClosedRequest, fmt.Errorf("client closed request"))
 			return
 		default:
+			s.recorder.Finish(tr, algo, qRaw, "error", elapsed)
 			httpError(w, http.StatusInternalServerError, err)
 			return
 		}
@@ -721,9 +819,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.cancelled.With("deadline").Inc()
 		s.degraded.Inc()
 		obs.AddLogAttrs(ctx, slog.Bool("degraded", true))
+		s.recorder.Finish(tr, algo, qRaw, "degraded", elapsed)
+	} else {
+		s.recorder.Finish(tr, algo, qRaw, "ok", elapsed)
 	}
 	ms := cr.matches
-	s.querySec.With(algo, mode).Observe(elapsed.Seconds())
+	// Exemplar: the latency bucket remembers this query's trace ID, so a
+	// spike in the exposition cross-links to /debug/traces/{id}.
+	s.querySec.With(algo, mode).ObserveExemplar(elapsed.Seconds(), tr.ID())
 	s.cacheSec.With(string(outcome)).Observe(elapsed.Seconds())
 	s.matches.With(algo).Add(int64(len(ms)))
 	obs.AddLogAttrs(ctx, slog.Int("layer", cr.layer), slog.Int("count", len(ms)),

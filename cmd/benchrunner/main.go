@@ -11,10 +11,15 @@
 //	benchrunner -exp cache         # query-cache cold/warm latencies;
 //	                               # also written to -cache-json
 //	                               # (default BENCH_cache.json)
-//	benchrunner -exp obs           # flight-recorder overhead off vs
-//	                               # sample=0.01 vs sample=1.0; also
-//	                               # written to -obs-json
+//	benchrunner -exp obs           # flight-recorder + ledger overhead
+//	                               # off vs sample=0.01 vs sample=1.0;
+//	                               # also written to -obs-json
 //	                               # (default BENCH_obs.json)
+//	benchrunner -exp replay -workload qlog.jsonl
+//	                               # replay a bigindexd -query-log capture
+//	                               # and audit the Formula 4 cost model;
+//	                               # also written to -replay-json
+//	                               # (default BENCH_replay.json)
 //
 // The JSON export carries the same rows as the text tables plus per-
 // experiment wall time, so the perf trajectory across PRs is diffable.
@@ -41,7 +46,15 @@ func main() {
 		"when the snapshot experiment runs, also write its report here (empty = off)")
 	obsOut := flag.String("obs-json", "BENCH_obs.json",
 		"when the obs experiment runs, also write its report here (empty = off)")
+	workload := flag.String("workload", "",
+		"query log captured by bigindexd -query-log; required by -exp replay")
+	workloadDataset := flag.String("workload-dataset", "demo",
+		"dataset the workload was captured against (bigindexd -preset value)")
+	replayOut := flag.String("replay-json", "BENCH_replay.json",
+		"when the replay experiment runs, also write its report here (empty = off)")
 	flag.Parse()
+
+	bench.SetReplayConfig(*workload, *workloadDataset)
 
 	if *list {
 		ids := make([]string, 0, len(bench.Experiments))
@@ -119,6 +132,17 @@ func main() {
 		}
 		if len(obsReports) > 0 {
 			writeJSON(*obsOut, obsReports)
+		}
+	}
+	if *replayOut != "" {
+		var replayReports []*bench.Report
+		for _, r := range reports {
+			if r.ID == "replay" {
+				replayReports = append(replayReports, r)
+			}
+		}
+		if len(replayReports) > 0 {
+			writeJSON(*replayOut, replayReports)
 		}
 	}
 }

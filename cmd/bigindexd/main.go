@@ -99,9 +99,18 @@ func main() {
 		"uniform keep probability for unremarkable query traces; slow/errored/degraded/shed queries are always kept (negative = recorder off)")
 	traceStoreSize := flag.Int("trace-store-size", 512, "flight-recorder trace ring capacity")
 	traceKeepSlowest := flag.Int("trace-keep-slowest", 8, "K slowest queries retained per window by the flight recorder")
+	queryLogPath := flag.String("query-log", "",
+		"append one JSON line per /query to this file (workload capture for benchrunner -exp replay; empty = off)")
+	queryLogMaxBytes := flag.Int64("query-log-max-bytes", 64<<20,
+		"rotate the query log once it reaches this size (one .1 predecessor is kept)")
+	shadowSample := flag.Float64("costmodel-shadow", 0,
+		"probability of re-evaluating a routed query at the runner-up layer to measure cost-model misroutes (0 = off)")
 	flag.Parse()
 
 	logger := obs.NewLogger(os.Stderr, parseLevel(*logLevel), *logFormat == "json")
+	// One line with the full effective configuration — every flag after
+	// defaulting — so any incident log pins down exactly how the daemon ran.
+	logger.Info("effective config", configAttrs(flag.CommandLine)...)
 	reg := obs.NewRegistry()
 	obs.RegisterRuntimeMetrics(reg)
 
@@ -142,6 +151,18 @@ func main() {
 	if sw == 0 {
 		sw = -1 // Options: 0 means default, negative sheds immediately
 	}
+	var qlog *obs.QueryLog
+	if *queryLogPath != "" {
+		qlog, err = obs.OpenQueryLog(obs.QueryLogOptions{
+			Path:     *queryLogPath,
+			MaxBytes: *queryLogMaxBytes,
+		})
+		if err != nil {
+			fatal(logger, "opening query log", err)
+		}
+		defer qlog.Close()
+		logger.Info("query log enabled", "file", *queryLogPath, "max_bytes", *queryLogMaxBytes)
+	}
 	srv := server.New(idx, ds.Ont, server.Options{
 		DMax:         *dmax,
 		Metrics:      reg,
@@ -157,6 +178,8 @@ func main() {
 			StoreSize:   *traceStoreSize,
 			KeepSlowest: *traceKeepSlowest,
 		},
+		QueryLog:     qlog,
+		ShadowSample: *shadowSample,
 	})
 
 	if *warmFile != "" {
@@ -385,6 +408,17 @@ func warmCache(srv *server.Server, logger *slog.Logger, path string) error {
 	logger.Info("cache warmed", "file", path, "queries", n,
 		"elapsed", time.Since(start).Round(time.Millisecond))
 	return nil
+}
+
+// configAttrs renders a FlagSet's full effective configuration — every
+// defined flag with the value it ended up with after parsing and
+// defaulting — as slog attrs, sorted by flag name (flag.VisitAll order).
+func configAttrs(fs *flag.FlagSet) []any {
+	var attrs []any
+	fs.VisitAll(func(f *flag.Flag) {
+		attrs = append(attrs, slog.String(f.Name, f.Value.String()))
+	})
+	return attrs
 }
 
 func parseLevel(s string) slog.Level {

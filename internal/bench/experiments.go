@@ -35,6 +35,9 @@ var Experiments = map[string]Runner{
 	"cache":       RunCache,
 	"snapshot":    RunSnapshot,
 	"obs":         RunObs,
+	// replay needs a captured workload file (benchrunner -workload) and is
+	// therefore not part of ExperimentOrder / "-exp all".
+	"replay": RunReplay,
 }
 
 // ExperimentOrder is the canonical run order for `benchrunner -exp all`.

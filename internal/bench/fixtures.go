@@ -96,6 +96,12 @@ func GetFixture(name string) (*Fixture, error) {
 
 func datasetByName(name string) (*datagen.Dataset, error) {
 	switch name {
+	case "demo":
+		// bigindexd's default preset, mirrored here so a workload captured
+		// from a stock daemon replays against the same graph.
+		return datagen.Generate(datagen.Options{
+			Name: "demo", Entities: 1500, Terms: 120, LeafTypes: 8, Seed: 4242,
+		}), nil
 	case "yago-s":
 		return datagen.YagoSmall(), nil
 	case "dbpedia-s":

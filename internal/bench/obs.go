@@ -51,10 +51,11 @@ func runObs(poolSize, samples int) (*Report, error) {
 	}
 
 	ctx := context.Background()
-	// runPass replays the workload. rec == nil is the baseline: no trace
-	// in the context, so every span call in eval and the algorithms takes
-	// the nil fast path; with a recorder each query gets the full server
-	// treatment — root span, child spans, attrs, tail-sampling Finish.
+	// runPass replays the workload. rec == nil is the baseline: no trace or
+	// ledger in the context, so every span and ledger call in eval and the
+	// algorithms takes the nil fast path; with a recorder each query gets
+	// the full server treatment — root span, child spans, attrs, a resource
+	// ledger, and the tail-sampling Finish with its cost snapshot attached.
 	runPass := func(rec *obs.Recorder) ([]time.Duration, error) {
 		ts := make([]time.Duration, 0, samples)
 		for _, i := range seq {
@@ -66,14 +67,15 @@ func runObs(poolSize, samples int) (*Report, error) {
 				}
 			} else {
 				tr := obs.NewTrace("query")
-				qctx := obs.ContextWithSpan(ctx, tr.Root())
+				led := obs.NewLedger()
+				qctx := obs.ContextWithLedger(obs.ContextWithSpan(ctx, tr.Root()), led)
 				_, _, err := ev.EvalCtx(qctx, q)
 				if err != nil {
 					return nil, err
 				}
 				elapsed := time.Since(start)
 				tr.Root().End()
-				rec.Finish(tr, "blinks", labelsString(q), "ok", elapsed)
+				rec.FinishCost(tr, "blinks", labelsString(q), "ok", elapsed, led.Snapshot())
 			}
 			ts = append(ts, time.Since(start))
 		}

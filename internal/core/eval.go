@@ -112,6 +112,10 @@ func NewEvaluator(idx *Index, algo search.Algorithm, opt EvalOptions) *Evaluator
 // Options returns the evaluator's options (copy).
 func (e *Evaluator) Options() EvalOptions { return e.opt }
 
+// Index returns the index the evaluator runs over (the server's
+// calibration audit needs it to recompute per-layer cost terms).
+func (e *Evaluator) Index() *Index { return e.idx }
+
 // SetOptions replaces the options; prepared layer indexes are retained.
 func (e *Evaluator) SetOptions(opt EvalOptions) { e.opt = opt }
 
@@ -184,6 +188,11 @@ func (e *Evaluator) evalCtx(ctx context.Context, q []graph.Label, forced int) ([
 	if parent == nil {
 		parent = obs.NewTrace("eval").Root()
 	}
+	// The per-query resource ledger, when the caller threaded one: the
+	// search algorithms flush their expansion counts into it, eval
+	// attributes them to the searched layer, and the specialize/generate
+	// phases add their own per-layer work units.
+	led := obs.LedgerFromContext(ctx)
 	bd := &Breakdown{LayersAvail: e.idx.NumLayers()}
 	tally := &specTally{}
 
@@ -217,8 +226,11 @@ func (e *Evaluator) evalCtx(ctx context.Context, q []graph.Label, forced int) ([
 	}
 	// The Search child becomes the ambient span so the algorithm's own
 	// counters (expansions/finalized/early_topk, …) attach to it rather
-	// than to the query root.
+	// than to the query root. The ledger's expansion counter is bracketed
+	// around the call so the search's work lands on the searched layer.
+	expBefore := led.Expanded()
 	gens, err := prep.SearchCtx(obs.ContextWithSpan(ctx, srch), qGen, limit)
+	led.AddLayerWork(m, led.Expanded()-expBefore)
 	if err != nil && ctx.Err() == nil {
 		// A real search failure, not a cancellation.
 		srch.End()
@@ -264,11 +276,11 @@ func (e *Evaluator) evalCtx(ctx context.Context, q []graph.Label, forced int) ([
 		}
 		var rootCands []graph.V
 		if !isRootless(e.algo) {
-			rootCands = e.idx.specializeRootSet(rootSupers, m, spec, tally)
+			rootCands = e.idx.specializeRootSet(rootSupers, m, spec, tally, led)
 		}
 		cands := make([][]graph.V, len(q))
 		for i := range q {
-			cands[i] = e.idx.specializeKeywordSet(kwSupers[i], m, q[i], e.opt.IsKey, spec, tally)
+			cands[i] = e.idx.specializeKeywordSet(kwSupers[i], m, q[i], e.opt.IsKey, spec, tally, led)
 		}
 		bd.Candidates = len(rootCands)
 		spec.SetAttr("root_candidates", len(rootCands))
@@ -284,6 +296,7 @@ func (e *Evaluator) evalCtx(ctx context.Context, q []graph.Label, forced int) ([
 			}
 		}
 		bd.Gen = genStatsOf(session)
+		led.AddLayerWork(0, bd.Gen.VertexChecks+bd.Gen.PathChecks)
 		gen.SetAttr("finals", len(finals))
 		setGenAttrs(gen, bd.Gen)
 		bd.Generate = gen.End().Duration()
@@ -324,11 +337,11 @@ func (e *Evaluator) evalCtx(ctx context.Context, q []graph.Label, forced int) ([
 		spec := parent.StartChild("Specialize").SetAttr("layer", m)
 		var rootCands []graph.V
 		if !rootless {
-			rootCands = e.idx.specializeRootSet([]graph.V{ga.Root}, m, spec, tally)
+			rootCands = e.idx.specializeRootSet([]graph.V{ga.Root}, m, spec, tally, led)
 		}
 		cands := make([][]graph.V, len(q))
 		for i, node := range ga.Nodes {
-			cands[i] = e.idx.specializeKeywordSet([]graph.V{node}, m, q[i], e.opt.IsKey, spec, tally)
+			cands[i] = e.idx.specializeKeywordSet([]graph.V{node}, m, q[i], e.opt.IsKey, spec, tally, led)
 		}
 		bd.Candidates += len(rootCands)
 		spec.SetAttr("root_candidates", len(rootCands))
@@ -355,6 +368,7 @@ func (e *Evaluator) evalCtx(ctx context.Context, q []graph.Label, forced int) ([
 		bd.Generate += gen.End().Duration()
 	}
 	bd.Gen = genStatsOf(session)
+	led.AddLayerWork(0, bd.Gen.VertexChecks+bd.Gen.PathChecks)
 	tally.fill(bd, parent)
 
 	search.SortMatches(finals)

@@ -383,11 +383,13 @@ func (x *Index) SpecializeKeyword(s graph.V, m int, kw graph.Label, early bool) 
 // without label filtering, deduplicating at every level (batch form of
 // SpecializeRoot used by exhaustive evaluation). Each Spec step from layer
 // j to j−1 is one child span of sp (nil sp disables tracing).
-func (x *Index) specializeRootSet(supers []graph.V, m int, sp *obs.Span, tally *specTally) []graph.V {
+func (x *Index) specializeRootSet(supers []graph.V, m int, sp *obs.Span, tally *specTally, led *obs.Ledger) []graph.V {
 	set := dedupVs(supers)
 	for j := m; j >= 1; j-- {
 		c := sp.StartChild("Spec/L"+strconv.Itoa(j-1)).SetAttr("role", "root").SetAttr("in", len(set))
-		set = x.SpecializeStep(set, j, nil)
+		var examined int
+		set, examined = x.specializeStepCounted(set, j, nil)
+		led.AddLayerWork(j-1, int64(examined))
 		c.SetAttr("out", len(set)).End()
 		if tally != nil {
 			tally.fanout = append(tally.fanout, len(set))
@@ -399,7 +401,7 @@ func (x *Index) specializeRootSet(supers []graph.V, m int, sp *obs.Span, tally *
 // specializeKeywordSet is the batch form of SpecializeKeyword; the
 // per-layer spans record how much the Prop 4.1 label filter prunes (the
 // in→out contraction at each step).
-func (x *Index) specializeKeywordSet(supers []graph.V, m int, kw graph.Label, early bool, sp *obs.Span, tally *specTally) []graph.V {
+func (x *Index) specializeKeywordSet(supers []graph.V, m int, kw graph.Label, early bool, sp *obs.Span, tally *specTally, led *obs.Ledger) []graph.V {
 	set := dedupVs(supers)
 	for j := m; j >= 1; j-- {
 		want := x.seq.GenLabel(kw, j-1)
@@ -413,6 +415,7 @@ func (x *Index) specializeKeywordSet(supers []graph.V, m int, kw graph.Label, ea
 			SetAttr("filtered", keep != nil).SetAttr("in", len(set))
 		var examined int
 		set, examined = x.specializeStepCounted(set, j, keep)
+		led.AddLayerWork(j-1, int64(examined))
 		c.SetAttr("out", len(set)).End()
 		if tally != nil {
 			tally.fanout = append(tally.fanout, len(set))

@@ -1,0 +1,156 @@
+package cost
+
+import (
+	"math"
+	"testing"
+)
+
+// synthSample builds a two-layer sample whose observed cost follows the
+// true model scale·(β·compress + (1−β)·sup) at the chosen layer.
+func synthSample(algo string, layer int, compress, sup []float64, beta, scale float64) Sample {
+	legal := make([]bool, len(compress))
+	for i := range legal {
+		legal[i] = true
+	}
+	return Sample{
+		Algo: algo, Layer: layer,
+		Compress: compress, Sup: sup, Legal: legal,
+		Observed: scale * (beta*compress[layer] + (1-beta)*sup[layer]),
+	}
+}
+
+func TestCalibrationFitRecoversBeta(t *testing.T) {
+	const trueBeta, scale = 0.7, 3.5
+	cal := NewCalibration(128)
+	// Vary the term mix across samples so the 2×2 system is well posed.
+	for i := 0; i < 64; i++ {
+		c := 0.1 + 0.013*float64(i%61)
+		s := 0.9 - 0.011*float64(i%71)
+		cal.Add(synthSample("blinks", 1, []float64{1, c}, []float64{1, s}, trueBeta, scale))
+	}
+	beta, a, b, ok := cal.Fit()
+	if !ok {
+		t.Fatal("fit declined on a well-posed window")
+	}
+	if math.Abs(beta-trueBeta) > 0.02 {
+		t.Fatalf("fitted β = %.4f, want ≈ %.2f (a=%.3f b=%.3f)", beta, trueBeta, a, b)
+	}
+	// The coefficients absorb the scale: a ≈ scale·β, b ≈ scale·(1−β).
+	if math.Abs(a-scale*trueBeta) > 0.1 || math.Abs(b-scale*(1-trueBeta)) > 0.1 {
+		t.Fatalf("coefficients a=%.3f b=%.3f, want ≈ %.3f / %.3f", a, b, scale*trueBeta, scale*(1-trueBeta))
+	}
+}
+
+func TestCalibrationFitDeclinesSmallWindow(t *testing.T) {
+	cal := NewCalibration(64)
+	for i := 0; i < fitMinSamples-1; i++ {
+		cal.Add(synthSample("x", 0, []float64{1}, []float64{1}, 0.5, 1))
+	}
+	if _, _, _, ok := cal.Fit(); ok {
+		t.Fatal("fit must decline below the sample floor")
+	}
+}
+
+func TestCalibrationDegenerateFallsBackToSharedScale(t *testing.T) {
+	cal := NewCalibration(64)
+	// compress == sup on every sample: the terms are collinear and no β is
+	// identifiable, but the magnitude still is.
+	for i := 0; i < 32; i++ {
+		v := 0.2 + 0.01*float64(i)
+		cal.Add(Sample{
+			Algo: "x", Layer: 0,
+			Compress: []float64{v}, Sup: []float64{v}, Legal: []bool{true},
+			Observed: 2 * v,
+		})
+	}
+	beta, a, b, ok := cal.Fit()
+	if !ok {
+		t.Fatal("degenerate fit must fall back, not decline")
+	}
+	if beta != 0.5 || math.Abs(a-b) > 1e-9 {
+		t.Fatalf("shared-scale fallback: β=%.3f a=%.4f b=%.4f", beta, a, b)
+	}
+}
+
+func TestCalibrationAddIgnoresJunk(t *testing.T) {
+	cal := NewCalibration(8)
+	cal.Add(Sample{Algo: "x", Layer: 0, Compress: []float64{1}, Sup: []float64{1}, Observed: 0})
+	cal.Add(Sample{Algo: "x", Layer: 5, Compress: []float64{1}, Sup: []float64{1}, Observed: 1})
+	cal.Add(Sample{Algo: "x", Layer: -1, Compress: []float64{1}, Sup: []float64{1}, Observed: 1})
+	if cal.Len() != 0 || cal.Total() != 0 {
+		t.Fatalf("junk samples stored: len=%d total=%d", cal.Len(), cal.Total())
+	}
+}
+
+func TestCalibrationRingEvicts(t *testing.T) {
+	cal := NewCalibration(4)
+	for i := 0; i < 10; i++ {
+		cal.Add(synthSample("x", 0, []float64{1}, []float64{1}, 0.5, float64(i+1)))
+	}
+	if cal.Len() != 4 {
+		t.Fatalf("window len = %d, want 4", cal.Len())
+	}
+	if cal.Total() != 10 {
+		t.Fatalf("total = %d, want 10", cal.Total())
+	}
+}
+
+func TestCheaperLayer(t *testing.T) {
+	s := Sample{
+		Layer:    2,
+		Compress: []float64{1.0, 0.5, 0.3},
+		Sup:      []float64{1.0, 0.8, 2.0},
+		Legal:    []bool{true, true, true},
+	}
+	// Under a=1, b=0 (all weight on compression) layer 2 wins; under a=0,
+	// b=1 (all weight on support) layer 1 wins.
+	if got := CheaperLayer(s, 1, 0); got != 2 {
+		t.Fatalf("compress-only cheapest = %d, want 2", got)
+	}
+	if got := CheaperLayer(s, 0, 1); got != 1 {
+		t.Fatalf("support-only cheapest = %d, want 1", got)
+	}
+	// Illegal layers are never chosen.
+	s.Legal[1] = false
+	if got := CheaperLayer(s, 0, 1); got != 0 {
+		t.Fatalf("with layer 1 illegal, cheapest = %d, want 0", got)
+	}
+}
+
+func TestCalibrationSummaryGroups(t *testing.T) {
+	cal := NewCalibration(64)
+	for i := 0; i < 10; i++ {
+		cal.Add(synthSample("blinks", 1, []float64{1, 0.4}, []float64{1, 0.6}, 0.5, 1))
+		cal.Add(synthSample("rclique", 0, []float64{1, 0.4}, []float64{1, 0.6}, 0.5, 2))
+	}
+	rows := cal.Summary(0.5)
+	if len(rows) != 2 {
+		t.Fatalf("summary rows: %+v", rows)
+	}
+	// Sorted by algo: blinks before rclique.
+	if rows[0].Algo != "blinks" || rows[0].Layer != 1 || rows[0].Count != 10 {
+		t.Fatalf("row 0: %+v", rows[0])
+	}
+	// blinks observed == predicted at scale 1 → ratio 1.
+	if math.Abs(rows[0].MeanRatio-1) > 1e-9 {
+		t.Fatalf("blinks ratio = %f", rows[0].MeanRatio)
+	}
+	// rclique observed is 2× predicted → ratio 0.5.
+	if math.Abs(rows[1].MeanRatio-0.5) > 1e-9 {
+		t.Fatalf("rclique ratio = %f", rows[1].MeanRatio)
+	}
+}
+
+func TestCalibrationNilSafe(t *testing.T) {
+	var cal *Calibration
+	cal.Add(Sample{})
+	if cal.Len() != 0 || cal.Total() != 0 {
+		t.Fatal("nil calibration must read zero")
+	}
+	if _, _, _, ok := cal.Fit(); ok {
+		t.Fatal("nil calibration must not fit")
+	}
+	if cal.Summary(0.5) != nil {
+		t.Fatal("nil calibration summary must be nil")
+	}
+}

@@ -38,7 +38,16 @@ func QueryCost(beta float64, data, layerG *graph.Graph, q, qGen []graph.Label) f
 // first term becomes sizeRatio × (d_layer/d_data)^R; degreeExp = 0 is the
 // paper's formula. (Extension documented in DESIGN.md.)
 func QueryCostEx(beta float64, degreeExp int, data, layerG *graph.Graph, q, qGen []graph.Label) float64 {
-	compress := 1.0
+	compress, supRatio := QueryCostTerms(degreeExp, data, layerG, q, qGen)
+	return beta*compress + (1-beta)*supRatio
+}
+
+// QueryCostTerms returns Formula 4's two components separately — the
+// (density-corrected) compression ratio and the relative keyword support —
+// so the calibration audit can refit β against observed work without
+// recomputing supports per candidate β.
+func QueryCostTerms(degreeExp int, data, layerG *graph.Graph, q, qGen []graph.Label) (compress, supRatio float64) {
+	compress = 1.0
 	if data.Size() > 0 {
 		compress = float64(layerG.Size()) / float64(data.Size())
 	}
@@ -58,11 +67,11 @@ func QueryCostEx(beta float64, degreeExp int, data, layerG *graph.Graph, q, qGen
 		supBase += data.Support(q[i])
 		supGen += layerG.Support(qGen[i])
 	}
-	supRatio := 1.0
+	supRatio = 1.0
 	if supBase > 0 {
 		supRatio = supGen / supBase
 	}
-	return beta*compress + (1-beta)*supRatio
+	return compress, supRatio
 }
 
 // effectiveBranching estimates the per-hop fan-out of a bounded traversal

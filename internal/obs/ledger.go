@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"context"
+	"runtime/metrics"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// MaxLedgerLayers bounds the per-layer work-unit array. BiG-index
+// hierarchies top out at h ≈ 7 layers (the paper's ontologies); work on a
+// deeper layer is clamped into the last slot rather than dropped.
+const MaxLedgerLayers = 16
+
+// Ledger is the per-query resource ledger: deterministic work counters
+// (vertices expanded, frontier peak, per-layer work units) plus
+// process-level CPU-time and heap-allocation deltas sampled at creation
+// and snapshot. It is carried through evaluation in the context
+// (ContextWithLedger), next to the trace span, and every method is
+// nil-safe so instrumented code records unconditionally — without a
+// ledger in the context the whole feature costs one nil check.
+//
+// The deterministic counters are exact and per-query: the evaluator and
+// the search algorithms accumulate locally and flush once, so concurrent
+// queries never share a counter. The CPU and allocation deltas read
+// process-wide totals (runtime/metrics and getrusage) and are therefore
+// approximate under concurrent load; they are cheap (no stop-the-world)
+// and calibrate well against the work units on a lightly loaded process.
+type Ledger struct {
+	start      time.Time
+	startCPU   time.Duration
+	startAlloc uint64
+
+	expanded     atomic.Int64
+	frontierPeak atomic.Int64
+	layerWork    [MaxLedgerLayers]atomic.Int64
+
+	mu   sync.Mutex
+	snap *LedgerSnapshot // set once by Snapshot; later calls reuse it
+}
+
+// LedgerSnapshot is the finalized ledger, attached to trace records and
+// query-log entries. LayerWork is indexed by layer (0 = data graph) and
+// trimmed to the highest layer that saw work.
+type LedgerSnapshot struct {
+	CPUUS        int64   `json:"cpu_us,omitempty"`
+	AllocBytes   int64   `json:"alloc_bytes,omitempty"`
+	Expanded     int64   `json:"vertices_expanded"`
+	FrontierPeak int64   `json:"frontier_peak"`
+	LayerWork    []int64 `json:"layer_work,omitempty"`
+	WorkUnits    int64   `json:"work_units"`
+}
+
+// NewLedger starts a ledger, sampling the process CPU and allocation
+// baselines the deltas are taken against.
+func NewLedger() *Ledger {
+	return &Ledger{
+		start:      time.Now(),
+		startCPU:   processCPUTime(),
+		startAlloc: heapAllocBytes(),
+	}
+}
+
+// AddExpanded adds n to the vertices-expanded counter. Algorithms
+// accumulate locally during a search and flush the total here once.
+func (l *Ledger) AddExpanded(n int64) {
+	if l == nil || n == 0 {
+		return
+	}
+	l.expanded.Add(n)
+}
+
+// Expanded returns the vertices expanded so far. The evaluator brackets a
+// search call with this to attribute the delta to the searched layer.
+func (l *Ledger) Expanded() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.expanded.Load()
+}
+
+// NoteFrontier records a frontier/queue size observation; the ledger
+// keeps the peak.
+func (l *Ledger) NoteFrontier(size int64) {
+	if l == nil {
+		return
+	}
+	for {
+		cur := l.frontierPeak.Load()
+		if size <= cur || l.frontierPeak.CompareAndSwap(cur, size) {
+			return
+		}
+	}
+}
+
+// AddLayerWork attributes n work units (frontier expansions, Down-map
+// member examinations, qualification checks) to a layer.
+func (l *Ledger) AddLayerWork(layer int, n int64) {
+	if l == nil || n == 0 || layer < 0 {
+		return
+	}
+	if layer >= MaxLedgerLayers {
+		layer = MaxLedgerLayers - 1
+	}
+	l.layerWork[layer].Add(n)
+}
+
+// WorkUnits returns the total work units attributed so far: the sum of
+// the per-layer counters, falling back to the raw expansion count when
+// nothing was layer-attributed (direct evaluation paths).
+func (l *Ledger) WorkUnits() int64 {
+	if l == nil {
+		return 0
+	}
+	var sum int64
+	for i := range l.layerWork {
+		sum += l.layerWork[i].Load()
+	}
+	if sum == 0 {
+		return l.expanded.Load()
+	}
+	return sum
+}
+
+// Snapshot finalizes the ledger: the first call computes the CPU and
+// allocation deltas and freezes the counters; subsequent calls return the
+// same snapshot. Nil-safe (returns nil).
+func (l *Ledger) Snapshot() *LedgerSnapshot {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.snap != nil {
+		return l.snap
+	}
+	s := &LedgerSnapshot{
+		Expanded:     l.expanded.Load(),
+		FrontierPeak: l.frontierPeak.Load(),
+		WorkUnits:    l.WorkUnits(),
+	}
+	if cpu := processCPUTime() - l.startCPU; cpu > 0 {
+		s.CPUUS = cpu.Microseconds()
+	}
+	if alloc := heapAllocBytes(); alloc > l.startAlloc {
+		s.AllocBytes = int64(alloc - l.startAlloc)
+	}
+	top := -1
+	for i := range l.layerWork {
+		if l.layerWork[i].Load() > 0 {
+			top = i
+		}
+	}
+	if top >= 0 {
+		s.LayerWork = make([]int64, top+1)
+		for i := 0; i <= top; i++ {
+			s.LayerWork[i] = l.layerWork[i].Load()
+		}
+	}
+	l.snap = s
+	return s
+}
+
+// heapAllocBytes reads the cumulative heap allocation counter via
+// runtime/metrics — unlike runtime.ReadMemStats this does not
+// stop the world, so it is cheap enough to sample per query.
+func heapAllocBytes() uint64 {
+	sample := [1]metrics.Sample{{Name: "/gc/heap/allocs:bytes"}}
+	metrics.Read(sample[:])
+	if sample[0].Value.Kind() != metrics.KindUint64 {
+		return 0
+	}
+	return sample[0].Value.Uint64()
+}
+
+type ledgerCtxKey struct{}
+
+// ContextWithLedger installs a ledger into the context, alongside
+// whatever span is already there.
+func ContextWithLedger(ctx context.Context, l *Ledger) context.Context {
+	if l == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ledgerCtxKey{}, l)
+}
+
+// LedgerFromContext returns the context's ledger, or nil. All Ledger
+// methods are nil-safe, so callers use the result unconditionally.
+func LedgerFromContext(ctx context.Context) *Ledger {
+	if ctx == nil {
+		return nil
+	}
+	l, _ := ctx.Value(ledgerCtxKey{}).(*Ledger)
+	return l
+}

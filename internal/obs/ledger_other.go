@@ -1,0 +1,9 @@
+//go:build !unix
+
+package obs
+
+import "time"
+
+// processCPUTime is unavailable off unix; the ledger's CPU delta reads 0
+// and the deterministic work counters carry the calibration.
+func processCPUTime() time.Duration { return 0 }

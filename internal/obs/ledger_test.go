@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestLedgerNilSafe(t *testing.T) {
+	var l *Ledger
+	l.AddExpanded(5)
+	l.NoteFrontier(10)
+	l.AddLayerWork(2, 7)
+	if l.Expanded() != 0 || l.WorkUnits() != 0 {
+		t.Fatal("nil ledger must read as zero")
+	}
+	if l.Snapshot() != nil {
+		t.Fatal("nil ledger snapshot must be nil")
+	}
+}
+
+func TestLedgerCounters(t *testing.T) {
+	l := NewLedger()
+	l.AddExpanded(10)
+	l.AddExpanded(5)
+	if got := l.Expanded(); got != 15 {
+		t.Fatalf("expanded = %d, want 15", got)
+	}
+	l.NoteFrontier(3)
+	l.NoteFrontier(9)
+	l.NoteFrontier(4) // below the peak; must not lower it
+	l.AddLayerWork(0, 100)
+	l.AddLayerWork(2, 50)
+	l.AddLayerWork(-1, 7) // out of range: ignored
+	l.AddLayerWork(MaxLedgerLayers+5, 3)
+
+	if got := l.WorkUnits(); got != 153 {
+		t.Fatalf("work units = %d, want 153 (100 + 50 + 3 clamped)", got)
+	}
+	s := l.Snapshot()
+	if s.Expanded != 15 || s.FrontierPeak != 9 || s.WorkUnits != 153 {
+		t.Fatalf("snapshot: %+v", s)
+	}
+	// LayerWork is trimmed to the highest nonzero layer — the clamped
+	// out-of-range add lands in the last slot, so the full array survives.
+	if len(s.LayerWork) != MaxLedgerLayers {
+		t.Fatalf("layer work length = %d", len(s.LayerWork))
+	}
+	if s.LayerWork[0] != 100 || s.LayerWork[2] != 50 || s.LayerWork[MaxLedgerLayers-1] != 3 {
+		t.Fatalf("layer work = %v", s.LayerWork)
+	}
+}
+
+func TestLedgerWorkUnitsFallsBackToExpanded(t *testing.T) {
+	l := NewLedger()
+	l.AddExpanded(42)
+	if got := l.WorkUnits(); got != 42 {
+		t.Fatalf("work units without layer attribution = %d, want 42", got)
+	}
+}
+
+func TestLedgerSnapshotIdempotent(t *testing.T) {
+	l := NewLedger()
+	l.AddExpanded(1)
+	s1 := l.Snapshot()
+	l.AddExpanded(99) // after the freeze; must not appear
+	s2 := l.Snapshot()
+	if s1 != s2 {
+		t.Fatal("snapshot must be computed once and reused")
+	}
+	if s1.Expanded != 1 {
+		t.Fatalf("frozen snapshot mutated: %+v", s1)
+	}
+}
+
+func TestLedgerLayerTrim(t *testing.T) {
+	l := NewLedger()
+	l.AddLayerWork(1, 5)
+	s := l.Snapshot()
+	if len(s.LayerWork) != 2 || s.LayerWork[0] != 0 || s.LayerWork[1] != 5 {
+		t.Fatalf("layer work = %v, want [0 5]", s.LayerWork)
+	}
+}
+
+func TestLedgerContextRoundTrip(t *testing.T) {
+	if LedgerFromContext(nil) != nil {
+		t.Fatal("nil context must yield nil ledger")
+	}
+	if LedgerFromContext(context.Background()) != nil {
+		t.Fatal("empty context must yield nil ledger")
+	}
+	l := NewLedger()
+	ctx := ContextWithLedger(context.Background(), l)
+	if LedgerFromContext(ctx) != l {
+		t.Fatal("ledger lost in context round trip")
+	}
+	if got := ContextWithLedger(context.Background(), nil); LedgerFromContext(got) != nil {
+		t.Fatal("installing a nil ledger must be a no-op")
+	}
+}
+
+func TestLedgerConcurrent(t *testing.T) {
+	l := NewLedger()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				l.AddExpanded(1)
+				l.AddLayerWork(w%3, 1)
+				l.NoteFrontier(int64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := l.Expanded(); got != 8000 {
+		t.Fatalf("expanded = %d, want 8000", got)
+	}
+	s := l.Snapshot()
+	if s.WorkUnits != 8000 || s.FrontierPeak != 999 {
+		t.Fatalf("snapshot: %+v", s)
+	}
+}
+
+func TestLedgerSnapshotJSON(t *testing.T) {
+	l := NewLedger()
+	l.AddExpanded(3)
+	l.NoteFrontier(2)
+	js, err := json.Marshal(l.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(js, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["vertices_expanded"] != float64(3) || m["frontier_peak"] != float64(2) {
+		t.Fatalf("snapshot JSON: %s", js)
+	}
+	if _, ok := m["layer_work"]; ok {
+		t.Fatalf("empty layer work must be omitted: %s", js)
+	}
+}

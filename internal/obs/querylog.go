@@ -1,0 +1,234 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// QueryLogEntry is one captured query: enough to replay it against an
+// index (keywords by name, algorithm, k) plus what it cost (outcome,
+// latency, ledger). Keywords are stored by *name*, not interned label, so
+// a captured log survives dataset regeneration, like datagen workloads.
+type QueryLogEntry struct {
+	TS       time.Time       `json:"ts"`
+	Keywords []string        `json:"q"`
+	Algo     string          `json:"algo"`
+	K        int             `json:"k"`
+	Layer    int             `json:"layer"`
+	Direct   bool            `json:"direct,omitempty"`
+	Cached   bool            `json:"cached,omitempty"`
+	Outcome  string          `json:"outcome"`
+	DurUS    int64           `json:"dur_us"`
+	Cost     *LedgerSnapshot `json:"cost,omitempty"`
+}
+
+// QueryLogOptions configures a QueryLog.
+type QueryLogOptions struct {
+	// Path is the JSONL file appended to. Required.
+	Path string
+	// MaxBytes rotates the log when the current file would exceed it:
+	// Path is renamed to Path+".1" (replacing any previous rotation) and
+	// a fresh file is started, so disk usage stays under ~2×MaxBytes.
+	// 0 = 64 MiB.
+	MaxBytes int64
+	// FlushEvery bounds how long an entry sits in the write buffer
+	// (0 = 1s). Writes are buffered and never fsynced — the log is an
+	// operational capture, not a durability journal; a crash loses at
+	// most one flush interval.
+	FlushEvery time.Duration
+}
+
+// QueryLog is an opt-in rotating JSONL query log with a buffered,
+// fsync-free writer. Append is safe for concurrent use and nil-safe, so
+// the server logs unconditionally and a disabled log costs one nil check.
+type QueryLog struct {
+	path     string
+	maxBytes int64
+
+	mu      sync.Mutex
+	f       *os.File
+	w       *bufio.Writer
+	size    int64
+	dropped int64
+	closed  bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// OpenQueryLog opens (appending) or creates the log file and starts the
+// background flusher.
+func OpenQueryLog(opt QueryLogOptions) (*QueryLog, error) {
+	if opt.Path == "" {
+		return nil, fmt.Errorf("obs: query log path is empty")
+	}
+	if opt.MaxBytes <= 0 {
+		opt.MaxBytes = 64 << 20
+	}
+	if opt.FlushEvery <= 0 {
+		opt.FlushEvery = time.Second
+	}
+	f, err := os.OpenFile(opt.Path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("obs: opening query log: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("obs: query log stat: %w", err)
+	}
+	ql := &QueryLog{
+		path:     opt.Path,
+		maxBytes: opt.MaxBytes,
+		f:        f,
+		w:        bufio.NewWriterSize(f, 64<<10),
+		size:     st.Size(),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go ql.flushLoop(opt.FlushEvery)
+	return ql, nil
+}
+
+// Append writes one entry. Marshal or write failures drop the entry
+// (counted, never propagated): capture must not fail queries.
+func (ql *QueryLog) Append(e QueryLogEntry) {
+	if ql == nil {
+		return
+	}
+	line, err := json.Marshal(e)
+	if err != nil {
+		ql.mu.Lock()
+		ql.dropped++
+		ql.mu.Unlock()
+		return
+	}
+	line = append(line, '\n')
+	ql.mu.Lock()
+	defer ql.mu.Unlock()
+	if ql.closed {
+		ql.dropped++
+		return
+	}
+	if ql.size+int64(len(line)) > ql.maxBytes {
+		ql.rotateLocked()
+	}
+	if _, err := ql.w.Write(line); err != nil {
+		ql.dropped++
+		return
+	}
+	ql.size += int64(len(line))
+}
+
+// rotateLocked swaps in a fresh file, keeping one previous generation.
+// On any failure the current file keeps growing past the cap — losing
+// the size bound beats losing the capture.
+func (ql *QueryLog) rotateLocked() {
+	if err := ql.w.Flush(); err != nil {
+		return
+	}
+	if err := ql.f.Close(); err != nil {
+		// The stream is unusable; reopen below either way.
+		_ = err
+	}
+	_ = os.Rename(ql.path, ql.path+".1")
+	f, err := os.OpenFile(ql.path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		// Reopen the (renamed or original) path append-only as a fallback.
+		f, err = os.OpenFile(ql.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			ql.closed = true
+			return
+		}
+	}
+	ql.f = f
+	ql.w = bufio.NewWriterSize(f, 64<<10)
+	ql.size = 0
+}
+
+// Dropped reports entries lost to marshal/write failures or appends
+// after Close.
+func (ql *QueryLog) Dropped() int64 {
+	if ql == nil {
+		return 0
+	}
+	ql.mu.Lock()
+	defer ql.mu.Unlock()
+	return ql.dropped
+}
+
+func (ql *QueryLog) flushLoop(every time.Duration) {
+	defer close(ql.done)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			ql.mu.Lock()
+			if !ql.closed {
+				_ = ql.w.Flush()
+			}
+			ql.mu.Unlock()
+		case <-ql.stop:
+			return
+		}
+	}
+}
+
+// Close flushes and closes the log. Nil-safe; later Appends are dropped.
+func (ql *QueryLog) Close() error {
+	if ql == nil {
+		return nil
+	}
+	ql.mu.Lock()
+	if ql.closed {
+		ql.mu.Unlock()
+		return nil
+	}
+	ql.closed = true
+	err := ql.w.Flush()
+	if cerr := ql.f.Close(); err == nil {
+		err = cerr
+	}
+	ql.mu.Unlock()
+	close(ql.stop)
+	<-ql.done
+	return err
+}
+
+// ReadQueryLog parses a JSONL capture, skipping malformed lines (a
+// rotation or crash can truncate the last line mid-write). Returns the
+// entries and how many lines were skipped.
+func ReadQueryLog(r io.Reader) (entries []QueryLogEntry, skipped int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var e QueryLogEntry
+		if err := json.Unmarshal(line, &e); err != nil || len(e.Keywords) == 0 {
+			skipped++
+			continue
+		}
+		entries = append(entries, e)
+	}
+	return entries, skipped, sc.Err()
+}
+
+// ReadQueryLogFile is ReadQueryLog over a file.
+func ReadQueryLogFile(path string) ([]QueryLogEntry, int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	return ReadQueryLog(f)
+}

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func logEntry(kw string, work int64) QueryLogEntry {
+	return QueryLogEntry{
+		TS:       time.Unix(1700000000, 0).UTC(),
+		Keywords: []string{kw, "other"},
+		Algo:     "blinks",
+		K:        10,
+		Layer:    1,
+		Outcome:  "ok",
+		DurUS:    1234,
+		Cost:     &LedgerSnapshot{Expanded: work, WorkUnits: work},
+	}
+}
+
+func TestQueryLogAppendAndReadBack(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "qlog.jsonl")
+	ql, err := OpenQueryLog(QueryLogOptions{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		ql.Append(logEntry("kw", int64(i+1)))
+	}
+	if err := ql.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, skipped, err := ReadQueryLogFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 || len(entries) != 20 {
+		t.Fatalf("read back %d entries (%d skipped)", len(entries), skipped)
+	}
+	e := entries[7]
+	if e.Algo != "blinks" || e.K != 10 || e.Layer != 1 || e.Outcome != "ok" {
+		t.Fatalf("entry: %+v", e)
+	}
+	if e.Cost == nil || e.Cost.WorkUnits != 8 {
+		t.Fatalf("cost round trip: %+v", e.Cost)
+	}
+	if len(e.Keywords) != 2 || e.Keywords[0] != "kw" {
+		t.Fatalf("keywords: %v", e.Keywords)
+	}
+	if ql.Dropped() != 0 {
+		t.Fatalf("dropped = %d", ql.Dropped())
+	}
+}
+
+func TestQueryLogNilSafe(t *testing.T) {
+	var ql *QueryLog
+	ql.Append(logEntry("kw", 1))
+	if ql.Dropped() != 0 {
+		t.Fatal("nil log must read zero drops")
+	}
+	if err := ql.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueryLogAppendAfterClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "qlog.jsonl")
+	ql, err := OpenQueryLog(QueryLogOptions{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ql.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ql.Append(logEntry("kw", 1))
+	if ql.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", ql.Dropped())
+	}
+}
+
+func TestQueryLogRotation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "qlog.jsonl")
+	// Tiny cap: a couple of entries force a rotation.
+	ql, err := OpenQueryLog(QueryLogOptions{Path: path, MaxBytes: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		ql.Append(logEntry("rotate-me", int64(i)))
+	}
+	if err := ql.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cur, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev, err := os.Stat(path + ".1")
+	if err != nil {
+		t.Fatalf("expected a rotated generation: %v", err)
+	}
+	if cur.Size() > 300+300 || prev.Size() > 300+300 {
+		t.Fatalf("rotation did not bound sizes: cur=%d prev=%d", cur.Size(), prev.Size())
+	}
+	// Entries survive across the generations.
+	e1, _, err := ReadQueryLogFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, _, err := ReadQueryLogFile(path + ".1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e1)+len(e2) == 0 {
+		t.Fatal("no entries survived rotation")
+	}
+}
+
+func TestReadQueryLogSkipsMalformed(t *testing.T) {
+	in := strings.NewReader(`{"q":["a"],"algo":"bkws","outcome":"ok"}
+not json at all
+{"q":[],"algo":"empty keywords"}
+
+{"q":["b","c"],"algo":"blinks","outcome":"ok"}`)
+	entries, skipped, err := ReadQueryLog(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || skipped != 2 {
+		t.Fatalf("entries=%d skipped=%d", len(entries), skipped)
+	}
+	if entries[1].Keywords[1] != "c" {
+		t.Fatalf("entries: %+v", entries)
+	}
+}

@@ -108,7 +108,11 @@ type TraceRecord struct {
 	Keep    string    `json:"keep"` // "outcome" | "slow" | "sample"
 	Start   time.Time `json:"start"`
 	DurUS   int64     `json:"dur_us"`
-	Spans   SpanJSON  `json:"spans"`
+	// Cost is the query's resource ledger (per-layer work units, CPU and
+	// allocation deltas) when the caller threaded one; /debug/traces/{id}
+	// serves it as the trace's cost breakdown.
+	Cost  *LedgerSnapshot `json:"cost,omitempty"`
+	Spans SpanJSON        `json:"spans"`
 
 	seq uint64
 }
@@ -118,6 +122,12 @@ type TraceRecord struct {
 // "degraded", "shed", "cancelled", …) is always kept. Returns whether the
 // trace was retained. Nil-safe; a nil trace is counted but never kept.
 func (r *Recorder) Finish(t *Trace, algo, query, outcome string, dur time.Duration) bool {
+	return r.FinishCost(t, algo, query, outcome, dur, nil)
+}
+
+// FinishCost is Finish with the query's finalized resource ledger
+// attached to the retained trace.
+func (r *Recorder) FinishCost(t *Trace, algo, query, outcome string, dur time.Duration, cost *LedgerSnapshot) bool {
 	if r == nil {
 		return false
 	}
@@ -142,6 +152,7 @@ func (r *Recorder) Finish(t *Trace, algo, query, outcome string, dur time.Durati
 		Keep:    reason,
 		Start:   t.Root().start,
 		DurUS:   dur.Microseconds(),
+		Cost:    cost,
 		Spans:   t.Snapshot(),
 	}
 	r.mu.Lock()
@@ -192,6 +203,7 @@ type TraceFilter struct {
 	Algo    string        // exact algo match
 	Outcome string        // exact outcome match
 	MinDur  time.Duration // minimum duration
+	Since   time.Time     // only traces started at or after this instant
 	Limit   int           // max results (0 = 50)
 }
 
@@ -223,6 +235,9 @@ func (r *Recorder) Traces(f TraceFilter) []*TraceRecord {
 		if rec.DurUS < f.MinDur.Microseconds() {
 			continue
 		}
+		if !f.Since.IsZero() && rec.Start.Before(f.Since) {
+			continue
+		}
 		out = append(out, rec)
 		if len(out) >= f.Limit {
 			break
@@ -250,6 +265,39 @@ func (r *Recorder) Len() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return len(r.byID)
+}
+
+// RecorderStats is the flight recorder's occupancy as reported on
+// /stats: ring capacity, retained traces broken down by keep reason, and
+// the live-query count.
+type RecorderStats struct {
+	Capacity int            `json:"capacity"`
+	Retained int            `json:"retained"`
+	ByReason map[string]int `json:"by_reason,omitempty"`
+	Active   int            `json:"active"`
+}
+
+// Occupancy snapshots the recorder's ring: how full it is and why each
+// retained trace was kept. Nil-safe (zero stats).
+func (r *Recorder) Occupancy() RecorderStats {
+	if r == nil {
+		return RecorderStats{}
+	}
+	st := RecorderStats{ByReason: map[string]int{}}
+	r.mu.Lock()
+	st.Capacity = len(r.ring)
+	for _, rec := range r.ring {
+		if rec == nil {
+			continue
+		}
+		st.Retained++
+		st.ByReason[rec.Keep]++
+	}
+	r.mu.Unlock()
+	r.activeMu.Lock()
+	st.Active = len(r.active)
+	r.activeMu.Unlock()
+	return st
 }
 
 type activeEntry struct {

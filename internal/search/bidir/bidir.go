@@ -72,7 +72,9 @@ func (p *prepared) SearchCtx(ctx context.Context, q []graph.Label, k int) ([]sea
 	}
 	cancel := search.NewCanceller(ctx)
 	sp := obs.SpanFromContext(ctx)
+	led := obs.LedgerFromContext(ctx)
 	verifiedN := 0
+	frontierPeak := 0
 	earlyStop := false
 	sel := 0
 	for i, l := range q {
@@ -119,6 +121,9 @@ func (p *prepared) SearchCtx(ctx context.Context, q []graph.Label, k int) ([]sea
 
 activation:
 	for d := 0; len(level) > 0; d++ {
+		if len(level) > frontierPeak {
+			frontierPeak = len(level)
+		}
 		for _, v := range level {
 			if cancel.Cancelled() {
 				break activation
@@ -157,6 +162,8 @@ activation:
 			SetAttr("roots", len(matches)).
 			SetAttr("early_topk", earlyStop)
 	}
+	led.AddExpanded(int64(verifiedN))
+	led.NoteFrontier(int64(frontierPeak))
 	search.SortMatches(matches)
 	return search.Truncate(matches, k), cancel.Err()
 }

@@ -76,7 +76,9 @@ func (p *prepared) SearchCtx(ctx context.Context, q []graph.Label, k int) ([]sea
 	}
 	cancel := search.NewCanceller(ctx)
 	sp := obs.SpanFromContext(ctx)
+	led := obs.LedgerFromContext(ctx)
 	expansions := 0
+	frontierPeak := 0
 	earlyStop := false
 	fronts := make([]*frontier, len(q))
 	for i, l := range q {
@@ -132,13 +134,18 @@ expand:
 		}
 		// Pick the live frontier with the fewest vertices (paper's rule).
 		var best *frontier
+		live := 0
 		for _, f := range fronts {
+			live += len(f.cur)
 			if f.level >= p.dmax || len(f.cur) == 0 {
 				continue
 			}
 			if best == nil || len(f.cur) < len(best.cur) {
 				best = f
 			}
+		}
+		if live > frontierPeak {
+			frontierPeak = live
 		}
 		if best == nil {
 			break
@@ -185,6 +192,8 @@ expand:
 			SetAttr("roots", len(matches)).
 			SetAttr("early_topk", earlyStop)
 	}
+	led.AddExpanded(int64(expansions))
+	led.NoteFrontier(int64(frontierPeak))
 	search.SortMatches(matches)
 	return search.Truncate(matches, k), cancel.Err()
 }

@@ -193,7 +193,9 @@ func (p *prepared) SearchCtx(ctx context.Context, q []graph.Label, k int) ([]sea
 	}
 	cancel := search.NewCanceller(ctx)
 	sp := obs.SpanFromContext(ctx)
+	led := obs.LedgerFromContext(ctx)
 	finalized := 0
+	frontierPeak := 0
 	earlyStop := false
 	n := len(q)
 	queues := make([]*pq, n)
@@ -249,7 +251,9 @@ func (p *prepared) SearchCtx(ctx context.Context, q []graph.Label, k int) ([]sea
 		live := -1
 		smallest := -1
 		minTop := -1
+		queued := 0
 		for i, h := range queues {
+			queued += h.Len()
 			if h.Len() == 0 {
 				continue
 			}
@@ -260,6 +264,9 @@ func (p *prepared) SearchCtx(ctx context.Context, q []graph.Label, k int) ([]sea
 			if live == -1 || h.Len() < smallest {
 				live, smallest = i, h.Len()
 			}
+		}
+		if queued > frontierPeak {
+			frontierPeak = queued
 		}
 		if live == -1 {
 			break
@@ -309,6 +316,8 @@ func (p *prepared) SearchCtx(ctx context.Context, q []graph.Label, k int) ([]sea
 			SetAttr("roots", len(matches)).
 			SetAttr("early_topk", earlyStop)
 	}
+	led.AddExpanded(int64(finalized))
+	led.NoteFrontier(int64(frontierPeak))
 	search.SortMatches(matches)
 	return search.Truncate(matches, k), cancel.Err()
 }

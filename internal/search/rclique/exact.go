@@ -35,7 +35,8 @@ func (p *prepared) SearchExact(q []graph.Label, k int) ([]search.Match, error) {
 		}
 	}
 	if k <= 0 {
-		return p.exhaustive(search.NewCanceller(nil), q, sets), nil
+		var work int64
+		return p.exhaustive(search.NewCanceller(nil), q, sets, &work), nil
 	}
 
 	order := bySizeOrder(sets)

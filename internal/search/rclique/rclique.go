@@ -188,24 +188,31 @@ func (p *prepared) SearchCtx(ctx context.Context, q []graph.Label, k int) ([]sea
 		}
 	}
 	sp := obs.SpanFromContext(ctx)
+	led := obs.LedgerFromContext(ctx)
+	// work counts candidate considerations (tuple extensions in exhaustive
+	// mode, center scans in top-k mode). It lives on the stack, not in
+	// prepared, because a prepared index serves concurrent queries.
+	var work int64
 	if k <= 0 {
-		out := p.exhaustive(cancel, q, sets)
+		out := p.exhaustive(cancel, q, sets, &work)
 		if sp != nil {
-			sp.SetAttr("mode", "exhaustive").SetAttr("matches", len(out))
+			sp.SetAttr("mode", "exhaustive").SetAttr("matches", len(out)).SetAttr("work", work)
 		}
+		led.AddExpanded(work)
 		return out, cancel.Err()
 	}
-	out := p.topK(cancel, q, sets, k)
+	out := p.topK(cancel, q, sets, k, &work, led)
 	if sp != nil {
-		sp.SetAttr("mode", "topk").SetAttr("matches", len(out))
+		sp.SetAttr("mode", "topk").SetAttr("matches", len(out)).SetAttr("work", work)
 	}
+	led.AddExpanded(work)
 	return out, cancel.Err()
 }
 
 // exhaustive enumerates every feasible tuple: exact semantics, used for
 // correctness testing and as the completeness source when r-clique runs on
 // summary layers under BiG-index.
-func (p *prepared) exhaustive(cancel *search.Canceller, q []graph.Label, sets [][]graph.V) []search.Match {
+func (p *prepared) exhaustive(cancel *search.Canceller, q []graph.Label, sets [][]graph.V, work *int64) []search.Match {
 	order := bySizeOrder(sets)
 	var out []search.Match
 	tuple := make([]graph.V, len(q))
@@ -223,6 +230,7 @@ func (p *prepared) exhaustive(cancel *search.Canceller, q []graph.Label, sets []
 			if cancel.Cancelled() {
 				return
 			}
+			*work++
 			ok := true
 			for _, j := range order[:step] {
 				if _, within := p.dist(tuple[j], v); !within {
@@ -303,15 +311,16 @@ func (h *spHeap) Pop() interface{} {
 // topK is the Kargar-An procedure: compute the approximate best answer of
 // the full search space, then repeatedly emit the best space and decompose
 // it into n subspaces, each excluding one chosen node.
-func (p *prepared) topK(cancel *search.Canceller, q []graph.Label, sets [][]graph.V, k int) []search.Match {
+func (p *prepared) topK(cancel *search.Canceller, q []graph.Label, sets [][]graph.V, k int, work *int64, led *obs.Ledger) []search.Match {
 	h := &spHeap{}
 	excl := make([]map[graph.V]bool, len(sets))
-	if st := p.bestOf(cancel, q, sets, excl); st != nil {
+	if st := p.bestOf(cancel, q, sets, excl, work); st != nil {
 		heap.Push(h, st)
 	}
 	seen := make(map[string]bool)
 	var out []search.Match
 	for h.Len() > 0 && len(out) < k {
+		led.NoteFrontier(int64(h.Len()))
 		if cancel.Cancelled() {
 			break
 		}
@@ -335,7 +344,7 @@ func (p *prepared) topK(cancel *search.Canceller, q []graph.Label, sets [][]grap
 			if len(ei) >= len(st.sets[i]) {
 				continue // keyword i exhausted
 			}
-			if next := p.bestOf(cancel, q, st.sets, sub); next != nil {
+			if next := p.bestOf(cancel, q, st.sets, sub, work); next != nil {
 				heap.Push(h, next)
 			}
 		}
@@ -352,7 +361,7 @@ func (p *prepared) topK(cancel *search.Canceller, q []graph.Label, sets [][]grap
 // row finds, for every other keyword, the nearest non-excluded candidate
 // (within R). Deterministic tie-breaks (ascending IDs) keep runs
 // reproducible. Returns nil when the space has no feasible centered answer.
-func (p *prepared) bestOf(cancel *search.Canceller, q []graph.Label, sets [][]graph.V, excl []map[graph.V]bool) *spState {
+func (p *prepared) bestOf(cancel *search.Canceller, q []graph.Label, sets [][]graph.V, excl []map[graph.V]bool, work *int64) *spState {
 	var best []graph.V
 	bestW := -1.0
 	// Dense label -> query-index table: bestOf scans millions of neighbor
@@ -389,6 +398,7 @@ func (p *prepared) bestOf(cancel *search.Canceller, q []graph.Label, sets [][]gr
 			if excl[i] != nil && excl[i][u] {
 				continue
 			}
+			*work++
 			for j := range nearD {
 				nearD[j] = -1
 			}

@@ -1,0 +1,171 @@
+package server
+
+// Formula 4 calibration audit: every routed /query evaluation contributes
+// its ledger-measured work to a calibration window (internal/cost), the
+// predicted/observed ratio is exported as a histogram, and GET
+// /debug/costmodel reports per-(algo, layer) calibration plus the
+// least-squares β̂ the window suggests. Optionally (Options.ShadowSample)
+// a sampled fraction of routed queries is re-evaluated in the background
+// at the runner-up layer, turning the misroute counter from a model-side
+// inference into a measurement.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"bigindex/internal/core"
+	"bigindex/internal/cost"
+	"bigindex/internal/graph"
+	"bigindex/internal/obs"
+)
+
+// costAudit holds the calibration window and its exported metrics.
+type costAudit struct {
+	cal       *cost.Calibration
+	errRatio  *obs.HistogramVec
+	misroute  *obs.CounterVec
+	misroutes atomic.Int64 // sum across algos, for /debug/costmodel
+	shadows   atomic.Int64 // shadow evaluations completed
+	shadowSem chan struct{}
+}
+
+func newCostAudit(reg *obs.Registry) *costAudit {
+	return &costAudit{
+		cal: cost.NewCalibration(0),
+		errRatio: reg.HistogramVec("bigindex_costmodel_error",
+			"Formula 4 calibration: predicted layer cost divided by observed size-normalized work, by algorithm and chosen layer.",
+			[]float64{0.0625, 0.125, 0.25, 0.5, 0.75, 1, 1.5, 2, 4, 8, 16},
+			"algo", "layer"),
+		misroute: reg.CounterVec("bigindex_costmodel_misroute_total",
+			"Queries where the calibrated cost model or a shadow evaluation shows a different layer would have been cheaper.",
+			"algo"),
+		shadowSem: make(chan struct{}, 1),
+	}
+}
+
+// auditCost feeds one routed evaluation into the calibration audit. Called
+// from evalQuery after a successful hierarchical evaluation; direct
+// (baseline) evaluations and cache hits never reach it, so the window holds
+// only queries the cost model actually routed.
+func (s *Server) auditCost(ev *core.Evaluator, algo string, q []graph.Label, bd *core.Breakdown, led *obs.Ledger, forcedLayer int) {
+	a := s.audit
+	if a == nil || led == nil || bd == nil {
+		return
+	}
+	work := led.WorkUnits()
+	size := ev.Index().Data().Size()
+	if work <= 0 || size <= 0 {
+		return
+	}
+	observed := float64(work) / float64(size)
+	opt := ev.Options()
+	compress, sup, legal := cost.LayerTerms(ev.Index(), q, opt.DegreeExponent)
+	if bd.Layer < 0 || bd.Layer >= len(compress) {
+		return
+	}
+	predicted := opt.Beta*compress[bd.Layer] + (1-opt.Beta)*sup[bd.Layer]
+	a.errRatio.With(algo, strconv.Itoa(bd.Layer)).Observe(predicted / observed)
+	sample := cost.Sample{
+		Algo: algo, Layer: bd.Layer,
+		Compress: compress, Sup: sup, Legal: legal,
+		Observed: observed,
+	}
+	a.cal.Add(sample)
+	if forcedLayer >= 0 {
+		return // pinned by the client; the router made no choice to audit
+	}
+	if _, fa, fb, ok := a.cal.Fit(); ok {
+		if cost.CheaperLayer(sample, fa, fb) != bd.Layer {
+			a.misroute.With(algo).Inc()
+			a.misroutes.Add(1)
+			return
+		}
+	}
+	s.maybeShadowEval(ev, algo, q, sample, work)
+}
+
+// maybeShadowEval re-evaluates a sampled query at the runner-up layer (the
+// second-cheapest legal layer under the configured β) with its own ledger
+// and counts a misroute when the road not taken measures cheaper. At most
+// one shadow runs at a time; excess samples are dropped, not queued — the
+// audit must never add load proportional to traffic.
+func (s *Server) maybeShadowEval(ev *core.Evaluator, algo string, q []graph.Label, sample cost.Sample, observedWork int64) {
+	p := s.opt.ShadowSample
+	if p <= 0 || rand.Float64() >= p {
+		return
+	}
+	beta := ev.Options().Beta
+	runner := -1
+	runnerCost := 0.0
+	for m := range sample.Compress {
+		if m == sample.Layer || (m < len(sample.Legal) && !sample.Legal[m]) {
+			continue
+		}
+		c := beta*sample.Compress[m] + (1-beta)*sample.Sup[m]
+		if runner == -1 || c < runnerCost {
+			runner, runnerCost = m, c
+		}
+	}
+	if runner < 0 {
+		return // single legal layer; no alternative to measure
+	}
+	select {
+	case s.audit.shadowSem <- struct{}{}:
+	default:
+		return
+	}
+	go func() {
+		defer func() { <-s.audit.shadowSem }()
+		led := obs.NewLedger()
+		ctx, cancel := context.WithTimeout(obs.ContextWithLedger(context.Background(), led), 5*time.Second)
+		defer cancel()
+		if _, _, err := ev.EvalLayerCtx(ctx, q, runner); err != nil {
+			return
+		}
+		s.audit.shadows.Add(1)
+		if w := led.WorkUnits(); w > 0 && w < observedWork {
+			s.audit.misroute.With(algo).Inc()
+			s.audit.misroutes.Add(1)
+		}
+	}()
+}
+
+// handleDebugCostmodel reports the calibration window: per-(algo, layer)
+// predicted-vs-observed means under the configured β, the least-squares
+// fit over the window, and the β̂ correction it suggests. Gated behind
+// Options.Debug.Endpoints like the other /debug surfaces.
+func (s *Server) handleDebugCostmodel(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	a := s.audit
+	beta := core.DefaultEvalOptions().Beta
+	out := struct {
+		ConfiguredBeta float64                 `json:"configured_beta"`
+		Window         int                     `json:"window"`
+		TotalSamples   int64                   `json:"total_samples"`
+		SuggestedBeta  *float64                `json:"suggested_beta,omitempty"`
+		FitA           *float64                `json:"fit_compress_coeff,omitempty"`
+		FitB           *float64                `json:"fit_support_coeff,omitempty"`
+		Misroutes      int64                   `json:"misroutes"`
+		ShadowEvals    int64                   `json:"shadow_evals"`
+		Layers         []cost.LayerCalibration `json:"layers"`
+	}{
+		ConfiguredBeta: beta,
+		Window:         a.cal.Len(),
+		TotalSamples:   a.cal.Total(),
+		Misroutes:      a.misroutes.Load(),
+		ShadowEvals:    a.shadows.Load(),
+		Layers:         a.cal.Summary(beta),
+	}
+	if betaHat, fa, fb, ok := a.cal.Fit(); ok {
+		out.SuggestedBeta, out.FitA, out.FitB = &betaHat, &fa, &fb
+	}
+	writeJSON(w, out)
+}

@@ -1,0 +1,244 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"bigindex/internal/obs"
+)
+
+// The calibration endpoint is gated like every other /debug surface and
+// rejects non-GET methods.
+func TestCostmodelGating(t *testing.T) {
+	s, _ := robustServer(t, Options{})
+	rec, _ := get(t, s, "/debug/costmodel")
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("costmodel with endpoints off = %d, want 404", rec.Code)
+	}
+
+	s2, _ := robustServer(t, Options{Debug: DebugOptions{Endpoints: true}})
+	req := httptest.NewRequest(http.MethodPost, "/debug/costmodel", nil)
+	rr := httptest.NewRecorder()
+	s2.ServeHTTP(rr, req)
+	if rr.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST costmodel = %d, want 405", rr.Code)
+	}
+}
+
+// Routed queries must populate the calibration window; the report carries
+// the configured β and one row per (algo, layer) observed.
+func TestCostmodelCalibration(t *testing.T) {
+	s, ds := robustServer(t, Options{Debug: DebugOptions{Endpoints: true, Sample: 1}})
+	kw := popularTerm(ds)
+
+	rec, body := get(t, s, "/debug/costmodel")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("empty costmodel = %d: %s", rec.Code, rec.Body.String())
+	}
+	if body["window"] != float64(0) || body["configured_beta"] != 0.5 {
+		t.Fatalf("empty report: %v", body)
+	}
+	if _, ok := body["suggested_beta"]; ok {
+		t.Fatalf("β̂ must not be suggested from an empty window: %v", body)
+	}
+
+	// Routed (non-direct) evaluations feed the window; the cache is
+	// bypassed so every request is a fresh sample.
+	for i := 0; i < 4; i++ {
+		rec, _ := get(t, s, "/query?q="+kw+"&algo=blinks&k=5&nocache=1")
+		if rec.Code != http.StatusOK {
+			t.Fatalf("query %d: %d", i, rec.Code)
+		}
+	}
+	// Direct evaluations must NOT feed it — the router made no choice.
+	if rec, _ := get(t, s, "/query?q="+kw+"&algo=blinks&k=5&direct=1&nocache=1"); rec.Code != http.StatusOK {
+		t.Fatalf("direct query: %d", rec.Code)
+	}
+
+	rec, body = get(t, s, "/debug/costmodel")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("costmodel = %d", rec.Code)
+	}
+	if body["window"] != float64(4) || body["total_samples"] != float64(4) {
+		t.Fatalf("window after 4 routed + 1 direct queries: %v", body)
+	}
+	layers, _ := body["layers"].([]interface{})
+	if len(layers) == 0 {
+		t.Fatalf("no calibration rows: %v", body)
+	}
+	row := layers[0].(map[string]interface{})
+	if row["algo"] != "blinks" {
+		t.Fatalf("row: %v", row)
+	}
+	if n, _ := row["count"].(float64); n != 4 {
+		t.Fatalf("row count: %v", row)
+	}
+	if r, _ := row["mean_ratio"].(float64); r <= 0 {
+		t.Fatalf("mean predicted/observed ratio must be positive: %v", row)
+	}
+
+	// The exported histogram observed the same four ratios.
+	mrec, _ := get(t, s, "/metrics")
+	if mrec.Code != http.StatusOK {
+		t.Fatalf("metrics: %d", mrec.Code)
+	}
+	if !strings.Contains(mrec.Body.String(), `bigindex_costmodel_error_count{algo="blinks"`) {
+		t.Fatalf("calibration histogram missing from /metrics:\n%s", mrec.Body.String())
+	}
+}
+
+// A cache hit re-serves the leader's result without evaluating, so it must
+// not add a calibration sample.
+func TestCostmodelSkipsCacheHits(t *testing.T) {
+	s, ds := robustServer(t, Options{Debug: DebugOptions{Endpoints: true}})
+	kw := popularTerm(ds)
+	for i := 0; i < 3; i++ {
+		if rec, _ := get(t, s, "/query?q="+kw+"&algo=blinks&k=5"); rec.Code != http.StatusOK {
+			t.Fatalf("query %d: %d", i, rec.Code)
+		}
+	}
+	_, body := get(t, s, "/debug/costmodel")
+	if body["window"] != float64(1) {
+		t.Fatalf("cache hits leaked into the window: %v", body)
+	}
+}
+
+// /stats must report the flight recorder's ring occupancy.
+func TestStatsRecorderOccupancy(t *testing.T) {
+	s, ds := robustServer(t, Options{Debug: DebugOptions{Sample: 1}})
+	if rec, _ := get(t, s, "/query?q="+popularTerm(ds)+"&algo=blinks&k=5"); rec.Code != http.StatusOK {
+		t.Fatalf("query: %d", rec.Code)
+	}
+	_, body := get(t, s, "/stats")
+	r, _ := body["recorder"].(map[string]interface{})
+	if r == nil {
+		t.Fatalf("stats carries no recorder block: %v", body)
+	}
+	if cap, _ := r["capacity"].(float64); cap <= 0 {
+		t.Fatalf("recorder capacity: %v", r)
+	}
+	if kept, _ := r["retained"].(float64); kept != 1 {
+		t.Fatalf("retained = %v, want 1", r["retained"])
+	}
+	if _, ok := r["by_reason"].(map[string]interface{}); !ok {
+		t.Fatalf("recorder by_reason: %v", r)
+	}
+}
+
+// /debug/traces?since=<duration> restricts the listing to recent traces and
+// rejects malformed durations.
+func TestDebugTracesSince(t *testing.T) {
+	s, ds := robustServer(t, Options{Debug: DebugOptions{Endpoints: true, Sample: 1}})
+	if rec, _ := get(t, s, "/query?q="+popularTerm(ds)+"&algo=blinks&k=5"); rec.Code != http.StatusOK {
+		t.Fatalf("query: %d", rec.Code)
+	}
+
+	for _, bad := range []string{"bogus", "-5s", "0s"} {
+		rec, _ := get(t, s, "/debug/traces?since="+bad)
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("since=%s = %d, want 400", bad, rec.Code)
+		}
+	}
+
+	rec, body := get(t, s, "/debug/traces?since=1h")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("since=1h: %d", rec.Code)
+	}
+	if traces, _ := body["traces"].([]interface{}); len(traces) != 1 {
+		t.Fatalf("since=1h traces: %v", body)
+	}
+
+	// After the trace has aged past a tiny window it must be filtered out.
+	time.Sleep(30 * time.Millisecond)
+	_, body = get(t, s, "/debug/traces?since=1ms")
+	if traces, _ := body["traces"].([]interface{}); len(traces) != 0 {
+		t.Fatalf("since=1ms should filter the old trace: %v", body)
+	}
+}
+
+// Retained traces carry the query's cost ledger snapshot.
+func TestDebugTraceCarriesCost(t *testing.T) {
+	s, ds := robustServer(t, Options{Debug: DebugOptions{Endpoints: true, Sample: 1}})
+	if rec, _ := get(t, s, "/query?q="+popularTerm(ds)+"&algo=blinks&k=5"); rec.Code != http.StatusOK {
+		t.Fatalf("query: %d", rec.Code)
+	}
+	_, body := get(t, s, "/debug/traces")
+	traces, _ := body["traces"].([]interface{})
+	if len(traces) != 1 {
+		t.Fatalf("traces: %v", body)
+	}
+	entry := traces[0].(map[string]interface{})
+	cost, _ := entry["cost"].(map[string]interface{})
+	if cost == nil {
+		t.Fatalf("trace has no cost ledger: %v", entry)
+	}
+	if wu, _ := cost["work_units"].(float64); wu <= 0 {
+		t.Fatalf("trace cost work_units: %v", cost)
+	}
+	if fp, _ := cost["frontier_peak"].(float64); fp <= 0 {
+		t.Fatalf("trace cost frontier_peak: %v", cost)
+	}
+
+	// The by-ID view carries the same ledger next to the span tree.
+	id, _ := entry["id"].(string)
+	_, byID := get(t, s, "/debug/traces/"+id)
+	if c, _ := byID["cost"].(map[string]interface{}); c == nil || c["work_units"] != cost["work_units"] {
+		t.Fatalf("by-ID cost mismatch: %v vs %v", byID["cost"], cost)
+	}
+}
+
+// The opt-in query log captures one entry per /query with the resolved
+// keyword names and the cost snapshot — the input the replay harness needs.
+func TestQueryLogCapture(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "qlog.jsonl")
+	ql, err := obs.OpenQueryLog(obs.QueryLogOptions{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ds := robustServer(t, Options{QueryLog: ql})
+	kw := popularTerm(ds)
+
+	if rec, _ := get(t, s, "/query?q="+kw+"&algo=blinks&k=5"); rec.Code != http.StatusOK {
+		t.Fatal("routed query failed")
+	}
+	if rec, _ := get(t, s, "/query?q="+kw+"&algo=blinks&k=5"); rec.Code != http.StatusOK {
+		t.Fatal("repeat query failed")
+	}
+	if rec, _ := get(t, s, "/query?q="+kw+"&algo=bkws&k=3&direct=1"); rec.Code != http.StatusOK {
+		t.Fatal("direct query failed")
+	}
+	if err := ql.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	entries, skipped, err := obs.ReadQueryLogFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 || len(entries) != 3 {
+		t.Fatalf("captured %d entries (%d skipped)", len(entries), skipped)
+	}
+	e := entries[0]
+	if e.Algo != "blinks" || e.K != 5 || e.Outcome != "ok" || e.Direct || e.Cached {
+		t.Fatalf("first entry: %+v", e)
+	}
+	if len(e.Keywords) == 0 || e.Keywords[0] != kw {
+		t.Fatalf("keywords not captured by name: %+v", e.Keywords)
+	}
+	if e.Cost == nil || e.Cost.WorkUnits <= 0 {
+		t.Fatalf("first entry cost: %+v", e.Cost)
+	}
+	if e.DurUS < 0 {
+		t.Fatalf("duration: %+v", e)
+	}
+	if !entries[1].Cached {
+		t.Fatalf("repeat entry not marked cached: %+v", entries[1])
+	}
+	if !entries[2].Direct || entries[2].Algo != "bkws" {
+		t.Fatalf("direct entry: %+v", entries[2])
+	}
+}

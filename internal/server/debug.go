@@ -25,11 +25,15 @@ type traceSummary struct {
 	Keep    string    `json:"keep"`
 	Start   time.Time `json:"start"`
 	DurUS   int64     `json:"dur_us"`
+	// Cost is the query's resource ledger — small enough (a few counters)
+	// to carry in the list view, unlike the span tree.
+	Cost *obs.LedgerSnapshot `json:"cost,omitempty"`
 }
 
 // handleDebugTraces lists retained traces, most recent first.
 // Query params: algo (exact), outcome (exact: ok|degraded|error|cancelled|
-// shed), min (Go duration, e.g. 50ms), limit (default 50).
+// shed), min (Go duration, e.g. 50ms), since (Go duration: only traces
+// started within the last so-much), limit (default 50).
 func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
@@ -47,6 +51,14 @@ func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
 		}
 		f.MinDur = d
 	}
+	if sv := r.URL.Query().Get("since"); sv != "" {
+		d, err := time.ParseDuration(sv)
+		if err != nil || d <= 0 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad since duration %q (try 5m, 1h)", sv))
+			return
+		}
+		f.Since = time.Now().Add(-d)
+	}
 	if l := r.URL.Query().Get("limit"); l != "" {
 		n, err := strconv.Atoi(l)
 		if err != nil || n <= 0 {
@@ -63,7 +75,7 @@ func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
 	for _, rec := range recs {
 		out.Traces = append(out.Traces, traceSummary{
 			ID: rec.ID, Query: rec.Query, Algo: rec.Algo, Outcome: rec.Outcome,
-			Keep: rec.Keep, Start: rec.Start, DurUS: rec.DurUS,
+			Keep: rec.Keep, Start: rec.Start, DurUS: rec.DurUS, Cost: rec.Cost,
 		})
 	}
 	writeJSON(w, out)

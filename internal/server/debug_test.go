@@ -15,7 +15,7 @@ import (
 // a default server even though the recorder itself is running.
 func TestDebugEndpointsOffByDefault(t *testing.T) {
 	s, _ := robustServer(t, Options{})
-	for _, path := range []string{"/debug/traces", "/debug/traces/x", "/debug/active", "/debug/index"} {
+	for _, path := range []string{"/debug/traces", "/debug/traces/x", "/debug/active", "/debug/index", "/debug/costmodel"} {
 		rec, _ := get(t, s, path)
 		if rec.Code != http.StatusNotFound {
 			t.Fatalf("%s = %d, want 404 with endpoints off", path, rec.Code)

@@ -118,6 +118,15 @@ type Options struct {
 	// decided per query at query end); the endpoints exposing it are
 	// default-off.
 	Debug DebugOptions
+	// QueryLog, when non-nil, receives one JSONL entry per /query request
+	// (workload capture; bigindexd's -query-log flag feeds benchrunner's
+	// replay mode). The server appends but never closes it.
+	QueryLog *obs.QueryLog
+	// ShadowSample is the probability that a routed query is re-evaluated
+	// in the background at the runner-up layer so the cost-model misroute
+	// counter reflects measurement, not just the fitted model. At most one
+	// shadow evaluation runs at a time. 0 disables shadowing.
+	ShadowSample float64
 }
 
 // DebugOptions configures the flight recorder (obs.Recorder) and its
@@ -176,6 +185,7 @@ type Server struct {
 	cache    *qcache.Cache            // query result cache (nil = disabled)
 	reloader atomic.Pointer[Reloader] // set by SetReloader; nil = /admin/reload disabled
 	recorder *obs.Recorder            // flight recorder (nil = disabled)
+	audit    *costAudit               // Formula 4 calibration audit (costmodel.go)
 
 	reg       *obs.Registry
 	cacheSec  *obs.HistogramVec // end-to-end /query latency by cache outcome
@@ -209,6 +219,7 @@ var knownPaths = map[string]bool{
 	"/stats": true, "/metrics": true, "/healthz": true, "/readyz": true,
 	"/admin/reload": true,
 	"/debug/traces": true, "/debug/active": true, "/debug/index": true,
+	"/debug/costmodel": true,
 }
 
 // New creates a server over a built index.
@@ -317,6 +328,7 @@ func New(idx *core.Index, ont *ontology.Ontology, opt Options) *Server {
 	s.specFanout = s.reg.Histogram("bigindex_spec_fanout",
 		"Candidates emerging from each specialization layer-descent step.",
 		[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384})
+	s.audit = newCostAudit(s.reg)
 	s.idxLayers = s.reg.Gauge("bigindex_index_layers", "Summary layers in the served index (h).")
 	s.idxSize = s.reg.Gauge("bigindex_index_size", "BiG-index size (sum of summary graph sizes).")
 	s.gVerts = s.reg.Gauge("bigindex_graph_vertices", "Data graph vertices.")
@@ -336,6 +348,7 @@ func New(idx *core.Index, ont *ontology.Ontology, opt Options) *Server {
 		s.mux.HandleFunc("/debug/traces/", s.handleDebugTraceByID)
 		s.mux.HandleFunc("/debug/active", s.handleDebugActive)
 		s.mux.HandleFunc("/debug/index", s.handleDebugIndex)
+		s.mux.HandleFunc("/debug/costmodel", s.handleDebugCostmodel)
 	}
 	s.handler = obs.Instrument(s.recoverPanics(s.mux), obs.HTTPOptions{
 		Registry:  s.reg,
@@ -508,6 +521,9 @@ func (s *Server) evalQuery(ctx context.Context, ev *core.Evaluator, algo string,
 		s.phaseSec.With("specialize").Observe(bd.Specialize.Seconds())
 		s.phaseSec.With("generate").Observe(bd.Generate.Seconds())
 		s.observeBreakdown(algo, bd)
+		if err == nil {
+			s.auditCost(ev, algo, q, bd, obs.LedgerFromContext(ctx), forcedLayer)
+		}
 	}
 	return cachedResult{matches: search.Truncate(ms, k), layer: layer}, err
 }
@@ -768,6 +784,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
+	// Per-query resource ledger: the search algorithms, specialization, and
+	// generation all find it through the context and charge their work to
+	// it; the snapshot rides on the retained trace and the query log, and
+	// feeds the Formula 4 calibration audit.
+	led := obs.NewLedger()
+	ctx = obs.ContextWithLedger(ctx, led)
 
 	algo := orDefault(algoName, "blinks")
 	direct := r.URL.Query().Get("direct") != ""
@@ -791,6 +813,32 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// slowest-of-window or uniform sample.
 	tr := obs.SpanFromContext(ctx).Trace()
 	qRaw := r.URL.Query().Get("q")
+	cost := led.Snapshot()
+	// logQuery appends one workload-capture line when the query log is on;
+	// the captured keywords are the canonical resolved names, so replay
+	// resolves them back to the same labels.
+	logQuery := func(outcome string, layer int, cached bool) {
+		if s.opt.QueryLog == nil {
+			return
+		}
+		dict := st.idx.Data().Dict()
+		kws := make([]string, 0, len(q))
+		for _, l := range q {
+			kws = append(kws, dict.Name(l))
+		}
+		s.opt.QueryLog.Append(obs.QueryLogEntry{
+			TS:       time.Now().UTC(),
+			Keywords: kws,
+			Algo:     algo,
+			K:        k,
+			Layer:    layer,
+			Direct:   direct,
+			Cached:   cached,
+			Outcome:  outcome,
+			DurUS:    elapsed.Microseconds(),
+			Cost:     cost,
+		})
+	}
 	degradedReason := cr.degraded
 	if err != nil {
 		switch {
@@ -803,11 +851,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			// The client went away; nothing will read the response. Record
 			// the abort for the cancellation counter and close out.
 			s.cancelled.With("client").Inc()
-			s.recorder.Finish(tr, algo, qRaw, "cancelled", elapsed)
+			s.recorder.FinishCost(tr, algo, qRaw, "cancelled", elapsed, cost)
+			logQuery("cancelled", cr.layer, false)
 			httpError(w, statusClientClosedRequest, fmt.Errorf("client closed request"))
 			return
 		default:
-			s.recorder.Finish(tr, algo, qRaw, "error", elapsed)
+			s.recorder.FinishCost(tr, algo, qRaw, "error", elapsed, cost)
+			logQuery("error", cr.layer, false)
 			httpError(w, http.StatusInternalServerError, err)
 			return
 		}
@@ -819,9 +869,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.cancelled.With("deadline").Inc()
 		s.degraded.Inc()
 		obs.AddLogAttrs(ctx, slog.Bool("degraded", true))
-		s.recorder.Finish(tr, algo, qRaw, "degraded", elapsed)
+		s.recorder.FinishCost(tr, algo, qRaw, "degraded", elapsed, cost)
+		logQuery("degraded", cr.layer, false)
 	} else {
-		s.recorder.Finish(tr, algo, qRaw, "ok", elapsed)
+		s.recorder.FinishCost(tr, algo, qRaw, "ok", elapsed, cost)
+		logQuery("ok", cr.layer, outcome == qcache.Hit)
 	}
 	ms := cr.matches
 	// Exemplar: the latency bucket remembers this query's trace ID, so a
@@ -945,17 +997,22 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		CircuitOpen      bool   `json:"circuit_open"`
 	}
 	out := struct {
-		Graph  graph.Stats       `json:"graph"`
-		Layers []core.LayerStats `json:"layers"`
-		Epoch  uint64            `json:"epoch"`
-		Cache  *cacheJSON        `json:"cache,omitempty"`
-		Reload *reloadJSON       `json:"reload,omitempty"`
-		Uptime string            `json:"uptime"`
-	}{gs, st.idx.Stats().Layers, st.idx.Epoch(), nil, nil,
+		Graph    graph.Stats        `json:"graph"`
+		Layers   []core.LayerStats  `json:"layers"`
+		Epoch    uint64             `json:"epoch"`
+		Cache    *cacheJSON         `json:"cache,omitempty"`
+		Reload   *reloadJSON        `json:"reload,omitempty"`
+		Recorder *obs.RecorderStats `json:"recorder,omitempty"`
+		Uptime   string             `json:"uptime"`
+	}{gs, st.idx.Stats().Layers, st.idx.Epoch(), nil, nil, nil,
 		time.Since(s.boot).Round(time.Second).String()}
 	if s.cache != nil {
 		cs := s.cache.Stats()
 		out.Cache = &cacheJSON{cs.Entries, cs.Bytes, cs.Hits, cs.Misses, cs.Shared}
+	}
+	if s.recorder != nil {
+		occ := s.recorder.Occupancy()
+		out.Recorder = &occ
 	}
 	if rl := s.reloader.Load(); rl != nil {
 		h := rl.Health()

@@ -55,6 +55,7 @@ import (
 	"bigindex/internal/obs"
 	"bigindex/internal/server"
 	"bigindex/internal/snapshot"
+	"bigindex/internal/wal"
 )
 
 func main() {
@@ -87,6 +88,14 @@ func main() {
 		"pre-populate the query cache from this workload file before serving (one query per line: kw1,kw2 [| algo [| k]])")
 	snapshotFile := flag.String("snapshot", "",
 		"crash-safe index snapshot path: boot from it when valid (falling back to a rebuild on corruption or source mismatch), re-save after every build and reload")
+	walFile := flag.String("wal", "",
+		"write-ahead log path; enables the live mutation API (POST /admin/edges): batches are fsynced here before applying, and boot replays the tail not yet covered by the snapshot")
+	walMaxBytes := flag.Int64("wal-max-bytes", 64<<20,
+		"auto-compact (persist snapshot, truncate WAL) once the log exceeds this size (0 = only manual POST /admin/compact)")
+	adminToken := flag.String("admin-token", "",
+		"shared secret required on the admin endpoints via X-Admin-Token or Authorization: Bearer (empty = no auth)")
+	damageBudget := flag.Float64("damage-budget", 0,
+		"max fraction of data-graph vertices a mutation batch may affect before delta maintenance falls back to a full rebuild (0 = default 0.25, negative = unbounded)")
 	reloadMinBackoff := flag.Duration("reload-min-backoff", time.Second,
 		"first retry delay after a failed reload (doubles per consecutive failure)")
 	reloadMaxBackoff := flag.Duration("reload-max-backoff", 5*time.Minute,
@@ -124,7 +133,10 @@ func main() {
 		"Wall time of the last successful snapshot save.")
 
 	var idx *core.Index
-	if *indexFile != "" {
+	var wlog *wal.Log
+	var walSeq uint64
+	switch {
+	case *indexFile != "":
 		f, err := os.Open(*indexFile)
 		if err != nil {
 			fatal(logger, "opening index", err)
@@ -135,7 +147,10 @@ func main() {
 			fatal(logger, "loading index", err)
 		}
 		logger.Info("index loaded", "file", *indexFile, "layers", idx.NumLayers())
-	} else {
+	case *walFile != "":
+		idx, wlog, walSeq = bootIndexWAL(ds, *snapshotFile, *walFile, reg, logger, snapLoadSec, snapSaveSec)
+		defer wlog.Close()
+	default:
 		idx = bootIndex(ds, *snapshotFile, reg, logger, snapLoadSec, snapSaveSec)
 	}
 
@@ -180,6 +195,7 @@ func main() {
 		},
 		QueryLog:     qlog,
 		ShadowSample: *shadowSample,
+		AdminToken:   *adminToken,
 	})
 
 	if *warmFile != "" {
@@ -188,13 +204,40 @@ func main() {
 		}
 	}
 
+	// Live mutation: with -wal set, POST /admin/edges mutates the served
+	// graph through delta maintenance, every accepted batch fsynced to the
+	// WAL before it is applied, and POST /admin/compact (or -wal-max-bytes)
+	// folds the log into the snapshot. Wired before the reloader so a
+	// mutation can never observe a half-wired admin surface.
+	var mut *server.Mutator
+	if wlog != nil {
+		mopt := server.MutatorOptions{
+			WAL:          wlog,
+			DamageBudget: *damageBudget,
+			MaxWALBytes:  *walMaxBytes,
+			Logger:       logger,
+		}
+		if *snapshotFile != "" {
+			mopt.Persist = func(_ context.Context, idx *core.Index, seq uint64) error {
+				return persistSnapshot(*snapshotFile, idx, walMeta(ds, seq), logger, snapSaveSec)
+			}
+		}
+		mut = server.NewMutator(srv, walSeq, mopt)
+	}
+
 	// Hot reload: POST /admin/reload or SIGHUP re-reads the data graph,
 	// rebuilds the hierarchy with the stored configurations, swaps it in
 	// without interrupting in-flight queries, then re-persists the
 	// snapshot and re-warms the cache. Failures keep the last good index
-	// serving and retry on a jittered exponential backoff.
+	// serving and retry on a jittered exponential backoff. With a WAL the
+	// source is the *live* graph — mutation batches are part of the data
+	// now, so a reload recomputes the hierarchy in place instead of
+	// resurrecting the boot preset and silently discarding them.
 	rl := server.NewReloader(srv, server.ReloaderOptions{
 		Source: func(context.Context) (*graph.Graph, error) {
+			if wlog != nil {
+				return srv.Index().Data(), nil
+			}
 			fresh, err := presetByName(*preset)
 			if err != nil {
 				return nil, err
@@ -204,7 +247,11 @@ func main() {
 		AfterSwap: func(ctx context.Context, idx *core.Index) error {
 			var errs []error
 			if *snapshotFile != "" {
-				errs = append(errs, persistSnapshot(*snapshotFile, idx, ds.Name, logger, snapSaveSec))
+				meta := snapshot.Meta{CreatedUnix: time.Now().Unix(), BuildNote: ds.Name}
+				if mut != nil {
+					meta = walMeta(ds, mut.Seq())
+				}
+				errs = append(errs, persistSnapshot(*snapshotFile, idx, meta, logger, snapSaveSec))
 			}
 			if *warmFile != "" {
 				errs = append(errs, warmCache(srv, logger, *warmFile))
@@ -296,17 +343,151 @@ func bootIndex(ds *datagen.Dataset, snapPath string, reg *obs.Registry,
 	if snapPath != "" {
 		// Best effort: a failed save leaves the daemon serving; the next
 		// successful reload retries the persist.
-		_ = persistSnapshot(snapPath, idx, ds.Name, logger, saveSec)
+		meta := snapshot.Meta{CreatedUnix: time.Now().Unix(), BuildNote: ds.Name}
+		_ = persistSnapshot(snapPath, idx, meta, logger, saveSec)
 	}
+	return idx
+}
+
+// walMeta is the snapshot metadata for a WAL-maintained index: it records
+// the boot base the log is anchored to and the last batch the snapshot
+// covers, so the next boot replays only the tail.
+func walMeta(ds *datagen.Dataset, seq uint64) snapshot.Meta {
+	return snapshot.Meta{
+		CreatedUnix: time.Now().Unix(),
+		BuildNote:   ds.Name,
+		BaseDigest:  ds.Graph.Digest(),
+		WALSeq:      seq,
+	}
+}
+
+// bootIndexWAL is bootIndex for live-mutation deployments: open the WAL
+// (its base digest must match the preset — replaying someone else's
+// mutation history would be silently wrong), restore the snapshot when it
+// descends from that base, rebuild otherwise, then replay every WAL batch
+// the snapshot does not already cover. The one unrecoverable shape is a
+// snapshot older than the log's first record when the log does not start
+// at batch 1 — compaction discarded records only a lost newer snapshot
+// covered — which is fatal rather than quietly served wrong.
+func bootIndexWAL(ds *datagen.Dataset, snapPath, walPath string, reg *obs.Registry,
+	logger *slog.Logger, loadSec, saveSec *obs.Gauge) (*core.Index, *wal.Log, uint64) {
+	base := ds.Graph.Digest()
+	wlog, info, err := wal.Open(walPath, wal.Options{BaseDigest: base})
+	if err != nil {
+		fatal(logger, "opening WAL (a mismatched or structurally damaged log needs operator attention; deleting it discards acknowledged mutations)", err)
+	}
+	if info.Truncated {
+		logger.Warn("WAL had a torn tail (crash mid-append); truncated",
+			"file", walPath, "dropped_bytes", info.DroppedBytes)
+	}
+
+	var idx *core.Index
+	var covered uint64
+	rebuilt := false
+	if snapPath != "" {
+		start := time.Now()
+		loaded, meta, err := snapshot.LoadFileWithBase(snapPath, ds.Ont, base)
+		if err == nil {
+			elapsed := time.Since(start)
+			loadSec.Set(elapsed.Seconds())
+			idx, covered = loaded, meta.WALSeq
+			logger.Info("index restored from snapshot",
+				"file", snapPath, "layers", idx.NumLayers(), "epoch", meta.Epoch,
+				"wal_seq", covered, "elapsed", elapsed.Round(time.Millisecond))
+		} else {
+			switch {
+			case snapshot.IsNotExist(err):
+				logger.Info("no snapshot yet; building index", "file", snapPath)
+			case errors.Is(err, snapshot.ErrSourceMismatch):
+				logger.Warn("snapshot is unrelated to the WAL's base graph; rebuilding", "file", snapPath, "err", err)
+			default:
+				logger.Warn("snapshot unusable; rebuilding", "file", snapPath, "err", err)
+			}
+		}
+	}
+	if idx == nil {
+		idx = buildIndex(ds, reg, logger)
+		rebuilt = true
+	}
+
+	if n := len(info.Batches); n > 0 {
+		lo := info.Batches[0].Seq
+		if covered+1 < lo {
+			// The log was compacted past this snapshot. Only a pristine
+			// log (starting at batch 1) can be replayed from a rebuilt
+			// base; anything else has lost history.
+			fatal(logger, "boot", fmt.Errorf(
+				"WAL %s starts at batch %d but snapshot %s covers only %d: the missing batches were compacted into a snapshot that no longer exists",
+				walPath, lo, snapPath, covered))
+		}
+		replayed := 0
+		start := time.Now()
+		for _, b := range info.Batches {
+			if b.Seq <= covered {
+				continue // compaction crashed between persist and truncate; the snapshot already has it
+			}
+			idx, err = replayBatch(idx, b)
+			if err != nil {
+				fatal(logger, "replaying WAL", fmt.Errorf("batch %d: %w", b.Seq, err))
+			}
+			covered = b.Seq
+			replayed++
+		}
+		logger.Info("WAL replayed", "file", walPath, "batches", replayed,
+			"skipped", n-replayed, "seq", covered, "wal_bytes", wlog.Size(),
+			"elapsed", time.Since(start).Round(time.Millisecond))
+	}
+	// The in-memory sequence floor must cover the snapshot even when the
+	// log is empty (freshly compacted), or the next accepted batch would
+	// reuse a sequence number the snapshot already claims.
+	wlog.SetLastSeq(covered)
+
+	if snapPath != "" && (rebuilt || covered > 0) {
+		// Best effort, exactly like bootIndex: folding the replayed tail
+		// into the snapshot now makes the next boot a pure load.
+		_ = persistSnapshot(snapPath, idx, walMeta(ds, covered), logger, saveSec)
+	}
+	return idx, wlog, covered
+}
+
+// replayBatch folds one durable WAL batch into the index: the delta path
+// with no damage budget (boot is offline — there is no serving index to
+// protect from a long maintenance pass), falling back to a full Refreshed
+// rebuild if maintenance refuses. Records were strictly validated before
+// they entered the log, so Patch itself cannot fail on an intact log.
+func replayBatch(idx *core.Index, b wal.Batch) (*core.Index, error) {
+	d := core.Delta{AddVertices: b.AddVertices, AddEdges: b.AddEdges, RemoveEdges: b.RemoveEdges}
+	next, _, err := idx.Applied(d, core.DeltaOptions{})
+	if err == nil {
+		return next, nil
+	}
+	patched, perr := graph.Patch(idx.Data(), b.AddVertices, b.AddEdges, b.RemoveEdges)
+	if perr != nil {
+		return nil, perr
+	}
+	return idx.Refreshed(patched)
+}
+
+// buildIndex is the cold-start build shared by both boot paths.
+func buildIndex(ds *datagen.Dataset, reg *obs.Registry, logger *slog.Logger) *core.Index {
+	start := time.Now()
+	opt := core.DefaultBuildOptions()
+	opt.Obs = reg
+	opt.Logger = logger
+	idx, err := core.Build(ds.Graph, ds.Ont, opt)
+	if err != nil {
+		fatal(logger, "building index", err)
+	}
+	logger.Info("index built", "dataset", ds.Name,
+		"elapsed", time.Since(start).Round(time.Millisecond), "layers", idx.NumLayers())
 	return idx
 }
 
 // persistSnapshot writes the crash-safe snapshot and records its wall
 // time; failures are logged and returned, never fatal.
-func persistSnapshot(path string, idx *core.Index, note string,
+func persistSnapshot(path string, idx *core.Index, meta snapshot.Meta,
 	logger *slog.Logger, saveSec *obs.Gauge) error {
 	start := time.Now()
-	meta := snapshot.Meta{CreatedUnix: time.Now().Unix(), BuildNote: note}
 	if err := snapshot.SaveFile(path, idx, meta); err != nil {
 		logger.Warn("snapshot save failed", "file", path, "err", err)
 		return err

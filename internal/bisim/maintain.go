@@ -32,6 +32,15 @@ func NewMaintainer(g *graph.Graph) *Maintainer {
 	return &Maintainer{base: g, result: Compute(g)}
 }
 
+// MaintainerFrom wraps g together with a bisimulation result that is
+// already known to be g's partition (e.g. rehydrated from an index layer's
+// Up/Down tables), skipping the fresh Compute that NewMaintainer performs.
+// The caller vouches that r is exactly Compute(g)'s partition; handing in
+// anything else silently corrupts maintenance.
+func MaintainerFrom(g *graph.Graph, r *Result) *Maintainer {
+	return &Maintainer{base: g, result: r}
+}
+
 // Result returns the current bisimulation, flushing pending updates first.
 func (m *Maintainer) Result() *Result {
 	m.flush()
@@ -72,6 +81,50 @@ func (m *Maintainer) AddEdge(from, to graph.V) {
 	}
 	m.addedE = append(m.addedE, graph.Edge{From: from, To: to})
 	m.dirty = true
+}
+
+// AddEdges queues a whole batch of edges at once. When every edge in the
+// batch individually leaves every signature unchanged relative to the
+// CURRENT partition, the batch is absorbed with a single adjacency rebuild
+// — the per-edge AddEdge fast path would pay one rebuild per edge. The
+// per-edge check against the pre-batch state is sufficient for the whole
+// batch: each absorbable edge only adds a successor block its source's
+// block-mates already see in the old graph, so no vertex's successor-block
+// set changes no matter how many such edges land together.
+func (m *Maintainer) AddEdges(edges []graph.Edge) {
+	if !m.dirty && len(m.addedV) == 0 && len(m.removed) == 0 && len(m.addedE) == 0 && m.batchAbsorbable(edges) {
+		for _, e := range edges {
+			if !m.base.HasEdge(e.From, e.To) {
+				m.addedE = append(m.addedE, e)
+			}
+		}
+		if len(m.addedE) > 0 {
+			m.rebuildGraphOnly()
+		}
+		return
+	}
+	for _, e := range edges {
+		m.addedE = append(m.addedE, e)
+		m.dirty = true
+	}
+}
+
+// batchAbsorbable reports whether every edge in the batch either already
+// exists or passes the signatureUnchanged test against the current base.
+func (m *Maintainer) batchAbsorbable(edges []graph.Edge) bool {
+	n := graph.V(m.base.NumVertices())
+	for _, e := range edges {
+		if e.From >= n || e.To >= n {
+			return false
+		}
+		if m.base.HasEdge(e.From, e.To) {
+			continue
+		}
+		if !m.signatureUnchanged(e.From, e.To) {
+			return false
+		}
+	}
+	return true
 }
 
 // RemoveEdge queues removal of the directed edge (from, to).

@@ -1,0 +1,179 @@
+package bisim
+
+import (
+	"math/rand"
+	"testing"
+
+	"bigindex/internal/graph"
+)
+
+// TestMaintainerPropertyEquivalence is the delta-soundness backstop for the
+// live mutation service: for many random graphs and random batched edit
+// scripts — the exact operation mix the mutation API produces (vertex adds,
+// edge-add batches, edge removals) — the maintained partition must equal a
+// fresh Compute on the mutated graph, and the maintained graph must equal
+// graph.Patch applied to the original. Any counterexample here means the
+// absorb fast path (signatureUnchanged / batchAbsorbable) is unsound and
+// must be tightened before the server can trust delta maintenance.
+func TestMaintainerPropertyEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(1207))
+	trials := 60
+	if testing.Short() {
+		trials = 15
+	}
+	for trial := 0; trial < trials; trial++ {
+		n := 3 + rng.Intn(24)
+		labels := 1 + rng.Intn(4)
+		g := randomGraph(rng, n, rng.Intn(3*n), labels)
+		m := MaintainerFrom(g, Compute(g))
+
+		// Accumulate the same script for graph.Patch to cross-check the
+		// structural mutation path the WAL replay uses.
+		var addV []graph.Label
+		var addE, rmE []graph.Edge
+
+		steps := 1 + rng.Intn(6)
+		for step := 0; step < steps; step++ {
+			switch rng.Intn(4) {
+			case 0:
+				l := graph.Label(1 + rng.Intn(g.Dict().Len()))
+				m.AddVertex(l)
+				addV = append(addV, l)
+			case 1, 2:
+				// A batch of edges over the current vertex range, including
+				// the occasional duplicate and self-loop.
+				nv := m.Graph().NumVertices()
+				batch := make([]graph.Edge, 1+rng.Intn(5))
+				for i := range batch {
+					batch[i] = graph.Edge{From: graph.V(rng.Intn(nv)), To: graph.V(rng.Intn(nv))}
+				}
+				m.AddEdges(batch)
+				addE = append(addE, batch...)
+			case 3:
+				es := m.Graph().Edges()
+				if len(es) > 0 {
+					e := es[rng.Intn(len(es))]
+					m.RemoveEdge(e.From, e.To)
+					rmE = append(rmE, e)
+				}
+			}
+		}
+
+		mutated := m.Graph()
+		got := m.Result()
+		want := Compute(mutated)
+		if !samePartition(got, want, mutated.NumVertices()) {
+			t.Fatalf("trial %d: maintained partition diverged from fresh Compute (n=%d steps=%d)", trial, n, steps)
+		}
+
+		// The maintainer's Graph() must match graph.Patch for scripts where
+		// the two are comparable: Patch applies removals last (an edge both
+		// added and removed ends removed), the maintainer applies them in
+		// script order, so only compare when no removed edge was ever added.
+		added := map[graph.Edge]bool{}
+		for _, e := range addE {
+			added[e] = true
+		}
+		comparable := true
+		for _, e := range rmE {
+			if added[e] {
+				comparable = false
+				break
+			}
+		}
+		if comparable {
+			patched, err := graph.Patch(g, addV, addE, rmE)
+			if err != nil {
+				t.Fatalf("trial %d: Patch: %v", trial, err)
+			}
+			if !sameGraph(patched, mutated) {
+				t.Fatalf("trial %d: Maintainer graph != graph.Patch result", trial)
+			}
+		}
+	}
+}
+
+func sameGraph(a, b *graph.Graph) bool {
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	for v := 0; v < a.NumVertices(); v++ {
+		if a.Label(graph.V(v)) != b.Label(graph.V(v)) {
+			return false
+		}
+		ao, bo := a.Out(graph.V(v)), b.Out(graph.V(v))
+		if len(ao) != len(bo) {
+			return false
+		}
+		for i := range ao {
+			if ao[i] != bo[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestAddEdgesBatchAbsorb checks that a batch of signature-preserving edges
+// is absorbed without recomputation (the result pointer survives) and that
+// the absorbed partition still matches a fresh Compute.
+func TestAddEdgesBatchAbsorb(t *testing.T) {
+	// p1, p2 both point at o1; o1 and o2 share a block only if they agree
+	// structurally, so make them both sinks.
+	b := graph.NewBuilder(nil)
+	person := b.Dict().Intern("P")
+	org := b.Dict().Intern("O")
+	p1 := b.AddVertexLabel(person)
+	p2 := b.AddVertexLabel(person)
+	o1 := b.AddVertexLabel(org)
+	o2 := b.AddVertexLabel(org)
+	b.AddEdge(p1, o1)
+	b.AddEdge(p2, o2)
+	g := b.Build()
+
+	m := MaintainerFrom(g, Compute(g))
+	before := m.Result()
+	// o1 and o2 are bisimilar sinks, p1 and p2 bisimilar sources. Adding
+	// p1->o2 and p2->o1 keeps every signature {block(o)} intact.
+	m.AddEdges([]graph.Edge{{From: p1, To: o2}, {From: p2, To: o1}})
+	after := m.Result()
+	if after != before {
+		t.Fatal("absorbable batch triggered recomputation")
+	}
+	if !m.Graph().HasEdge(p1, o2) || !m.Graph().HasEdge(p2, o1) {
+		t.Fatal("absorbed edges missing from graph")
+	}
+	want := Compute(m.Graph())
+	if !samePartition(after, want, m.Graph().NumVertices()) {
+		t.Fatal("absorbed partition diverged from fresh Compute")
+	}
+}
+
+// TestAddEdgesBatchDirty checks the non-absorbable path: a batch containing
+// one signature-changing edge must mark the partition dirty and resolve to
+// the recomputed answer.
+func TestAddEdgesBatchDirty(t *testing.T) {
+	b := graph.NewBuilder(nil)
+	person := b.Dict().Intern("P")
+	org := b.Dict().Intern("O")
+	p1 := b.AddVertexLabel(person)
+	p2 := b.AddVertexLabel(person)
+	o1 := b.AddVertexLabel(org)
+	b.AddEdge(p1, o1)
+	g := b.Build()
+
+	m := MaintainerFrom(g, Compute(g))
+	before := m.Result()
+	if before.Block[p1] == before.Block[p2] {
+		t.Fatal("setup: p1 and p2 should differ (only p1 has an out-edge)")
+	}
+	// p2->o1 changes p2's signature from {} to {block(o1)}: p1 and p2 merge.
+	m.AddEdges([]graph.Edge{{From: p2, To: o1}})
+	after := m.Result()
+	if after.Block[p1] != after.Block[p2] {
+		t.Fatal("p1 and p2 should be bisimilar after the add")
+	}
+	if !samePartition(after, Compute(m.Graph()), m.Graph().NumVertices()) {
+		t.Fatal("dirty batch diverged from fresh Compute")
+	}
+}

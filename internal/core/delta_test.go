@@ -1,0 +1,168 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"bigindex/internal/graph"
+)
+
+// randomDelta builds a delta over idx's data graph: vertex appends with
+// existing labels, random edge adds (including between new vertices), and
+// removals of existing edges.
+func randomDelta(rng *rand.Rand, g *graph.Graph, nAddV, nAddE, nRmE int) Delta {
+	var d Delta
+	labels := g.DistinctLabels()
+	for i := 0; i < nAddV; i++ {
+		d.AddVertices = append(d.AddVertices, labels[rng.Intn(len(labels))])
+	}
+	total := g.NumVertices() + nAddV
+	for i := 0; i < nAddE; i++ {
+		d.AddEdges = append(d.AddEdges, graph.Edge{
+			From: graph.V(rng.Intn(total)),
+			To:   graph.V(rng.Intn(total)),
+		})
+	}
+	es := g.Edges()
+	for i := 0; i < nRmE && len(es) > 0; i++ {
+		d.RemoveEdges = append(d.RemoveEdges, es[rng.Intn(len(es))])
+	}
+	return d
+}
+
+func sameLayers(t *testing.T, tag string, a, b *Index) {
+	t.Helper()
+	if a.NumLayers() != b.NumLayers() {
+		t.Fatalf("%s: %d layers vs %d", tag, a.NumLayers(), b.NumLayers())
+	}
+	for li := 0; li < a.NumLayers(); li++ {
+		la, lb := a.Layer(li), b.Layer(li)
+		if !graphsEqual(la.Graph, lb.Graph) {
+			t.Fatalf("%s: layer %d graphs differ", tag, li)
+		}
+		if !slices.Equal(la.Up, lb.Up) {
+			t.Fatalf("%s: layer %d Up maps differ", tag, li)
+		}
+		if len(la.Down) != len(lb.Down) {
+			t.Fatalf("%s: layer %d Down sizes differ", tag, li)
+		}
+		for s := range la.Down {
+			if !slices.Equal(la.Down[s], lb.Down[s]) {
+				t.Fatalf("%s: layer %d Down[%d] differs", tag, li, s)
+			}
+		}
+	}
+}
+
+// TestAppliedMatchesRefreshed is the delta-pipeline equivalence contract:
+// for random mutation batches, Applied must produce layer-for-layer the
+// same hierarchy as the full Refreshed pass over the patched graph — the
+// invariant the live mutation service (and its rebuild fallback) rests on.
+func TestAppliedMatchesRefreshed(t *testing.T) {
+	ds := smallDataset(777)
+	idx := buildIndex(t, ds)
+	rng := rand.New(rand.NewSource(778))
+
+	cur := idx
+	for round := 0; round < 6; round++ {
+		d := randomDelta(rng, cur.Data(), rng.Intn(3), 1+rng.Intn(5), rng.Intn(3))
+
+		gotIdx, rep, err := cur.Applied(d, DeltaOptions{})
+		if err != nil {
+			t.Fatalf("round %d: Applied: %v", round, err)
+		}
+		patched, err := graph.Patch(cur.Data(), d.AddVertices, d.AddEdges, d.RemoveEdges)
+		if err != nil {
+			t.Fatalf("round %d: Patch: %v", round, err)
+		}
+		wantIdx, err := cur.Refreshed(patched)
+		if err != nil {
+			t.Fatalf("round %d: Refreshed: %v", round, err)
+		}
+		sameLayers(t, "round", gotIdx, wantIdx)
+		if gotIdx.Epoch() != cur.Epoch()+1 {
+			t.Fatalf("round %d: epoch %d, want %d", round, gotIdx.Epoch(), cur.Epoch()+1)
+		}
+		if rep.ReusedLayers+rep.RecomputedLayers > cur.NumLayers()-1 {
+			t.Fatalf("round %d: report counts %d layers, index has %d summaries",
+				round, rep.ReusedLayers+rep.RecomputedLayers, cur.NumLayers()-1)
+		}
+		// Receiver untouched: same data graph, same epoch.
+		if cur.Data() == gotIdx.Data() && !d.Empty() {
+			t.Fatalf("round %d: Applied mutated the receiver's data graph", round)
+		}
+		cur = gotIdx // chain: next round mutates the mutated index
+	}
+}
+
+func TestAppliedEmptyDeltaAbsorbs(t *testing.T) {
+	ds := smallDataset(780)
+	idx := buildIndex(t, ds)
+	got, rep, err := idx.Applied(Delta{}, DeltaOptions{})
+	if err != nil {
+		t.Fatalf("Applied(empty): %v", err)
+	}
+	if !rep.Absorbed || rep.RecomputedLayers != 0 {
+		t.Fatalf("empty delta not absorbed: %+v", rep)
+	}
+	if got.Epoch() != idx.Epoch()+1 {
+		t.Fatalf("epoch %d, want %d", got.Epoch(), idx.Epoch()+1)
+	}
+	sameLayers(t, "empty", got, idx)
+}
+
+func TestAppliedDuplicateEdgeAbsorbs(t *testing.T) {
+	ds := smallDataset(781)
+	idx := buildIndex(t, ds)
+	es := idx.Data().Edges()
+	if len(es) == 0 {
+		t.Skip("no edges")
+	}
+	// Re-adding an existing edge is signature-preserving by definition.
+	got, rep, err := idx.Applied(Delta{AddEdges: []graph.Edge{es[0]}}, DeltaOptions{})
+	if err != nil {
+		t.Fatalf("Applied: %v", err)
+	}
+	if !rep.Absorbed {
+		t.Fatalf("duplicate-edge delta recomputed: %+v", rep)
+	}
+	sameLayers(t, "dup", got, idx)
+}
+
+func TestAppliedDamageBudget(t *testing.T) {
+	ds := smallDataset(782)
+	idx := buildIndex(t, ds)
+	rng := rand.New(rand.NewSource(783))
+	d := randomDelta(rng, idx.Data(), 0, 20, 10)
+
+	_, rep, err := idx.Applied(d, DeltaOptions{MaxAffectedFrac: 1e-9})
+	if !errors.Is(err, ErrDeltaTooLarge) {
+		t.Fatalf("tiny budget: err = %v, want ErrDeltaTooLarge", err)
+	}
+	if rep == nil || rep.AffectedVertices == 0 {
+		t.Fatalf("budget refusal must still report the bound: %+v", rep)
+	}
+	// No budget (boot replay) always goes through.
+	if _, _, err := idx.Applied(d, DeltaOptions{}); err != nil {
+		t.Fatalf("unbudgeted Applied: %v", err)
+	}
+	// A generous budget also passes.
+	if _, _, err := idx.Applied(d, DeltaOptions{MaxAffectedFrac: 1.0}); err != nil {
+		t.Fatalf("full budget Applied: %v", err)
+	}
+}
+
+func TestAppliedRejectsInvalidDelta(t *testing.T) {
+	ds := smallDataset(784)
+	idx := buildIndex(t, ds)
+	n := graph.V(idx.Data().NumVertices())
+	if _, _, err := idx.Applied(Delta{AddEdges: []graph.Edge{{From: n, To: 0}}}, DeltaOptions{}); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+	bad := graph.Label(uint32(idx.Data().Dict().Len()) + 7)
+	if _, _, err := idx.Applied(Delta{AddVertices: []graph.Label{bad}}, DeltaOptions{}); err == nil {
+		t.Fatal("unknown label accepted")
+	}
+}

@@ -1,0 +1,102 @@
+package graph
+
+import "testing"
+
+func patchBase(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder(nil)
+	a := b.Dict().Intern("A")
+	c := b.Dict().Intern("C")
+	v0 := b.AddVertexLabel(a)
+	v1 := b.AddVertexLabel(a)
+	v2 := b.AddVertexLabel(c)
+	b.AddEdge(v0, v1)
+	b.AddEdge(v1, v2)
+	return b.Build()
+}
+
+func TestPatchAddRemove(t *testing.T) {
+	g := patchBase(t)
+	a := g.Dict().Lookup("A")
+
+	got, err := Patch(g,
+		[]Label{a}, // v3
+		[]Edge{{From: 3, To: 0}, {From: 2, To: 2}}, // new vertex wired in + self loop
+		[]Edge{{From: 0, To: 1}},
+	)
+	if err != nil {
+		t.Fatalf("Patch: %v", err)
+	}
+	if got.NumVertices() != 4 {
+		t.Fatalf("|V| = %d, want 4", got.NumVertices())
+	}
+	if got.HasEdge(0, 1) {
+		t.Fatal("removed edge survived")
+	}
+	if !got.HasEdge(3, 0) || !got.HasEdge(2, 2) || !got.HasEdge(1, 2) {
+		t.Fatal("expected edges missing")
+	}
+	if got.Label(3) != a {
+		t.Fatalf("new vertex label = %d, want %d", got.Label(3), a)
+	}
+	if got.Dict() != g.Dict() {
+		t.Fatal("patched graph must share the dictionary")
+	}
+	// Original untouched (immutability).
+	if g.NumVertices() != 3 || !g.HasEdge(0, 1) {
+		t.Fatal("Patch mutated its input")
+	}
+}
+
+func TestPatchLenientSemantics(t *testing.T) {
+	g := patchBase(t)
+
+	// Duplicate adds, adding an existing edge, removing an absent edge, and
+	// add∩remove all collapse without error — WAL replay must never fail on
+	// a record that was valid when appended.
+	got, err := Patch(g, nil,
+		[]Edge{{From: 0, To: 1}, {From: 2, To: 0}, {From: 2, To: 0}, {From: 0, To: 2}},
+		[]Edge{{From: 2, To: 1}, {From: 0, To: 2}},
+	)
+	if err != nil {
+		t.Fatalf("Patch: %v", err)
+	}
+	if !got.HasEdge(2, 0) || got.HasEdge(0, 2) {
+		t.Fatal("lenient semantics broken")
+	}
+	if got.NumEdges() != 3 { // (0,1), (1,2), (2,0)
+		t.Fatalf("|E| = %d, want 3", got.NumEdges())
+	}
+}
+
+func TestPatchRejectsOutOfRange(t *testing.T) {
+	g := patchBase(t)
+	if _, err := Patch(g, nil, []Edge{{From: 0, To: 9}}, nil); err == nil {
+		t.Fatal("out-of-range endpoint accepted")
+	}
+	if _, err := Patch(g, []Label{Label(uint32(g.Dict().Len()) + 1)}, nil, nil); err == nil {
+		t.Fatal("unknown label accepted")
+	}
+	if _, err := Patch(g, []Label{NoLabel}, nil, nil); err == nil {
+		t.Fatal("NoLabel accepted")
+	}
+	// One new vertex makes ID 3 valid.
+	if _, err := Patch(g, []Label{g.Dict().Lookup("A")}, []Edge{{From: 3, To: 3}}, nil); err != nil {
+		t.Fatalf("edge to freshly added vertex rejected: %v", err)
+	}
+}
+
+func TestPatchMatchesRebuild(t *testing.T) {
+	g := patchBase(t)
+	a := g.Dict().Lookup("A")
+	got, err := Patch(g, []Label{a}, []Edge{{From: 3, To: 2}}, []Edge{{From: 1, To: 2}})
+	if err != nil {
+		t.Fatalf("Patch: %v", err)
+	}
+	want := FromEdges(g.Dict(),
+		[]Label{g.Label(0), g.Label(1), g.Label(2), a},
+		[]Edge{{From: 0, To: 1}, {From: 3, To: 2}})
+	if got.Digest() != want.Digest() {
+		t.Fatalf("Patch digest %016x != rebuilt digest %016x", got.Digest(), want.Digest())
+	}
+}

@@ -1,0 +1,431 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"bigindex/internal/core"
+	"bigindex/internal/datagen"
+	"bigindex/internal/faultio"
+	"bigindex/internal/graph"
+	"bigindex/internal/wal"
+)
+
+func postJSON(t *testing.T, s *Server, path string, body interface{}, hdr map[string]string) (*httptest.ResponseRecorder, map[string]interface{}) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		js, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(js)
+	}
+	req := httptest.NewRequest(http.MethodPost, path, rd)
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	out := map[string]interface{}{}
+	_ = json.Unmarshal(rec.Body.Bytes(), &out)
+	return rec, out
+}
+
+// pickMutation returns an addable edge (absent from g) and a removable
+// edge (present), both over existing vertices.
+func pickMutation(t *testing.T, g *graph.Graph) (add, remove graph.Edge) {
+	t.Helper()
+	es := g.Edges()
+	if len(es) == 0 {
+		t.Skip("no edges")
+	}
+	remove = es[len(es)/2]
+	n := g.NumVertices()
+	for u := 0; u < n; u++ {
+		for v := n - 1; v >= 0; v-- {
+			if u != v && !g.HasEdge(graph.V(u), graph.V(v)) {
+				return graph.Edge{From: graph.V(u), To: graph.V(v)}, remove
+			}
+		}
+	}
+	t.Skip("graph is complete")
+	return
+}
+
+func mutationBody(add, remove *graph.Edge, addVerts ...string) map[string]interface{} {
+	body := map[string]interface{}{}
+	if add != nil {
+		body["add_edges"] = []map[string]uint32{{"from": uint32(add.From), "to": uint32(add.To)}}
+	}
+	if remove != nil {
+		body["remove_edges"] = []map[string]uint32{{"from": uint32(remove.From), "to": uint32(remove.To)}}
+	}
+	if len(addVerts) > 0 {
+		body["add_vertices"] = addVerts
+	}
+	return body
+}
+
+func TestAdminEdgesAppliesBatch(t *testing.T) {
+	s, ds := testServer(t)
+	walPath := filepath.Join(t.TempDir(), "wal")
+	l, _, err := wal.Open(walPath, wal.Options{BaseDigest: ds.Graph.Digest()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	NewMutator(s, 0, MutatorOptions{WAL: l})
+
+	g0 := s.Index().Data()
+	add, remove := pickMutation(t, g0)
+	label := popularTerm(ds)
+
+	rec, body := postJSON(t, s, "/admin/edges", mutationBody(&add, &remove, label), nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("mutation: %d: %s", rec.Code, rec.Body.String())
+	}
+	if body["status"] != "applied" || body["seq"] != float64(1) || body["epoch"] != float64(1) {
+		t.Fatalf("mutation body: %v", body)
+	}
+
+	// The served graph reflects the batch.
+	g1 := s.Index().Data()
+	if !g1.HasEdge(add.From, add.To) || g1.HasEdge(remove.From, remove.To) {
+		t.Fatal("served graph does not reflect the mutation")
+	}
+	if g1.NumVertices() != g0.NumVertices()+1 {
+		t.Fatalf("|V| = %d, want %d", g1.NumVertices(), g0.NumVertices()+1)
+	}
+	// Equivalence with the full-refresh path over the same patch.
+	patched, err := graph.Patch(g0, []graph.Label{g0.Dict().Lookup(label)},
+		[]graph.Edge{add}, []graph.Edge{remove})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.Digest() != patched.Digest() {
+		t.Fatal("mutated data graph != graph.Patch result")
+	}
+
+	// The batch is durable: a fresh WAL open replays exactly it.
+	l2, info, err := wal.Open(walPath, wal.Options{BaseDigest: ds.Graph.Digest()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if len(info.Batches) != 1 || info.Batches[0].Seq != 1 ||
+		len(info.Batches[0].AddEdges) != 1 || info.Batches[0].AddEdges[0] != add {
+		t.Fatalf("WAL replay: %+v", info)
+	}
+
+	// /stats shows the mutation block and the bumped epoch.
+	_, stats := get(t, s, "/stats")
+	if stats["epoch"] != float64(1) {
+		t.Fatalf("stats epoch: %v", stats["epoch"])
+	}
+	mb, _ := stats["mutation"].(map[string]interface{})
+	if mb == nil || mb["seq"] != float64(1) {
+		t.Fatalf("stats mutation block: %v", stats["mutation"])
+	}
+}
+
+func TestAdminEdgesMatchesRefreshedAnswers(t *testing.T) {
+	s, ds := testServer(t)
+	NewMutator(s, 0, MutatorOptions{}) // no WAL: equivalence only
+	g0 := s.Index().Data()
+	add, remove := pickMutation(t, g0)
+
+	rec, _ := postJSON(t, s, "/admin/edges", mutationBody(&add, &remove), nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("mutation: %d: %s", rec.Code, rec.Body.String())
+	}
+
+	// Build a second server over the Refreshed(Patch(...)) index — the
+	// ground-truth full-rebuild path — and compare query answers.
+	patched, err := graph.Patch(g0, nil, []graph.Edge{add}, []graph.Edge{remove})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := core.DefaultBuildOptions()
+	opt.Search.SampleCount = 30
+	base, err := core.Build(ds.Graph, ds.Ont, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := base.Refreshed(patched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := New(want, ds.Ont, Options{DMax: 3, BlockSize: 64})
+
+	kw := popularTerm(ds)
+	for _, algo := range []string{"bkws", "bidir", "blinks", "rclique"} {
+		path := "/query?q=" + kw + "&algo=" + algo + "&k=5&nocache=1"
+		_, got := get(t, s, path)
+		_, exp := get(t, ref, path)
+		if fmt.Sprint(got["matches"]) != fmt.Sprint(exp["matches"]) {
+			t.Fatalf("%s: mutated-server answers != refreshed-server answers\ngot:  %v\nwant: %v",
+				algo, got["matches"], exp["matches"])
+		}
+	}
+}
+
+func TestAdminEdgesValidation(t *testing.T) {
+	s, _ := testServer(t)
+	NewMutator(s, 0, MutatorOptions{})
+	g := s.Index().Data()
+	add, remove := pickMutation(t, g)
+	n := uint32(g.NumVertices())
+
+	cases := []struct {
+		name string
+		body map[string]interface{}
+	}{
+		{"empty batch", map[string]interface{}{}},
+		{"unknown label", mutationBody(nil, nil, "no-such-label-xyz")},
+		{"existing edge add", mutationBody(&remove, nil)},
+		{"absent edge remove", mutationBody(nil, &add)},
+		{"out of range add", map[string]interface{}{
+			"add_edges": []map[string]uint32{{"from": n + 5, "to": 0}}}},
+		{"out of range remove", map[string]interface{}{
+			"remove_edges": []map[string]uint32{{"from": n + 5, "to": 0}}}},
+		{"duplicate add", map[string]interface{}{
+			"add_edges": []map[string]uint32{
+				{"from": uint32(add.From), "to": uint32(add.To)},
+				{"from": uint32(add.From), "to": uint32(add.To)}}}},
+		{"add and remove overlap", map[string]interface{}{
+			"add_edges":    []map[string]uint32{{"from": uint32(add.From), "to": uint32(add.To)}},
+			"remove_edges": []map[string]uint32{{"from": uint32(add.From), "to": uint32(add.To)}}}},
+		{"unknown field", map[string]interface{}{"nonsense": 1}},
+	}
+	for _, tc := range cases {
+		rec, _ := postJSON(t, s, "/admin/edges", tc.body, nil)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: code %d, want 400: %s", tc.name, rec.Code, rec.Body.String())
+		}
+	}
+	// Nothing was applied.
+	if got := s.Index().Epoch(); got != 0 {
+		t.Fatalf("rejected batches advanced epoch to %d", got)
+	}
+	if mut := s.mutator.Load(); mut.Seq() != 0 {
+		t.Fatalf("rejected batches advanced seq to %d", mut.Seq())
+	}
+}
+
+func TestAdminEdgesWALFailureRejectsBatch(t *testing.T) {
+	s, ds := testServer(t)
+	l, _, err := wal.Open(filepath.Join(t.TempDir(), "wal"), wal.Options{
+		BaseDigest: ds.Graph.Digest(),
+		Hooks:      wal.Hooks{WrapWriter: func(w io.Writer) io.Writer { return faultio.FailWriter(w, 3) }},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	NewMutator(s, 0, MutatorOptions{WAL: l})
+
+	add, _ := pickMutation(t, s.Index().Data())
+	rec, _ := postJSON(t, s, "/admin/edges", mutationBody(&add, nil), nil)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("mutation with failing WAL: %d, want 503: %s", rec.Code, rec.Body.String())
+	}
+	// Not acknowledged → not applied: epoch and graph unchanged.
+	if got := s.Index().Epoch(); got != 0 {
+		t.Fatalf("failed batch advanced epoch to %d", got)
+	}
+	if s.Index().Data().HasEdge(add.From, add.To) {
+		t.Fatal("failed batch mutated the served graph")
+	}
+}
+
+func TestAdminTokenGate(t *testing.T) {
+	ds := datagen.Generate(datagen.Options{
+		Name: "srv", Entities: 1200, Terms: 100, LeafTypes: 8, Seed: 99,
+	})
+	opt := core.DefaultBuildOptions()
+	opt.Search.SampleCount = 30
+	idx, err := core.Build(ds.Graph, ds.Ont, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(idx, ds.Ont, Options{DMax: 3, BlockSize: 64, AdminToken: "sesame"})
+	NewMutator(s, 0, MutatorOptions{})
+	add, _ := pickMutation(t, s.Index().Data())
+
+	for _, path := range []string{"/admin/reload", "/admin/edges", "/admin/compact"} {
+		// GET is rejected with 405 + Allow before anything else.
+		rec, _ := get(t, s, path)
+		if rec.Code != http.StatusMethodNotAllowed || rec.Header().Get("Allow") != http.MethodPost {
+			t.Fatalf("GET %s: %d Allow=%q", path, rec.Code, rec.Header().Get("Allow"))
+		}
+		// POST without or with a wrong token: 401.
+		if rec, _ := postJSON(t, s, path, nil, nil); rec.Code != http.StatusUnauthorized {
+			t.Fatalf("POST %s without token: %d, want 401", path, rec.Code)
+		}
+		if rec, _ := postJSON(t, s, path, nil, map[string]string{"X-Admin-Token": "wrong"}); rec.Code != http.StatusUnauthorized {
+			t.Fatalf("POST %s wrong token: %d, want 401", path, rec.Code)
+		}
+	}
+
+	// A correct token passes the gate (both header forms) and reaches the
+	// handler: /admin/edges applies, the others report their wiring state.
+	rec, _ := postJSON(t, s, "/admin/edges", mutationBody(&add, nil),
+		map[string]string{"X-Admin-Token": "sesame"})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("authorized mutation: %d: %s", rec.Code, rec.Body.String())
+	}
+	rec, _ = postJSON(t, s, "/admin/reload", nil,
+		map[string]string{"Authorization": "Bearer sesame"})
+	if rec.Code != http.StatusNotImplemented { // no reloader wired; gate passed
+		t.Fatalf("authorized reload: %d, want 501", rec.Code)
+	}
+}
+
+// Satellite check: a delta apply must reset staleness and close the
+// reload circuit — dashboards must not show a freshly mutated index as
+// stale just because no full reload ran.
+func TestMutationResetsStaleness(t *testing.T) {
+	s, _ := testServer(t)
+	rl := NewReloader(s, ReloaderOptions{Source: regenSource(nil)})
+	NewMutator(s, 0, MutatorOptions{})
+
+	// Pretend the index went stale an hour ago with a tripped circuit.
+	rl.lastOK.Store(time.Now().Add(-time.Hour).UnixNano())
+	rl.fails.Store(7)
+	rl.circuit.Store(true)
+
+	add, _ := pickMutation(t, s.Index().Data())
+	rec, _ := postJSON(t, s, "/admin/edges", mutationBody(&add, nil), nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("mutation: %d: %s", rec.Code, rec.Body.String())
+	}
+	h := rl.Health()
+	if h.Staleness > time.Minute {
+		t.Fatalf("staleness after mutation: %v, want ~0", h.Staleness)
+	}
+	if h.ConsecutiveFailures != 0 || h.CircuitOpen {
+		t.Fatalf("mutation did not close the circuit: %+v", h)
+	}
+}
+
+func TestDamageBudgetFallsBackToRebuild(t *testing.T) {
+	s, _ := testServer(t)
+	NewReloader(s, ReloaderOptions{Source: regenSource(nil)})
+	NewMutator(s, 0, MutatorOptions{DamageBudget: 1e-12})
+
+	g0 := s.Index().Data()
+	add, remove := pickMutation(t, g0)
+	rec, body := postJSON(t, s, "/admin/edges", mutationBody(&add, &remove), nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("mutation: %d: %s", rec.Code, rec.Body.String())
+	}
+	if body["path"] != "rebuild" {
+		t.Fatalf("path = %v, want rebuild", body["path"])
+	}
+	g1 := s.Index().Data()
+	if !g1.HasEdge(add.From, add.To) || g1.HasEdge(remove.From, remove.To) {
+		t.Fatal("rebuild fallback did not apply the batch")
+	}
+	if got := s.Index().Epoch(); got != 1 {
+		t.Fatalf("epoch = %d, want 1", got)
+	}
+}
+
+func TestAdminCompact(t *testing.T) {
+	s, ds := testServer(t)
+	walPath := filepath.Join(t.TempDir(), "wal")
+	l, _, err := wal.Open(walPath, wal.Options{BaseDigest: ds.Graph.Digest()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	persisted := 0
+	var persistedSeq uint64
+	failPersist := false
+	NewMutator(s, 0, MutatorOptions{
+		WAL: l,
+		Persist: func(_ context.Context, idx *core.Index, seq uint64) error {
+			if failPersist {
+				return fmt.Errorf("injected persist failure")
+			}
+			persisted++
+			persistedSeq = seq
+			return nil
+		},
+	})
+
+	add, remove := pickMutation(t, s.Index().Data())
+	if rec, _ := postJSON(t, s, "/admin/edges", mutationBody(&add, &remove), nil); rec.Code != http.StatusOK {
+		t.Fatalf("mutation: %d", rec.Code)
+	}
+	preSize := l.Size()
+
+	// Persist failure leaves the WAL untouched (records still replayable).
+	failPersist = true
+	if rec, _ := postJSON(t, s, "/admin/compact", nil, nil); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("compact with failing persist: %d, want 503", rec.Code)
+	}
+	if l.Size() != preSize {
+		t.Fatal("failed compaction truncated the WAL")
+	}
+
+	failPersist = false
+	rec, body := postJSON(t, s, "/admin/compact", nil, nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("compact: %d: %s", rec.Code, rec.Body.String())
+	}
+	if persisted != 1 || persistedSeq != 1 {
+		t.Fatalf("persist called %d times, seq %d", persisted, persistedSeq)
+	}
+	if body["covered_seq"] != float64(1) {
+		t.Fatalf("compact body: %v", body)
+	}
+	if l.Size() >= preSize {
+		t.Fatalf("compaction did not truncate (size %d >= %d)", l.Size(), preSize)
+	}
+
+	// Sequence numbering continues after compaction.
+	add2, _ := pickMutation(t, s.Index().Data())
+	rec, body = postJSON(t, s, "/admin/edges", mutationBody(&add2, nil), nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("post-compact mutation: %d: %s", rec.Code, rec.Body.String())
+	}
+	if body["seq"] != float64(2) {
+		t.Fatalf("post-compact seq: %v, want 2", body["seq"])
+	}
+}
+
+func TestAutoCompaction(t *testing.T) {
+	s, ds := testServer(t)
+	l, _, err := wal.Open(filepath.Join(t.TempDir(), "wal"), wal.Options{BaseDigest: ds.Graph.Digest()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	NewMutator(s, 0, MutatorOptions{
+		WAL:         l,
+		MaxWALBytes: 1, // every apply exceeds this → compact immediately
+		Persist:     func(context.Context, *core.Index, uint64) error { return nil },
+	})
+	add, _ := pickMutation(t, s.Index().Data())
+	rec, body := postJSON(t, s, "/admin/edges", mutationBody(&add, nil), nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("mutation: %d", rec.Code)
+	}
+	if body["compacted"] != true {
+		t.Fatalf("auto-compaction did not run: %v", body)
+	}
+	if l.Size() != 16 { // bare header
+		t.Fatalf("WAL size after auto-compaction: %d", l.Size())
+	}
+}

@@ -142,6 +142,54 @@ func (r *Reloader) Health() ReloadHealth {
 	}
 }
 
+// MarkFresh records "the served index was just rebuilt/updated now" —
+// the mutation service calls it after a successful delta apply so
+// bigindex_index_staleness_seconds and /stats report a mutated index as
+// fresh, not as "not reloaded since boot". It also closes the circuit:
+// a successful write proves the maintenance pipeline is healthy.
+func (r *Reloader) MarkFresh() {
+	r.lastOK.Store(time.Now().UnixNano())
+	r.fails.Store(0)
+	r.circuit.Store(false)
+}
+
+// SwapGraph rebuilds the hierarchy over g — which must already live on
+// the served index's dictionary — and swaps the result in. It is the
+// mutation service's fallback when delta maintenance refuses a batch
+// (damage budget, validation failure): the same serialized, circuit-
+// accounted path as a reload, minus the Source re-read, so a run of
+// failing rebuilds opens the same breaker an operator already watches.
+func (r *Reloader) SwapGraph(ctx context.Context, g *graph.Graph) (*core.Index, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.swapGraphLocked(ctx, g)
+}
+
+// swapGraphLocked is SwapGraph for callers already holding r.mu — the
+// mutator's apply path, which takes the reload lock up front (see
+// Mutator.Apply) so a reload cannot interleave with a mutation and swap
+// in a hierarchy built from a pre-mutation graph, silently dropping a
+// batch the WAL says is applied.
+func (r *Reloader) swapGraphLocked(ctx context.Context, g *graph.Graph) (*core.Index, error) {
+	cur := r.s.Index()
+	next, err := cur.Refreshed(g)
+	if err != nil {
+		return nil, r.fail("refresh", err)
+	}
+	r.s.SwapIndex(next)
+	r.lastOK.Store(time.Now().UnixNano())
+	r.fails.Store(0)
+	r.circuit.Store(false)
+	r.total.With("success").Inc()
+	if r.opt.AfterSwap != nil {
+		if err := r.opt.AfterSwap(ctx, next); err != nil {
+			r.total.With("persist").Inc()
+			r.opt.Logger.Warn("post-rebuild persist/warm failed; serving fresh index anyway", "err", err)
+		}
+	}
+	return next, nil
+}
+
 // Trigger requests an asynchronous reload from the Run loop (the SIGHUP
 // path). It never blocks; a trigger while one is already pending is
 // coalesced with it.
@@ -249,13 +297,9 @@ func (r *Reloader) Run(ctx context.Context) {
 
 // handleAdminReload serves POST /admin/reload: a synchronous reload whose
 // response reports the new epoch (or the failure). Not wired = 501, so
-// read-only deployments keep a closed admin surface.
+// read-only deployments keep a closed admin surface. Method enforcement
+// and the shared-secret gate live in the adminOnly wrapper (server.go).
 func (s *Server) handleAdminReload(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		w.Header().Set("Allow", http.MethodPost)
-		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("reload requires POST"))
-		return
-	}
 	rl := s.reloader.Load()
 	if rl == nil {
 		httpError(w, http.StatusNotImplemented, fmt.Errorf("reload is not configured"))

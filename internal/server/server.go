@@ -127,6 +127,11 @@ type Options struct {
 	// counter reflects measurement, not just the fitted model. At most one
 	// shadow evaluation runs at a time. 0 disables shadowing.
 	ShadowSample float64
+	// AdminToken, when non-empty, gates every /admin/* endpoint behind a
+	// shared secret ("Authorization: Bearer <token>" or "X-Admin-Token"),
+	// compared in constant time. Empty leaves the admin surface open
+	// (trusted-network deployments).
+	AdminToken string
 }
 
 // DebugOptions configures the flight recorder (obs.Recorder) and its
@@ -184,6 +189,7 @@ type Server struct {
 	draining atomic.Bool              // readiness flips to 503 during shutdown drain
 	cache    *qcache.Cache            // query result cache (nil = disabled)
 	reloader atomic.Pointer[Reloader] // set by SetReloader; nil = /admin/reload disabled
+	mutator  atomic.Pointer[Mutator]  // set by SetMutator; nil = /admin/edges disabled
 	recorder *obs.Recorder            // flight recorder (nil = disabled)
 	audit    *costAudit               // Formula 4 calibration audit (costmodel.go)
 
@@ -217,7 +223,7 @@ type Server struct {
 var knownPaths = map[string]bool{
 	"/query": true, "/explain": true, "/complete": true,
 	"/stats": true, "/metrics": true, "/healthz": true, "/readyz": true,
-	"/admin/reload": true,
+	"/admin/reload": true, "/admin/edges": true, "/admin/compact": true,
 	"/debug/traces": true, "/debug/active": true, "/debug/index": true,
 	"/debug/costmodel": true,
 }
@@ -339,7 +345,9 @@ func New(idx *core.Index, ont *ontology.Ontology, opt Options) *Server {
 	s.mux.HandleFunc("/explain", s.handleExplain)
 	s.mux.HandleFunc("/complete", s.handleComplete)
 	s.mux.HandleFunc("/stats", s.handleStats)
-	s.mux.HandleFunc("/admin/reload", s.handleAdminReload)
+	s.mux.HandleFunc("/admin/reload", s.adminOnly(s.handleAdminReload))
+	s.mux.HandleFunc("/admin/edges", s.adminOnly(s.handleAdminEdges))
+	s.mux.HandleFunc("/admin/compact", s.adminOnly(s.handleAdminCompact))
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/readyz", s.handleReady)
 	s.mux.Handle("/metrics", s.reg.Handler())
@@ -416,6 +424,11 @@ func (s *Server) setIndexGauges(idx *core.Index) {
 // SetReloader wires a Reloader into the server: /admin/reload starts
 // delegating to it and /stats reports its health. Called once at startup.
 func (s *Server) SetReloader(r *Reloader) { s.reloader.Store(r) }
+
+// SetMutator wires a Mutator into the server: /admin/edges and
+// /admin/compact start delegating to it and /stats reports its state.
+// Called once at startup (NewMutator does it for you).
+func (s *Server) SetMutator(m *Mutator) { s.mutator.Store(m) }
 
 func (s *Server) algorithm(name string) (search.Algorithm, error) {
 	if a, ok := s.opt.ExtraAlgorithms[name]; ok {
@@ -996,15 +1009,21 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Failures         int64  `json:"consecutive_failures"`
 		CircuitOpen      bool   `json:"circuit_open"`
 	}
+	type mutationJSON struct {
+		Seq       uint64 `json:"seq"`
+		WALBytes  int64  `json:"wal_bytes"`
+		LastApply string `json:"last_apply,omitempty"`
+	}
 	out := struct {
 		Graph    graph.Stats        `json:"graph"`
 		Layers   []core.LayerStats  `json:"layers"`
 		Epoch    uint64             `json:"epoch"`
 		Cache    *cacheJSON         `json:"cache,omitempty"`
 		Reload   *reloadJSON        `json:"reload,omitempty"`
+		Mutation *mutationJSON      `json:"mutation,omitempty"`
 		Recorder *obs.RecorderStats `json:"recorder,omitempty"`
 		Uptime   string             `json:"uptime"`
-	}{gs, st.idx.Stats().Layers, st.idx.Epoch(), nil, nil, nil,
+	}{gs, st.idx.Stats().Layers, st.idx.Epoch(), nil, nil, nil, nil,
 		time.Since(s.boot).Round(time.Second).String()}
 	if s.cache != nil {
 		cs := s.cache.Stats()
@@ -1022,6 +1041,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Failures:         h.ConsecutiveFailures,
 			CircuitOpen:      h.CircuitOpen,
 		}
+	}
+	if mut := s.mutator.Load(); mut != nil {
+		h := mut.Health()
+		mj := &mutationJSON{Seq: h.Seq, WALBytes: h.WALBytes}
+		if !h.LastApply.IsZero() {
+			mj.LastApply = h.LastApply.UTC().Format(time.RFC3339)
+		}
+		out.Mutation = mj
 	}
 	writeJSON(w, out)
 }

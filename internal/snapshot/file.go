@@ -138,6 +138,25 @@ func LoadFileFor(path string, ont *ontology.Ontology, wantDigest uint64) (*core.
 	return idx, meta, nil
 }
 
+// LoadFileWithBase is the boot path for WAL-maintained deployments: the
+// snapshot is accepted when it was built from the expected base graph
+// directly (SourceDigest == base, no mutations yet) OR when it is a
+// mutated descendant of that base (BaseDigest == base — the graph inside
+// differs from the boot preset precisely because the WAL's batches were
+// folded in). Anything else is ErrSourceMismatch: replaying this WAL onto
+// that snapshot would splice mutation histories of unrelated graphs.
+func LoadFileWithBase(path string, ont *ontology.Ontology, base uint64) (*core.Index, Meta, error) {
+	idx, meta, err := LoadFile(path, ont)
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	if meta.SourceDigest != base && meta.BaseDigest != base {
+		return nil, Meta{}, fmt.Errorf("%w: snapshot source %016x / base %016x, want base %016x",
+			ErrSourceMismatch, meta.SourceDigest, meta.BaseDigest, base)
+	}
+	return idx, meta, nil
+}
+
 // IsNotExist reports whether err is the "no snapshot file" case of
 // LoadFile, as opposed to corruption or a read error.
 func IsNotExist(err error) bool { return errors.Is(err, fs.ErrNotExist) }

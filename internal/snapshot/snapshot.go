@@ -123,6 +123,19 @@ type Meta struct {
 	// Layers is the total layer count (data graph + summaries), used by
 	// the decoder to know how many per-layer section triples to expect.
 	Layers int `json:"layers"`
+	// BaseDigest, when non-zero, is graph.Digest of the *boot-time* data
+	// graph the write-ahead log is anchored to. A WAL-maintained index
+	// drifts away from that base (SourceDigest tracks the mutated graph),
+	// so boot verification for live-mutation deployments accepts either
+	// digest: SourceDigest for an unmutated snapshot, BaseDigest for one
+	// that has absorbed mutation batches (LoadFileWithBase).
+	BaseDigest uint64 `json:"base_digest,string,omitempty"`
+	// WALSeq is the sequence number of the last WAL batch already folded
+	// into this snapshot (0 = none). Boot replays only records with a
+	// larger sequence; compaction persists a snapshot carrying the current
+	// sequence before truncating the log, which is the whole crash-safety
+	// argument for compaction.
+	WALSeq uint64 `json:"wal_seq,omitempty"`
 	// BuildNote is free-form provenance (dataset preset, build options).
 	BuildNote string `json:"build_note,omitempty"`
 }

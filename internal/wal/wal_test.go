@@ -1,0 +1,448 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"bigindex/internal/faultio"
+	"bigindex/internal/graph"
+)
+
+const testBase = uint64(0xdeadbeefcafe1234)
+
+func testBatches(n int) []Batch {
+	out := make([]Batch, n)
+	for i := range out {
+		out[i] = Batch{
+			Seq:         uint64(i + 1),
+			AddVertices: []graph.Label{graph.Label(i), graph.Label(2 * i)},
+			AddEdges:    []graph.Edge{{From: graph.V(i), To: graph.V(i + 1)}},
+			RemoveEdges: []graph.Edge{{From: graph.V(i + 2), To: graph.V(i)}},
+		}
+		if i%2 == 0 {
+			out[i].RemoveEdges = nil
+		}
+		if i%3 == 0 {
+			out[i].AddVertices = nil
+		}
+	}
+	return out
+}
+
+// sameBatches compares ignoring nil-vs-empty slice differences.
+func sameBatches(t *testing.T, got, want []Batch) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d batches, want %d", len(got), len(want))
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		if g.Seq != w.Seq ||
+			!reflect.DeepEqual(append([]graph.Label{}, g.AddVertices...), append([]graph.Label{}, w.AddVertices...)) ||
+			!reflect.DeepEqual(append([]graph.Edge{}, g.AddEdges...), append([]graph.Edge{}, w.AddEdges...)) ||
+			!reflect.DeepEqual(append([]graph.Edge{}, g.RemoveEdges...), append([]graph.Edge{}, w.RemoveEdges...)) {
+			t.Fatalf("batch %d mismatch:\n got %+v\nwant %+v", i, g, w)
+		}
+	}
+}
+
+func mustOpen(t *testing.T, path string, opt Options) (*Log, ReplayInfo) {
+	t.Helper()
+	l, info, err := Open(path, opt)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", path, err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l, info
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	batches := testBatches(7)
+
+	l, info := mustOpen(t, path, Options{BaseDigest: testBase})
+	if len(info.Batches) != 0 || info.Truncated {
+		t.Fatalf("fresh log replayed %+v", info)
+	}
+	for _, b := range batches {
+		if err := l.Append(b); err != nil {
+			t.Fatalf("Append(seq=%d): %v", b.Seq, err)
+		}
+	}
+	if l.LastSeq() != 7 {
+		t.Fatalf("LastSeq = %d, want 7", l.LastSeq())
+	}
+	st, _ := os.Stat(path)
+	if l.Size() != st.Size() {
+		t.Fatalf("Size() = %d, file is %d", l.Size(), st.Size())
+	}
+	l.Close()
+
+	l2, info2 := mustOpen(t, path, Options{BaseDigest: testBase})
+	if info2.Truncated {
+		t.Fatalf("clean reopen reported truncation: %+v", info2)
+	}
+	sameBatches(t, info2.Batches, batches)
+	if l2.LastSeq() != 7 {
+		t.Fatalf("reopened LastSeq = %d, want 7", l2.LastSeq())
+	}
+	// Appends continue after replay.
+	if err := l2.Append(Batch{Seq: 8, AddEdges: []graph.Edge{{From: 0, To: 1}}}); err != nil {
+		t.Fatalf("post-replay Append: %v", err)
+	}
+}
+
+func TestBaseDigestMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, _ := mustOpen(t, path, Options{BaseDigest: testBase})
+	if err := l.Append(Batch{Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	_, _, err := Open(path, Options{BaseDigest: testBase + 1})
+	if !errors.Is(err, ErrBaseMismatch) {
+		t.Fatalf("Open with wrong base = %v, want ErrBaseMismatch", err)
+	}
+}
+
+func TestSeqMustAdvance(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, _ := mustOpen(t, path, Options{BaseDigest: testBase})
+	if err := l.Append(Batch{Seq: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(Batch{Seq: 3}); err == nil {
+		t.Fatal("duplicate seq accepted")
+	}
+	if err := l.Append(Batch{Seq: 2}); err == nil {
+		t.Fatal("regressing seq accepted")
+	}
+	l.SetLastSeq(10)
+	if err := l.Append(Batch{Seq: 10}); err == nil {
+		t.Fatal("seq at floor accepted")
+	}
+	if err := l.Append(Batch{Seq: 11}); err != nil {
+		t.Fatalf("seq above floor rejected: %v", err)
+	}
+}
+
+// TestCrashAtEveryBytePoint is the crash matrix for the append path: a
+// valid log is cut to EVERY possible prefix length (kill -9 can stop the
+// kernel mid-write at any byte), and each reopen must recover exactly the
+// batches whose records fit the prefix, truncating the rest.
+func TestCrashAtEveryBytePoint(t *testing.T) {
+	dir := t.TempDir()
+	golden := filepath.Join(dir, "golden")
+	batches := testBatches(4)
+
+	l, _ := mustOpen(t, golden, Options{BaseDigest: testBase})
+	// Record the end offset of every durable record so we know, for each
+	// prefix length, which batches must survive.
+	bounds := []int64{l.Size()} // after header, before batch 0
+	for _, b := range batches {
+		if err := l.Append(b); err != nil {
+			t.Fatal(err)
+		}
+		bounds = append(bounds, l.Size())
+	}
+	l.Close()
+	full, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for cut := int64(0); cut <= int64(len(full)); cut++ {
+		path := filepath.Join(dir, fmt.Sprintf("cut-%d", cut))
+		if err := os.WriteFile(path, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l2, info, err := Open(path, Options{BaseDigest: testBase})
+		if err != nil {
+			t.Fatalf("cut=%d: Open: %v", cut, err)
+		}
+		// How many batches end at or before the cut?
+		want := 0
+		for want < len(batches) && bounds[want+1] <= cut {
+			want++
+		}
+		sameBatches(t, info.Batches, batches[:want])
+		// cut=0 is an empty file, indistinguishable from (and treated as) a
+		// log that never existed; every other short prefix is a torn tail.
+		wantTrunc := cut != bounds[want] && cut != 0
+		if info.Truncated != wantTrunc {
+			t.Fatalf("cut=%d: Truncated = %v, want %v (dropped=%d)", cut, info.Truncated, wantTrunc, info.DroppedBytes)
+		}
+		wantDropped := cut - bounds[want]
+		if cut < headerLen {
+			wantDropped = cut // torn header: the whole stub is discarded
+		}
+		if wantTrunc && info.DroppedBytes != wantDropped {
+			t.Fatalf("cut=%d: DroppedBytes = %d, want %d", cut, info.DroppedBytes, wantDropped)
+		}
+		// The healed log must accept appends and reopen cleanly.
+		if err := l2.Append(Batch{Seq: uint64(want) + 1, AddEdges: []graph.Edge{{From: 9, To: 9}}}); err != nil {
+			t.Fatalf("cut=%d: append after heal: %v", cut, err)
+		}
+		l2.Close()
+		_, info3, err := Open(path, Options{BaseDigest: testBase})
+		if err != nil {
+			t.Fatalf("cut=%d: reopen after heal: %v", cut, err)
+		}
+		if info3.Truncated || len(info3.Batches) != want+1 {
+			t.Fatalf("cut=%d: healed log replayed %d batches (trunc=%v), want %d", cut, len(info3.Batches), info3.Truncated, want+1)
+		}
+	}
+}
+
+// TestAppendFailureAtEveryBudget drives the in-process failure path: the
+// write errors after N bytes (full disk / pulled device), Append must
+// report the error, heal the file, and a hook-free reopen must see exactly
+// the batches that were acknowledged.
+func TestAppendFailureAtEveryBudget(t *testing.T) {
+	dir := t.TempDir()
+	batches := testBatches(3)
+
+	// Measure total record bytes with a clean run.
+	clean := filepath.Join(dir, "clean")
+	l, _ := mustOpen(t, clean, Options{BaseDigest: testBase})
+	for _, b := range batches {
+		if err := l.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := l.Size() - headerLen
+	l.Close()
+
+	for budget := int64(0); budget < total; budget++ {
+		path := filepath.Join(dir, fmt.Sprintf("budget-%d", budget))
+		l2, _, err := Open(path, Options{
+			BaseDigest: testBase,
+			Hooks:      Hooks{WrapWriter: func(w io.Writer) io.Writer { return faultio.FailWriter(w, budget) }},
+		})
+		if err != nil {
+			t.Fatalf("budget=%d: Open: %v", budget, err)
+		}
+		acked := 0
+		for _, b := range batches {
+			if err := l2.Append(b); err != nil {
+				if !errors.Is(err, faultio.ErrInjected) {
+					t.Fatalf("budget=%d: append error %v, want injected", budget, err)
+				}
+				break
+			}
+			acked++
+		}
+		if acked == len(batches) {
+			t.Fatalf("budget=%d (< total %d): all appends succeeded", budget, total)
+		}
+		l2.Close()
+
+		_, info, err := Open(path, Options{BaseDigest: testBase})
+		if err != nil {
+			t.Fatalf("budget=%d: reopen: %v", budget, err)
+		}
+		if info.Truncated {
+			t.Fatalf("budget=%d: failed append left a torn tail (Append should have healed it)", budget)
+		}
+		sameBatches(t, info.Batches, batches[:acked])
+	}
+}
+
+// TestLyingDiskShortWrite models a disk that acknowledges writes it drops:
+// the process believes the batch is durable, the crash proves otherwise.
+// Recovery must still be prefix-closed — every recovered batch is genuine
+// and in order, nothing after the first lost byte survives.
+func TestLyingDiskShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	batches := testBatches(3)
+
+	clean := filepath.Join(dir, "clean")
+	l, _ := mustOpen(t, clean, Options{BaseDigest: testBase})
+	for _, b := range batches {
+		if err := l.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := l.Size() - headerLen
+	l.Close()
+
+	for budget := int64(0); budget < total; budget += 7 {
+		path := filepath.Join(dir, fmt.Sprintf("lying-%d", budget))
+		l2, _, err := Open(path, Options{
+			BaseDigest: testBase,
+			Hooks:      Hooks{WrapWriter: func(w io.Writer) io.Writer { return faultio.ShortWriter(w, budget) }},
+		})
+		if err != nil {
+			t.Fatalf("budget=%d: Open: %v", budget, err)
+		}
+		for _, b := range batches {
+			if err := l2.Append(b); err != nil {
+				t.Fatalf("budget=%d: lying disk surfaced error %v", budget, err)
+			}
+		}
+		l2.Close()
+
+		_, info, err := Open(path, Options{BaseDigest: testBase})
+		if err != nil {
+			t.Fatalf("budget=%d: reopen: %v", budget, err)
+		}
+		// Prefix-closed: recovered batches must be exactly the leading run
+		// that fit in the budget.
+		sameBatches(t, info.Batches, batches[:len(info.Batches)])
+		if len(info.Batches) == len(batches) {
+			t.Fatalf("budget=%d (< total %d): nothing lost?", budget, total)
+		}
+	}
+}
+
+func TestFsyncFailureBreaksLog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, _ := mustOpen(t, path, Options{BaseDigest: testBase})
+	l.Close()
+
+	l2, _, err := Open(path, Options{
+		BaseDigest: testBase,
+		Hooks:      Hooks{Fsync: faultio.FsyncError},
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	err = l2.Append(Batch{Seq: 1})
+	if !errors.Is(err, faultio.ErrInjected) {
+		t.Fatalf("append with failing fsync = %v, want injected", err)
+	}
+	// The heal-truncate also fsyncs, which also fails → the log must wedge
+	// itself rather than risk appending after unverified bytes.
+	if err := l2.Append(Batch{Seq: 1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append on broken log = %v, want ErrClosed", err)
+	}
+	l2.Close()
+
+	// A batch whose fsync failed was never acknowledged; replay owes nothing.
+	_, info, err := Open(path, Options{BaseDigest: testBase})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if len(info.Batches) != 0 {
+		t.Fatalf("unacknowledged batch resurfaced: %+v", info.Batches)
+	}
+}
+
+func TestResetCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, _ := mustOpen(t, path, Options{BaseDigest: testBase})
+	for _, b := range testBatches(5) {
+		if err := l.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Reset(); err != nil {
+		t.Fatalf("Reset: %v", err)
+	}
+	if l.Size() != headerLen {
+		t.Fatalf("Size after Reset = %d, want %d", l.Size(), headerLen)
+	}
+	// Seq numbering continues across compaction.
+	if err := l.Append(Batch{Seq: 5}); err == nil {
+		t.Fatal("Reset rewound the sequence floor")
+	}
+	if err := l.Append(Batch{Seq: 6, AddEdges: []graph.Edge{{From: 1, To: 2}}}); err != nil {
+		t.Fatalf("append after Reset: %v", err)
+	}
+	l.Close()
+
+	// Reopen sees only the post-compaction tail; the snapshot's WALSeq
+	// restores the floor via SetLastSeq.
+	l2, info := mustOpen(t, path, Options{BaseDigest: testBase})
+	if len(info.Batches) != 1 || info.Batches[0].Seq != 6 {
+		t.Fatalf("replay after compaction = %+v, want only seq 6", info.Batches)
+	}
+	l2.SetLastSeq(6)
+	if l2.LastSeq() != 6 {
+		t.Fatalf("LastSeq = %d, want 6", l2.LastSeq())
+	}
+}
+
+func TestSeqGapIsCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, _ := mustOpen(t, path, Options{BaseDigest: testBase})
+	if err := l.Append(Batch{Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(Batch{Seq: 3}); err != nil { // gap: 2 missing
+		t.Fatal(err)
+	}
+	l.Close()
+	_, _, err := Open(path, Options{BaseDigest: testBase})
+	if !errors.Is(err, ErrBadLog) {
+		t.Fatalf("gapped log opened: %v, want ErrBadLog", err)
+	}
+}
+
+func TestCorruptRecordTruncates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	batches := testBatches(3)
+	l, _ := mustOpen(t, path, Options{BaseDigest: testBase})
+	var boundAfterFirst int64
+	for i, b := range batches {
+		if err := l.Append(b); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			boundAfterFirst = l.Size()
+		}
+	}
+	l.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte inside the second record's payload: CRC catches it,
+	// replay keeps batch 1 and truncates from the damage on.
+	if err := os.WriteFile(path, faultio.Flip(data, int(boundAfterFirst)+8), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, info, err := Open(path, Options{BaseDigest: testBase})
+	if err != nil {
+		t.Fatalf("Open flipped log: %v", err)
+	}
+	if !info.Truncated {
+		t.Fatal("bit rot not reported as truncation")
+	}
+	sameBatches(t, info.Batches, batches[:1])
+}
+
+func TestTornHeader(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	if err := os.WriteFile(path, []byte("BIGW\x01\x00"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, info, err := Open(path, Options{BaseDigest: testBase})
+	if err != nil {
+		t.Fatalf("Open torn-header log: %v", err)
+	}
+	defer l.Close()
+	if !info.Truncated || len(info.Batches) != 0 {
+		t.Fatalf("torn header recovery = %+v", info)
+	}
+	if err := l.Append(Batch{Seq: 1}); err != nil {
+		t.Fatalf("append after header reinit: %v", err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	if err := os.WriteFile(path, append([]byte("NOPE"), make([]byte, 12)...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := Open(path, Options{BaseDigest: testBase})
+	if !errors.Is(err, ErrBadLog) {
+		t.Fatalf("bad magic opened: %v", err)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -52,9 +53,21 @@ func main() {
 		"dataset the workload was captured against (bigindexd -preset value)")
 	replayOut := flag.String("replay-json", "BENCH_replay.json",
 		"when the replay experiment runs, also write its report here (empty = off)")
+	shardOut := flag.String("shard-json", "BENCH_shard.json",
+		"when the shard experiment runs, also write its report here (empty = off)")
+	shardDataset := flag.String("shard-dataset", "",
+		"dataset for the shard experiment (empty = yago-s; the CI smoke uses demo)")
+	shardWorkers := flag.String("shard-workers", "",
+		"comma-separated worker counts for the shard experiment (empty = 1,2,4,8)")
 	flag.Parse()
 
 	bench.SetReplayConfig(*workload, *workloadDataset)
+	workers, err := parseWorkers(*shardWorkers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bad -shard-workers: %v\n", err)
+		os.Exit(2)
+	}
+	bench.SetShardConfig(*shardDataset, workers)
 
 	if *list {
 		ids := make([]string, 0, len(bench.Experiments))
@@ -145,6 +158,35 @@ func main() {
 			writeJSON(*replayOut, replayReports)
 		}
 	}
+	if *shardOut != "" {
+		var shardReports []*bench.Report
+		for _, r := range reports {
+			if r.ID == "shard" {
+				shardReports = append(shardReports, r)
+			}
+		}
+		if len(shardReports) > 0 {
+			writeJSON(*shardOut, shardReports)
+		}
+	}
+}
+
+// parseWorkers parses the -shard-workers list ("1,2,4"); empty means
+// keep the experiment's defaults.
+func parseWorkers(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("%q is not a positive worker count", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 func writeJSON(path string, reports []*bench.Report) {

@@ -114,9 +114,14 @@ func main() {
 		"rotate the query log once it reaches this size (one .1 predecessor is kept)")
 	shadowSample := flag.Float64("costmodel-shadow", 0,
 		"probability of re-evaluating a routed query at the runner-up layer to measure cost-model misroutes (0 = off)")
+	shards := flag.Int("shards", 0,
+		"default worker count for partition-sharded bkws/bidir execution; &shards= overrides per query (0 = sequential, clamped to GOMAXPROCS)")
 	flag.Parse()
 
 	logger := obs.NewLogger(os.Stderr, parseLevel(*logLevel), *logFormat == "json")
+	if *shards < 0 {
+		fatal(logger, "bad flag", fmt.Errorf("-shards must be >= 0, got %d", *shards))
+	}
 	// One line with the full effective configuration — every flag after
 	// defaulting — so any incident log pins down exactly how the daemon ran.
 	logger.Info("effective config", configAttrs(flag.CommandLine)...)
@@ -196,6 +201,7 @@ func main() {
 		QueryLog:     qlog,
 		ShadowSample: *shadowSample,
 		AdminToken:   *adminToken,
+		Shards:       *shards,
 	})
 
 	if *warmFile != "" {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
 	"text/tabwriter"
 	"time"
@@ -101,12 +102,32 @@ type reportJSON struct {
 	ElapsedMS float64    `json:"elapsed_ms"`
 }
 
+// reportMeta pins down the machine the numbers came from: comparing
+// BENCH_*.json across PRs is only meaningful when the parallelism
+// headroom (GOMAXPROCS) and the shard worker counts are part of the
+// record — a "2x speedup at 4 workers" claim reads very differently on a
+// 1-CPU runner.
+type reportMeta struct {
+	GOMAXPROCS   int   `json:"gomaxprocs"`
+	NumCPU       int   `json:"num_cpu"`
+	ShardWorkers []int `json:"shard_workers"`
+}
+
 // WriteJSON renders the reports as one JSON document (the BENCH_eval.json
-// export of cmd/benchrunner), keyed by experiment in run order.
+// export of cmd/benchrunner), keyed by experiment in run order, under a
+// metadata header recording the run's parallelism envelope.
 func WriteJSON(w io.Writer, reports []*Report) error {
 	out := struct {
+		Meta        reportMeta   `json:"meta"`
 		Experiments []reportJSON `json:"experiments"`
-	}{Experiments: make([]reportJSON, 0, len(reports))}
+	}{
+		Meta: reportMeta{
+			GOMAXPROCS:   runtime.GOMAXPROCS(0),
+			NumCPU:       runtime.NumCPU(),
+			ShardWorkers: ShardWorkers(),
+		},
+		Experiments: make([]reportJSON, 0, len(reports)),
+	}
 	for _, r := range reports {
 		rows := r.Rows
 		if rows == nil {

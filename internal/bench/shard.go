@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"runtime"
+	"slices"
+	"time"
+
+	"bigindex/internal/datagen"
+	"bigindex/internal/search"
+	"bigindex/internal/search/bidir"
+	"bigindex/internal/search/bkws"
+	"bigindex/internal/shard"
+)
+
+// Shard experiment configuration, overridable via SetShardConfig for the
+// CI smoke run (tiny preset, two worker counts). The default workload is
+// multi-keyword and zipf-flavored (datagen biases keyword choice toward
+// popular terms): many keywords × large posting lists is where the
+// per-(keyword × block) decomposition has tasks to spread.
+var (
+	shardDataset = "yago-s"
+	shardWorkers = []int{1, 2, 4, 8}
+)
+
+// ShardWorkers returns the configured worker counts (exported so the JSON
+// report metadata can record them alongside GOMAXPROCS).
+func ShardWorkers() []int { return slices.Clone(shardWorkers) }
+
+// SetShardConfig overrides the shard experiment's dataset and worker
+// counts; empty/nil keep the defaults. cmd/benchrunner wires it to
+// -shard-dataset / -shard-workers.
+func SetShardConfig(dataset string, workers []int) {
+	if dataset != "" {
+		shardDataset = dataset
+	}
+	if len(workers) > 0 {
+		shardWorkers = slices.Clone(workers)
+	}
+}
+
+const shardK = 10
+
+// matchDigest folds a result list into one order-sensitive hash over
+// every field a client can observe (root, score, per-keyword distances,
+// witness nodes). Two result lists digest equal iff they are
+// byte-identical — the experiment's correctness gate.
+func matchDigest(h interface{ Write([]byte) (int, error) }, ms []search.Match) {
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		_, _ = h.Write(buf[:])
+	}
+	put(uint64(len(ms)))
+	for _, m := range ms {
+		put(uint64(m.Root))
+		put(math.Float64bits(m.Score))
+		put(uint64(len(m.Dists)))
+		for _, d := range m.Dists {
+			put(uint64(d))
+		}
+		put(uint64(len(m.Nodes)))
+		for _, n := range m.Nodes {
+			put(uint64(n))
+		}
+	}
+}
+
+// RunShard measures partition-sharded query execution against the
+// sequential baseline: for bkws and bidir, a multi-keyword workload is
+// evaluated sequentially and then through the scatter-gather coordinator
+// at each configured worker count, reporting p50/p90 latency, the speedup
+// over the sequential baseline, and the digest of all answers. Any digest
+// mismatch fails the experiment — identical answers are the contract, not
+// an aspiration.
+func RunShard() (*Report, error) {
+	f, err := GetFixture(shardDataset)
+	if err != nil {
+		return nil, err
+	}
+	g := f.DS.Graph
+	queries := datagen.Queries(f.DS, datagen.WorkloadOptions{
+		Sizes:    []int{3, 3, 4, 4, 5, 5, 6, 6},
+		MinCount: 20,
+		Seed:     7,
+	})
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("bench: shard workload is empty on %s", shardDataset)
+	}
+
+	r := &Report{ID: "shard",
+		Title:  fmt.Sprintf("Partition-sharded execution on %s (k = %d, block size %d)", shardDataset, shardK, BlockSize),
+		Header: []string{"algo", "mode", "p50", "p90", "speedup vs seq", "digest"}}
+
+	type variant struct {
+		name string
+		mk   func(workers int) (search.Algorithm, error)
+	}
+	for _, v := range []variant{
+		{"bkws", func(w int) (search.Algorithm, error) {
+			if w == 0 {
+				return bkws.New(DMax), nil
+			}
+			return bkws.NewSharded(DMax, shard.Options{Workers: w, BlockSize: BlockSize}), nil
+		}},
+		{"bidir", func(w int) (search.Algorithm, error) {
+			if w == 0 {
+				return bidir.New(DMax), nil
+			}
+			return bidir.NewSharded(DMax, shard.Options{Workers: w, BlockSize: BlockSize}), nil
+		}},
+	} {
+		var seqP50 time.Duration
+		var seqDigest uint64
+		for _, workers := range append([]int{0}, shardWorkers...) {
+			algo, err := v.mk(workers)
+			if err != nil {
+				return nil, err
+			}
+			prep, err := algo.Prepare(g)
+			if err != nil {
+				return nil, err
+			}
+			// Warmup pass builds the shard plan (one-off, shared with
+			// serving via the plan cache in production) and computes the
+			// run's answer digest, excluded from the timings like index
+			// construction is in the paper.
+			h := fnv.New64a()
+			for _, q := range queries {
+				ms, err := prep.Search(q.Keywords, shardK)
+				if err != nil {
+					return nil, err
+				}
+				matchDigest(h, ms)
+			}
+			digest := h.Sum64()
+
+			times := make([]time.Duration, 0, len(queries))
+			for _, q := range queries {
+				med, err := timeIt(QueryRepeats, func() error {
+					_, e := prep.Search(q.Keywords, shardK)
+					return e
+				})
+				if err != nil {
+					return nil, err
+				}
+				times = append(times, med)
+			}
+			slices.Sort(times)
+			p50 := times[len(times)/2]
+			p90 := times[len(times)*9/10]
+
+			mode := fmt.Sprintf("shard-%d", workers)
+			speedup := "baseline"
+			if workers == 0 {
+				mode = "seq"
+				seqP50, seqDigest = p50, digest
+			} else {
+				if digest != seqDigest {
+					return nil, fmt.Errorf(
+						"bench: %s answers diverged at %d workers: digest %016x, sequential %016x",
+						v.name, workers, digest, seqDigest)
+				}
+				if seqP50 > 0 {
+					speedup = fmt.Sprintf("%.2fx", float64(seqP50)/float64(p50))
+				}
+			}
+			r.AddRow(v.name, mode, p50, p90, speedup, fmt.Sprintf("%016x", digest))
+		}
+	}
+	r.Notef("top-k digests asserted byte-identical to sequential at every worker count")
+	r.Notef("GOMAXPROCS=%d; wall-clock scaling needs as many schedulable CPUs as workers",
+		runtime.GOMAXPROCS(0))
+	return r, nil
+}

@@ -13,6 +13,11 @@ import (
 // deeper layer is clamped into the last slot rather than dropped.
 const MaxLedgerLayers = 16
 
+// MaxLedgerShards bounds the per-shard-worker work array. Shard worker
+// pools are sized by GOMAXPROCS; work from a worker id beyond the bound
+// is clamped into the last slot rather than dropped.
+const MaxLedgerShards = 32
+
 // Ledger is the per-query resource ledger: deterministic work counters
 // (vertices expanded, frontier peak, per-layer work units) plus
 // process-level CPU-time and heap-allocation deltas sampled at creation
@@ -35,6 +40,7 @@ type Ledger struct {
 	expanded     atomic.Int64
 	frontierPeak atomic.Int64
 	layerWork    [MaxLedgerLayers]atomic.Int64
+	shardWork    [MaxLedgerShards]atomic.Int64
 
 	mu   sync.Mutex
 	snap *LedgerSnapshot // set once by Snapshot; later calls reuse it
@@ -49,7 +55,11 @@ type LedgerSnapshot struct {
 	Expanded     int64   `json:"vertices_expanded"`
 	FrontierPeak int64   `json:"frontier_peak"`
 	LayerWork    []int64 `json:"layer_work,omitempty"`
-	WorkUnits    int64   `json:"work_units"`
+	// ShardWork is indexed by shard worker id and trimmed to the highest
+	// worker that saw work; present only for sharded executions. The
+	// spread across slots is the query's load balance.
+	ShardWork []int64 `json:"shard_work,omitempty"`
+	WorkUnits int64   `json:"work_units"`
 }
 
 // NewLedger starts a ledger, sampling the process CPU and allocation
@@ -106,6 +116,19 @@ func (l *Ledger) AddLayerWork(layer int, n int64) {
 	l.layerWork[layer].Add(n)
 }
 
+// AddShardWork attributes n expansion work units to a shard worker. The
+// per-worker totals answer "did the partition keep the workers busy
+// evenly?" for one query, the shard-level complement of AddLayerWork.
+func (l *Ledger) AddShardWork(shard int, n int64) {
+	if l == nil || n == 0 || shard < 0 {
+		return
+	}
+	if shard >= MaxLedgerShards {
+		shard = MaxLedgerShards - 1
+	}
+	l.shardWork[shard].Add(n)
+}
+
 // WorkUnits returns the total work units attributed so far: the sum of
 // the per-layer counters, falling back to the raw expansion count when
 // nothing was layer-attributed (direct evaluation paths).
@@ -156,6 +179,18 @@ func (l *Ledger) Snapshot() *LedgerSnapshot {
 		s.LayerWork = make([]int64, top+1)
 		for i := 0; i <= top; i++ {
 			s.LayerWork[i] = l.layerWork[i].Load()
+		}
+	}
+	topShard := -1
+	for i := range l.shardWork {
+		if l.shardWork[i].Load() > 0 {
+			topShard = i
+		}
+	}
+	if topShard >= 0 {
+		s.ShardWork = make([]int64, topShard+1)
+		for i := 0; i <= topShard; i++ {
+			s.ShardWork[i] = l.shardWork[i].Load()
 		}
 	}
 	l.snap = s

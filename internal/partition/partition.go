@@ -8,6 +8,7 @@
 package partition
 
 import (
+	"math/rand"
 	"sort"
 
 	"bigindex/internal/graph"
@@ -34,6 +35,20 @@ func (p *Partitioning) NumBlocks() int { return len(p.Blocks) }
 // Graph returns the partitioned graph.
 func (p *Partitioning) Graph() *graph.Graph { return p.g }
 
+// BlockSizes reports the smallest and largest block cardinality — the
+// skew a shard scheduler has to live with. (0, 0) for an empty graph.
+func (p *Partitioning) BlockSizes() (minSize, maxSize int) {
+	for i, b := range p.Blocks {
+		if i == 0 || len(b) < minSize {
+			minSize = len(b)
+		}
+		if len(b) > maxSize {
+			maxSize = len(b)
+		}
+	}
+	return minSize, maxSize
+}
+
 // EdgeCut reports the number of edges crossing block boundaries.
 func (p *Partitioning) EdgeCut() int {
 	cut := 0
@@ -50,17 +65,36 @@ func (p *Partitioning) EdgeCut() int {
 // region over the undirected skeleton until the block is full. Seeds are
 // chosen in ascending vertex order, so the result is deterministic.
 func BFSGrow(g *graph.Graph, targetSize int) *Partitioning {
+	return BFSGrowSeed(g, targetSize, 0)
+}
+
+// BFSGrowSeed is BFSGrow with a controlled seed order: seed 0 keeps the
+// ascending-vertex order, any other value visits seed candidates in a
+// pseudo-random permutation derived from it. Either way the result is a
+// pure function of (g, targetSize, seed) — block IDs are stable across
+// runs and processes, which shard planning relies on (a coordinator and
+// its shard servers must agree on vertex→block ownership by exchanging
+// only the seed, never the partition itself).
+func BFSGrowSeed(g *graph.Graph, targetSize int, seed int64) *Partitioning {
 	if targetSize < 1 {
 		targetSize = 1
 	}
 	n := g.NumVertices()
+	order := make([]int, n)
+	if seed == 0 {
+		for i := range order {
+			order[i] = i
+		}
+	} else {
+		order = rand.New(rand.NewSource(seed)).Perm(n)
+	}
 	blockOf := make([]int, n)
 	for i := range blockOf {
 		blockOf[i] = -1
 	}
 
 	var blocks [][]graph.V
-	for seed := 0; seed < n; seed++ {
+	for _, seed := range order {
 		if blockOf[seed] != -1 {
 			continue
 		}

@@ -2,6 +2,7 @@ package partition
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -88,6 +89,147 @@ func TestPortals(t *testing.T) {
 	}
 	if cut != p.EdgeCut() {
 		t.Fatalf("EdgeCut = %d, counted %d", p.EdgeCut(), cut)
+	}
+}
+
+// checkPortalInvariants asserts the full portal contract on p: every
+// cross-block edge's head is an in-portal of its block and its tail an
+// out-portal, portal lists only contain genuine portals, every vertex is
+// in exactly one block, and EdgeCut agrees with a direct count.
+func checkPortalInvariants(t *testing.T, g *graph.Graph, p *Partitioning) {
+	t.Helper()
+	seen := make(map[graph.V]bool)
+	for b, members := range p.Blocks {
+		for _, v := range members {
+			if seen[v] {
+				t.Fatalf("vertex %d assigned to two blocks", v)
+			}
+			seen[v] = true
+			if p.BlockOf[v] != b {
+				t.Fatalf("BlockOf[%d] = %d, member of block %d", v, p.BlockOf[v], b)
+			}
+		}
+	}
+	if len(seen) != g.NumVertices() {
+		t.Fatalf("partitioning covers %d of %d vertices", len(seen), g.NumVertices())
+	}
+	inP := make([]map[graph.V]bool, p.NumBlocks())
+	outP := make([]map[graph.V]bool, p.NumBlocks())
+	for b := range inP {
+		inP[b] = map[graph.V]bool{}
+		outP[b] = map[graph.V]bool{}
+		for _, v := range p.InPortals[b] {
+			inP[b][v] = true
+		}
+		for _, v := range p.OutPortals[b] {
+			outP[b][v] = true
+		}
+	}
+	cut := 0
+	for _, e := range g.Edges() {
+		bf, bt := p.BlockOf[e.From], p.BlockOf[e.To]
+		if bf == bt {
+			continue
+		}
+		cut++
+		if !inP[bt][e.To] {
+			t.Fatalf("edge %v: head not an in-portal of block %d", e, bt)
+		}
+		if !outP[bf][e.From] {
+			t.Fatalf("edge %v: tail not an out-portal of block %d", e, bf)
+		}
+	}
+	if cut != p.EdgeCut() {
+		t.Fatalf("EdgeCut = %d, counted %d", p.EdgeCut(), cut)
+	}
+	// No false portals: a listed portal must actually have a crossing edge.
+	for b := range p.Blocks {
+		for _, v := range p.InPortals[b] {
+			crossing := false
+			for _, w := range g.In(v) {
+				if p.BlockOf[w] != b {
+					crossing = true
+					break
+				}
+			}
+			if !crossing {
+				t.Fatalf("in-portal %d of block %d has no cross-block in-edge", v, b)
+			}
+		}
+		for _, v := range p.OutPortals[b] {
+			crossing := false
+			for _, w := range g.Out(v) {
+				if p.BlockOf[w] != b {
+					crossing = true
+					break
+				}
+			}
+			if !crossing {
+				t.Fatalf("out-portal %d of block %d has no cross-block out-edge", v, b)
+			}
+		}
+	}
+}
+
+// TestBFSGrowSeedDeterministic: the partitioning is a pure function of
+// (g, targetSize, seed) — a coordinator and its shard servers can agree
+// on vertex→block ownership by exchanging only the seed.
+func TestBFSGrowSeedDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 10; trial++ {
+		n := 1 + rng.Intn(300)
+		g := randomGraph(rng, n, rng.Intn(3*n))
+		target := 1 + rng.Intn(40)
+		for _, seed := range []int64{0, 1, 42, -9} {
+			a := BFSGrowSeed(g, target, seed)
+			b := BFSGrowSeed(g, target, seed)
+			if !reflect.DeepEqual(a.BlockOf, b.BlockOf) ||
+				!reflect.DeepEqual(a.Blocks, b.Blocks) ||
+				!reflect.DeepEqual(a.InPortals, b.InPortals) ||
+				!reflect.DeepEqual(a.OutPortals, b.OutPortals) {
+				t.Fatalf("seed %d: two runs disagree on n=%d target=%d", seed, n, target)
+			}
+			checkPortalInvariants(t, g, a)
+		}
+	}
+	// BFSGrow is the seed-0 case by definition.
+	g := randomGraph(rng, 120, 300)
+	if !reflect.DeepEqual(BFSGrow(g, 16).Blocks, BFSGrowSeed(g, 16, 0).Blocks) {
+		t.Fatal("BFSGrow diverged from BFSGrowSeed(·, ·, 0)")
+	}
+}
+
+// TestPortalInvariantsUnderPatch: re-partitioning after arbitrary
+// graph.Patch mutations (new vertices, added and removed edges) keeps
+// every portal invariant — the property the shard planner relies on when
+// a mutation swaps a patched graph under the plan cache.
+func TestPortalInvariantsUnderPatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	g := randomGraph(rng, 80, 200)
+	label := g.Dict().Intern("x")
+	for step := 0; step < 15; step++ {
+		var addVerts []graph.Label
+		for i := rng.Intn(5); i > 0; i-- {
+			addVerts = append(addVerts, label)
+		}
+		n := g.NumVertices() + len(addVerts)
+		var addEdges, removeEdges []graph.Edge
+		for i := rng.Intn(12); i > 0; i-- {
+			addEdges = append(addEdges, graph.Edge{From: graph.V(rng.Intn(n)), To: graph.V(rng.Intn(n))})
+		}
+		if es := g.Edges(); len(es) > 0 {
+			for i := rng.Intn(8); i > 0; i-- {
+				removeEdges = append(removeEdges, es[rng.Intn(len(es))])
+			}
+		}
+		patched, err := graph.Patch(g, addVerts, addEdges, removeEdges)
+		if err != nil {
+			t.Fatalf("step %d: patch: %v", step, err)
+		}
+		g = patched
+		for _, seed := range []int64{0, int64(step + 1)} {
+			checkPortalInvariants(t, g, BFSGrowSeed(g, 1+rng.Intn(25), seed))
+		}
 	}
 }
 

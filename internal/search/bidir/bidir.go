@@ -25,6 +25,7 @@ import (
 	"bigindex/internal/graph"
 	"bigindex/internal/obs"
 	"bigindex/internal/search"
+	"bigindex/internal/shard"
 )
 
 // Algorithm is the bidirectional-expansion plug-in.
@@ -38,6 +39,18 @@ func New(dmax int) *Algorithm {
 		dmax = 1
 	}
 	return &Algorithm{dmax: dmax}
+}
+
+// NewSharded returns a bidir variant that executes each search across the
+// internal/shard worker pool: the backward activation from the selective
+// keyword runs block-sharded, and forward verifications — bidir's
+// dominant cost, independent per candidate — run in parallel chunks.
+// Answers are byte-identical to New's at every worker count.
+func NewSharded(dmax int, opt shard.Options) search.Algorithm {
+	if dmax < 1 {
+		dmax = 1
+	}
+	return shard.New(shard.ModeBidir, dmax, opt)
 }
 
 // Name implements search.Algorithm.
@@ -132,9 +145,14 @@ activation:
 		}
 		if k > 0 && len(matches) >= k {
 			// Any future candidate has backward distance >= d+1 to the
-			// selective keyword, hence score >= d+1.
+			// selective keyword, hence score >= d+1. Strictly better, not
+			// equal: a future root scoring exactly d+1 could displace the
+			// k-th answer in the (score, Key) tie-break order, so only a
+			// strictly better k-th closes the search — making the top-k
+			// exactly the exhaustive prefix, which the sharded path
+			// (internal/shard) relies on for byte-identical answers.
 			search.SortMatches(matches)
-			if matches[k-1].Score <= float64(d+1) {
+			if matches[k-1].Score < float64(d+1) {
 				earlyStop = true
 				break
 			}

@@ -20,6 +20,7 @@ import (
 	"bigindex/internal/graph"
 	"bigindex/internal/obs"
 	"bigindex/internal/search"
+	"bigindex/internal/shard"
 )
 
 // Algorithm is the bkws plug-in. The zero value is not usable; construct
@@ -35,6 +36,19 @@ func New(dmax int) *Algorithm {
 		dmax = 1
 	}
 	return &Algorithm{dmax: dmax}
+}
+
+// NewSharded returns a bkws variant that executes each search across the
+// internal/shard worker pool: per-(keyword × block) backward expansions
+// in parallel, stitched at portal vertices by a scatter-gather
+// coordinator. Answers are byte-identical to New's at every worker count
+// (both equal the exhaustive top-k prefix; see the strict early-stop
+// bound below).
+func NewSharded(dmax int, opt shard.Options) search.Algorithm {
+	if dmax < 1 {
+		dmax = 1
+	}
+	return shard.New(shard.ModeBKWS, dmax, opt)
 }
 
 // Name implements search.Algorithm.
@@ -161,7 +175,13 @@ expand:
 				}
 			}
 			search.SortMatches(matches)
-			if lb >= 0 && matches[min(k, len(matches))-1].Score <= float64(lb) {
+			// Strictly better, not equal: an undiscovered root scoring
+			// exactly lb could still displace the current k-th answer in
+			// the (score, Key) tie-break order. With the strict bound the
+			// returned top-k is exactly the exhaustive answer's prefix —
+			// the invariant the sharded path (internal/shard) relies on to
+			// stay byte-identical at every worker count.
+			if lb >= 0 && matches[min(k, len(matches))-1].Score < float64(lb) {
 				earlyStop = true
 				break
 			}

@@ -160,15 +160,37 @@ func (s *Server) handleDebugIndex(w http.ResponseWriter, r *http.Request) {
 		}
 		layers = append(layers, dl)
 	}
+	// The partition block reports the sharding layout of the data graph:
+	// block count, edge cut, and the min/max block sizes whose spread is
+	// the skew a scatter-gather round is exposed to (the slowest block
+	// bounds the round). Unlike /stats, this endpoint builds the plan on
+	// demand — /debug is opt-in and the numbers should always be there.
+	plan := st.plans.For(idx.Data())
+	minB, maxB := plan.Partitioning().BlockSizes()
+	type partitionJSON struct {
+		Blocks     int `json:"blocks"`
+		EdgeCut    int `json:"edge_cut"`
+		TargetSize int `json:"target_block_size"`
+		MinBlock   int `json:"min_block"`
+		MaxBlock   int `json:"max_block"`
+	}
 	writeJSON(w, struct {
-		Layers    []debugLayer `json:"layers"`
-		TotalSize int          `json:"total_size"`
-		Epoch     uint64       `json:"epoch"`
-		Digest    string       `json:"digest"`
+		Layers    []debugLayer  `json:"layers"`
+		TotalSize int           `json:"total_size"`
+		Epoch     uint64        `json:"epoch"`
+		Digest    string        `json:"digest"`
+		Partition partitionJSON `json:"partition"`
 	}{
 		Layers:    layers,
 		TotalSize: idx.TotalSize(),
 		Epoch:     idx.Epoch(),
 		Digest:    strconv.FormatUint(idx.Data().Digest(), 16),
+		Partition: partitionJSON{
+			Blocks:     plan.NumBlocks(),
+			EdgeCut:    plan.EdgeCut(),
+			TargetSize: s.opt.BlockSize,
+			MinBlock:   minB,
+			MaxBlock:   maxB,
+		},
 	})
 }

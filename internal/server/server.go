@@ -54,6 +54,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -70,6 +71,7 @@ import (
 	"bigindex/internal/search/bkws"
 	"bigindex/internal/search/blinks"
 	"bigindex/internal/search/rclique"
+	"bigindex/internal/shard"
 	"bigindex/internal/text"
 )
 
@@ -132,6 +134,15 @@ type Options struct {
 	// compared in constant time. Empty leaves the admin surface open
 	// (trusted-network deployments).
 	AdminToken string
+	// Shards is the default worker count for partition-sharded query
+	// execution (internal/shard) of algo=bkws and algo=bidir; other
+	// algorithms ignore it. 0 keeps the sequential path; >= 1 runs the
+	// scatter-gather coordinator with that many workers (1 exercises the
+	// full sharded machinery on one worker — the parity baseline). A
+	// &shards= request parameter overrides it per query. Values above
+	// GOMAXPROCS are clamped (extra workers on a saturated scheduler only
+	// add coordination cost); answers are byte-identical either way.
+	Shards int
 }
 
 // DebugOptions configures the flight recorder (obs.Recorder) and its
@@ -173,8 +184,15 @@ type CacheOptions struct {
 type indexState struct {
 	idx *core.Index
 	tix *text.Index
-	mu  sync.Mutex
-	evs map[string]*core.Evaluator
+	// plans caches the shard execution plan per layer graph of this index
+	// version. Tying the cache to the bundle is what gives sharded
+	// queries epoch consistency under hot swaps: a request resolves both
+	// its graphs and its plans through the one bundle it loaded at entry,
+	// so a concurrent SwapIndex can never mix a new graph with an old
+	// partition (or vice versa) inside one query.
+	plans *shard.PlanCache
+	mu    sync.Mutex
+	evs   map[string]*core.Evaluator
 }
 
 // Server handles HTTP requests against one index.
@@ -192,6 +210,7 @@ type Server struct {
 	mutator  atomic.Pointer[Mutator]  // set by SetMutator; nil = /admin/edges disabled
 	recorder *obs.Recorder            // flight recorder (nil = disabled)
 	audit    *costAudit               // Formula 4 calibration audit (costmodel.go)
+	shardMet *shard.Metrics           // shard query/task/portal/round metrics
 
 	reg       *obs.Registry
 	cacheSec  *obs.HistogramVec // end-to-end /query latency by cache outcome
@@ -217,6 +236,8 @@ type Server struct {
 	idxSize   *obs.Gauge
 	gVerts    *obs.Gauge
 	gEdges    *obs.Gauge
+
+	shardWorkers *obs.Gauge // configured default shard worker count
 }
 
 // knownPaths bounds the path label cardinality of the HTTP metrics.
@@ -257,6 +278,14 @@ func New(idx *core.Index, ont *ontology.Ontology, opt Options) *Server {
 	case opt.ShedWait < 0:
 		opt.ShedWait = 0
 	}
+	if opt.Shards < 0 {
+		opt.Shards = 0
+	}
+	if maxp := runtime.GOMAXPROCS(0); opt.Shards > maxp {
+		opt.Logger.Warn("clamping shard workers to GOMAXPROCS",
+			slog.Int("requested", opt.Shards), slog.Int("gomaxprocs", maxp))
+		opt.Shards = maxp
+	}
 	s := &Server{
 		ont:  ont,
 		opt:  opt,
@@ -264,7 +293,8 @@ func New(idx *core.Index, ont *ontology.Ontology, opt Options) *Server {
 		boot: time.Now(),
 		reg:  opt.Metrics,
 	}
-	s.state.Store(newIndexState(idx))
+	s.shardMet = shard.NewMetrics(s.reg)
+	s.state.Store(s.newIndexState(idx))
 	if opt.MaxInFlight > 0 {
 		s.sem = make(chan struct{}, opt.MaxInFlight)
 	}
@@ -339,6 +369,9 @@ func New(idx *core.Index, ont *ontology.Ontology, opt Options) *Server {
 	s.idxSize = s.reg.Gauge("bigindex_index_size", "BiG-index size (sum of summary graph sizes).")
 	s.gVerts = s.reg.Gauge("bigindex_graph_vertices", "Data graph vertices.")
 	s.gEdges = s.reg.Gauge("bigindex_graph_edges", "Data graph edges.")
+	s.shardWorkers = s.reg.Gauge("bigindex_shard_workers",
+		"Default worker count for partition-sharded query execution (0 = sequential).")
+	s.shardWorkers.Set(float64(opt.Shards))
 	s.setIndexGauges(idx)
 
 	s.mux.HandleFunc("/query", s.shedded(s.handleQuery))
@@ -385,11 +418,15 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.S
 // Metrics returns the server's registry (for tests and embedding).
 func (s *Server) Metrics() *obs.Registry { return s.reg }
 
-func newIndexState(idx *core.Index) *indexState {
+// newIndexState derives a fresh bundle from an index version. It is a
+// method because the bundle's shard plan cache inherits the server's
+// partition options (one plan per graph, shared by every worker count).
+func (s *Server) newIndexState(idx *core.Index) *indexState {
 	return &indexState{
-		idx: idx,
-		tix: text.NewIndex(idx.Data().Dict(), idx.Data()),
-		evs: map[string]*core.Evaluator{},
+		idx:   idx,
+		tix:   text.NewIndex(idx.Data().Dict(), idx.Data()),
+		plans: shard.NewPlanCache(shard.Options{BlockSize: s.opt.BlockSize}),
+		evs:   map[string]*core.Evaluator{},
 	}
 }
 
@@ -410,7 +447,7 @@ func (s *Server) Index() *core.Index { return s.st().idx }
 // flush unnecessary (and racy: a flush could evict entries a concurrent
 // old-epoch request just stored, or keep ones it stores after).
 func (s *Server) SwapIndex(idx *core.Index) {
-	s.state.Store(newIndexState(idx))
+	s.state.Store(s.newIndexState(idx))
 	s.setIndexGauges(idx)
 }
 
@@ -448,6 +485,34 @@ func (s *Server) algorithm(name string) (search.Algorithm, error) {
 	}
 }
 
+// shardable reports whether name resolves to an algorithm with a
+// partition-sharded execution path. An ExtraAlgorithms entry shadowing a
+// built-in name disables sharding for it — the plug-in's semantics are
+// unknown, and silently swapping in the built-in sharded variant would
+// answer with the wrong algorithm.
+func (s *Server) shardable(name string) bool {
+	if _, shadowed := s.opt.ExtraAlgorithms[name]; shadowed {
+		return false
+	}
+	return name == "bkws" || name == "bidir"
+}
+
+// shardAlgorithm builds the sharded variant of a shardable algorithm,
+// wired to the bundle's plan cache (epoch-consistent plans) and the
+// server's shard metrics.
+func (s *Server) shardAlgorithm(st *indexState, name string, workers int) search.Algorithm {
+	opt := shard.Options{
+		Workers:   workers,
+		BlockSize: s.opt.BlockSize,
+		Cache:     st.plans,
+		Metrics:   s.shardMet,
+	}
+	if name == "bidir" {
+		return bidir.NewSharded(s.opt.DMax, opt)
+	}
+	return bkws.NewSharded(s.opt.DMax, opt)
+}
+
 // evaluator returns (creating on first use) the shared evaluator for an
 // algorithm against one index version; evaluators cache per-layer prepared
 // indexes across requests. Evaluators are shared across requests with
@@ -456,16 +521,33 @@ func (s *Server) algorithm(name string) (search.Algorithm, error) {
 // evaluators run exhaustively (K=0) and handleQuery clamps to the
 // request's k at result time; rclique pins K to the server-wide MaxK cap,
 // which every request k is clamped under.
-func (s *Server) evaluator(st *indexState, name string) (*core.Evaluator, error) {
+//
+// shards >= 1 on a shardable algorithm selects the partition-sharded
+// execution path (1 = coordinator with a single worker); the evaluator is
+// keyed "name@N" so each worker count keeps its own evaluator, while the
+// algorithm's Name() stays the sequential name — answers are
+// byte-identical, so result-cache entries and per-algo metrics are
+// deliberately shared across worker counts.
+func (s *Server) evaluator(st *indexState, name string, shards int) (*core.Evaluator, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	key := name
 	if key == "" {
 		key = "blinks"
 	}
+	sharded := shards >= 1 && s.shardable(name)
+	if sharded {
+		key = fmt.Sprintf("%s@%d", name, shards)
+	}
 	ev, ok := st.evs[key]
 	if !ok {
-		algo, err := s.algorithm(name)
+		var algo search.Algorithm
+		var err error
+		if sharded {
+			algo = s.shardAlgorithm(st, name, shards)
+		} else {
+			algo, err = s.algorithm(name)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -655,7 +737,7 @@ func (s *Server) Warm(ctx context.Context, queries []string) (int, error) {
 			errs = append(errs, fmt.Errorf("warm %q: %w", line, err))
 			continue
 		}
-		ev, err := s.evaluator(st, algoName)
+		ev, err := s.evaluator(st, algoName, s.opt.Shards)
 		if err != nil {
 			errs = append(errs, fmt.Errorf("warm %q: %w", line, err))
 			continue
@@ -787,7 +869,34 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	ev, err := s.evaluator(st, algoName)
+	// &shards= overrides the server default per query. Explicit values are
+	// validated strictly (PR 2 param conventions): malformed or negative is
+	// a 400, as is asking a non-shardable algorithm to shard — silently
+	// running it sequentially would misreport what executed. The inherited
+	// server default, by contrast, applies opportunistically: algorithms
+	// without a sharded path just stay sequential.
+	shards, err := intParam(r, "shards", s.opt.Shards)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if explicit := r.URL.Query().Get("shards") != ""; explicit {
+		if shards < 0 {
+			httpError(w, http.StatusBadRequest,
+				fmt.Errorf("parameter shards=%d must be >= 0", shards))
+			return
+		}
+		if shards > 1 && !s.shardable(orDefault(algoName, "blinks")) {
+			httpError(w, http.StatusBadRequest,
+				fmt.Errorf("algorithm %q has no sharded execution path (use bkws or bidir)", orDefault(algoName, "blinks")))
+			return
+		}
+	}
+	if maxp := runtime.GOMAXPROCS(0); shards > maxp {
+		shards = maxp
+		notes = append(notes, fmt.Sprintf("shards clamped to GOMAXPROCS (%d)", maxp))
+	}
+	ev, err := s.evaluator(st, algoName, shards)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
@@ -937,7 +1046,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	ev, err := s.evaluator(st, r.URL.Query().Get("algo"))
+	ev, err := s.evaluator(st, r.URL.Query().Get("algo"), 0)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
@@ -1014,6 +1123,20 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		WALBytes  int64  `json:"wal_bytes"`
 		LastApply string `json:"last_apply,omitempty"`
 	}
+	// The shard block reads plans through Peek: a plan exists only after
+	// the first sharded query against this index version, and /stats must
+	// observe, not trigger, the (one-off) planning cost. Plans counts every
+	// planned graph (hierarchical routing plans the summary layer it
+	// evaluates at); Blocks/EdgeCut describe the data graph's plan, the one
+	// direct evaluation and layer-0 routing use.
+	type shardJSON struct {
+		Workers    int  `json:"workers"`
+		GOMAXPROCS int  `json:"gomaxprocs"`
+		Plans      int  `json:"plans"`
+		Planned    bool `json:"planned"`
+		Blocks     int  `json:"blocks,omitempty"`
+		EdgeCut    int  `json:"edge_cut,omitempty"`
+	}
 	out := struct {
 		Graph    graph.Stats        `json:"graph"`
 		Layers   []core.LayerStats  `json:"layers"`
@@ -1022,9 +1145,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Reload   *reloadJSON        `json:"reload,omitempty"`
 		Mutation *mutationJSON      `json:"mutation,omitempty"`
 		Recorder *obs.RecorderStats `json:"recorder,omitempty"`
+		Shard    shardJSON          `json:"shard"`
 		Uptime   string             `json:"uptime"`
-	}{gs, st.idx.Stats().Layers, st.idx.Epoch(), nil, nil, nil, nil,
-		time.Since(s.boot).Round(time.Second).String()}
+	}{Graph: gs, Layers: st.idx.Stats().Layers, Epoch: st.idx.Epoch(),
+		Shard: shardJSON{Workers: s.opt.Shards, GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Plans: st.plans.Len()},
+		Uptime: time.Since(s.boot).Round(time.Second).String()}
+	if p := st.plans.Peek(g); p != nil {
+		out.Shard.Planned = true
+		out.Shard.Blocks = p.NumBlocks()
+		out.Shard.EdgeCut = p.EdgeCut()
+	}
 	if s.cache != nil {
 		cs := s.cache.Stats()
 		out.Cache = &cacheJSON{cs.Entries, cs.Bytes, cs.Hits, cs.Misses, cs.Shared}

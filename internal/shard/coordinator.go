@@ -1,0 +1,389 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync/atomic"
+
+	"bigindex/internal/graph"
+	"bigindex/internal/obs"
+	"bigindex/internal/search"
+)
+
+// queryID hands out coordinator-chosen query ids; shard servers key their
+// per-query state by them.
+var queryID atomic.Uint64
+
+// Coordinator drives the level-synchronous scatter-gather over one plan.
+// It owns the global view the shards deliberately lack: which (keyword,
+// block) slots still have work, the portal messages routed between
+// blocks, the per-root Σdist bookkeeping, and the top-k early-stop bound.
+// Everything it learns arrives through ExpandResponse/VerifyResponse —
+// never by reading shard memory — so swapping Local for a network
+// ShardServer changes no coordinator logic.
+type Coordinator struct {
+	plan *Plan
+	exec *Executor
+	srv  ShardServer
+	met  *Metrics
+}
+
+// NewCoordinator wires a coordinator over plan, dispatching through exec
+// to srv. met may be nil.
+func NewCoordinator(plan *Plan, exec *Executor, srv ShardServer, met *Metrics) *Coordinator {
+	return &Coordinator{plan: plan, exec: exec, srv: srv, met: met}
+}
+
+// fleet is the coordinator-side state of one query's expansion rounds,
+// shared by the bkws and bidir drivers.
+type fleet struct {
+	c   *Coordinator
+	qid uint64
+	nk  int
+	nb  int
+	// mirror duplicates the shards' settled-distance rows, built purely
+	// from Accepted/Next reports: the coordinator's own copy for Σdist
+	// assembly and outbox pruning (in stage 2 there is no shard memory to
+	// peek at, so the mirror is the design, not a redundancy).
+	mirror  [][]int32
+	counts  [][]uint8   // per-block per-member settled-keyword counts (bkws)
+	inject  [][]graph.V // pending portal injections per (kw, block) slot
+	hasNext []bool      // shard holds a local frontier for the slot
+
+	workerWork   []int64
+	expanded     int
+	portal       int
+	tasks        int
+	rounds       int
+	frontierPeak int
+}
+
+func (c *Coordinator) newFleet(qid uint64, nk int) *fleet {
+	nb := c.plan.NumBlocks()
+	return &fleet{
+		c: c, qid: qid, nk: nk, nb: nb,
+		mirror:     make([][]int32, nk*nb),
+		inject:     make([][]graph.V, nk*nb),
+		hasNext:    make([]bool, nk*nb),
+		workerWork: make([]int64, c.exec.Workers()),
+	}
+}
+
+func (f *fleet) mirrorRow(kw, block int) []int32 {
+	slot := kw*f.nb + block
+	if f.mirror[slot] == nil {
+		row := make([]int32, len(f.c.plan.blocks[block].members))
+		for i := range row {
+			row[i] = -1
+		}
+		f.mirror[slot] = row
+	}
+	return f.mirror[slot]
+}
+
+func (f *fleet) seed(kw int, byBlock map[int][]graph.V) {
+	for b, seeds := range byBlock {
+		f.inject[kw*f.nb+b] = seeds
+	}
+}
+
+// buildRequests collects the (keyword, block) slots with pending work
+// into one round's requests, in slot order (determinism of dispatch order
+// is not needed for correctness — responses are merged set-wise — but it
+// keeps traces readable).
+func (f *fleet) buildRequests(lvl int32, dmax int) []*ExpandRequest {
+	var reqs []*ExpandRequest
+	for slot := 0; slot < f.nk*f.nb; slot++ {
+		if len(f.inject[slot]) == 0 && !f.hasNext[slot] {
+			continue
+		}
+		reqs = append(reqs, &ExpandRequest{
+			Query:  f.qid,
+			Kw:     slot / f.nb,
+			Block:  slot % f.nb,
+			Level:  lvl,
+			Inject: f.inject[slot],
+			Expand: int(lvl) < dmax,
+		})
+		f.inject[slot] = nil
+		f.hasNext[slot] = false
+	}
+	return reqs
+}
+
+// runRound dispatches one round across the executor and returns the
+// responses. Per-worker expansion tallies land in workerWork[worker] —
+// each worker writes only its own slot, so no lock.
+func (f *fleet) runRound(ctx context.Context, reqs []*ExpandRequest) []*ExpandResponse {
+	f.rounds++
+	f.tasks += len(reqs)
+	resps := make([]*ExpandResponse, len(reqs))
+	f.c.exec.Map(len(reqs), func(i, worker int) {
+		resps[i] = f.c.srv.Expand(ctx, reqs[i])
+		f.workerWork[worker] += int64(resps[i].Expanded)
+	})
+	return resps
+}
+
+// route queues a response's portal crossings for the owning blocks,
+// dropping messages whose target the coordinator already saw settle.
+func (f *fleet) route(resp *ExpandResponse) {
+	for _, msg := range resp.Outbox {
+		slot := resp.Kw*f.nb + int(msg.Block)
+		if row := f.mirror[slot]; row != nil && row[f.c.plan.pos[msg.V]] != -1 {
+			continue
+		}
+		f.inject[slot] = append(f.inject[slot], msg.V)
+		f.portal++
+	}
+}
+
+// finish flushes the fleet's counters to the ambient ledger/span/metrics.
+func (f *fleet) finish(ctx context.Context, algo string, roots int, earlyStop bool) {
+	led := obs.LedgerFromContext(ctx)
+	led.AddExpanded(int64(f.expanded))
+	led.NoteFrontier(int64(f.frontierPeak))
+	for worker, n := range f.workerWork {
+		led.AddShardWork(worker, n)
+	}
+	if sp := obs.SpanFromContext(ctx); sp != nil {
+		sp.SetAttr("shard_workers", f.c.exec.Workers()).
+			SetAttr("shard_blocks", f.nb).
+			SetAttr("shard_rounds", f.rounds).
+			SetAttr("shard_tasks", f.tasks).
+			SetAttr("shard_portal_msgs", f.portal).
+			SetAttr("roots", roots).
+			SetAttr("early_topk", earlyStop)
+	}
+	if m := f.c.met; m != nil {
+		m.Queries.With(algo, strconv.Itoa(f.c.exec.Workers())).Inc()
+		m.Tasks.Add(int64(f.tasks))
+		m.Portal.Add(int64(f.portal))
+		m.Rounds.Observe(float64(f.rounds))
+	}
+}
+
+// SearchBKWS is the sharded backward keyword search: every keyword's
+// multi-source backward BFS decomposed per (keyword × block), stitched at
+// portals, with the coordinator completing roots (vertices settled by all
+// keywords) from its Σdist bookkeeping. Byte-identical to bkws.SearchCtx:
+// the rounds compute the same exact distances, and the strict stop bound
+// admits exactly the exhaustive top-k prefix.
+func (c *Coordinator) SearchBKWS(ctx context.Context, q []graph.Label, k, dmax int) ([]search.Match, error) {
+	if len(q) == 0 {
+		return nil, fmt.Errorf("bkws: empty query")
+	}
+	seeds := make([]map[int][]graph.V, len(q))
+	for i, l := range q {
+		seeds[i] = c.plan.seedsByBlock(l)
+		if seeds[i] == nil {
+			return nil, nil // a keyword with no occurrences has no answers
+		}
+	}
+	qid := queryID.Add(1)
+	c.srv.BeginQuery(qid, len(q))
+	defer c.srv.EndQuery(qid)
+
+	f := c.newFleet(qid, len(q))
+	for i := range q {
+		f.seed(i, seeds[i])
+	}
+
+	nk := len(q)
+	var matches []search.Match
+	// settle records one reported settlement in the mirror and completes
+	// the root once every keyword has settled it. counts is bounded by
+	// len(q) per member, so uint8 is ample (queries are a handful of
+	// keywords).
+	f.counts = make([][]uint8, f.nb)
+	settle := func(kw, block int, v graph.V, lvl int32) {
+		p := c.plan.pos[v]
+		f.mirrorRow(kw, block)[p] = lvl
+		if f.counts[block] == nil {
+			f.counts[block] = make([]uint8, len(c.plan.blocks[block].members))
+		}
+		f.counts[block][p]++
+		if int(f.counts[block][p]) != nk {
+			return
+		}
+		dists := make([]int, nk)
+		sum := 0
+		for kw2 := 0; kw2 < nk; kw2++ {
+			d := int(f.mirror[kw2*f.nb+block][p])
+			dists[kw2] = d
+			sum += d
+		}
+		matches = append(matches, search.Match{Root: v, Dists: dists, Score: float64(sum)})
+	}
+
+	var err error
+	earlyStop := false
+	for lvl := int32(0); int(lvl) <= dmax; lvl++ {
+		if ctx.Err() != nil {
+			err = context.Cause(ctx)
+			break
+		}
+		reqs := f.buildRequests(lvl, dmax)
+		if len(reqs) == 0 {
+			break
+		}
+		roundFrontier := 0
+		for _, resp := range f.runRound(ctx, reqs) {
+			for _, v := range resp.Accepted {
+				settle(resp.Kw, resp.Block, v, lvl)
+			}
+			for _, v := range resp.Next {
+				settle(resp.Kw, resp.Block, v, lvl+1)
+			}
+			if len(resp.Next) > 0 {
+				f.hasNext[resp.Kw*f.nb+resp.Block] = true
+			}
+			roundFrontier += len(resp.Accepted) + len(resp.Next)
+			f.expanded += resp.Expanded
+			f.route(resp)
+		}
+		if roundFrontier > f.frontierPeak {
+			f.frontierPeak = roundFrontier
+		}
+		// Every settlement still pending (routed injections at lvl+1,
+		// expansions beyond) has level >= lvl+1, so an undiscovered root
+		// completes with score >= lvl+1: once the k-th answer is strictly
+		// better, nothing out there can displace the prefix.
+		if k > 0 && len(matches) >= k {
+			search.SortMatches(matches)
+			if matches[k-1].Score < float64(lvl+1) {
+				earlyStop = true
+				break
+			}
+		}
+	}
+
+	search.SortMatches(matches)
+	matches = search.Truncate(matches, k)
+	// Witness nodes are presentational (Match.Key ignores them); assemble
+	// them only for the returned matches, in parallel — same deterministic
+	// smallest-ID BFS as the sequential path, just not wasted on answers
+	// that truncation drops.
+	c.exec.Map(len(matches), func(i, _ int) {
+		m := &matches[i]
+		m.Nodes = search.WitnessNodes(c.plan.g, m.Root, q, m.Dists)
+	})
+	f.finish(ctx, "bkws", len(matches), earlyStop)
+	return matches, err
+}
+
+// SearchBidir is the sharded bidirectional expansion: the backward
+// activation from the most selective keyword runs block-sharded like one
+// bkws keyword, and each level's newly activated candidates are verified
+// forward in parallel chunks. Byte-identical to bidir.SearchCtx.
+func (c *Coordinator) SearchBidir(ctx context.Context, q []graph.Label, k, dmax int) ([]search.Match, error) {
+	if len(q) == 0 {
+		return nil, fmt.Errorf("bidir: empty query")
+	}
+	sel := 0
+	for i, l := range q {
+		if c.plan.g.LabelCount(l) == 0 {
+			return nil, nil
+		}
+		if c.plan.g.LabelCount(l) < c.plan.g.LabelCount(q[sel]) {
+			sel = i
+		}
+	}
+	qid := queryID.Add(1)
+	c.srv.BeginQuery(qid, 1)
+	defer c.srv.EndQuery(qid)
+
+	f := c.newFleet(qid, 1)
+	f.seed(0, c.plan.seedsByBlock(q[sel]))
+
+	var matches []search.Match
+	verified := 0
+	var err error
+	earlyStop := false
+	// carry holds vertices settled at the *next* level by local expansion
+	// (this round's Next), verified once their level comes up.
+	var carry []graph.V
+	for lvl := int32(0); int(lvl) <= dmax; lvl++ {
+		if ctx.Err() != nil {
+			err = context.Cause(ctx)
+			break
+		}
+		reqs := f.buildRequests(lvl, dmax)
+		if len(reqs) == 0 && len(carry) == 0 {
+			break
+		}
+		cands := carry
+		carry = nil
+		for _, resp := range f.runRound(ctx, reqs) {
+			cands = append(cands, resp.Accepted...)
+			carry = append(carry, resp.Next...)
+			if len(resp.Next) > 0 {
+				f.hasNext[resp.Block] = true
+			}
+			for _, v := range resp.Accepted {
+				f.mirrorRow(0, resp.Block)[c.plan.pos[v]] = lvl
+			}
+			for _, v := range resp.Next {
+				f.mirrorRow(0, resp.Block)[c.plan.pos[v]] = lvl + 1
+			}
+			f.route(resp)
+		}
+		if len(cands) > f.frontierPeak {
+			f.frontierPeak = len(cands)
+		}
+		// Forward verification dominates bidir's cost and is independent
+		// per candidate: chunk this level's activations across the pool.
+		for _, resp := range f.verifyChunks(ctx, q, dmax, cands) {
+			matches = append(matches, resp.Matches...)
+			verified += resp.Verified
+		}
+		// Any future candidate has backward distance >= lvl+1 to the
+		// selective keyword, hence score >= lvl+1 (strict bound: an equal
+		// score could still win on Key order, so only a strictly better
+		// k-th answer closes the search).
+		if k > 0 && len(matches) >= k {
+			search.SortMatches(matches)
+			if matches[k-1].Score < float64(lvl+1) {
+				earlyStop = true
+				break
+			}
+		}
+	}
+
+	f.expanded += verified // bidir's ledger unit is verification attempts
+	search.SortMatches(matches)
+	matches = search.Truncate(matches, k)
+	f.finish(ctx, "bidir", len(matches), earlyStop)
+	return matches, err
+}
+
+// verifyChunks splits a level's candidates into one VerifyRequest per
+// executor slot (at least verifyChunkMin roots each, so tiny levels do
+// not shatter into per-root calls) and runs them concurrently.
+const verifyChunkMin = 8
+
+func (f *fleet) verifyChunks(ctx context.Context, q []graph.Label, dmax int, roots []graph.V) []*VerifyResponse {
+	if len(roots) == 0 {
+		return nil
+	}
+	chunk := (len(roots) + f.c.exec.Workers() - 1) / f.c.exec.Workers()
+	if chunk < verifyChunkMin {
+		chunk = verifyChunkMin
+	}
+	var reqs []*VerifyRequest
+	for off := 0; off < len(roots); off += chunk {
+		end := off + chunk
+		if end > len(roots) {
+			end = len(roots)
+		}
+		reqs = append(reqs, &VerifyRequest{Query: f.qid, Labels: q, DMax: dmax, Roots: roots[off:end]})
+	}
+	f.tasks += len(reqs)
+	resps := make([]*VerifyResponse, len(reqs))
+	f.c.exec.Map(len(reqs), func(i, worker int) {
+		resps[i] = f.c.srv.Verify(ctx, reqs[i])
+		f.workerWork[worker] += int64(resps[i].Verified)
+	})
+	return resps
+}

@@ -1,0 +1,225 @@
+package shard
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"bigindex/internal/graph"
+	"bigindex/internal/search"
+)
+
+// Executor is the bounded worker pool. Workers are spawned per Map call
+// and die with it: queries run for milliseconds while pools would need a
+// lifecycle (nothing closes a search.Prepared), and a goroutine spawn is
+// noise next to one expansion round. Worker 0 is the calling goroutine.
+type Executor struct {
+	workers int
+}
+
+// NewExecutor returns an executor running at most workers tasks at once
+// (minimum 1).
+func NewExecutor(workers int) *Executor {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Executor{workers: workers}
+}
+
+// Workers returns the configured pool size.
+func (e *Executor) Workers() int { return e.workers }
+
+// Map runs fn(i, worker) for every i in [0, n) across the pool and waits
+// for all of them. Tasks are claimed from a shared counter (work
+// stealing), so a straggler block does not idle the other workers; worker
+// ids are dense in [0, Workers), letting callers keep per-worker tallies
+// without locks.
+func (e *Executor) Map(n int, fn func(i, worker int)) {
+	if n <= 0 {
+		return
+	}
+	w := e.workers
+	if n < w {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			fn(i, 0)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	run := func(worker int) {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i, worker)
+		}
+	}
+	wg.Add(w - 1)
+	for worker := 1; worker < w; worker++ {
+		go func(worker int) {
+			defer wg.Done()
+			run(worker)
+		}(worker)
+	}
+	run(0)
+	wg.Wait()
+}
+
+// Local is the in-process ShardServer: all blocks of one plan served from
+// shared memory. Per-query state is keyed by the coordinator-chosen query
+// id; within a query, the coordinator never has two requests for the same
+// (keyword, block) in flight, so the state rows need no locking — only
+// the query table itself is guarded.
+type Local struct {
+	plan    *Plan
+	mu      sync.Mutex
+	queries map[uint64]*queryState
+}
+
+// NewLocal serves every block of plan in-process.
+func NewLocal(plan *Plan) *Local {
+	return &Local{plan: plan, queries: map[uint64]*queryState{}}
+}
+
+// queryState is one query's shard-side state: per-(keyword, block)
+// settled-distance arrays (dist) and the locally settled frontier held
+// over to the next round (next). Outer slices are sized at BeginQuery;
+// inner rows are allocated lazily by the single request that owns the
+// (keyword, block) slot, so concurrent rounds touch disjoint elements.
+type queryState struct {
+	nb   int
+	dist [][]int32
+	next [][]graph.V
+}
+
+func (st *queryState) row(kw, block, members int) []int32 {
+	i := kw*st.nb + block
+	if st.dist[i] == nil {
+		d := make([]int32, members)
+		for j := range d {
+			d[j] = -1
+		}
+		st.dist[i] = d
+	}
+	return st.dist[i]
+}
+
+// BeginQuery implements ShardServer.
+func (l *Local) BeginQuery(id uint64, numKeywords int) {
+	nb := l.plan.NumBlocks()
+	st := &queryState{
+		nb:   nb,
+		dist: make([][]int32, numKeywords*nb),
+		next: make([][]graph.V, numKeywords*nb),
+	}
+	l.mu.Lock()
+	l.queries[id] = st
+	l.mu.Unlock()
+}
+
+// EndQuery implements ShardServer.
+func (l *Local) EndQuery(id uint64) {
+	l.mu.Lock()
+	delete(l.queries, id)
+	l.mu.Unlock()
+}
+
+func (l *Local) state(id uint64) *queryState {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.queries[id]
+}
+
+// Expand implements ShardServer: settle injected candidates, expand the
+// round's frontier one hop along block-local in-edges, and report portal
+// crossings. On cancellation the loop drains early: everything already
+// settled is still reported (the coordinator's bookkeeping must mirror
+// shard state exactly), the rest of the frontier is simply abandoned —
+// sound, incomplete, like every degraded path.
+func (l *Local) Expand(ctx context.Context, req *ExpandRequest) *ExpandResponse {
+	st := l.state(req.Query)
+	bi := &l.plan.blocks[req.Block]
+	dist := st.row(req.Kw, req.Block, len(bi.members))
+	resp := &ExpandResponse{Kw: req.Kw, Block: req.Block}
+
+	slot := req.Kw*st.nb + req.Block
+	frontier := st.next[slot]
+	st.next[slot] = nil
+	for _, v := range req.Inject {
+		p := l.plan.pos[v]
+		if dist[p] == -1 {
+			dist[p] = req.Level
+			resp.Accepted = append(resp.Accepted, v)
+			frontier = append(frontier, v)
+		}
+	}
+	if !req.Expand {
+		return resp
+	}
+
+	cancel := search.NewCanceller(ctx)
+	var next []graph.V
+	var remoteSeen map[graph.V]bool
+	for _, v := range frontier {
+		if cancel.Cancelled() {
+			break
+		}
+		resp.Expanded++
+		p := l.plan.pos[v]
+		for _, u := range bi.localAdj[bi.localOff[p]:bi.localOff[p+1]] {
+			up := l.plan.pos[u]
+			if dist[up] == -1 {
+				dist[up] = req.Level + 1
+				next = append(next, u)
+			}
+		}
+		remote := bi.remoteAdj[bi.remoteOff[p]:bi.remoteOff[p+1]]
+		if len(remote) > 0 && remoteSeen == nil {
+			remoteSeen = make(map[graph.V]bool, len(remote)*2)
+		}
+		for _, msg := range remote {
+			if !remoteSeen[msg.V] {
+				remoteSeen[msg.V] = true
+				resp.Outbox = append(resp.Outbox, msg)
+			}
+		}
+	}
+	st.next[slot] = next
+	resp.Next = next
+	return resp
+}
+
+// Verify implements ShardServer: bidir's forward verification for a chunk
+// of candidate roots, each an independent bounded BFS over the immutable
+// graph. Matches keep MinDistToLabels' deterministic smallest-ID witness
+// tie-break, so they are byte-identical to the sequential path's.
+func (l *Local) Verify(ctx context.Context, req *VerifyRequest) *VerifyResponse {
+	resp := &VerifyResponse{}
+	cancel := search.NewCanceller(ctx)
+	for _, r := range req.Roots {
+		if cancel.Cancelled() {
+			break
+		}
+		resp.Verified++
+		dists, nodes, ok := search.MinDistToLabels(l.plan.g, r, req.Labels, req.DMax)
+		if !ok {
+			continue
+		}
+		sum := 0
+		for _, d := range dists {
+			sum += d
+		}
+		resp.Matches = append(resp.Matches, search.Match{
+			Root:  r,
+			Nodes: nodes,
+			Dists: dists,
+			Score: float64(sum),
+		})
+	}
+	return resp
+}

@@ -1,0 +1,173 @@
+// Package shard executes one keyword-search query across many workers by
+// decomposing the backward expansions of bkws/bidir over the edge-cut
+// partitioning of internal/partition — the BLINKS/EMBANKS decomposition:
+// expansion stays block-local, and frontiers cross block boundaries only
+// through portal vertices, stitched back together by a coordinator.
+//
+// Three roles:
+//
+//   - Planner materializes per-block sub-indexes (block-local in-adjacency
+//     in CSR form plus portal adjacency annotated with the owning block)
+//     from a partition.Partitioning.
+//   - Executor is a bounded worker pool; each unit of work is one
+//     per-(keyword × block) expansion round or one verification chunk.
+//   - Coordinator runs the level-synchronous scatter-gather: it routes
+//     portal-crossing frontier messages to the owning block between
+//     rounds, merges newly settled vertices into the per-root Σdist
+//     bookkeeping, and early-stops the whole fleet once no undiscovered
+//     root can beat the current k-th answer.
+//
+// The Coordinator talks to shards exclusively through the request/response
+// structs below (ShardServer) — no shared mutable per-query state crosses
+// that boundary. This is deliberately the stage-2 seam: a network shard
+// server implementing ShardServer over RPC drops in behind the same
+// Coordinator (see DESIGN.md §9). Stage 1 runs everything in-process
+// (Local), where "RPC" is a function call and the plan is shared memory.
+//
+// Answers are byte-identical to the sequential bkws/bidir paths at every
+// worker count: the level-synchronous rounds compute the same exact BFS
+// distances, matches are sorted by the same total (score, Key) order, and
+// the strict Σdist early-stop bound admits exactly the exhaustive top-k
+// prefix (see the tie-safety note in bkws.SearchCtx).
+package shard
+
+import (
+	"context"
+
+	"bigindex/internal/graph"
+	"bigindex/internal/obs"
+	"bigindex/internal/search"
+)
+
+// DefaultBlockSize is the partition target block size when Options leaves
+// it zero — the same default Blinks uses, so one partition can back both.
+const DefaultBlockSize = 200
+
+// Options configures sharded execution.
+type Options struct {
+	// Workers is the executor pool size — the number of per-(keyword ×
+	// block) expansions in flight at once. Values below 1 mean 1 (the
+	// sharded protocol still runs, on a single worker).
+	Workers int
+	// BlockSize is the partition target block size (0 = DefaultBlockSize).
+	BlockSize int
+	// Seed controls partition.BFSGrowSeed's seed order (0 = ascending).
+	Seed int64
+	// Cache, when non-nil, shares plans across Algorithm instances (the
+	// server shares one cache across worker-count variants so the plan is
+	// built once per index version, not once per &shards= value).
+	Cache *PlanCache
+	// Metrics, when non-nil, receives the bigindex_shard_* counters.
+	Metrics *Metrics
+}
+
+func (o Options) blockSize() int {
+	if o.BlockSize < 1 {
+		return DefaultBlockSize
+	}
+	return o.BlockSize
+}
+
+// ExpandRequest asks the shard owning Block to run one level-synchronous
+// round of keyword Kw's backward expansion.
+//
+// Inject lists vertices of the block discovered from other blocks (portal
+// crossings routed by the coordinator) as candidates at distance Level;
+// the shard settles the not-yet-seen ones. The round's frontier is those
+// newly settled injections plus the block-local vertices the shard itself
+// settled at Level during the previous round (kept in shard state, never
+// round-tripped). When Expand is set the shard expands the frontier one
+// hop along block-local in-edges; crossings out of the block are returned
+// in Outbox for the coordinator to route.
+type ExpandRequest struct {
+	Query uint64
+	Kw    int
+	Block int
+	Level int32
+	// Inject is empty for most rounds of most blocks; round 0 injects the
+	// keyword's posting-list seeds at Level 0.
+	Inject []graph.V
+	// Expand is false on the final (Level == dmax) round: vertices at the
+	// distance bound are settled — they are valid witnesses — but not
+	// expanded further.
+	Expand bool
+}
+
+// PortalMsg is one frontier crossing: vertex V (owned by Block) was
+// reached from another block and is a settlement candidate at the next
+// level. The classic portal-stitching message of bi-level search.
+type PortalMsg struct {
+	V     graph.V
+	Block int32
+}
+
+// ExpandResponse reports one round's outcome. Every vertex the shard
+// settled this round appears exactly once — in Accepted (settled at the
+// request's Level, from Inject) or in Next (settled at Level+1 by local
+// expansion) — which is what lets the coordinator keep exact Σdist
+// bookkeeping without sharing memory with the shard.
+type ExpandResponse struct {
+	Kw       int
+	Block    int
+	Accepted []graph.V
+	Next     []graph.V
+	Outbox   []PortalMsg
+	// Expanded counts frontier vertices whose adjacency was scanned (the
+	// ledger's vertices-expanded unit).
+	Expanded int
+}
+
+// VerifyRequest asks a shard to verify candidate roots by forward
+// expansion (bidir's verification phase): exact minimum distances from
+// each root to every query label within DMax. Verification reads only the
+// immutable graph, so any shard can serve any root; in stage 2 the layer-0
+// CSR is replicated (or verification is itself fanned out), recorded as
+// part of the seam in DESIGN.md §9.
+type VerifyRequest struct {
+	Query  uint64
+	Labels []graph.Label
+	DMax   int
+	Roots  []graph.V
+}
+
+// VerifyResponse carries the matches of the roots that verified, in root
+// order, plus the number of roots attempted (the bidir work unit).
+type VerifyResponse struct {
+	Matches  []search.Match
+	Verified int
+}
+
+// ShardServer is the coordinator-facing boundary. BeginQuery/EndQuery
+// bracket one query's distributed state (per-block distance arrays and
+// held-over local frontiers), keyed by a coordinator-chosen id so
+// concurrent queries never share state.
+type ShardServer interface {
+	BeginQuery(id uint64, numKeywords int)
+	Expand(ctx context.Context, req *ExpandRequest) *ExpandResponse
+	Verify(ctx context.Context, req *VerifyRequest) *VerifyResponse
+	EndQuery(id uint64)
+}
+
+// Metrics is the bigindex_shard_* instrument set, shared by every sharded
+// evaluator of a server.
+type Metrics struct {
+	Queries *obs.CounterVec // sharded searches by algo and worker count
+	Tasks   *obs.Counter    // per-(keyword × block) expansion rounds dispatched
+	Portal  *obs.Counter    // portal-crossing frontier messages routed
+	Rounds  *obs.Histogram  // level-synchronous rounds per sharded search
+}
+
+// NewMetrics registers the shard metrics on reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		Queries: reg.CounterVec("bigindex_shard_queries_total",
+			"Sharded searches by algorithm and worker count.", "algo", "workers"),
+		Tasks: reg.Counter("bigindex_shard_tasks_total",
+			"Per-(keyword x block) expansion tasks dispatched to shard workers."),
+		Portal: reg.Counter("bigindex_shard_portal_messages_total",
+			"Portal-crossing frontier messages routed between blocks."),
+		Rounds: reg.Histogram("bigindex_shard_rounds",
+			"Level-synchronous rounds per sharded search.",
+			[]float64{1, 2, 3, 4, 5, 6, 8, 12, 16}),
+	}
+}

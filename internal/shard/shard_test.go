@@ -1,0 +1,284 @@
+package shard_test
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"bigindex/internal/graph"
+	"bigindex/internal/partition"
+	"bigindex/internal/search"
+	"bigindex/internal/search/bidir"
+	"bigindex/internal/search/bkws"
+	"bigindex/internal/shard"
+)
+
+// randomGraph builds a graph with nLabels distinct labels spread
+// zipf-ishly (label i appears roughly n/(i+1) times), the shape that
+// exercises both frequent- and selective-keyword paths.
+func randomGraph(rng *rand.Rand, n, e, nLabels int) *graph.Graph {
+	b := graph.NewBuilder(nil)
+	labels := make([]graph.Label, nLabels)
+	for i := range labels {
+		labels[i] = b.Dict().Intern(string(rune('a' + i)))
+	}
+	for i := 0; i < n; i++ {
+		// Biased toward low label indices: frequent labels exist.
+		li := rng.Intn(nLabels)
+		if rng.Intn(2) == 0 {
+			li = rng.Intn(1 + li/2)
+		}
+		b.AddVertexLabel(labels[li])
+	}
+	for i := 0; i < e; i++ {
+		b.AddEdge(graph.V(rng.Intn(n)), graph.V(rng.Intn(n)))
+	}
+	return b.Build()
+}
+
+func randomQuery(rng *rand.Rand, g *graph.Graph, size int) []graph.Label {
+	all := g.DistinctLabels()
+	if size > len(all) {
+		size = len(all)
+	}
+	rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	return all[:size]
+}
+
+// assertIdentical fails unless got is byte-identical to want: same
+// matches, same order, same roots, dists, scores, and witness nodes.
+func assertIdentical(t *testing.T, label string, want, got []search.Match) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: got %d matches, want %d\n got: %v\nwant: %v", label, len(got), len(want), got, want)
+	}
+	for i := range want {
+		if !reflect.DeepEqual(want[i], got[i]) {
+			t.Fatalf("%s: match %d differs\n got: %+v\nwant: %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestBKWSEquivalence is the tentpole's contract: sharded bkws output is
+// byte-identical to the sequential path for every worker count, block
+// size, and k — including k <= 0 (exhaustive) and top-k with score ties
+// at the k-th boundary.
+func TestBKWSEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const dmax = 4
+	for trial := 0; trial < 25; trial++ {
+		n := 30 + rng.Intn(250)
+		g := randomGraph(rng, n, n+rng.Intn(3*n), 3+rng.Intn(6))
+		seqPrep, err := bkws.New(dmax).Prepare(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, size := range []int{2, 3, 4} {
+			q := randomQuery(rng, g, size)
+			for _, k := range []int{0, 1, 3, 10} {
+				want, err := seqPrep.Search(q, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, workers := range []int{1, 2, 4, 8} {
+					for _, bs := range []int{7, 64} {
+						algo := bkws.NewSharded(dmax, shard.Options{Workers: workers, BlockSize: bs})
+						prep, err := algo.Prepare(g)
+						if err != nil {
+							t.Fatal(err)
+						}
+						got, err := prep.Search(q, k)
+						if err != nil {
+							t.Fatal(err)
+						}
+						assertIdentical(t, "bkws", want, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBidirEquivalence is the same contract for bidirectional expansion.
+func TestBidirEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const dmax = 4
+	for trial := 0; trial < 25; trial++ {
+		n := 30 + rng.Intn(250)
+		g := randomGraph(rng, n, n+rng.Intn(3*n), 3+rng.Intn(6))
+		seqPrep, err := bidir.New(dmax).Prepare(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, size := range []int{2, 3, 4} {
+			q := randomQuery(rng, g, size)
+			for _, k := range []int{0, 1, 3, 10} {
+				want, err := seqPrep.Search(q, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, workers := range []int{1, 2, 4, 8} {
+					for _, bs := range []int{7, 64} {
+						algo := bidir.NewSharded(dmax, shard.Options{Workers: workers, BlockSize: bs})
+						prep, err := algo.Prepare(g)
+						if err != nil {
+							t.Fatal(err)
+						}
+						got, err := prep.Search(q, k)
+						if err != nil {
+							t.Fatal(err)
+						}
+						assertIdentical(t, "bidir", want, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPlanCoversAdjacency checks the Planner's sub-index invariant: each
+// vertex's in-adjacency is exactly the union of its block-local rows and
+// its portal rows, with portal messages naming the true owning block.
+func TestPlanCoversAdjacency(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		n := 20 + rng.Intn(200)
+		g := randomGraph(rng, n, rng.Intn(4*n), 4)
+		p := partition.BFSGrowSeed(g, 1+rng.Intn(30), rng.Int63())
+		plan := shard.NewPlanner(shard.Options{}).Plan(p)
+		if plan.NumBlocks() != p.NumBlocks() {
+			t.Fatalf("plan has %d blocks, partitioning %d", plan.NumBlocks(), p.NumBlocks())
+		}
+		if plan.EdgeCut() != p.EdgeCut() {
+			t.Fatalf("plan edge cut %d != partitioning %d", plan.EdgeCut(), p.EdgeCut())
+		}
+		local, remote := plan.AdjacencyOf()
+		for v := 0; v < n; v++ {
+			want := append([]graph.V(nil), g.In(graph.V(v))...)
+			var got []graph.V
+			got = append(got, local[v]...)
+			for _, msg := range remote[v] {
+				if int(msg.Block) != p.BlockOf[msg.V] {
+					t.Fatalf("portal msg for %d names block %d, owner is %d", msg.V, msg.Block, p.BlockOf[msg.V])
+				}
+				got = append(got, msg.V)
+			}
+			if len(want) != len(got) {
+				t.Fatalf("vertex %d: adjacency split %d != in-degree %d", v, len(got), len(want))
+			}
+			seen := map[graph.V]int{}
+			for _, u := range want {
+				seen[u]++
+			}
+			for _, u := range got {
+				seen[u]--
+			}
+			for u, c := range seen {
+				if c != 0 {
+					t.Fatalf("vertex %d: neighbor %d split mismatch", v, u)
+				}
+			}
+		}
+	}
+}
+
+// TestCancellation: a cancelled context yields the context error and a
+// sound (possibly empty) prefix of the exhaustive answers.
+func TestCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := randomGraph(rng, 300, 900, 5)
+	q := randomQuery(rng, g, 3)
+	const dmax = 4
+	exhaustive := map[string]float64{}
+	seqPrep, _ := bkws.New(dmax).Prepare(g)
+	full, err := seqPrep.Search(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range full {
+		exhaustive[m.Key()] = m.Score
+	}
+	for _, mk := range []func() search.Algorithm{
+		func() search.Algorithm { return bkws.NewSharded(dmax, shard.Options{Workers: 4, BlockSize: 32}) },
+		func() search.Algorithm { return bidir.NewSharded(dmax, shard.Options{Workers: 4, BlockSize: 32}) },
+	} {
+		prep, err := mk().Prepare(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		ms, err := prep.SearchCtx(ctx, q, 0)
+		if err == nil {
+			t.Fatal("cancelled search returned nil error")
+		}
+		for _, m := range ms {
+			want, ok := exhaustive[m.Key()]
+			if !ok || want != m.Score {
+				t.Fatalf("partial result %+v is not a true answer", m)
+			}
+		}
+	}
+}
+
+// TestEmptyAndMissingKeywords mirrors the sequential edge cases.
+func TestEmptyAndMissingKeywords(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := randomGraph(rng, 50, 120, 3)
+	missing := g.Dict().Intern("never-used-label")
+	for _, mk := range []search.Algorithm{
+		bkws.NewSharded(3, shard.Options{Workers: 2, BlockSize: 8}),
+		bidir.NewSharded(3, shard.Options{Workers: 2, BlockSize: 8}),
+	} {
+		prep, err := mk.Prepare(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := prep.Search(nil, 5); err == nil {
+			t.Fatal("empty query did not error")
+		}
+		ms, err := prep.Search([]graph.Label{g.Label(0), missing}, 5)
+		if err != nil || ms != nil {
+			t.Fatalf("missing keyword: got %v, %v; want nil, nil", ms, err)
+		}
+	}
+}
+
+// TestExecutorMap: every index runs exactly once, worker ids stay dense.
+func TestExecutorMap(t *testing.T) {
+	for _, workers := range []int{1, 2, 5} {
+		ex := shard.NewExecutor(workers)
+		if ex.Workers() != workers {
+			t.Fatalf("workers = %d, want %d", ex.Workers(), workers)
+		}
+		const n = 500
+		counts := make([]int32, n)
+		ex.Map(n, func(i, worker int) {
+			if worker < 0 || worker >= workers {
+				t.Errorf("worker id %d out of range", worker)
+			}
+			counts[i]++
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("task %d ran %d times", i, c)
+			}
+		}
+	}
+}
+
+// TestPlanCacheIdentity: one plan per graph pointer, across worker-count
+// variants sharing a cache.
+func TestPlanCacheIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := randomGraph(rng, 80, 160, 3)
+	pc := shard.NewPlanCache(shard.Options{BlockSize: 16})
+	if pc.For(g) != pc.For(g) {
+		t.Fatal("cache rebuilt plan for same graph")
+	}
+	g2 := randomGraph(rng, 80, 160, 3)
+	if pc.For(g) == pc.For(g2) {
+		t.Fatal("distinct graphs shared a plan")
+	}
+}

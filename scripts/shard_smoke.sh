@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Sharded-execution smoke: run the shard benchmark on the tiny demo preset
+# with a sequential baseline plus 1- and 4-worker coordinators. RunShard
+# itself enforces the contract — the FNV digest over every observable match
+# field must be byte-identical across worker counts, and a mismatch is an
+# experiment *error*, not a report note — so a zero exit is the assertion.
+# CI runs this after the test suite; it is also handy locally:
+#
+#   scripts/shard_smoke.sh
+set -euo pipefail
+
+workdir=$(mktemp -d)
+shard_json="$workdir/BENCH_shard.json"
+trap 'rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/benchrunner" ./cmd/benchrunner
+
+"$workdir/benchrunner" -exp shard -shard-dataset demo -shard-workers 1,4 \
+  -json "" -shard-json "$shard_json"
+
+[ -s "$shard_json" ] || { echo "$shard_json missing or empty" >&2; exit 1; }
+grep -q '"id": *"shard"' "$shard_json"
+# Both algorithms must have run their sequential baseline and both worker
+# counts: 2 algos x (seq + shard-1 + shard-4).
+for mode in baseline shard-1 shard-4; do
+  n=$(grep -c "\"$mode\"" "$shard_json")
+  [ "$n" -eq 2 ] || { echo "expected 2 '$mode' rows, got $n" >&2; exit 1; }
+done
+# The export must carry the environment needed to interpret the speedups.
+grep -q '"gomaxprocs"' "$shard_json"
+grep -q '"shard_workers"' "$shard_json"
+echo "shard smoke OK: digests identical across worker counts, report at $shard_json"

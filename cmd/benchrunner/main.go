@@ -59,6 +59,10 @@ func main() {
 		"dataset for the shard experiment (empty = yago-s; the CI smoke uses demo)")
 	shardWorkers := flag.String("shard-workers", "",
 		"comma-separated worker counts for the shard experiment (empty = 1,2,4,8)")
+	shardnetOut := flag.String("shardnet-json", "BENCH_shardnet.json",
+		"when the shardnet experiment runs, also write its report here (empty = off)")
+	shardnetDataset := flag.String("shardnet-dataset", "",
+		"dataset for the shardnet experiment (empty = yago-s; the CI smoke uses demo)")
 	flag.Parse()
 
 	bench.SetReplayConfig(*workload, *workloadDataset)
@@ -68,6 +72,7 @@ func main() {
 		os.Exit(2)
 	}
 	bench.SetShardConfig(*shardDataset, workers)
+	bench.SetShardNetConfig(*shardnetDataset)
 
 	if *list {
 		ids := make([]string, 0, len(bench.Experiments))
@@ -167,6 +172,17 @@ func main() {
 		}
 		if len(shardReports) > 0 {
 			writeJSON(*shardOut, shardReports)
+		}
+	}
+	if *shardnetOut != "" {
+		var snReports []*bench.Report
+		for _, r := range reports {
+			if r.ID == "shardnet" {
+				snReports = append(snReports, r)
+			}
+		}
+		if len(snReports) > 0 {
+			writeJSON(*shardnetOut, snReports)
 		}
 	}
 }

@@ -54,6 +54,8 @@ import (
 	"bigindex/internal/graph"
 	"bigindex/internal/obs"
 	"bigindex/internal/server"
+	"bigindex/internal/shard"
+	"bigindex/internal/shardrpc"
 	"bigindex/internal/snapshot"
 	"bigindex/internal/wal"
 )
@@ -116,11 +118,22 @@ func main() {
 		"probability of re-evaluating a routed query at the runner-up layer to measure cost-model misroutes (0 = off)")
 	shards := flag.Int("shards", 0,
 		"default worker count for partition-sharded bkws/bidir execution; &shards= overrides per query (0 = sequential, clamped to GOMAXPROCS)")
+	shardServe := flag.String("shard-serve", "",
+		"run as a shard server instead of the HTTP daemon: boot the index, then answer shardrpc expansion/verification on this address until SIGTERM")
+	shardBlocks := flag.String("shard-blocks", "all",
+		"with -shard-serve, which plan blocks this process answers: 'all', a list like '0,2-5', or a residue class like '0%2'")
+	shardPeers := flag.String("shard-peers", "",
+		"serve sharded data-graph execution through these shardrpc peers: 'addr[=blocks];...' or '@file' (one entry per line, # comments); every block needs at least one replica or queries degrade")
+	shardBlockSize := flag.Int("shard-block-size", 0,
+		"partition block size for sharded execution; must match across coordinator and shard servers (0 = default)")
 	flag.Parse()
 
 	logger := obs.NewLogger(os.Stderr, parseLevel(*logLevel), *logFormat == "json")
 	if *shards < 0 {
 		fatal(logger, "bad flag", fmt.Errorf("-shards must be >= 0, got %d", *shards))
+	}
+	if *shardServe != "" && *shardPeers != "" {
+		fatal(logger, "bad flag", fmt.Errorf("-shard-serve and -shard-peers are mutually exclusive (a process is a shard server or a coordinator, not both)"))
 	}
 	// One line with the full effective configuration — every flag after
 	// defaulting — so any incident log pins down exactly how the daemon ran.
@@ -159,8 +172,39 @@ func main() {
 		idx = bootIndex(ds, *snapshotFile, reg, logger, snapLoadSec, snapSaveSec)
 	}
 
+	// Shard-server mode: same boot (preset/snapshot/WAL replay give every
+	// process the identical graph, which the digest handshake then proves),
+	// but instead of the HTTP stack the process answers shardrpc until a
+	// shutdown signal.
+	if *shardServe != "" {
+		runShardServer(logger, idx, *shardServe, *shardBlocks, *shardBlockSize)
+		return
+	}
+
 	if *pprofAddr != "" {
 		go servePprof(logger, *pprofAddr)
+	}
+
+	var shardClient *shardrpc.Client
+	if *shardPeers != "" {
+		peers, err := shardrpc.ParsePeers(*shardPeers)
+		if err != nil {
+			fatal(logger, "bad -shard-peers", err)
+		}
+		shardClient = shardrpc.NewClient(shardrpc.ClientOptions{
+			Peers:     peers,
+			BlockSize: *shardBlockSize,
+			Metrics:   shardrpc.NewMetrics(reg),
+			Logger:    logger,
+		})
+		defer shardClient.Close()
+		if *shards == 0 {
+			// A fleet without an explicit -shards default: the sharded
+			// execution path must engage for the peers to matter at all.
+			*shards = 1
+			logger.Info("-shard-peers set; defaulting -shards to 1")
+		}
+		logger.Info("shard fleet configured", "peers", shardClient.Peers())
 	}
 
 	sq := *slowQuery
@@ -202,6 +246,8 @@ func main() {
 		ShadowSample: *shadowSample,
 		AdminToken:   *adminToken,
 		Shards:       *shards,
+		BlockSize:    *shardBlockSize,
+		ShardClient:  shardClient,
 	})
 
 	if *warmFile != "" {
@@ -301,6 +347,43 @@ func main() {
 	if err := serve(ln, httpSrv, srv, logger, *drainGrace, *drainTimeout, sigs, hups, rl); err != nil {
 		fatal(logger, "listen", err)
 	}
+}
+
+// runShardServer is -shard-serve's main loop: plan the booted data graph
+// (the same deterministic partition every coordinator derives), listen for
+// shardrpc connections, and drain gracefully on SIGINT/SIGTERM. The block
+// spec only restricts which blocks this process answers — misrouted
+// requests are refused — while routing itself lives in the coordinator's
+// -shard-peers membership.
+func runShardServer(logger *slog.Logger, idx *core.Index, addr, blockSpec string, blockSize int) {
+	plan := shard.NewPlanner(shard.Options{BlockSize: blockSize}).PlanGraph(idx.Data())
+	blocks, err := shardrpc.ParseBlocks(blockSpec, plan.NumBlocks())
+	if err != nil {
+		fatal(logger, "bad -shard-blocks", err)
+	}
+	srv := shardrpc.NewServer(plan, shardrpc.ServerOptions{
+		Blocks:    blocks,
+		BlockSize: blockSize,
+		Logger:    logger,
+	})
+	lnAddr, err := srv.Listen(addr)
+	if err != nil {
+		fatal(logger, "shard listen", err)
+	}
+	serving := blockSpec
+	if blocks == nil {
+		serving = "all"
+	}
+	logger.Info("shard server ready",
+		"addr", lnAddr.String(),
+		"blocks", plan.NumBlocks(),
+		"serving", serving,
+		"digest", fmt.Sprintf("%016x", idx.Data().Digest()))
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	sig := <-sigs
+	logger.Info("shutdown signal received; closing shard server", "signal", fmt.Sprint(sig))
+	srv.Close()
 }
 
 // bootIndex restores the index from the snapshot when one is configured

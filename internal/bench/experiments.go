@@ -36,6 +36,7 @@ var Experiments = map[string]Runner{
 	"snapshot":    RunSnapshot,
 	"obs":         RunObs,
 	"shard":       RunShard,
+	"shardnet":    RunShardNet,
 	// replay needs a captured workload file (benchrunner -workload) and is
 	// therefore not part of ExperimentOrder / "-exp all".
 	"replay": RunReplay,
@@ -47,7 +48,7 @@ var ExperimentOrder = []string{
 	"fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
 	"fig16", "fig17", "fig18", "fig19",
 	"exp3", "exp4", "headline", "summarizers", "cache", "snapshot", "obs",
-	"shard",
+	"shard", "shardnet",
 }
 
 // RunTable2 reproduces Table 2: dataset statistics.

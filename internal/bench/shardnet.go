@@ -1,0 +1,283 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"slices"
+	"time"
+
+	"bigindex/internal/datagen"
+	"bigindex/internal/graph"
+	"bigindex/internal/search"
+	"bigindex/internal/shard"
+	"bigindex/internal/shardrpc"
+)
+
+// shardNetDataset configures the shardnet experiment (SetShardNetConfig;
+// the CI smoke uses demo).
+var shardNetDataset = "yago-s"
+
+// SetShardNetConfig overrides the shardnet experiment's dataset; empty
+// keeps the default.
+func SetShardNetConfig(dataset string) {
+	if dataset != "" {
+		shardNetDataset = dataset
+	}
+}
+
+// shardNetWorkers is the coordinator's worker count, fixed across modes so
+// the only variable is where Expand runs (in-process vs over TCP) and how
+// the fleet is laid out.
+const shardNetWorkers = 4
+
+// ctxSearcher is the context-aware face of a prepared sharded algorithm
+// (the coverage collector rides the context).
+type ctxSearcher interface {
+	SearchCtx(ctx context.Context, q []graph.Label, k int) ([]search.Match, error)
+}
+
+// shardNetFleet is one localhost shardrpc deployment: servers bound to
+// real TCP listeners plus the client a coordinator dispatches through.
+// In-process servers keep the experiment self-contained while still
+// exercising the full wire path — framing, CRC, per-call digest checks,
+// connection pooling, retries.
+type shardNetFleet struct {
+	servers []*shardrpc.Server
+	client  *shardrpc.Client
+}
+
+func (f *shardNetFleet) close() {
+	if f.client != nil {
+		f.client.Close()
+	}
+	for _, s := range f.servers {
+		s.Close()
+	}
+}
+
+// startFleet launches n servers, server i serving the spec(i) block slice,
+// and a client over all of them.
+func startFleet(plan *shard.Plan, n int, spec func(i int) string) (*shardNetFleet, error) {
+	f := &shardNetFleet{}
+	peerSpec := ""
+	for i := 0; i < n; i++ {
+		blocks, err := shardrpc.ParseBlocks(spec(i), plan.NumBlocks())
+		if err != nil {
+			f.close()
+			return nil, err
+		}
+		srv := shardrpc.NewServer(plan, shardrpc.ServerOptions{Blocks: blocks, BlockSize: BlockSize})
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			f.close()
+			return nil, err
+		}
+		f.servers = append(f.servers, srv)
+		if peerSpec != "" {
+			peerSpec += ";"
+		}
+		peerSpec += addr.String() + "=" + spec(i)
+	}
+	peers, err := shardrpc.ParsePeers(peerSpec)
+	if err != nil {
+		f.close()
+		return nil, err
+	}
+	f.client = shardrpc.NewClient(shardrpc.ClientOptions{Peers: peers, BlockSize: BlockSize})
+	return f, nil
+}
+
+// RunShardNet measures the distributed serving path against in-process
+// sharded execution on one machine: the same coordinator (4 workers)
+// dispatching expansion to fleets of 1/2/4 localhost shardrpc servers,
+// plus a failover mode that SIGKILL-equivalently drops one of two full
+// replicas mid-experiment. Three properties are enforced, not just
+// reported: every mode's answers digest byte-identical to the sequential
+// baseline, healthy modes lose zero coverage, and the kill mode sustains
+// coverage 1.0 through replica failover.
+func RunShardNet() (*Report, error) {
+	f, err := GetFixture(shardNetDataset)
+	if err != nil {
+		return nil, err
+	}
+	g := f.DS.Graph
+	queries := datagen.Queries(f.DS, datagen.WorkloadOptions{
+		Sizes:    []int{3, 3, 4, 4, 5, 5},
+		MinCount: 20,
+		Seed:     11,
+	})
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("bench: shardnet workload is empty on %s", shardNetDataset)
+	}
+
+	// Sequential truth: the digest every mode must reproduce.
+	seqPrep, err := prepBKWS(g, nil)
+	if err != nil {
+		return nil, err
+	}
+	seqDigest, lossy, err := digestPass(seqPrep, queries)
+	if err != nil {
+		return nil, err
+	}
+	if lossy != 0 {
+		return nil, fmt.Errorf("bench: sequential pass reported %d lossy queries", lossy)
+	}
+
+	r := &Report{ID: "shardnet",
+		Title: fmt.Sprintf("Distributed shard serving on %s (bkws, %d coordinator workers, k = %d, block size %d)",
+			shardNetDataset, shardNetWorkers, shardK, BlockSize),
+		Header: []string{"mode", "fleet", "p50", "p90", "p50 overhead vs inproc", "coverage", "digest"}}
+
+	type mode struct {
+		name  string
+		fleet int              // servers; 0 = in-process shard.Local
+		spec  func(int) string // block spec per server
+		kill  bool             // drop servers[0] before the timed pass
+	}
+	modes := []mode{
+		{"inproc", 0, nil, false},
+		{"net-1", 1, func(int) string { return "all" }, false},
+		{"net-2", 2, func(i int) string { return fmt.Sprintf("%d%%2", i) }, false},
+		{"net-4", 4, func(i int) string { return fmt.Sprintf("%d%%4", i) }, false},
+		{"net-2-kill1", 2, func(int) string { return "all" }, true},
+	}
+
+	var inprocP50, net2P50, killP50 time.Duration
+	for _, m := range modes {
+		var fleet *shardNetFleet
+		var factory func(*shard.Plan) shard.ShardServer
+		if m.fleet > 0 {
+			plan := shard.NewPlanner(shard.Options{BlockSize: BlockSize}).PlanGraph(g)
+			fleet, err = startFleet(plan, m.fleet, m.spec)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s fleet: %w", m.name, err)
+			}
+			factory = func(p *shard.Plan) shard.ShardServer { return fleet.client.For(p) }
+		}
+		prep, err := prepBKWS(g, factory)
+		if err == nil && m.kill {
+			// Warm the healthy fleet (plan + connections), then drop one
+			// of the two full replicas abruptly — SetLinger(0), the
+			// in-process kill -9 — so the digest and timed passes below
+			// run entirely through failover.
+			if _, _, err = digestPass(prep, queries); err == nil {
+				fleet.servers[0].Kill()
+			}
+		}
+		var digest uint64
+		if err == nil {
+			digest, lossy, err = digestPass(prep, queries)
+		}
+		var p50, p90 time.Duration
+		var timedLossy int
+		if err == nil {
+			p50, p90, timedLossy, err = timedPass(prep, queries)
+			lossy += timedLossy
+		}
+		if fleet != nil {
+			fleet.close()
+		}
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", m.name, err)
+		}
+		if digest != seqDigest {
+			return nil, fmt.Errorf("bench: %s answers diverged: digest %016x, sequential %016x",
+				m.name, digest, seqDigest)
+		}
+		if lossy != 0 {
+			return nil, fmt.Errorf("bench: %s lost coverage on %d queries (replica failover must sustain 1.0)",
+				m.name, lossy)
+		}
+		overhead := "baseline"
+		switch m.name {
+		case "inproc":
+			inprocP50 = p50
+		default:
+			if inprocP50 > 0 {
+				overhead = fmt.Sprintf("%+.1f%%", 100*(float64(p50)/float64(inprocP50)-1))
+			}
+			if m.name == "net-2" {
+				net2P50 = p50
+			}
+			if m.kill {
+				killP50 = p50
+			}
+		}
+		fleetCol := "-"
+		if m.fleet > 0 {
+			fleetCol = fmt.Sprintf("%d", m.fleet)
+		}
+		r.AddRow(m.name, fleetCol, p50, p90, overhead, "1.000", fmt.Sprintf("%016x", digest))
+	}
+
+	r.Notef("all modes digest byte-identical to sequential bkws; coverage 1.0 enforced (zero lossy queries)")
+	if net2P50 > 0 && killP50 > 0 {
+		r.Notef("kill-one-of-two replicas: steady-state p50 %+.1f%% vs healthy net-2 (open breaker routes around the corpse)",
+			100*(float64(killP50)/float64(net2P50)-1))
+	}
+	r.Notef("fleets are in-process servers over real localhost TCP: full framing/CRC/digest-check/pool path, no scheduler noise from extra processes")
+	return r, nil
+}
+
+// prepBKWS prepares the sharded bkws coordinator (factory nil = local
+// execution) with the experiment's fixed worker count.
+func prepBKWS(g *graph.Graph, factory func(*shard.Plan) shard.ShardServer) (ctxSearcher, error) {
+	algo := shard.New(shard.ModeBKWS, DMax, shard.Options{
+		Workers:   shardNetWorkers,
+		BlockSize: BlockSize,
+		Server:    factory,
+	})
+	prep, err := algo.Prepare(g)
+	if err != nil {
+		return nil, err
+	}
+	cs, ok := prep.(ctxSearcher)
+	if !ok {
+		return nil, fmt.Errorf("bench: prepared sharded algorithm lacks SearchCtx")
+	}
+	return cs, nil
+}
+
+// digestPass runs every query once, folding the full observable answer
+// into one digest and counting queries that reported coverage loss.
+func digestPass(prep ctxSearcher, queries []datagen.Query) (digest uint64, lossy int, err error) {
+	h := fnv.New64a()
+	for _, q := range queries {
+		cov := shard.NewCoverage()
+		ctx := shard.ContextWithCoverage(context.Background(), cov)
+		ms, err := prep.SearchCtx(ctx, q.Keywords, shardK)
+		if err != nil {
+			return 0, 0, err
+		}
+		if cov.Report() != nil {
+			lossy++
+		}
+		matchDigest(h, ms)
+	}
+	return h.Sum64(), lossy, nil
+}
+
+// timedPass measures per-query median-of-repeats latency and reports the
+// workload's p50/p90, still watching for coverage loss — a silently
+// degraded timed run would report flattering latencies for wrong answers.
+func timedPass(prep ctxSearcher, queries []datagen.Query) (p50, p90 time.Duration, lossy int, err error) {
+	times := make([]time.Duration, 0, len(queries))
+	for _, q := range queries {
+		med, err := timeIt(QueryRepeats, func() error {
+			cov := shard.NewCoverage()
+			ctx := shard.ContextWithCoverage(context.Background(), cov)
+			_, e := prep.SearchCtx(ctx, q.Keywords, shardK)
+			if e == nil && cov.Report() != nil {
+				lossy++
+			}
+			return e
+		})
+		if err != nil {
+			return 0, 0, lossy, err
+		}
+		times = append(times, med)
+	}
+	slices.Sort(times)
+	return times[len(times)/2], times[len(times)*9/10], lossy, nil
+}

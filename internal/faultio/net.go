@@ -1,0 +1,131 @@
+package faultio
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// ConnPlan is a deterministic per-connection network fault: it shapes the
+// bytes written through one side of a net.Conn. The zero value injects
+// nothing. Budgets count cumulative bytes written through the wrapper, so
+// a fault lands at an exact protocol offset — mid-length-prefix,
+// mid-frame-body, between frames — reproducibly.
+type ConnPlan struct {
+	// DelayWrites sleeps before every forwarded write (slow network).
+	DelayWrites time.Duration
+	// DuplicateWrites forwards every chunk twice (a retransmitting
+	// middlebox; for framed protocols, duplicated response frames).
+	DuplicateWrites bool
+	// CorruptWriteAt flips one bit of the byte at this cumulative write
+	// offset (-1 and 0-default: never). Exactly one bit, exactly once:
+	// the CRC layer must catch it.
+	CorruptWriteAt int64
+	// WriteBudget stops forwarding after this many bytes (0: unlimited).
+	// What happens next is CloseAfterBudget's call.
+	WriteBudget int64
+	// CloseAfterBudget closes the whole connection once the budget is
+	// spent (truncated frame + FIN — a crashing peer). When false the
+	// connection stays open and writes vanish silently, acknowledged but
+	// never delivered — the half-open black hole of a partitioned network,
+	// detectable only by deadline.
+	CloseAfterBudget bool
+}
+
+// WrapConn applies plan to conn's writes. Reads pass through untouched:
+// every fault a peer could inject into the read side is some write-side
+// fault of the other endpoint, so tests wrap whichever side authors the
+// bytes under attack.
+func WrapConn(conn net.Conn, plan ConnPlan) net.Conn {
+	if plan.CorruptWriteAt == 0 {
+		plan.CorruptWriteAt = -1
+	}
+	return &faultConn{Conn: conn, plan: plan}
+}
+
+type faultConn struct {
+	net.Conn
+	plan    ConnPlan
+	mu      sync.Mutex
+	written int64
+	dead    bool // budget spent, blackhole mode: swallow everything
+}
+
+func (c *faultConn) Write(p []byte) (int, error) {
+	if c.plan.DelayWrites > 0 {
+		time.Sleep(c.plan.DelayWrites)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead {
+		return len(p), nil // acknowledged, never delivered
+	}
+
+	buf := p
+	if at := c.plan.CorruptWriteAt; at >= c.written && at < c.written+int64(len(p)) {
+		buf = append([]byte(nil), p...)
+		buf[at-c.written] ^= 0x10
+	}
+
+	if c.plan.WriteBudget > 0 && c.written+int64(len(buf)) > c.plan.WriteBudget {
+		keep := c.plan.WriteBudget - c.written
+		if keep > 0 {
+			c.Conn.Write(buf[:keep])
+			c.written += keep
+		}
+		if c.plan.CloseAfterBudget {
+			c.Conn.Close()
+			return 0, ErrInjected
+		}
+		c.dead = true
+		return len(p), nil
+	}
+
+	n, err := c.forward(buf)
+	if err == nil && c.plan.DuplicateWrites {
+		c.forward(buf)
+	}
+	if n > len(p) {
+		n = len(p)
+	}
+	return n, err
+}
+
+func (c *faultConn) forward(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.written += int64(n)
+	return n, err
+}
+
+// FaultListener wraps accepted connections with the plan Plan returns for
+// the i-th accepted connection (0-based). A nil plan (or nil Plan func)
+// passes the connection through untouched, so a test can fault only the
+// first connection, every second one, or none.
+type FaultListener struct {
+	net.Listener
+	// Plan picks the fault plan for accepted connection i; nil return
+	// means no fault.
+	Plan func(i int) *ConnPlan
+
+	mu sync.Mutex
+	n  int
+}
+
+// Accept implements net.Listener.
+func (l *FaultListener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	i := l.n
+	l.n++
+	l.mu.Unlock()
+	if l.Plan == nil {
+		return conn, nil
+	}
+	if plan := l.Plan(i); plan != nil {
+		return WrapConn(conn, *plan), nil
+	}
+	return conn, nil
+}

@@ -1,0 +1,173 @@
+package faultio
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipePair returns the two ends of an in-memory connection.
+func pipePair() (net.Conn, net.Conn) {
+	return net.Pipe()
+}
+
+func readAll(t *testing.T, c net.Conn, n int, timeout time.Duration) []byte {
+	t.Helper()
+	c.SetReadDeadline(time.Now().Add(timeout))
+	buf := make([]byte, n)
+	got, _ := io.ReadFull(c, buf)
+	return buf[:got]
+}
+
+func TestWrapConnCorruptsExactlyOneBit(t *testing.T) {
+	a, b := pipePair()
+	defer a.Close()
+	defer b.Close()
+	w := WrapConn(a, ConnPlan{CorruptWriteAt: 5})
+	payload := []byte("0123456789")
+	go w.Write(payload)
+	got := readAll(t, b, len(payload), time.Second)
+	if bytes.Equal(got, payload) {
+		t.Fatal("corruption did not land")
+	}
+	diff := 0
+	for i := range payload {
+		if got[i] != payload[i] {
+			diff++
+			if i != 5 {
+				t.Fatalf("corruption at offset %d, want 5", i)
+			}
+			if got[i]^payload[i] != 0x10 {
+				t.Fatalf("corruption flipped %#x, want one bit", got[i]^payload[i])
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bytes corrupted, want exactly 1", diff)
+	}
+}
+
+func TestWrapConnCorruptionSpansWrites(t *testing.T) {
+	a, b := pipePair()
+	defer a.Close()
+	defer b.Close()
+	w := WrapConn(a, ConnPlan{CorruptWriteAt: 7})
+	go func() {
+		w.Write([]byte("01234")) // offsets 0-4
+		w.Write([]byte("56789")) // offsets 5-9: corrupt lands at index 2 here
+	}()
+	got := readAll(t, b, 10, time.Second)
+	for i := range got {
+		if (got[i] != "0123456789"[i]) != (i == 7) {
+			t.Fatalf("byte %d: got %q", i, got[i])
+		}
+	}
+}
+
+func TestWrapConnTruncateAndClose(t *testing.T) {
+	a, b := pipePair()
+	defer b.Close()
+	w := WrapConn(a, ConnPlan{WriteBudget: 4, CloseAfterBudget: true})
+	done := make(chan struct{})
+	var got []byte
+	go func() {
+		got = readAll(t, b, 10, time.Second)
+		close(done)
+	}()
+	if _, err := w.Write([]byte("0123456789")); err != ErrInjected {
+		t.Fatalf("over-budget write error = %v, want ErrInjected", err)
+	}
+	<-done
+	if string(got) != "0123" {
+		t.Fatalf("peer saw %q, want the 4-byte prefix", got)
+	}
+	// The connection is closed: further writes fail at the net layer.
+	if _, err := a.Write([]byte("x")); err == nil {
+		t.Fatal("write after injected close should fail")
+	}
+}
+
+func TestWrapConnBlackhole(t *testing.T) {
+	a, b := pipePair()
+	defer a.Close()
+	defer b.Close()
+	w := WrapConn(a, ConnPlan{WriteBudget: 4})
+	go func() {
+		if n, err := w.Write([]byte("0123456789")); err != nil || n != 10 {
+			t.Errorf("blackhole write = (%d, %v), want acknowledged (10, nil)", n, err)
+		}
+		// Everything after the budget vanishes without error.
+		if n, err := w.Write([]byte("more")); err != nil || n != 4 {
+			t.Errorf("post-budget write = (%d, %v), want silently swallowed", n, err)
+		}
+	}()
+	got := readAll(t, b, 10, 300*time.Millisecond)
+	if string(got) != "0123" {
+		t.Fatalf("peer saw %q, want only the in-budget prefix", got)
+	}
+}
+
+func TestWrapConnDuplicateAndDelay(t *testing.T) {
+	a, b := pipePair()
+	defer a.Close()
+	defer b.Close()
+	start := time.Now()
+	w := WrapConn(a, ConnPlan{DuplicateWrites: true, DelayWrites: 20 * time.Millisecond})
+	go w.Write([]byte("abc"))
+	got := readAll(t, b, 6, time.Second)
+	if string(got) != "abcabc" {
+		t.Fatalf("peer saw %q, want the chunk twice", got)
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Fatal("delay did not apply")
+	}
+}
+
+func TestFaultListenerPerConnectionPlans(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := &FaultListener{Listener: inner, Plan: func(i int) *ConnPlan {
+		if i == 0 {
+			return &ConnPlan{CorruptWriteAt: 1}
+		}
+		return nil
+	}}
+	defer ln.Close()
+
+	srvErr := make(chan error, 2)
+	go func() {
+		for i := 0; i < 2; i++ {
+			c, err := ln.Accept()
+			if err != nil {
+				srvErr <- err
+				return
+			}
+			c.Write([]byte("hello"))
+			c.Close()
+		}
+		srvErr <- nil
+	}()
+
+	read := func() string {
+		c, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		b, _ := io.ReadAll(c)
+		return string(b)
+	}
+	if got := read(); got == "hello" {
+		t.Fatalf("first connection should be corrupted, got %q", got)
+	}
+	if got := read(); got != "hello" {
+		t.Fatalf("second connection should be clean, got %q", got)
+	}
+	if err := <-srvErr; err != nil {
+		t.Fatal(err)
+	}
+}

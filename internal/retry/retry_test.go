@@ -1,0 +1,186 @@
+package retry
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffBaseGrowthAndCap(t *testing.T) {
+	b := New(BackoffOptions{Min: 10 * time.Millisecond, Max: 80 * time.Millisecond, Factor: 2, Seed: 1})
+	want := []time.Duration{
+		10 * time.Millisecond,
+		20 * time.Millisecond,
+		40 * time.Millisecond,
+		80 * time.Millisecond,
+		80 * time.Millisecond, // capped
+		80 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := b.Base(i); got != w {
+			t.Fatalf("Base(%d) = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestAdditiveJitterBounds(t *testing.T) {
+	b := New(BackoffOptions{Min: 100 * time.Millisecond, Max: time.Second, Factor: 2, Jitter: 0.25, Seed: 42})
+	for attempt := 0; attempt < 5; attempt++ {
+		base := b.Base(attempt)
+		lo, hi := base, base+time.Duration(float64(base)*0.25)
+		for i := 0; i < 200; i++ {
+			d := b.Delay(attempt)
+			if d < lo || d > hi {
+				t.Fatalf("attempt %d: delay %v outside additive-jitter bounds [%v, %v]", attempt, d, lo, hi)
+			}
+		}
+	}
+}
+
+func TestFullJitterBounds(t *testing.T) {
+	b := New(BackoffOptions{Min: 100 * time.Millisecond, Max: time.Second, Factor: 2, Full: true, Seed: 7})
+	for attempt := 0; attempt < 5; attempt++ {
+		base := b.Base(attempt)
+		var minSeen, maxSeen time.Duration = base, 0
+		for i := 0; i < 500; i++ {
+			d := b.Delay(attempt)
+			if d < 0 || d > base {
+				t.Fatalf("attempt %d: delay %v outside full-jitter bounds [0, %v]", attempt, d, base)
+			}
+			if d < minSeen {
+				minSeen = d
+			}
+			if d > maxSeen {
+				maxSeen = d
+			}
+		}
+		// Full jitter must actually spread across the range, not hug the base.
+		if minSeen > base/4 || maxSeen < base/2 {
+			t.Fatalf("attempt %d: full jitter not spread: saw [%v, %v] over base %v", attempt, minSeen, maxSeen, base)
+		}
+	}
+}
+
+func TestBackoffDeterministicUnderSeed(t *testing.T) {
+	a := New(BackoffOptions{Min: 50 * time.Millisecond, Full: true, Seed: 99})
+	b := New(BackoffOptions{Min: 50 * time.Millisecond, Full: true, Seed: 99})
+	for i := 0; i < 20; i++ {
+		if da, db := a.Delay(i%4), b.Delay(i%4); da != db {
+			t.Fatalf("same seed diverged at draw %d: %v vs %v", i, da, db)
+		}
+	}
+}
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := NewBreaker(BreakerOptions{Threshold: 3, Cooldown: time.Second, Now: func() time.Time { return now }})
+	if b.State() != Closed || !b.Allow() {
+		t.Fatal("new breaker should be closed and allowing")
+	}
+	if b.Failure() {
+		t.Fatal("failure 1 should not open")
+	}
+	if b.Failure() {
+		t.Fatal("failure 2 should not open")
+	}
+	if !b.Failure() {
+		t.Fatal("failure 3 should report the open transition")
+	}
+	if b.State() != Open || b.Allow() {
+		t.Fatal("breaker should be open and refusing")
+	}
+	if b.Failure() {
+		t.Fatal("failure while open must not re-report the transition")
+	}
+	if got := b.Fails(); got != 4 {
+		t.Fatalf("Fails = %d, want 4", got)
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := NewBreaker(BreakerOptions{Threshold: 1, Cooldown: time.Second, Now: func() time.Time { return now }})
+	b.Failure()
+	if b.Allow() {
+		t.Fatal("open breaker must refuse before cooldown")
+	}
+	now = now.Add(time.Second)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed: first Allow must admit the half-open probe")
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("state = %v, want HalfOpen", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second Allow during the probe must refuse (exactly one probe)")
+	}
+
+	// Probe failure re-opens for a fresh cooldown.
+	if !b.Failure() {
+		t.Fatal("failed probe must report re-opening")
+	}
+	if b.Allow() {
+		t.Fatal("re-opened breaker must refuse")
+	}
+	now = now.Add(time.Second)
+	if !b.Allow() {
+		t.Fatal("second cooldown elapsed: probe should be admitted again")
+	}
+
+	// Probe success closes and resets.
+	b.Success()
+	if b.State() != Closed || b.Fails() != 0 {
+		t.Fatalf("after probe success: state=%v fails=%d, want Closed/0", b.State(), b.Fails())
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker must allow")
+	}
+}
+
+func TestBreakerStateStringAndReset(t *testing.T) {
+	if Closed.String() != "closed" || Open.String() != "open" || HalfOpen.String() != "half-open" {
+		t.Fatal("State.String mismatch")
+	}
+	b := NewBreaker(BreakerOptions{Threshold: 1})
+	b.Failure()
+	b.Reset()
+	if b.State() != Closed || b.Fails() != 0 {
+		t.Fatal("Reset should close and zero the breaker")
+	}
+}
+
+// TestBreakerProbeable: the non-consuming health view — false only while
+// open with an unelapsed cooldown, true again once a probe could run, and
+// polling it never consumes the half-open probe slot.
+func TestBreakerProbeable(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := NewBreaker(BreakerOptions{Threshold: 1, Cooldown: time.Second, Now: func() time.Time { return now }})
+	if !b.Probeable() {
+		t.Fatal("closed breaker not probeable")
+	}
+	b.Failure()
+	if b.Probeable() {
+		t.Fatal("freshly opened breaker probeable")
+	}
+	now = now.Add(time.Second)
+	for i := 0; i < 3; i++ {
+		if !b.Probeable() {
+			t.Fatal("cooldown elapsed but not probeable")
+		}
+	}
+	if st := b.State(); st != Open {
+		t.Fatalf("Probeable consumed a transition: state %v", st)
+	}
+	if !b.Allow() {
+		t.Fatal("probe slot gone after Probeable polls")
+	}
+	if b.Probeable() {
+		// Half-open with the probe in flight: Allow refuses a second
+		// request, but for health purposes the dependency is being tested
+		// right now — still probeable.
+		t.Log("half-open reported probeable")
+	}
+	b.Failure() // failed probe re-opens and restarts the cooldown
+	if b.Probeable() {
+		t.Fatal("re-opened breaker probeable before second cooldown")
+	}
+}

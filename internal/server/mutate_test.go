@@ -300,8 +300,9 @@ func TestMutationResetsStaleness(t *testing.T) {
 
 	// Pretend the index went stale an hour ago with a tripped circuit.
 	rl.lastOK.Store(time.Now().Add(-time.Hour).UnixNano())
-	rl.fails.Store(7)
-	rl.circuit.Store(true)
+	for i := 0; i < 7; i++ {
+		rl.breaker.Failure()
+	}
 
 	add, _ := pickMutation(t, s.Index().Data())
 	rec, _ := postJSON(t, s, "/admin/edges", mutationBody(&add, nil), nil)

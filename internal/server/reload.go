@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"log/slog"
-	"math/rand"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -13,6 +12,7 @@ import (
 	"bigindex/internal/core"
 	"bigindex/internal/graph"
 	"bigindex/internal/obs"
+	"bigindex/internal/retry"
 )
 
 // ReloaderOptions configures hot reloading of the served index.
@@ -82,9 +82,8 @@ type Reloader struct {
 	mu      sync.Mutex // serializes reload attempts (manual vs background)
 	trigger chan struct{}
 
-	lastOK  atomic.Int64 // unix nanos of the last success (boot counts)
-	fails   atomic.Int64
-	circuit atomic.Bool
+	lastOK  atomic.Int64   // unix nanos of the last success (boot counts)
+	breaker *retry.Breaker // consecutive-failure circuit (shared retry shape)
 
 	total *obs.CounterVec
 }
@@ -119,6 +118,7 @@ func NewReloader(s *Server, opt ReloaderOptions) *Reloader {
 		s:       s,
 		opt:     opt,
 		trigger: make(chan struct{}, 1),
+		breaker: retry.NewBreaker(retry.BreakerOptions{Threshold: opt.FailThreshold}),
 	}
 	r.lastOK.Store(time.Now().UnixNano())
 	r.total = s.reg.CounterVec("bigindex_reload_total",
@@ -137,8 +137,8 @@ func (r *Reloader) Health() ReloadHealth {
 	return ReloadHealth{
 		LastSuccess:         last,
 		Staleness:           time.Since(last),
-		ConsecutiveFailures: r.fails.Load(),
-		CircuitOpen:         r.circuit.Load(),
+		ConsecutiveFailures: r.breaker.Fails(),
+		CircuitOpen:         r.breaker.State() != retry.Closed,
 	}
 }
 
@@ -149,8 +149,7 @@ func (r *Reloader) Health() ReloadHealth {
 // a successful write proves the maintenance pipeline is healthy.
 func (r *Reloader) MarkFresh() {
 	r.lastOK.Store(time.Now().UnixNano())
-	r.fails.Store(0)
-	r.circuit.Store(false)
+	r.breaker.Reset()
 }
 
 // SwapGraph rebuilds the hierarchy over g — which must already live on
@@ -178,8 +177,7 @@ func (r *Reloader) swapGraphLocked(ctx context.Context, g *graph.Graph) (*core.I
 	}
 	r.s.SwapIndex(next)
 	r.lastOK.Store(time.Now().UnixNano())
-	r.fails.Store(0)
-	r.circuit.Store(false)
+	r.breaker.Reset()
 	r.total.With("success").Inc()
 	if r.opt.AfterSwap != nil {
 		if err := r.opt.AfterSwap(ctx, next); err != nil {
@@ -224,8 +222,7 @@ func (r *Reloader) Reload(ctx context.Context) (ReloadResult, error) {
 	}
 	r.s.SwapIndex(next)
 	r.lastOK.Store(time.Now().UnixNano())
-	r.fails.Store(0)
-	r.circuit.Store(false)
+	r.breaker.Reset()
 	r.total.With("success").Inc()
 
 	res := ReloadResult{Epoch: next.Epoch(), Layers: next.NumLayers(), Elapsed: time.Since(start)}
@@ -246,9 +243,10 @@ func (r *Reloader) Reload(ctx context.Context) (ReloadResult, error) {
 }
 
 func (r *Reloader) fail(outcome string, err error) error {
-	n := r.fails.Add(1)
+	opened := r.breaker.Failure()
+	n := r.breaker.Fails()
 	r.total.With(outcome).Inc()
-	if n >= r.opt.FailThreshold && !r.circuit.Swap(true) {
+	if opened {
 		r.opt.Logger.Error("reload circuit opened; serving last good index",
 			"consecutive_failures", n, "err", err)
 	}
@@ -263,34 +261,32 @@ func (r *Reloader) fail(outcome string, err error) error {
 // ctx is cancelled. Run never touches the serving path directly — all it
 // does between attempts is wait.
 func (r *Reloader) Run(ctx context.Context) {
-	seed := r.opt.Seed
-	if seed == 0 {
-		seed = time.Now().UnixNano()
-	}
-	rng := rand.New(rand.NewSource(seed))
-	backoff := r.opt.MinBackoff
-	var retry <-chan time.Time
+	bo := retry.New(retry.BackoffOptions{
+		Min:    r.opt.MinBackoff,
+		Max:    r.opt.MaxBackoff,
+		Factor: r.opt.Factor,
+		Jitter: r.opt.Jitter,
+		Seed:   r.opt.Seed,
+	})
+	attempt := 0
+	var wait <-chan time.Time
 	for {
 		select {
 		case <-ctx.Done():
 			return
 		case <-r.trigger:
-			backoff = r.opt.MinBackoff // a fresh request restarts the schedule
-		case <-retry:
+			attempt = 0 // a fresh request restarts the schedule
+		case <-wait:
 		}
-		retry = nil
+		wait = nil
 		if _, err := r.Reload(ctx); err != nil {
 			if ctx.Err() != nil {
 				return
 			}
-			d := backoff
-			if r.opt.Jitter > 0 {
-				d += time.Duration(float64(backoff) * r.opt.Jitter * rng.Float64())
-			}
-			retry = time.After(d)
-			backoff = min(time.Duration(float64(backoff)*r.opt.Factor), r.opt.MaxBackoff)
+			wait = time.After(bo.Delay(attempt))
+			attempt++
 		} else {
-			backoff = r.opt.MinBackoff
+			attempt = 0
 		}
 	}
 }

@@ -138,6 +138,17 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "draining")
 		return
 	}
+	// Multi-process mode: not-ready only when coverage would be zero —
+	// every peer unreachable or breaker-open, so a query started now could
+	// not reach a single block. Partial peer loss keeps the server ready:
+	// it still answers (degraded, coverage-annotated), and flapping
+	// /readyz on one lost replica would amplify the outage by draining
+	// coordinators that can still serve most of the graph.
+	if c := s.opt.ShardClient; c != nil && c.CoverageFloor() == 0 {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "no shard peers reachable (coverage 0)")
+		return
+	}
 	w.WriteHeader(http.StatusOK)
 	fmt.Fprintln(w, "ok")
 }

@@ -72,6 +72,7 @@ import (
 	"bigindex/internal/search/blinks"
 	"bigindex/internal/search/rclique"
 	"bigindex/internal/shard"
+	"bigindex/internal/shardrpc"
 	"bigindex/internal/text"
 )
 
@@ -143,6 +144,15 @@ type Options struct {
 	// GOMAXPROCS are clamped (extra workers on a saturated scheduler only
 	// add coordination cost); answers are byte-identical either way.
 	Shards int
+	// ShardClient, when non-nil, serves sharded data-graph expansion
+	// remotely through a fleet of shardrpc peers (bigindexd's
+	// -shard-peers). Summary-layer expansion always stays in-process —
+	// peers advertise the data graph's digest, and the per-request digest
+	// check would (correctly) refuse anything else. When every replica of
+	// a block is unreachable past budget the query completes over the
+	// surviving blocks and returns degraded with a coverage annotation;
+	// such results are never cached.
+	ShardClient *shardrpc.Client
 }
 
 // DebugOptions configures the flight recorder (obs.Recorder) and its
@@ -219,6 +229,8 @@ type Server struct {
 	matches   *obs.CounterVec   // matches returned by algorithm
 	cancelled *obs.CounterVec   // interrupted queries, by reason (deadline/client)
 	degraded  *obs.Counter      // 200s with partial results after a deadline
+	shardLoss *obs.Counter      // 200s degraded by unreachable shard replicas
+	coverage  *obs.Histogram    // block-coverage fraction of shard-degraded queries
 	shed      *obs.Counter      // 429s from the load-shedding gate
 	panics    *obs.Counter      // handler panics contained by recoverPanics
 	inflightQ *obs.Gauge        // queries currently evaluating
@@ -333,6 +345,11 @@ func New(idx *core.Index, ont *ontology.Ontology, opt Options) *Server {
 		"Queries interrupted before completion, by reason (deadline, client).", "reason")
 	s.degraded = s.reg.Counter("bigindex_query_degraded_total",
 		"Queries that returned partial results after their deadline expired.")
+	s.shardLoss = s.reg.Counter("bigindex_query_shard_degraded_total",
+		"Queries that completed over surviving shard blocks after replica loss.")
+	s.coverage = s.reg.Histogram("bigindex_query_coverage_fraction",
+		"Block-coverage fraction of shard-degraded queries (1.0 = all blocks reached).",
+		[]float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1})
 	s.shed = s.reg.Counter("bigindex_query_shed_total",
 		"Queries rejected with 429 by the load-shedding gate.")
 	s.panics = s.reg.Counter("bigindex_panic_recovered_total",
@@ -507,6 +524,19 @@ func (s *Server) shardAlgorithm(st *indexState, name string, workers int) search
 		Cache:     st.plans,
 		Metrics:   s.shardMet,
 	}
+	if c := s.opt.ShardClient; c != nil {
+		data := st.idx.Data()
+		opt.Server = func(p *shard.Plan) shard.ShardServer {
+			// Only the data graph goes remote: peers advertise the data
+			// graph's digest, so routing a summary-layer plan at them
+			// would just bounce off the per-request digest check. A nil
+			// return falls back to in-process execution.
+			if p.Graph() == data && c.ServesPlan(p) {
+				return c.For(p)
+			}
+			return nil
+		}
+	}
 	if name == "bidir" {
 		return bidir.NewSharded(s.opt.DMax, opt)
 	}
@@ -567,6 +597,19 @@ func (s *Server) evaluator(st *indexState, name string, shards int) (*core.Evalu
 	return ev, nil
 }
 
+// coverageJSON is the response's view of a shard-degraded query: which
+// plan blocks were reached, overall and per resolved keyword (the
+// collector tracks keyword positions; the server maps them back to
+// names). It appears only alongside "degraded":true, reason "shards".
+type coverageJSON struct {
+	BlocksTotal     int                `json:"blocks_total"`
+	BlocksLost      int                `json:"blocks_lost"`
+	LostBlocks      []int              `json:"lost_blocks,omitempty"`
+	Fraction        float64            `json:"fraction"`
+	PerKeyword      map[string]float64 `json:"per_keyword,omitempty"`
+	RootsUnverified int                `json:"roots_unverified,omitempty"`
+}
+
 type matchJSON struct {
 	Root  string   `json:"root"`
 	Nodes []string `json:"nodes"`
@@ -583,7 +626,8 @@ type matchJSON struct {
 type cachedResult struct {
 	matches  []search.Match
 	layer    int
-	degraded string // non-empty = degradation reason ("deadline")
+	degraded string                // non-empty = degradation reason ("deadline", "shards")
+	coverage *shard.CoverageReport // non-nil = shard replica loss; what was reached
 }
 
 // approxResultBytes estimates a result's heap footprint for the cache's
@@ -603,9 +647,16 @@ func approxResultBytes(ms []search.Match) int64 {
 // with per-phase latency metrics and the per-request k applied at
 // result time (shared evaluators run exhaustively; see evaluator()).
 func (s *Server) evalQuery(ctx context.Context, ev *core.Evaluator, algo string, q []graph.Label, k, forcedLayer int, direct bool) (cachedResult, error) {
+	// A fresh coverage collector rides the context into the shard
+	// coordinator (like obs.Ledger): a lossy sharded run records what it
+	// abandoned, and the report marks the result degraded-by-shards.
+	// Singleflight followers share the leader's context, so they see the
+	// same report. Unsharded runs never touch it and the report stays nil.
+	cov := shard.NewCoverage()
+	ctx = shard.ContextWithCoverage(ctx, cov)
 	if direct {
 		ms, err := ev.DirectCtx(ctx, q, k)
-		return cachedResult{matches: ms}, err
+		return withCoverage(cachedResult{matches: ms}, cov), err
 	}
 	ms, bd, err := ev.EvalLayerCtx(ctx, q, forcedLayer)
 	layer := 0
@@ -620,7 +671,21 @@ func (s *Server) evalQuery(ctx context.Context, ev *core.Evaluator, algo string,
 			s.auditCost(ev, algo, q, bd, obs.LedgerFromContext(ctx), forcedLayer)
 		}
 	}
-	return cachedResult{matches: search.Truncate(ms, k), layer: layer}, err
+	return withCoverage(cachedResult{matches: search.Truncate(ms, k), layer: layer}, cov), err
+}
+
+// withCoverage folds a shard coverage collector into the result: any
+// recorded loss marks the result degraded ("shards"), which keeps it out
+// of the result cache — the answer is sound for the covered subgraph but
+// incomplete, and a later query must see the full graph again.
+func withCoverage(cr cachedResult, cov *shard.Coverage) cachedResult {
+	if rep := cov.Report(); rep != nil {
+		cr.coverage = rep
+		if cr.degraded == "" {
+			cr.degraded = "shards"
+		}
+	}
+	return cr
 }
 
 // observeBreakdown exports the Breakdown's paper-phase counters so metrics
@@ -662,7 +727,7 @@ func (s *Server) runQuery(ctx context.Context, st *indexState, ev *core.Evaluato
 		return qcache.Result{
 			V:        cr,
 			Bytes:    approxResultBytes(cr.matches),
-			Store:    true,
+			Store:    cr.degraded == "", // shard-degraded results are shared, never stored
 			Negative: len(cr.matches) == 0,
 		}, nil
 	}
@@ -770,6 +835,7 @@ type queryResponse struct {
 	Count     int             `json:"count"`
 	Degraded  bool            `json:"degraded,omitempty"`
 	Reason    string          `json:"degraded_reason,omitempty"`
+	Coverage  *coverageJSON   `json:"coverage,omitempty"`
 	Matches   []matchJSON     `json:"matches"`
 	Notes     []string        `json:"notes,omitempty"`
 	Trace     json.RawMessage `json:"trace,omitempty"`
@@ -985,10 +1051,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if degradedReason != "" {
-		// Deadline expiry mid-evaluation degrades to the partial answers
-		// rather than failing. Every returned match is verified (Prop 5.2
-		// keeps the prefix sound); the set is just short.
-		s.cancelled.With("deadline").Inc()
+		if degradedReason == "shards" {
+			// Replica loss: the answer is sound for the covered subgraph
+			// (the coordinator stops settling at the first lossy level) but
+			// some blocks went unreached — the coverage block says which.
+			s.shardLoss.Inc()
+			if cr.coverage != nil {
+				s.coverage.Observe(cr.coverage.Fraction)
+			}
+		} else {
+			// Deadline expiry mid-evaluation degrades to the partial answers
+			// rather than failing. Every returned match is verified (Prop 5.2
+			// keeps the prefix sound); the set is just short.
+			s.cancelled.With("deadline").Inc()
+		}
 		s.degraded.Inc()
 		obs.AddLogAttrs(ctx, slog.Bool("degraded", true))
 		s.recorder.FinishCost(tr, algo, qRaw, "degraded", elapsed, cost)
@@ -1018,6 +1094,24 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Degraded:  degradedReason != "",
 		Reason:    degradedReason,
 		Notes:     notes,
+	}
+	if cr.coverage != nil {
+		cov := &coverageJSON{
+			BlocksTotal:     cr.coverage.BlocksTotal,
+			BlocksLost:      cr.coverage.BlocksLost,
+			LostBlocks:      cr.coverage.LostBlocks,
+			Fraction:        cr.coverage.Fraction,
+			RootsUnverified: cr.coverage.RootsUnverified,
+		}
+		if len(cr.coverage.PerKeyword) > 0 {
+			cov.PerKeyword = make(map[string]float64, len(cr.coverage.PerKeyword))
+			for i, f := range cr.coverage.PerKeyword {
+				if i < len(q) {
+					cov.PerKeyword[dict.Name(q[i])] = f
+				}
+			}
+		}
+		resp.Coverage = cov
 	}
 	if want, _ := strconv.ParseBool(r.URL.Query().Get("trace")); want {
 		if tr := obs.SpanFromContext(ctx).Trace(); tr != nil {
@@ -1136,6 +1230,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Planned    bool `json:"planned"`
 		Blocks     int  `json:"blocks,omitempty"`
 		EdgeCut    int  `json:"edge_cut,omitempty"`
+		// Remote-serving state (-shard-peers): per-peer health and the
+		// worst-case block coverage a query started now could see.
+		// CoverageFloor is a pointer so 0.0 — total outage — still renders.
+		Remote        bool                  `json:"remote,omitempty"`
+		CoverageFloor *float64              `json:"coverage_floor,omitempty"`
+		Peers         []shardrpc.PeerHealth `json:"peers,omitempty"`
 	}
 	out := struct {
 		Graph    graph.Stats        `json:"graph"`
@@ -1155,6 +1255,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		out.Shard.Planned = true
 		out.Shard.Blocks = p.NumBlocks()
 		out.Shard.EdgeCut = p.EdgeCut()
+	}
+	if c := s.opt.ShardClient; c != nil {
+		out.Shard.Remote = true
+		floor := c.CoverageFloor()
+		out.Shard.CoverageFloor = &floor
+		out.Shard.Peers = c.Health()
 	}
 	if s.cache != nil {
 		cs := s.cache.Stats()

@@ -62,12 +62,20 @@ func (a *Algorithm) DMax() int { return a.dmax }
 func (a *Algorithm) Workers() int { return a.opt.Workers }
 
 // Prepare implements search.Algorithm: resolve (or build) the graph's
-// plan and wire a coordinator over an in-process shard server.
+// plan and wire a coordinator over a shard server — the Options.Server
+// factory's choice (remote peers, in stage 2) or the in-process Local.
 func (a *Algorithm) Prepare(g *graph.Graph) (search.Prepared, error) {
 	plan := a.planFor(g)
+	var srv ShardServer
+	if a.opt.Server != nil {
+		srv = a.opt.Server(plan)
+	}
+	if srv == nil {
+		srv = NewLocal(plan)
+	}
 	return &prepared{
 		algo: a,
-		coor: NewCoordinator(plan, NewExecutor(a.opt.Workers), NewLocal(plan), a.opt.Metrics),
+		coor: NewCoordinator(plan, NewExecutor(a.opt.Workers), srv, a.opt.Metrics),
 	}, nil
 }
 

@@ -4,16 +4,11 @@ import (
 	"context"
 	"fmt"
 	"strconv"
-	"sync/atomic"
 
 	"bigindex/internal/graph"
 	"bigindex/internal/obs"
 	"bigindex/internal/search"
 )
-
-// queryID hands out coordinator-chosen query ids; shard servers key their
-// per-query state by them.
-var queryID atomic.Uint64
 
 // Coordinator drives the level-synchronous scatter-gather over one plan.
 // It owns the global view the shards deliberately lack: which (keyword,
@@ -21,7 +16,9 @@ var queryID atomic.Uint64
 // blocks, the per-root Σdist bookkeeping, and the top-k early-stop bound.
 // Everything it learns arrives through ExpandResponse/VerifyResponse —
 // never by reading shard memory — so swapping Local for a network
-// ShardServer changes no coordinator logic.
+// ShardServer changes no coordinator logic. Since the protocol is
+// stateless, the coordinator is also the sole owner of settlement: shard
+// responses are candidate reports, and the mirror decides what is new.
 type Coordinator struct {
 	plan *Plan
 	exec *Executor
@@ -38,18 +35,28 @@ func NewCoordinator(plan *Plan, exec *Executor, srv ShardServer, met *Metrics) *
 // fleet is the coordinator-side state of one query's expansion rounds,
 // shared by the bkws and bidir drivers.
 type fleet struct {
-	c   *Coordinator
-	qid uint64
-	nk  int
-	nb  int
-	// mirror duplicates the shards' settled-distance rows, built purely
-	// from Accepted/Next reports: the coordinator's own copy for Σdist
-	// assembly and outbox pruning (in stage 2 there is no shard memory to
-	// peek at, so the mirror is the design, not a redundancy).
-	mirror  [][]int32
-	counts  [][]uint8   // per-block per-member settled-keyword counts (bkws)
-	inject  [][]graph.V // pending portal injections per (kw, block) slot
-	hasNext []bool      // shard holds a local frontier for the slot
+	c  *Coordinator
+	nk int // expansion keywords (1 for bidir)
+	nb int
+	// mirror holds the settled-distance rows — the only copy anywhere:
+	// shards are stateless, so the mirror is the authority that makes
+	// duplicated or retried responses harmless (re-reported vertices are
+	// already settled and ignored).
+	mirror [][]int32
+	counts [][]uint8   // per-block per-member settled-keyword counts (bkws)
+	arrive [][]graph.V // settlement candidates for the next level, per (kw, block) slot
+
+	// kwPos maps an expansion-keyword index to its query position (bkws:
+	// identity; bidir: the selective keyword), for coverage attribution.
+	kwPos []int
+	nkQ   int // query keyword count (coverage PerKeyword length)
+
+	// lost flips on the first terminal shard failure: the query finishes
+	// settling what the current round already produced (still exact — see
+	// the soundness note on runRound) and stops expanding.
+	lost       bool
+	lostByKw   []map[int]bool
+	unverified int
 
 	workerWork   []int64
 	expanded     int
@@ -59,13 +66,15 @@ type fleet struct {
 	frontierPeak int
 }
 
-func (c *Coordinator) newFleet(qid uint64, nk int) *fleet {
+func (c *Coordinator) newFleet(nk int, kwPos []int, nkQ int) *fleet {
 	nb := c.plan.NumBlocks()
 	return &fleet{
-		c: c, qid: qid, nk: nk, nb: nb,
+		c: c, nk: nk, nb: nb,
 		mirror:     make([][]int32, nk*nb),
-		inject:     make([][]graph.V, nk*nb),
-		hasNext:    make([]bool, nk*nb),
+		arrive:     make([][]graph.V, nk*nb),
+		kwPos:      kwPos,
+		nkQ:        nkQ,
+		lostByKw:   make([]map[int]bool, nk),
 		workerWork: make([]int64, c.exec.Workers()),
 	}
 }
@@ -84,68 +93,163 @@ func (f *fleet) mirrorRow(kw, block int) []int32 {
 
 func (f *fleet) seed(kw int, byBlock map[int][]graph.V) {
 	for b, seeds := range byBlock {
-		f.inject[kw*f.nb+b] = seeds
+		f.arrive[kw*f.nb+b] = seeds
 	}
 }
 
-// buildRequests collects the (keyword, block) slots with pending work
-// into one round's requests, in slot order (determinism of dispatch order
-// is not needed for correctness — responses are merged set-wise — but it
-// keeps traces readable).
-func (f *fleet) buildRequests(lvl int32, dmax int) []*ExpandRequest {
+// settleArrivals consumes every slot's pending candidates, settles the
+// not-yet-seen ones at lvl in the mirror (calling settle for each), and
+// returns the per-slot frontiers plus the total newly settled. Slots are
+// visited in order and candidates in arrival order, so settlement order
+// is deterministic (the final (score, Key) sort makes output order
+// independent of it anyway).
+func (f *fleet) settleArrivals(lvl int32, settle func(kw, block int, v graph.V)) (frontiers [][]graph.V, total int) {
+	frontiers = make([][]graph.V, f.nk*f.nb)
+	for slot := range f.arrive {
+		cand := f.arrive[slot]
+		if len(cand) == 0 {
+			continue
+		}
+		f.arrive[slot] = nil
+		kw, block := slot/f.nb, slot%f.nb
+		row := f.mirrorRow(kw, block)
+		var fr []graph.V
+		for _, v := range cand {
+			p := f.c.plan.pos[v]
+			if row[p] != -1 {
+				continue
+			}
+			row[p] = lvl
+			settle(kw, block, v)
+			fr = append(fr, v)
+		}
+		if len(fr) > 0 {
+			frontiers[slot] = fr
+			total += len(fr)
+		}
+	}
+	return frontiers, total
+}
+
+// buildRequests turns the non-empty frontiers into one round's requests,
+// in slot order (determinism of dispatch order is not needed for
+// correctness — responses are merged set-wise — but it keeps traces
+// readable).
+func (f *fleet) buildRequests(lvl int32, frontiers [][]graph.V) []*ExpandRequest {
 	var reqs []*ExpandRequest
-	for slot := 0; slot < f.nk*f.nb; slot++ {
-		if len(f.inject[slot]) == 0 && !f.hasNext[slot] {
+	for slot, fr := range frontiers {
+		if len(fr) == 0 {
 			continue
 		}
 		reqs = append(reqs, &ExpandRequest{
-			Query:  f.qid,
-			Kw:     slot / f.nb,
-			Block:  slot % f.nb,
-			Level:  lvl,
-			Inject: f.inject[slot],
-			Expand: int(lvl) < dmax,
+			Kw:       slot / f.nb,
+			Block:    slot % f.nb,
+			Level:    lvl,
+			Frontier: fr,
 		})
-		f.inject[slot] = nil
-		f.hasNext[slot] = false
 	}
 	return reqs
 }
 
 // runRound dispatches one round across the executor and returns the
-// responses. Per-worker expansion tallies land in workerWork[worker] —
-// each worker writes only its own slot, so no lock.
+// responses (nil entries mark failed slots). Per-worker expansion tallies
+// land in workerWork[worker] — each worker writes only its own slot, so
+// no lock.
+//
+// A slot error while the query's own context is still live is a terminal
+// shard failure (the client has already exhausted retries, failover, and
+// budget): the (keyword, block) slot is recorded as lost and the fleet
+// stops expanding after this round. Soundness of what remains: every
+// round before this one succeeded for every block, so all distances
+// settled through this round's products (level Level+1) are exact — a
+// shorter path through the failed block would have had to surface in an
+// earlier, successful round. Settling this round's survivors is
+// therefore safe; expanding past them is not, because a level+2
+// settlement could silently inflate a distance whose true shortest path
+// crossed the lost block. Stop, do not guess.
 func (f *fleet) runRound(ctx context.Context, reqs []*ExpandRequest) []*ExpandResponse {
 	f.rounds++
 	f.tasks += len(reqs)
 	resps := make([]*ExpandResponse, len(reqs))
+	errs := make([]error, len(reqs))
 	f.c.exec.Map(len(reqs), func(i, worker int) {
-		resps[i] = f.c.srv.Expand(ctx, reqs[i])
-		f.workerWork[worker] += int64(resps[i].Expanded)
+		resp, err := f.c.srv.Expand(ctx, reqs[i])
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		resps[i] = resp
+		f.workerWork[worker] += int64(resp.Expanded)
 	})
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if ctx.Err() != nil {
+			// The query's own deadline/cancel caused this; the loop head
+			// degrades with the context cause, not with coverage loss.
+			continue
+		}
+		f.lose(reqs[i].Kw, reqs[i].Block)
+	}
 	return resps
 }
 
-// route queues a response's portal crossings for the owning blocks,
-// dropping messages whose target the coordinator already saw settle.
-func (f *fleet) route(resp *ExpandResponse) {
+// lose marks a (keyword, block) slot terminally failed.
+func (f *fleet) lose(kw, block int) {
+	f.lost = true
+	if f.lostByKw[kw] == nil {
+		f.lostByKw[kw] = map[int]bool{}
+	}
+	f.lostByKw[kw][block] = true
+}
+
+// absorb queues a response's settlement candidates: in-block neighbors
+// for the same slot, portal crossings for the owning blocks. Candidates
+// the coordinator already saw settle are dropped here (an optimization —
+// settleArrivals re-checks the mirror, which is what makes duplicate
+// responses harmless).
+func (f *fleet) absorb(resp *ExpandResponse) {
+	slot := resp.Kw*f.nb + resp.Block
+	if row := f.mirror[slot]; row != nil {
+		for _, v := range resp.Local {
+			if row[f.c.plan.pos[v]] != -1 {
+				continue
+			}
+			f.arrive[slot] = append(f.arrive[slot], v)
+		}
+	} else {
+		f.arrive[slot] = append(f.arrive[slot], resp.Local...)
+	}
 	for _, msg := range resp.Outbox {
-		slot := resp.Kw*f.nb + int(msg.Block)
-		if row := f.mirror[slot]; row != nil && row[f.c.plan.pos[msg.V]] != -1 {
+		tslot := resp.Kw*f.nb + int(msg.Block)
+		if row := f.mirror[tslot]; row != nil && row[f.c.plan.pos[msg.V]] != -1 {
 			continue
 		}
-		f.inject[slot] = append(f.inject[slot], msg.V)
+		f.arrive[tslot] = append(f.arrive[tslot], msg.V)
 		f.portal++
 	}
 }
 
-// finish flushes the fleet's counters to the ambient ledger/span/metrics.
+// finish flushes the fleet's counters to the ambient ledger/span/metrics
+// and its losses to the request's coverage collector.
 func (f *fleet) finish(ctx context.Context, algo string, roots int, earlyStop bool) {
 	led := obs.LedgerFromContext(ctx)
 	led.AddExpanded(int64(f.expanded))
 	led.NoteFrontier(int64(f.frontierPeak))
 	for worker, n := range f.workerWork {
 		led.AddShardWork(worker, n)
+	}
+	lostBlocks := map[int]bool{}
+	if f.lost || f.unverified > 0 {
+		cov := CoverageFromContext(ctx)
+		for kw, lost := range f.lostByKw {
+			for b := range lost {
+				lostBlocks[b] = true
+				cov.lose(f.kwPos[kw], b, f.nkQ, f.nb)
+			}
+		}
+		cov.loseRoots(f.unverified)
 	}
 	if sp := obs.SpanFromContext(ctx); sp != nil {
 		sp.SetAttr("shard_workers", f.c.exec.Workers()).
@@ -155,12 +259,17 @@ func (f *fleet) finish(ctx context.Context, algo string, roots int, earlyStop bo
 			SetAttr("shard_portal_msgs", f.portal).
 			SetAttr("roots", roots).
 			SetAttr("early_topk", earlyStop)
+		if f.lost || f.unverified > 0 {
+			sp.SetAttr("shard_blocks_lost", len(lostBlocks)).
+				SetAttr("shard_roots_unverified", f.unverified)
+		}
 	}
 	if m := f.c.met; m != nil {
 		m.Queries.With(algo, strconv.Itoa(f.c.exec.Workers())).Inc()
 		m.Tasks.Add(int64(f.tasks))
 		m.Portal.Add(int64(f.portal))
 		m.Rounds.Observe(float64(f.rounds))
+		m.Lost.Add(int64(len(lostBlocks)))
 	}
 }
 
@@ -181,25 +290,24 @@ func (c *Coordinator) SearchBKWS(ctx context.Context, q []graph.Label, k, dmax i
 			return nil, nil // a keyword with no occurrences has no answers
 		}
 	}
-	qid := queryID.Add(1)
-	c.srv.BeginQuery(qid, len(q))
-	defer c.srv.EndQuery(qid)
-
-	f := c.newFleet(qid, len(q))
+	nk := len(q)
+	kwPos := make([]int, nk)
+	for i := range kwPos {
+		kwPos[i] = i
+	}
+	f := c.newFleet(nk, kwPos, nk)
 	for i := range q {
 		f.seed(i, seeds[i])
 	}
 
-	nk := len(q)
 	var matches []search.Match
-	// settle records one reported settlement in the mirror and completes
-	// the root once every keyword has settled it. counts is bounded by
+	// settle completes the root once every keyword has settled it (the
+	// mirror write happened in settleArrivals). counts is bounded by
 	// len(q) per member, so uint8 is ample (queries are a handful of
 	// keywords).
 	f.counts = make([][]uint8, f.nb)
-	settle := func(kw, block int, v graph.V, lvl int32) {
+	settle := func(kw, block int, v graph.V) {
 		p := c.plan.pos[v]
-		f.mirrorRow(kw, block)[p] = lvl
 		if f.counts[block] == nil {
 			f.counts[block] = make([]uint8, len(c.plan.blocks[block].members))
 		}
@@ -224,38 +332,36 @@ func (c *Coordinator) SearchBKWS(ctx context.Context, q []graph.Label, k, dmax i
 			err = context.Cause(ctx)
 			break
 		}
-		reqs := f.buildRequests(lvl, dmax)
-		if len(reqs) == 0 {
+		frontiers, total := f.settleArrivals(lvl, settle)
+		if total == 0 {
 			break
 		}
-		roundFrontier := 0
-		for _, resp := range f.runRound(ctx, reqs) {
-			for _, v := range resp.Accepted {
-				settle(resp.Kw, resp.Block, v, lvl)
-			}
-			for _, v := range resp.Next {
-				settle(resp.Kw, resp.Block, v, lvl+1)
-			}
-			if len(resp.Next) > 0 {
-				f.hasNext[resp.Kw*f.nb+resp.Block] = true
-			}
-			roundFrontier += len(resp.Accepted) + len(resp.Next)
-			f.expanded += resp.Expanded
-			f.route(resp)
+		if total > f.frontierPeak {
+			f.frontierPeak = total
 		}
-		if roundFrontier > f.frontierPeak {
-			f.frontierPeak = roundFrontier
-		}
-		// Every settlement still pending (routed injections at lvl+1,
-		// expansions beyond) has level >= lvl+1, so an undiscovered root
-		// completes with score >= lvl+1: once the k-th answer is strictly
-		// better, nothing out there can displace the prefix.
+		// Every settlement still pending has level >= lvl+1, so an
+		// undiscovered root completes with score >= lvl+1: once the k-th
+		// answer is strictly better, nothing out there can displace the
+		// prefix — and the next round need not even be dispatched.
 		if k > 0 && len(matches) >= k {
 			search.SortMatches(matches)
 			if matches[k-1].Score < float64(lvl+1) {
 				earlyStop = true
 				break
 			}
+		}
+		// Vertices at the distance bound are settled — valid witnesses —
+		// but not expanded; and after a terminal shard failure the fleet
+		// settles this round's products, then stops (see runRound).
+		if int(lvl) == dmax || f.lost {
+			break
+		}
+		for _, resp := range f.runRound(ctx, f.buildRequests(lvl, frontiers)) {
+			if resp == nil {
+				continue
+			}
+			f.expanded += resp.Expanded
+			f.absorb(resp)
 		}
 	}
 
@@ -290,51 +396,34 @@ func (c *Coordinator) SearchBidir(ctx context.Context, q []graph.Label, k, dmax 
 			sel = i
 		}
 	}
-	qid := queryID.Add(1)
-	c.srv.BeginQuery(qid, 1)
-	defer c.srv.EndQuery(qid)
-
-	f := c.newFleet(qid, 1)
+	f := c.newFleet(1, []int{sel}, len(q))
 	f.seed(0, c.plan.seedsByBlock(q[sel]))
 
 	var matches []search.Match
 	verified := 0
 	var err error
 	earlyStop := false
-	// carry holds vertices settled at the *next* level by local expansion
-	// (this round's Next), verified once their level comes up.
-	var carry []graph.V
 	for lvl := int32(0); int(lvl) <= dmax; lvl++ {
 		if ctx.Err() != nil {
 			err = context.Cause(ctx)
 			break
 		}
-		reqs := f.buildRequests(lvl, dmax)
-		if len(reqs) == 0 && len(carry) == 0 {
+		var cands []graph.V
+		frontiers, total := f.settleArrivals(lvl, func(_, _ int, v graph.V) {
+			cands = append(cands, v)
+		})
+		if total == 0 {
 			break
 		}
-		cands := carry
-		carry = nil
-		for _, resp := range f.runRound(ctx, reqs) {
-			cands = append(cands, resp.Accepted...)
-			carry = append(carry, resp.Next...)
-			if len(resp.Next) > 0 {
-				f.hasNext[resp.Block] = true
-			}
-			for _, v := range resp.Accepted {
-				f.mirrorRow(0, resp.Block)[c.plan.pos[v]] = lvl
-			}
-			for _, v := range resp.Next {
-				f.mirrorRow(0, resp.Block)[c.plan.pos[v]] = lvl + 1
-			}
-			f.route(resp)
-		}
-		if len(cands) > f.frontierPeak {
-			f.frontierPeak = len(cands)
+		if total > f.frontierPeak {
+			f.frontierPeak = total
 		}
 		// Forward verification dominates bidir's cost and is independent
 		// per candidate: chunk this level's activations across the pool.
 		for _, resp := range f.verifyChunks(ctx, q, dmax, cands) {
+			if resp == nil {
+				continue
+			}
 			matches = append(matches, resp.Matches...)
 			verified += resp.Verified
 		}
@@ -349,6 +438,15 @@ func (c *Coordinator) SearchBidir(ctx context.Context, q []graph.Label, k, dmax 
 				break
 			}
 		}
+		if int(lvl) == dmax || f.lost {
+			break
+		}
+		for _, resp := range f.runRound(ctx, f.buildRequests(lvl, frontiers)) {
+			if resp == nil {
+				continue
+			}
+			f.absorb(resp)
+		}
 	}
 
 	f.expanded += verified // bidir's ledger unit is verification attempts
@@ -360,7 +458,10 @@ func (c *Coordinator) SearchBidir(ctx context.Context, q []graph.Label, k, dmax 
 
 // verifyChunks splits a level's candidates into one VerifyRequest per
 // executor slot (at least verifyChunkMin roots each, so tiny levels do
-// not shatter into per-root calls) and runs them concurrently.
+// not shatter into per-root calls) and runs them concurrently. A chunk
+// that terminally fails drops only its own roots — verification is exact
+// and independent per root, so the rest of the level stays sound; the
+// dropped count lands in the coverage report.
 const verifyChunkMin = 8
 
 func (f *fleet) verifyChunks(ctx context.Context, q []graph.Label, dmax int, roots []graph.V) []*VerifyResponse {
@@ -377,13 +478,25 @@ func (f *fleet) verifyChunks(ctx context.Context, q []graph.Label, dmax int, roo
 		if end > len(roots) {
 			end = len(roots)
 		}
-		reqs = append(reqs, &VerifyRequest{Query: f.qid, Labels: q, DMax: dmax, Roots: roots[off:end]})
+		reqs = append(reqs, &VerifyRequest{Labels: q, DMax: dmax, Roots: roots[off:end]})
 	}
 	f.tasks += len(reqs)
 	resps := make([]*VerifyResponse, len(reqs))
+	errs := make([]error, len(reqs))
 	f.c.exec.Map(len(reqs), func(i, worker int) {
-		resps[i] = f.c.srv.Verify(ctx, reqs[i])
-		f.workerWork[worker] += int64(resps[i].Verified)
+		resp, err := f.c.srv.Verify(ctx, reqs[i])
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		resps[i] = resp
+		f.workerWork[worker] += int64(resp.Verified)
 	})
+	for i, err := range errs {
+		if err == nil || ctx.Err() != nil {
+			continue
+		}
+		f.unverified += len(reqs[i].Roots)
+	}
 	return resps
 }

@@ -1,0 +1,137 @@
+package shard
+
+import (
+	"context"
+	"sort"
+	"sync"
+)
+
+// Coverage accumulates what a query's sharded execution failed to reach:
+// (keyword × block) slots abandoned because every replica of a block
+// failed past budget, and candidate roots whose verification chunk could
+// not be served. The HTTP server installs one per request (like
+// obs.Ledger); the coordinator records losses into it; the response
+// renders it as the "coverage" block next to "degraded":true.
+//
+// A lossy query's results are still sound — every returned match is a
+// true answer of the full graph with its exact score, because all
+// distances settled before the loss are exact and the coordinator stops
+// settling at the first level a loss could distort (see DESIGN.md §9.5).
+// What is lost is completeness: answers in or beyond the unreached region
+// are missing, which is why lossy results are never cached.
+type Coverage struct {
+	mu         sync.Mutex
+	total      int            // blocks in the plan (0 until a loss is recorded)
+	lostByKw   []map[int]bool // query-keyword position -> lost block set
+	unverified int            // candidate roots dropped with their verify chunk
+}
+
+// NewCoverage returns an empty collector.
+func NewCoverage() *Coverage { return &Coverage{} }
+
+type coverageKey struct{}
+
+// ContextWithCoverage returns a context carrying c.
+func ContextWithCoverage(ctx context.Context, c *Coverage) context.Context {
+	return context.WithValue(ctx, coverageKey{}, c)
+}
+
+// CoverageFromContext returns the context's collector, or nil — all
+// Coverage methods are nil-safe, so callers never need to check.
+func CoverageFromContext(ctx context.Context) *Coverage {
+	c, _ := ctx.Value(coverageKey{}).(*Coverage)
+	return c
+}
+
+// lose records that keyword kw (query position) abandoned block, out of
+// total blocks for nk query keywords.
+func (c *Coverage) lose(kw, block, nk, total int) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.total = total
+	if len(c.lostByKw) < nk {
+		grown := make([]map[int]bool, nk)
+		copy(grown, c.lostByKw)
+		c.lostByKw = grown
+	}
+	if c.lostByKw[kw] == nil {
+		c.lostByKw[kw] = map[int]bool{}
+	}
+	c.lostByKw[kw][block] = true
+}
+
+// loseRoots records n candidate roots dropped because their verification
+// chunk could not be served.
+func (c *Coverage) loseRoots(n int) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.unverified += n
+	c.mu.Unlock()
+}
+
+// Lossy reports whether anything was lost.
+func (c *Coverage) Lossy() bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.unverified > 0 || len(c.lostByKw) > 0
+}
+
+// CoverageReport is the JSON-facing snapshot of a lossy query.
+type CoverageReport struct {
+	// BlocksTotal/BlocksLost count plan blocks; a block is lost if any
+	// keyword's expansion abandoned it.
+	BlocksTotal int   `json:"blocks_total"`
+	BlocksLost  int   `json:"blocks_lost"`
+	LostBlocks  []int `json:"lost_blocks,omitempty"`
+	// Fraction is blocks reached / total (1.0 when only verification was
+	// lost).
+	Fraction float64 `json:"fraction"`
+	// PerKeyword is the reached fraction per query keyword position (the
+	// server maps positions to resolved keyword names in the response).
+	PerKeyword []float64 `json:"per_keyword,omitempty"`
+	// RootsUnverified counts bidir candidate roots dropped unverified.
+	RootsUnverified int `json:"roots_unverified,omitempty"`
+}
+
+// Report snapshots the collector; nil when nothing was lost.
+func (c *Coverage) Report() *CoverageReport {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.unverified == 0 && len(c.lostByKw) == 0 {
+		return nil
+	}
+	r := &CoverageReport{
+		BlocksTotal:     c.total,
+		Fraction:        1,
+		RootsUnverified: c.unverified,
+	}
+	if len(c.lostByKw) > 0 && c.total > 0 {
+		union := map[int]bool{}
+		r.PerKeyword = make([]float64, len(c.lostByKw))
+		for kw, lost := range c.lostByKw {
+			for b := range lost {
+				union[b] = true
+			}
+			r.PerKeyword[kw] = float64(c.total-len(lost)) / float64(c.total)
+		}
+		r.BlocksLost = len(union)
+		r.Fraction = float64(c.total-len(union)) / float64(c.total)
+		r.LostBlocks = make([]int, 0, len(union))
+		for b := range union {
+			r.LostBlocks = append(r.LostBlocks, b)
+		}
+		sort.Ints(r.LostBlocks)
+	}
+	return r
+}

@@ -1,0 +1,236 @@
+package shard_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"bigindex/internal/graph"
+	"bigindex/internal/search"
+	"bigindex/internal/search/bidir"
+	"bigindex/internal/search/bkws"
+	"bigindex/internal/shard"
+)
+
+// faulty wraps a ShardServer and terminally fails chosen calls — the
+// in-process stand-in for "every replica of that block is unreachable
+// past budget" (the shardrpc client surfaces exactly this shape).
+type faulty struct {
+	inner        shard.ShardServer
+	failBlock    int  // Expand requests for this block fail (-1: never)
+	failVerify   bool // all Verify requests fail
+	dupResponses bool // serve Expand twice and concatenate the responses
+}
+
+func (f *faulty) Expand(ctx context.Context, req *shard.ExpandRequest) (*shard.ExpandResponse, error) {
+	if req.Block == f.failBlock {
+		return nil, errors.New("injected: block unreachable")
+	}
+	resp, err := f.inner.Expand(ctx, req)
+	if err != nil || !f.dupResponses {
+		return resp, err
+	}
+	again, err := f.inner.Expand(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	resp.Local = append(resp.Local, again.Local...)
+	resp.Outbox = append(resp.Outbox, again.Outbox...)
+	return resp, nil
+}
+
+func (f *faulty) Verify(ctx context.Context, req *shard.VerifyRequest) (*shard.VerifyResponse, error) {
+	if f.failVerify {
+		return nil, errors.New("injected: verify unreachable")
+	}
+	return f.inner.Verify(ctx, req)
+}
+
+// exhaustive returns the sequential algorithm's full answer set keyed by
+// root, for soundness checks against degraded partials.
+func exhaustive(t *testing.T, algo search.Algorithm, g *graph.Graph, q []graph.Label) map[graph.V]search.Match {
+	t.Helper()
+	prep, err := algo.Prepare(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := prep.Search(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byRoot := make(map[graph.V]search.Match, len(all))
+	for _, m := range all {
+		byRoot[m.Root] = m
+	}
+	return byRoot
+}
+
+// TestDuplicatedResponsesHarmless pins the statelessness claim the
+// network retries lean on: a shard that effectively serves every round
+// twice (duplicated Local/Outbox reports) changes nothing — the
+// coordinator's mirror is the only settlement authority.
+func TestDuplicatedResponsesHarmless(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const dmax = 4
+	for trial := 0; trial < 5; trial++ {
+		n := 50 + rng.Intn(200)
+		g := randomGraph(rng, n, 2*n, 5)
+		q := randomQuery(rng, g, 3)
+		for _, mode := range []shard.Mode{shard.ModeBKWS, shard.ModeBidir} {
+			var seq search.Algorithm
+			if mode == shard.ModeBidir {
+				seq = bidir.New(dmax)
+			} else {
+				seq = bkws.New(dmax)
+			}
+			seqPrep, err := seq.Prepare(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := seqPrep.Search(q, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			algo := shard.New(mode, dmax, shard.Options{
+				Workers:   4,
+				BlockSize: 16,
+				Server: func(p *shard.Plan) shard.ShardServer {
+					return &faulty{inner: shard.NewLocal(p), failBlock: -1, dupResponses: true}
+				},
+			})
+			prep, err := algo.Prepare(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := prep.Search(q, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertIdentical(t, fmt.Sprintf("dup/%v", mode), want, got)
+		}
+	}
+}
+
+// TestBlockLossDegradesSoundly kills one block's expansions outright and
+// checks the contract: no error, every returned match is a true answer
+// of the full graph with its exact score, and the coverage collector
+// reports the loss accurately.
+func TestBlockLossDegradesSoundly(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	const dmax = 4
+	for trial := 0; trial < 8; trial++ {
+		n := 80 + rng.Intn(200)
+		g := randomGraph(rng, n, 3*n, 5)
+		q := randomQuery(rng, g, 2)
+		truth := exhaustive(t, bkws.New(dmax), g, q)
+
+		var nb int
+		algo := shard.New(shard.ModeBKWS, dmax, shard.Options{
+			Workers:   4,
+			BlockSize: 16,
+			Server: func(p *shard.Plan) shard.ShardServer {
+				nb = p.NumBlocks()
+				return &faulty{inner: shard.NewLocal(p), failBlock: 1}
+			},
+		})
+		prep, err := algo.Prepare(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cov := shard.NewCoverage()
+		ctx := shard.ContextWithCoverage(context.Background(), cov)
+		got, err := prep.(interface {
+			SearchCtx(context.Context, []graph.Label, int) ([]search.Match, error)
+		}).SearchCtx(ctx, q, 0)
+		if err != nil {
+			t.Fatalf("block loss must degrade, not error: %v", err)
+		}
+		for _, m := range got {
+			want, ok := truth[m.Root]
+			if !ok {
+				t.Fatalf("wrong answer: root %d not in the exhaustive set", m.Root)
+			}
+			if !reflect.DeepEqual(want.Dists, m.Dists) || want.Score != m.Score {
+				t.Fatalf("wrong answer: root %d got dists %v score %v, want %v %v",
+					m.Root, m.Dists, m.Score, want.Dists, want.Score)
+			}
+		}
+		if nb < 2 {
+			continue // single-block plan: block 1 never dispatched
+		}
+		rep := cov.Report()
+		if !cov.Lossy() || rep == nil {
+			// The lost block may legitimately never be dispatched (no
+			// keyword reaches it within dmax); only a dispatched loss
+			// must be reported. Detect by rerunning fault-free: if the
+			// healthy run also never used block 1, silence is correct.
+			healthy := shard.New(shard.ModeBKWS, dmax, shard.Options{Workers: 4, BlockSize: 16})
+			hp, _ := healthy.Prepare(g)
+			hm, _ := hp.Search(q, 0)
+			if len(hm) == len(got) {
+				continue
+			}
+			t.Fatalf("lost answers (%d healthy vs %d degraded) but no coverage report", len(hm), len(got))
+		}
+		if rep.BlocksTotal != nb || rep.BlocksLost < 1 || rep.Fraction >= 1 {
+			t.Fatalf("coverage report wrong: %+v (nb=%d)", rep, nb)
+		}
+		for _, b := range rep.LostBlocks {
+			if b != 1 {
+				t.Fatalf("reported lost block %d, only block 1 was killed", b)
+			}
+		}
+		if len(rep.PerKeyword) != len(q) {
+			t.Fatalf("per-keyword coverage has %d entries, want %d", len(rep.PerKeyword), len(q))
+		}
+	}
+}
+
+// TestVerifyLossDegradesSoundly fails bidir's verification terminally:
+// the query must come back empty-or-sound with RootsUnverified counted,
+// never an error.
+func TestVerifyLossDegradesSoundly(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	const dmax = 4
+	g := randomGraph(rng, 200, 600, 5)
+	q := randomQuery(rng, g, 2)
+	truth := exhaustive(t, bidir.New(dmax), g, q)
+
+	algo := shard.New(shard.ModeBidir, dmax, shard.Options{
+		Workers:   4,
+		BlockSize: 16,
+		Server: func(p *shard.Plan) shard.ShardServer {
+			return &faulty{inner: shard.NewLocal(p), failBlock: -1, failVerify: true}
+		},
+	})
+	prep, err := algo.Prepare(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov := shard.NewCoverage()
+	ctx := shard.ContextWithCoverage(context.Background(), cov)
+	got, err := prep.(interface {
+		SearchCtx(context.Context, []graph.Label, int) ([]search.Match, error)
+	}).SearchCtx(ctx, q, 0)
+	if err != nil {
+		t.Fatalf("verify loss must degrade, not error: %v", err)
+	}
+	for _, m := range got {
+		if _, ok := truth[m.Root]; !ok {
+			t.Fatalf("wrong answer: root %d not in the exhaustive set", m.Root)
+		}
+	}
+	if len(truth) == 0 {
+		return // nothing to verify, nothing to lose
+	}
+	rep := cov.Report()
+	if rep == nil || rep.RootsUnverified == 0 {
+		t.Fatalf("all verification failed yet coverage reports %+v", rep)
+	}
+	if rep.Fraction != 1 || rep.BlocksLost != 0 {
+		t.Fatalf("verify-only loss must keep block coverage full: %+v", rep)
+	}
+}

@@ -71,101 +71,32 @@ func (e *Executor) Map(n int, fn func(i, worker int)) {
 }
 
 // Local is the in-process ShardServer: all blocks of one plan served from
-// shared memory. Per-query state is keyed by the coordinator-chosen query
-// id; within a query, the coordinator never has two requests for the same
-// (keyword, block) in flight, so the state rows need no locking — only
-// the query table itself is guarded.
+// shared memory. It is stateless — every request carries its whole input
+// and the plan is immutable — so one Local value serves any number of
+// concurrent queries, rounds, and retries with no locking at all.
 type Local struct {
-	plan    *Plan
-	mu      sync.Mutex
-	queries map[uint64]*queryState
+	plan *Plan
 }
 
 // NewLocal serves every block of plan in-process.
 func NewLocal(plan *Plan) *Local {
-	return &Local{plan: plan, queries: map[uint64]*queryState{}}
+	return &Local{plan: plan}
 }
 
-// queryState is one query's shard-side state: per-(keyword, block)
-// settled-distance arrays (dist) and the locally settled frontier held
-// over to the next round (next). Outer slices are sized at BeginQuery;
-// inner rows are allocated lazily by the single request that owns the
-// (keyword, block) slot, so concurrent rounds touch disjoint elements.
-type queryState struct {
-	nb   int
-	dist [][]int32
-	next [][]graph.V
-}
-
-func (st *queryState) row(kw, block, members int) []int32 {
-	i := kw*st.nb + block
-	if st.dist[i] == nil {
-		d := make([]int32, members)
-		for j := range d {
-			d[j] = -1
-		}
-		st.dist[i] = d
-	}
-	return st.dist[i]
-}
-
-// BeginQuery implements ShardServer.
-func (l *Local) BeginQuery(id uint64, numKeywords int) {
-	nb := l.plan.NumBlocks()
-	st := &queryState{
-		nb:   nb,
-		dist: make([][]int32, numKeywords*nb),
-		next: make([][]graph.V, numKeywords*nb),
-	}
-	l.mu.Lock()
-	l.queries[id] = st
-	l.mu.Unlock()
-}
-
-// EndQuery implements ShardServer.
-func (l *Local) EndQuery(id uint64) {
-	l.mu.Lock()
-	delete(l.queries, id)
-	l.mu.Unlock()
-}
-
-func (l *Local) state(id uint64) *queryState {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.queries[id]
-}
-
-// Expand implements ShardServer: settle injected candidates, expand the
-// round's frontier one hop along block-local in-edges, and report portal
-// crossings. On cancellation the loop drains early: everything already
-// settled is still reported (the coordinator's bookkeeping must mirror
-// shard state exactly), the rest of the frontier is simply abandoned —
-// sound, incomplete, like every degraded path.
-func (l *Local) Expand(ctx context.Context, req *ExpandRequest) *ExpandResponse {
-	st := l.state(req.Query)
+// Expand implements ShardServer: scan the frontier's block-local
+// in-adjacency, reporting in-block neighbors (deduplicated within this
+// response — the coordinator's mirror handles cross-round duplicates) and
+// portal crossings. On cancellation the loop drains early: everything
+// already scanned is still reported, the rest of the frontier is simply
+// abandoned — sound, incomplete, like every degraded path.
+func (l *Local) Expand(ctx context.Context, req *ExpandRequest) (*ExpandResponse, error) {
 	bi := &l.plan.blocks[req.Block]
-	dist := st.row(req.Kw, req.Block, len(bi.members))
 	resp := &ExpandResponse{Kw: req.Kw, Block: req.Block}
 
-	slot := req.Kw*st.nb + req.Block
-	frontier := st.next[slot]
-	st.next[slot] = nil
-	for _, v := range req.Inject {
-		p := l.plan.pos[v]
-		if dist[p] == -1 {
-			dist[p] = req.Level
-			resp.Accepted = append(resp.Accepted, v)
-			frontier = append(frontier, v)
-		}
-	}
-	if !req.Expand {
-		return resp
-	}
-
 	cancel := search.NewCanceller(ctx)
-	var next []graph.V
+	seen := make([]bool, len(bi.members))
 	var remoteSeen map[graph.V]bool
-	for _, v := range frontier {
+	for _, v := range req.Frontier {
 		if cancel.Cancelled() {
 			break
 		}
@@ -173,9 +104,9 @@ func (l *Local) Expand(ctx context.Context, req *ExpandRequest) *ExpandResponse 
 		p := l.plan.pos[v]
 		for _, u := range bi.localAdj[bi.localOff[p]:bi.localOff[p+1]] {
 			up := l.plan.pos[u]
-			if dist[up] == -1 {
-				dist[up] = req.Level + 1
-				next = append(next, u)
+			if !seen[up] {
+				seen[up] = true
+				resp.Local = append(resp.Local, u)
 			}
 		}
 		remote := bi.remoteAdj[bi.remoteOff[p]:bi.remoteOff[p+1]]
@@ -189,16 +120,14 @@ func (l *Local) Expand(ctx context.Context, req *ExpandRequest) *ExpandResponse 
 			}
 		}
 	}
-	st.next[slot] = next
-	resp.Next = next
-	return resp
+	return resp, nil
 }
 
 // Verify implements ShardServer: bidir's forward verification for a chunk
 // of candidate roots, each an independent bounded BFS over the immutable
 // graph. Matches keep MinDistToLabels' deterministic smallest-ID witness
 // tie-break, so they are byte-identical to the sequential path's.
-func (l *Local) Verify(ctx context.Context, req *VerifyRequest) *VerifyResponse {
+func (l *Local) Verify(ctx context.Context, req *VerifyRequest) (*VerifyResponse, error) {
 	resp := &VerifyResponse{}
 	cancel := search.NewCanceller(ctx)
 	for _, r := range req.Roots {
@@ -221,5 +150,5 @@ func (l *Local) Verify(ctx context.Context, req *VerifyRequest) *VerifyResponse 
 			Score: float64(sum),
 		})
 	}
-	return resp
+	return resp, nil
 }

@@ -18,11 +18,15 @@
 //     root can beat the current k-th answer.
 //
 // The Coordinator talks to shards exclusively through the request/response
-// structs below (ShardServer) — no shared mutable per-query state crosses
-// that boundary. This is deliberately the stage-2 seam: a network shard
-// server implementing ShardServer over RPC drops in behind the same
-// Coordinator (see DESIGN.md §9). Stage 1 runs everything in-process
-// (Local), where "RPC" is a function call and the plan is shared memory.
+// structs below (ShardServer), and the protocol is stateless by design:
+// an ExpandRequest carries the exact frontier to expand, and the shard
+// answers from the immutable plan alone — no per-query state lives on the
+// shard side. Statelessness is what makes the network boundary
+// (internal/shardrpc) survivable: a round request is a pure function of
+// (plan, request), so it can be retried, duplicated, hedged, or failed
+// over to a different replica mid-query with no resynchronization and no
+// risk of double-counting — the coordinator's mirror is the only
+// authority on what is settled (see DESIGN.md §9).
 //
 // Answers are byte-identical to the sequential bkws/bidir paths at every
 // worker count: the level-synchronous rounds compute the same exact BFS
@@ -57,6 +61,12 @@ type Options struct {
 	// server shares one cache across worker-count variants so the plan is
 	// built once per index version, not once per &shards= value).
 	Cache *PlanCache
+	// Server, when non-nil, supplies the ShardServer a prepared search's
+	// coordinator dispatches to for the given plan — the stage-2 hook: the
+	// HTTP server plugs in a shardrpc client here when remote peers are
+	// configured and the plan's graph matches what they serve. Returning
+	// nil falls back to the in-process Local, as does leaving Server nil.
+	Server func(*Plan) ShardServer
 	// Metrics, when non-nil, receives the bigindex_shard_* counters.
 	Metrics *Metrics
 }
@@ -68,29 +78,24 @@ func (o Options) blockSize() int {
 	return o.BlockSize
 }
 
-// ExpandRequest asks the shard owning Block to run one level-synchronous
-// round of keyword Kw's backward expansion.
+// ExpandRequest asks the shard owning Block to expand one frontier of
+// keyword Kw's backward expansion one hop along block-local in-edges.
 //
-// Inject lists vertices of the block discovered from other blocks (portal
-// crossings routed by the coordinator) as candidates at distance Level;
-// the shard settles the not-yet-seen ones. The round's frontier is those
-// newly settled injections plus the block-local vertices the shard itself
-// settled at Level during the previous round (kept in shard state, never
-// round-tripped). When Expand is set the shard expands the frontier one
-// hop along block-local in-edges; crossings out of the block are returned
-// in Outbox for the coordinator to route.
+// Frontier lists the block's vertices the coordinator settled at distance
+// Level this round — the complete input; the shard holds no memory of
+// earlier rounds. The response reports every in-block in-neighbor reached
+// (Local) and every crossing out of the block (Outbox); the coordinator
+// alone decides which of those are new settlements. Because the request
+// carries its whole input and the plan is immutable, Expand is idempotent
+// and replica-agnostic: the same request sent twice, to two replicas, or
+// to a replica that never saw rounds 0..Level-1 returns the same answer.
 type ExpandRequest struct {
-	Query uint64
 	Kw    int
 	Block int
 	Level int32
-	// Inject is empty for most rounds of most blocks; round 0 injects the
-	// keyword's posting-list seeds at Level 0.
-	Inject []graph.V
-	// Expand is false on the final (Level == dmax) round: vertices at the
-	// distance bound are settled — they are valid witnesses — but not
-	// expanded further.
-	Expand bool
+	// Frontier is non-empty: slots with nothing newly settled get no
+	// request at all.
+	Frontier []graph.V
 }
 
 // PortalMsg is one frontier crossing: vertex V (owned by Block) was
@@ -101,17 +106,17 @@ type PortalMsg struct {
 	Block int32
 }
 
-// ExpandResponse reports one round's outcome. Every vertex the shard
-// settled this round appears exactly once — in Accepted (settled at the
-// request's Level, from Inject) or in Next (settled at Level+1 by local
-// expansion) — which is what lets the coordinator keep exact Σdist
-// bookkeeping without sharing memory with the shard.
+// ExpandResponse reports one round's outcome: the frontier's in-block
+// in-neighbors (Local, deduplicated within the response — settlement
+// candidates at Level+1 in the same block) and the portal crossings
+// (Outbox). The shard cannot know which candidates the coordinator
+// already settled in earlier rounds; the coordinator's mirror filters
+// duplicates, which is what keeps the protocol stateless.
 type ExpandResponse struct {
-	Kw       int
-	Block    int
-	Accepted []graph.V
-	Next     []graph.V
-	Outbox   []PortalMsg
+	Kw     int
+	Block  int
+	Local  []graph.V
+	Outbox []PortalMsg
 	// Expanded counts frontier vertices whose adjacency was scanned (the
 	// ledger's vertices-expanded unit).
 	Expanded int
@@ -120,11 +125,9 @@ type ExpandResponse struct {
 // VerifyRequest asks a shard to verify candidate roots by forward
 // expansion (bidir's verification phase): exact minimum distances from
 // each root to every query label within DMax. Verification reads only the
-// immutable graph, so any shard can serve any root; in stage 2 the layer-0
-// CSR is replicated (or verification is itself fanned out), recorded as
-// part of the seam in DESIGN.md §9.
+// immutable graph, so any shard or replica can serve any root — like
+// Expand it is a pure function of the plan, retryable and hedgeable.
 type VerifyRequest struct {
-	Query  uint64
 	Labels []graph.Label
 	DMax   int
 	Roots  []graph.V
@@ -137,15 +140,16 @@ type VerifyResponse struct {
 	Verified int
 }
 
-// ShardServer is the coordinator-facing boundary. BeginQuery/EndQuery
-// bracket one query's distributed state (per-block distance arrays and
-// held-over local frontiers), keyed by a coordinator-chosen id so
-// concurrent queries never share state.
+// ShardServer is the coordinator-facing boundary. Both calls are pure
+// functions of the immutable plan and the request. An error means the
+// shard could not serve the request at all (network failure, every
+// replica down, mismatched graph); a served-but-cancelled request returns
+// a partial response and no error. The in-process Local never fails; the
+// shardrpc client surfaces terminal transport failures here, and the
+// coordinator turns them into coverage loss, never into wrong answers.
 type ShardServer interface {
-	BeginQuery(id uint64, numKeywords int)
-	Expand(ctx context.Context, req *ExpandRequest) *ExpandResponse
-	Verify(ctx context.Context, req *VerifyRequest) *VerifyResponse
-	EndQuery(id uint64)
+	Expand(ctx context.Context, req *ExpandRequest) (*ExpandResponse, error)
+	Verify(ctx context.Context, req *VerifyRequest) (*VerifyResponse, error)
 }
 
 // Metrics is the bigindex_shard_* instrument set, shared by every sharded
@@ -155,6 +159,7 @@ type Metrics struct {
 	Tasks   *obs.Counter    // per-(keyword × block) expansion rounds dispatched
 	Portal  *obs.Counter    // portal-crossing frontier messages routed
 	Rounds  *obs.Histogram  // level-synchronous rounds per sharded search
+	Lost    *obs.Counter    // (keyword × block) slots abandoned to shard failure
 }
 
 // NewMetrics registers the shard metrics on reg.
@@ -169,5 +174,7 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		Rounds: reg.Histogram("bigindex_shard_rounds",
 			"Level-synchronous rounds per sharded search.",
 			[]float64{1, 2, 3, 4, 5, 6, 8, 12, 16}),
+		Lost: reg.Counter("bigindex_shard_lost_blocks_total",
+			"Blocks abandoned mid-query because every replica failed past budget."),
 	}
 }

@@ -1,0 +1,756 @@
+package shardrpc
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bigindex/internal/obs"
+	"bigindex/internal/retry"
+	"bigindex/internal/shard"
+)
+
+// Client resilience defaults.
+const (
+	defaultDialTimeout    = 500 * time.Millisecond
+	defaultCallTimeout    = 2 * time.Second
+	defaultMinAttempt     = 25 * time.Millisecond
+	defaultMaxAttempts    = 4
+	defaultBackoffMin     = 10 * time.Millisecond
+	defaultBackoffMax     = 250 * time.Millisecond
+	defaultBreakThreshold = 3
+	defaultBreakCooldown  = time.Second
+	defaultHedgeDelay     = 50 * time.Millisecond // until p99 samples exist
+	minHedgeDelay         = 2 * time.Millisecond
+	maxHedgeDelay         = 200 * time.Millisecond
+	latWindowSize         = 128
+)
+
+// Metrics is the client-side instrument set.
+type Metrics struct {
+	Calls        *obs.CounterVec   // op, outcome: ok|remote_error|network_error
+	Retries      *obs.Counter      // attempts beyond the first
+	Hedges       *obs.CounterVec   // outcome: won|lost
+	BreakerOpens *obs.Counter      // closed/half-open -> open transitions
+	Seconds      *obs.HistogramVec // op
+}
+
+// NewMetrics registers the bigindex_shardrpc_* metrics on reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		Calls: reg.CounterVec("bigindex_shardrpc_calls_total",
+			"Shard RPC attempts by operation and outcome.", "op", "outcome"),
+		Retries: reg.Counter("bigindex_shardrpc_retries_total",
+			"Shard RPC attempts beyond the first for a call."),
+		Hedges: reg.CounterVec("bigindex_shardrpc_hedges_total",
+			"Hedged shard RPC attempts by outcome.", "outcome"),
+		BreakerOpens: reg.Counter("bigindex_shardrpc_breaker_opens_total",
+			"Per-peer circuit breaker open transitions."),
+		Seconds: reg.HistogramVec("bigindex_shardrpc_call_seconds",
+			"Shard RPC attempt latency by operation.", nil, "op"),
+	}
+}
+
+// ClientOptions configures a Client. Zero values take the defaults above.
+type ClientOptions struct {
+	Peers []Peer
+	// BlockSize is the partition size the coordinator plans with; peers
+	// advertising a different one are treated as not serving the plan.
+	BlockSize int
+
+	DialTimeout time.Duration
+	// CallTimeout bounds a whole call (all attempts) when the context
+	// carries no deadline of its own.
+	CallTimeout time.Duration
+	// MinAttemptTimeout floors the per-attempt slice carved from the
+	// remaining budget, so many retries cannot starve each attempt below
+	// a useful deadline.
+	MinAttemptTimeout time.Duration
+	// MaxAttempts caps attempts per call (first try included). Raised to
+	// 2×len(peers) for the block when smaller, so every replica gets a
+	// second chance before the call degrades.
+	MaxAttempts int
+
+	Backoff          retry.BackoffOptions
+	BreakerThreshold int64
+	BreakerCooldown  time.Duration
+
+	// Hedge fires a second attempt at a different replica when the first
+	// is slower than the observed p99 — tail latency insurance, sound
+	// because requests are pure.
+	Hedge bool
+	// HedgeDelay overrides the p99-derived hedge delay (0: derive).
+	HedgeDelay time.Duration
+
+	// MaxIdleConns caps pooled connections per peer.
+	MaxIdleConns int
+
+	// Dial replaces net.DialTimeout — the fault-injection hook.
+	Dial func(addr string, timeout time.Duration) (net.Conn, error)
+
+	Metrics *Metrics
+	Logger  *slog.Logger
+}
+
+// PeerHealth is one peer's snapshot for /stats and /readyz.
+type PeerHealth struct {
+	Addr    string `json:"addr"`
+	Blocks  string `json:"blocks"`
+	State   string `json:"state"` // healthy | degraded | open-breaker
+	Fails   int64  `json:"fails"`
+	Calls   int64  `json:"calls"`
+	LastErr string `json:"last_error,omitempty"`
+}
+
+// Client fans shard rounds out to replica peers, surviving slow, dead,
+// lying, and half-open networks: per-attempt deadlines carved from the
+// caller's budget, retries with full-jitter backoff, failover across
+// replicas, optional hedging, and a circuit breaker per peer.
+type Client struct {
+	opt   ClientOptions
+	peers []*peer
+	rr    atomic.Uint64 // round-robin cursor, decorrelates replica choice
+	lat   latWindow
+	// knownBlocks is the block count learned from hellos, for
+	// CoverageFloor before any plan is bound.
+	knownBlocks atomic.Int64
+	closed      atomic.Bool
+}
+
+// NewClient builds a client over the configured peers.
+func NewClient(opt ClientOptions) *Client {
+	if opt.DialTimeout <= 0 {
+		opt.DialTimeout = defaultDialTimeout
+	}
+	if opt.CallTimeout <= 0 {
+		opt.CallTimeout = defaultCallTimeout
+	}
+	if opt.MinAttemptTimeout <= 0 {
+		opt.MinAttemptTimeout = defaultMinAttempt
+	}
+	if opt.MaxAttempts <= 0 {
+		opt.MaxAttempts = defaultMaxAttempts
+	}
+	if opt.Backoff.Min <= 0 {
+		opt.Backoff.Min = defaultBackoffMin
+	}
+	if opt.Backoff.Max <= 0 {
+		opt.Backoff.Max = defaultBackoffMax
+	}
+	opt.Backoff.Full = true // AWS-style full jitter for RPC storms
+	if opt.BreakerThreshold <= 0 {
+		opt.BreakerThreshold = defaultBreakThreshold
+	}
+	if opt.BreakerCooldown <= 0 {
+		opt.BreakerCooldown = defaultBreakCooldown
+	}
+	if opt.MaxIdleConns <= 0 {
+		opt.MaxIdleConns = 2
+	}
+	if opt.BlockSize <= 0 {
+		opt.BlockSize = shard.DefaultBlockSize
+	}
+	if opt.Dial == nil {
+		opt.Dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	if opt.Logger == nil {
+		opt.Logger = obs.DiscardLogger()
+	}
+	c := &Client{opt: opt}
+	for _, p := range opt.Peers {
+		c.peers = append(c.peers, &peer{
+			addr: p.Addr,
+			spec: p.Spec,
+			breaker: retry.NewBreaker(retry.BreakerOptions{
+				Threshold: opt.BreakerThreshold,
+				Cooldown:  opt.BreakerCooldown,
+			}),
+		})
+	}
+	return c
+}
+
+// Peers reports the configured peer count.
+func (c *Client) Peers() int { return len(c.peers) }
+
+// Close drops all pooled connections. In-flight attempts finish on their
+// own deadlines.
+func (c *Client) Close() {
+	c.closed.Store(true)
+	for _, p := range c.peers {
+		p.mu.Lock()
+		for _, pc := range p.idle {
+			pc.conn.Close()
+		}
+		p.idle = nil
+		p.mu.Unlock()
+	}
+}
+
+// --- peer state ---
+
+type peer struct {
+	addr    string
+	spec    BlockSpec
+	breaker *retry.Breaker
+
+	mu   sync.Mutex
+	idle []*pconn
+
+	hello atomic.Pointer[HelloInfo] // cached, cleared on transport error
+	calls atomic.Int64
+
+	errMu   sync.Mutex
+	lastErr string
+}
+
+func (p *peer) noteErr(err error) {
+	p.errMu.Lock()
+	p.lastErr = err.Error()
+	p.errMu.Unlock()
+}
+
+func (p *peer) lastError() string {
+	p.errMu.Lock()
+	defer p.errMu.Unlock()
+	return p.lastErr
+}
+
+// pconn is one pooled connection with its per-connection reqID sequence.
+type pconn struct {
+	conn   net.Conn
+	r      *bufio.Reader
+	w      *bufio.Writer
+	nextID uint64
+}
+
+func (c *Client) getConn(p *peer, timeout time.Duration) (*pconn, error) {
+	p.mu.Lock()
+	if n := len(p.idle); n > 0 {
+		pc := p.idle[n-1]
+		p.idle = p.idle[:n-1]
+		p.mu.Unlock()
+		return pc, nil
+	}
+	p.mu.Unlock()
+	if timeout > c.opt.DialTimeout {
+		timeout = c.opt.DialTimeout
+	}
+	conn, err := c.opt.Dial(p.addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return &pconn{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn), nextID: 1}, nil
+}
+
+func (c *Client) putConn(p *peer, pc *pconn) {
+	pc.conn.SetDeadline(time.Time{})
+	p.mu.Lock()
+	if !c.closed.Load() && len(p.idle) < c.opt.MaxIdleConns {
+		p.idle = append(p.idle, pc)
+		p.mu.Unlock()
+		return
+	}
+	p.mu.Unlock()
+	pc.conn.Close()
+}
+
+// --- single attempt ---
+
+type attemptResult struct {
+	payload []byte
+	err     error
+	peer    *peer
+}
+
+// attempt performs one request/response exchange against p within
+// timeout. The deadline rides on the socket, so a black-holed peer cannot
+// hold the attempt past its slice.
+func (c *Client) attempt(p *peer, mt byte, payload []byte, wantType byte, timeout time.Duration) ([]byte, error) {
+	pc, err := c.getConn(p, timeout)
+	if err != nil {
+		return nil, err
+	}
+	reqID := pc.nextID
+	pc.nextID++
+	pc.conn.SetDeadline(time.Now().Add(timeout))
+	if err := writeFrame(pc.w, mt, reqID, payload); err != nil {
+		pc.conn.Close()
+		return nil, err
+	}
+	if err := pc.w.Flush(); err != nil {
+		pc.conn.Close()
+		return nil, err
+	}
+	for {
+		fr, err := readFrame(pc.r)
+		if err != nil {
+			pc.conn.Close()
+			return nil, err
+		}
+		if fr.reqID < reqID {
+			continue // duplicate of an older response: drop the frame
+		}
+		if fr.reqID > reqID {
+			pc.conn.Close()
+			return nil, fmt.Errorf("shardrpc: response for request %d, awaiting %d", fr.reqID, reqID)
+		}
+		switch fr.msgType {
+		case wantType:
+			c.putConn(p, pc)
+			return fr.payload, nil
+		case msgErr:
+			err := decodeErr(fr.payload)
+			c.putConn(p, pc)
+			return nil, err
+		default:
+			pc.conn.Close()
+			return nil, fmt.Errorf("shardrpc: unexpected response type %d", fr.msgType)
+		}
+	}
+}
+
+// attemptAsync runs attempt in the background and settles its bookkeeping
+// (breaker, metrics, latency window) itself — so an abandoned hedge or a
+// caller that gave up on the context still updates peer health correctly.
+func (c *Client) attemptAsync(p *peer, op string, mt byte, payload []byte, wantType byte, timeout time.Duration) <-chan attemptResult {
+	ch := make(chan attemptResult, 1)
+	go func() {
+		start := time.Now()
+		out, err := c.attempt(p, mt, payload, wantType, timeout)
+		c.settle(p, op, err, time.Since(start))
+		ch <- attemptResult{payload: out, err: err, peer: p}
+	}()
+	return ch
+}
+
+func (c *Client) settle(p *peer, op string, err error, elapsed time.Duration) {
+	p.calls.Add(1)
+	m := c.opt.Metrics
+	if m != nil {
+		m.Seconds.With(op).Observe(elapsed.Seconds())
+	}
+	var re *RemoteError
+	switch {
+	case err == nil:
+		p.breaker.Success()
+		c.lat.observe(elapsed)
+		if m != nil {
+			m.Calls.With(op, "ok").Inc()
+		}
+	case errors.As(err, &re):
+		// The peer answered: it is alive, whatever it said. Misrouted or
+		// stale peers are a config problem, not a liveness one — opening
+		// the breaker would just hide the evidence.
+		p.breaker.Success()
+		p.noteErr(err)
+		if m != nil {
+			m.Calls.With(op, "remote_error").Inc()
+		}
+	default:
+		if opened := p.breaker.Failure(); opened {
+			if m != nil {
+				m.BreakerOpens.Inc()
+			}
+			c.opt.Logger.Warn("shardrpc: peer breaker opened", "peer", p.addr, "err", err)
+		}
+		p.noteErr(err)
+		p.hello.Store(nil) // the process may come back with different data
+		if m != nil {
+			m.Calls.With(op, "network_error").Inc()
+		}
+	}
+}
+
+// --- call: retry, failover, hedging, budget ---
+
+// replicasFor lists the peers serving block (block < 0: every peer — used
+// for Verify, which any replica of the full graph can answer).
+func (c *Client) replicasFor(block int) []*peer {
+	out := make([]*peer, 0, len(c.peers))
+	for _, p := range c.peers {
+		if block < 0 || p.spec.Covers(block) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// terminal reports errors that retrying cannot fix anywhere: the request
+// itself is wrong.
+func terminal(err error) bool {
+	var re *RemoteError
+	return errors.As(err, &re) && re.Code == ErrCodeBadRequest
+}
+
+// call runs one idempotent exchange against block's replicas until it
+// succeeds, the budget runs out, or every attempt is spent. The caller's
+// remaining context budget is carved evenly across the attempts still
+// available, floored at MinAttemptTimeout — so one black-holed replica
+// cannot eat the whole deadline that failover needed.
+func (c *Client) call(ctx context.Context, op string, block int, mt byte, payload []byte, wantType byte) ([]byte, error) {
+	replicas := c.replicasFor(block)
+	if len(replicas) == 0 {
+		return nil, fmt.Errorf("shardrpc: no peer serves block %d", block)
+	}
+	maxAttempts := c.opt.MaxAttempts
+	if n := 2 * len(replicas); maxAttempts < n {
+		maxAttempts = n
+	}
+	// The call budget is the earlier of the context deadline and the
+	// per-call cap — so one dead block costs the coordinator at most
+	// CallTimeout per round, leaving deadline headroom to settle what
+	// survived and return a degraded (but in-time) answer.
+	budgetEnd := time.Now().Add(c.opt.CallTimeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(budgetEnd) {
+		budgetEnd = d
+	}
+	bo := retry.New(c.opt.Backoff)
+	start := int(c.rr.Add(1))
+	var lastErr error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		remaining := time.Until(budgetEnd)
+		if remaining <= 0 {
+			break
+		}
+		var p *peer
+		for i := 0; i < len(replicas); i++ {
+			cand := replicas[(start+attempt+i)%len(replicas)]
+			if cand.breaker.Allow() {
+				p = cand
+				break
+			}
+		}
+		if p == nil {
+			lastErr = fmt.Errorf("shardrpc: all %d replicas of block %d have open breakers", len(replicas), block)
+			break
+		}
+		if attempt > 0 && c.opt.Metrics != nil {
+			c.opt.Metrics.Retries.Inc()
+		}
+		slice := attemptSlice(remaining, maxAttempts-attempt, c.opt.MinAttemptTimeout)
+		res := c.oneAttempt(ctx, p, replicas, op, mt, payload, wantType, slice, attempt == 0)
+		if res.err == nil {
+			return res.payload, nil
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if terminal(res.err) {
+			return nil, res.err
+		}
+		lastErr = res.err
+		// Backoff before the next attempt — full jitter, skipped when the
+		// sleep would outlive the budget anyway.
+		if attempt+1 < maxAttempts {
+			d := bo.Delay(attempt)
+			if d >= time.Until(budgetEnd) {
+				continue // next loop iteration will see remaining <= 0 or try a last cheap attempt
+			}
+			t := time.NewTimer(d)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return nil, ctx.Err()
+			case <-t.C:
+			}
+		}
+	}
+	if lastErr == nil {
+		lastErr = ctx.Err()
+		if lastErr == nil {
+			lastErr = fmt.Errorf("shardrpc: call budget exhausted")
+		}
+	}
+	return nil, fmt.Errorf("shardrpc: block %d unavailable after retries: %w", block, lastErr)
+}
+
+// attemptSlice carves the per-attempt deadline from the remaining budget.
+func attemptSlice(remaining time.Duration, attemptsLeft int, floor time.Duration) time.Duration {
+	if attemptsLeft < 1 {
+		attemptsLeft = 1
+	}
+	slice := remaining / time.Duration(attemptsLeft)
+	if slice < floor {
+		slice = floor
+	}
+	if slice > remaining {
+		slice = remaining
+	}
+	return slice
+}
+
+// oneAttempt runs a single attempt, optionally hedged: when the primary
+// is slower than the p99-derived delay, a second replica gets the same
+// pure request and the first answer wins. The loser's goroutine settles
+// its own bookkeeping whenever it finishes.
+func (c *Client) oneAttempt(ctx context.Context, p *peer, replicas []*peer, op string, mt byte, payload []byte, wantType byte, timeout time.Duration, allowHedge bool) attemptResult {
+	primary := c.attemptAsync(p, op, mt, payload, wantType, timeout)
+	var hedge *peer
+	if allowHedge && c.opt.Hedge {
+		for _, cand := range replicas {
+			if cand != p && cand.breaker.Allow() {
+				hedge = cand
+				break
+			}
+		}
+	}
+	if hedge == nil {
+		select {
+		case res := <-primary:
+			return res
+		case <-ctx.Done():
+			return attemptResult{err: ctx.Err()}
+		}
+	}
+	timer := time.NewTimer(c.hedgeDelay())
+	defer timer.Stop()
+	select {
+	case res := <-primary:
+		return res
+	case <-ctx.Done():
+		return attemptResult{err: ctx.Err()}
+	case <-timer.C:
+	}
+	second := c.attemptAsync(hedge, op, mt, payload, wantType, timeout)
+	var firstErr attemptResult
+	for i := 0; i < 2; i++ {
+		var res attemptResult
+		select {
+		case res = <-primary:
+		case res = <-second:
+		case <-ctx.Done():
+			return attemptResult{err: ctx.Err()}
+		}
+		if res.err == nil {
+			if m := c.opt.Metrics; m != nil {
+				if res.peer == hedge {
+					m.Hedges.With("won").Inc()
+				} else {
+					m.Hedges.With("lost").Inc()
+				}
+			}
+			return res
+		}
+		if i == 0 {
+			firstErr = res
+		}
+	}
+	return firstErr
+}
+
+func (c *Client) hedgeDelay() time.Duration {
+	if c.opt.HedgeDelay > 0 {
+		return c.opt.HedgeDelay
+	}
+	d := c.lat.p99()
+	if d == 0 {
+		return defaultHedgeDelay
+	}
+	if d < minHedgeDelay {
+		d = minHedgeDelay
+	}
+	if d > maxHedgeDelay {
+		d = maxHedgeDelay
+	}
+	return d
+}
+
+// --- latency window (hedge delay source) ---
+
+type latWindow struct {
+	mu  sync.Mutex
+	buf [latWindowSize]time.Duration
+	n   int // filled
+	i   int // next slot
+}
+
+func (l *latWindow) observe(d time.Duration) {
+	l.mu.Lock()
+	l.buf[l.i] = d
+	l.i = (l.i + 1) % len(l.buf)
+	if l.n < len(l.buf) {
+		l.n++
+	}
+	l.mu.Unlock()
+}
+
+func (l *latWindow) p99() time.Duration {
+	l.mu.Lock()
+	n := l.n
+	samples := make([]time.Duration, n)
+	copy(samples, l.buf[:n])
+	l.mu.Unlock()
+	if n == 0 {
+		return 0
+	}
+	sort.Slice(samples, func(a, b int) bool { return samples[a] < samples[b] })
+	idx := n * 99 / 100
+	if idx >= n {
+		idx = n - 1
+	}
+	return samples[idx]
+}
+
+// --- hello / plan binding ---
+
+// helloPeer returns the peer's advertisement, cached until a transport
+// error suggests the process behind the address may have changed.
+func (c *Client) helloPeer(p *peer) (HelloInfo, error) {
+	if info := p.hello.Load(); info != nil {
+		return *info, nil
+	}
+	res := <-c.attemptAsync(p, "hello", msgHello, nil, msgHelloOK, c.opt.DialTimeout)
+	if res.err != nil {
+		return HelloInfo{}, res.err
+	}
+	info, err := decodeHelloOK(res.payload)
+	if err != nil {
+		return HelloInfo{}, err
+	}
+	p.hello.Store(&info)
+	c.knownBlocks.Store(int64(info.Blocks))
+	return info, nil
+}
+
+// ServesPlan reports whether this fleet can serve the plan: at least one
+// reachable peer advertises the same digest, block count, and block size.
+// When no peer is reachable at all it reports true — optimistically, so a
+// transient full outage degrades queries (with coverage annotations)
+// instead of silently reverting to a mode the operator didn't configure;
+// the per-request digest check keeps optimism sound.
+func (c *Client) ServesPlan(plan *shard.Plan) bool {
+	digest := plan.Graph().Digest()
+	nb := plan.NumBlocks()
+	reachable, matched := 0, 0
+	for _, p := range c.peers {
+		info, err := c.helloPeer(p)
+		if err != nil {
+			continue
+		}
+		reachable++
+		if info.Digest == digest && info.Blocks == nb && info.BlockSize == c.opt.BlockSize {
+			matched++
+		}
+	}
+	if reachable == 0 {
+		return true
+	}
+	return matched > 0
+}
+
+// For binds the client to a plan, yielding the shard.ShardServer the
+// coordinator dispatches rounds through.
+func (c *Client) For(plan *shard.Plan) shard.ShardServer {
+	c.knownBlocks.Store(int64(plan.NumBlocks()))
+	return &bound{c: c, digest: plan.Graph().Digest(), nb: plan.NumBlocks()}
+}
+
+type bound struct {
+	c      *Client
+	digest uint64
+	nb     int
+}
+
+func (b *bound) Expand(ctx context.Context, req *shard.ExpandRequest) (*shard.ExpandResponse, error) {
+	payload, err := b.c.call(ctx, "expand", req.Block, msgExpand, encodeExpand(b.digest, req), msgExpandOK)
+	if err != nil {
+		return nil, err
+	}
+	return decodeExpandOK(payload)
+}
+
+func (b *bound) Verify(ctx context.Context, req *shard.VerifyRequest) (*shard.VerifyResponse, error) {
+	payload, err := b.c.call(ctx, "verify", -1, msgVerify, encodeVerify(b.digest, req), msgVerifyOK)
+	if err != nil {
+		return nil, err
+	}
+	return decodeVerifyOK(payload)
+}
+
+// --- health / readiness ---
+
+// CoverageFloor estimates the fraction of blocks that at least one
+// non-open-breaker peer serves — the coordinator is ready iff this is
+// above zero (a partial fleet degrades; an empty one cannot answer at
+// all).
+func (c *Client) CoverageFloor() float64 {
+	healthy := c.healthyPeers()
+	if len(healthy) == 0 {
+		return 0
+	}
+	for _, p := range healthy {
+		if p.spec.All {
+			return 1
+		}
+	}
+	nb := int(c.knownBlocks.Load())
+	if nb <= 0 {
+		// Block count unknown (no plan bound, no hello yet): some peer is
+		// healthy, so the only readiness-relevant signal — zero — is off.
+		return 1
+	}
+	covered := 0
+	for b := 0; b < nb; b++ {
+		for _, p := range healthy {
+			if p.spec.Covers(b) {
+				covered++
+				break
+			}
+		}
+	}
+	return float64(covered) / float64(nb)
+}
+
+func (c *Client) healthyPeers() []*peer {
+	var out []*peer
+	for _, p := range c.peers {
+		// Probeable, not State(): an open breaker whose cooldown elapsed
+		// will admit the next query's probe, so that peer still counts
+		// toward the floor — otherwise an idle coordinator would report
+		// not-ready forever after an outage no query has re-tested.
+		if p.breaker.Probeable() {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Health snapshots every peer for /stats.
+func (c *Client) Health() []PeerHealth {
+	out := make([]PeerHealth, 0, len(c.peers))
+	for _, p := range c.peers {
+		state := "healthy"
+		switch p.breaker.State() {
+		case retry.Open:
+			state = "open-breaker"
+		case retry.HalfOpen:
+			state = "degraded"
+		default:
+			if p.breaker.Fails() > 0 {
+				state = "degraded"
+			}
+		}
+		out = append(out, PeerHealth{
+			Addr:    p.addr,
+			Blocks:  p.spec.String(),
+			State:   state,
+			Fails:   p.breaker.Fails(),
+			Calls:   p.calls.Load(),
+			LastErr: p.lastError(),
+		})
+	}
+	return out
+}

@@ -1,0 +1,175 @@
+package shardrpc
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// BlockSpec describes which plan blocks a peer serves. Three forms:
+//
+//	all       every block (the replicated default)
+//	0-3,7     an explicit id set (ranges and singletons)
+//	r%m       the modulo form: blocks b with b % m == r — robust to an
+//	          unknown block count, so two processes can split any plan
+//	          with "0%2" and "1%2" without agreeing on numbers first
+type BlockSpec struct {
+	All      bool
+	IDs      []int // sorted, unique; used when !All and Mod == 0
+	Mod, Rem int   // modulo form when Mod > 0
+}
+
+// Covers reports whether the spec includes block b.
+func (s BlockSpec) Covers(b int) bool {
+	if s.All {
+		return true
+	}
+	if s.Mod > 0 {
+		return b%s.Mod == s.Rem
+	}
+	i := sort.SearchInts(s.IDs, b)
+	return i < len(s.IDs) && s.IDs[i] == b
+}
+
+// String renders the spec back in its config form.
+func (s BlockSpec) String() string {
+	if s.All {
+		return "all"
+	}
+	if s.Mod > 0 {
+		return fmt.Sprintf("%d%%%d", s.Rem, s.Mod)
+	}
+	var parts []string
+	for i := 0; i < len(s.IDs); {
+		j := i
+		for j+1 < len(s.IDs) && s.IDs[j+1] == s.IDs[j]+1 {
+			j++
+		}
+		if j > i {
+			parts = append(parts, fmt.Sprintf("%d-%d", s.IDs[i], s.IDs[j]))
+		} else {
+			parts = append(parts, strconv.Itoa(s.IDs[i]))
+		}
+		i = j + 1
+	}
+	return strings.Join(parts, ",")
+}
+
+func parseBlockSpec(s string) (BlockSpec, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "all" {
+		return BlockSpec{All: true}, nil
+	}
+	if i := strings.IndexByte(s, '%'); i >= 0 {
+		r, err1 := strconv.Atoi(strings.TrimSpace(s[:i]))
+		m, err2 := strconv.Atoi(strings.TrimSpace(s[i+1:]))
+		if err1 != nil || err2 != nil || m < 1 || r < 0 || r >= m {
+			return BlockSpec{}, fmt.Errorf("bad modulo block spec %q (want r%%m with 0 <= r < m)", s)
+		}
+		return BlockSpec{Mod: m, Rem: r}, nil
+	}
+	seen := map[int]bool{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		lo, hi := part, part
+		if i := strings.IndexByte(part, '-'); i > 0 {
+			lo, hi = part[:i], part[i+1:]
+		}
+		a, err1 := strconv.Atoi(lo)
+		b, err2 := strconv.Atoi(hi)
+		if err1 != nil || err2 != nil || a < 0 || b < a {
+			return BlockSpec{}, fmt.Errorf("bad block range %q", part)
+		}
+		if b-a > 1<<20 {
+			return BlockSpec{}, fmt.Errorf("block range %q too large", part)
+		}
+		for id := a; id <= b; id++ {
+			seen[id] = true
+		}
+	}
+	if len(seen) == 0 {
+		return BlockSpec{}, fmt.Errorf("empty block spec")
+	}
+	ids := make([]int, 0, len(seen))
+	for id := range seen {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return BlockSpec{IDs: ids}, nil
+}
+
+// Peer is one configured shard server.
+type Peer struct {
+	Addr string
+	Spec BlockSpec
+}
+
+// ParsePeers parses the -shard-peers membership config: entries separated
+// by ';' (or newlines), each "addr" (all blocks) or "addr=blockspec".
+// A leading "@path" reads the same syntax from a file, one entry per
+// line, '#' comments allowed — the static-file form of membership.
+func ParsePeers(spec string) ([]Peer, error) {
+	spec = strings.TrimSpace(spec)
+	if strings.HasPrefix(spec, "@") {
+		data, err := os.ReadFile(spec[1:])
+		if err != nil {
+			return nil, fmt.Errorf("shard peers file: %w", err)
+		}
+		spec = string(data)
+	}
+	var peers []Peer
+	for _, line := range strings.FieldsFunc(spec, func(r rune) bool { return r == ';' || r == '\n' }) {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		entry := Peer{Addr: line, Spec: BlockSpec{All: true}}
+		if i := strings.LastIndexByte(line, '='); i >= 0 {
+			entry.Addr = strings.TrimSpace(line[:i])
+			bs, err := parseBlockSpec(line[i+1:])
+			if err != nil {
+				return nil, err
+			}
+			entry.Spec = bs
+		}
+		if entry.Addr == "" {
+			return nil, fmt.Errorf("shard peer entry %q has no address", line)
+		}
+		peers = append(peers, entry)
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("no shard peers in %q", spec)
+	}
+	return peers, nil
+}
+
+// ParseBlocks resolves a block-spec string ("all", "1-3,7", "0%2") against
+// a plan's block count into the explicit list a Server should answer; nil
+// means all blocks (bigindexd's -shard-blocks flag).
+func ParseBlocks(spec string, n int) ([]int, error) {
+	bs, err := parseBlockSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	if bs.All {
+		return nil, nil
+	}
+	var out []int
+	for b := 0; b < n; b++ {
+		if bs.Covers(b) {
+			out = append(out, b)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("block spec %q matches none of the plan's %d blocks", spec, n)
+	}
+	return out, nil
+}

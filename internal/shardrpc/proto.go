@@ -1,0 +1,397 @@
+// Package shardrpc promotes shard.ShardServer to a network boundary: a
+// Server wraps the in-process shard.Local behind a length-prefixed TCP
+// protocol, and a Client implements shard.ShardServer over a fleet of
+// replica peers with retries, failover, hedging, and per-peer circuit
+// breakers. The protocol inherits the shard package's statelessness —
+// every request is a pure function of the immutable plan — which is what
+// makes every resilience trick sound: a retried, duplicated, or hedged
+// request returns the same answer from any replica (DESIGN.md §9.5).
+//
+// Wire format (all integers little-endian):
+//
+//	frame  = u32 bodyLen | body | u32 crc32(body)   (IEEE CRC over body)
+//	body   = u8 msgType | u64 reqID | payload
+//
+// reqIDs increase per connection; a response frame whose reqID is below
+// the one awaited is a duplicate (injected or retransmitted) and is
+// discarded, one above is a desync and kills the connection. The CRC
+// rejects corrupted frames before any payload is interpreted. Expand and
+// Verify requests carry the graph digest the caller planned against; a
+// peer serving different data answers errStale rather than a wrong
+// answer, so replicas can never silently mix graph versions.
+package shardrpc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"bigindex/internal/graph"
+	"bigindex/internal/search"
+	"bigindex/internal/shard"
+)
+
+// Message types.
+const (
+	msgHello     = 1
+	msgHelloOK   = 2
+	msgExpand    = 3
+	msgExpandOK  = 4
+	msgVerify    = 5
+	msgVerifyOK  = 6
+	msgErr       = 7
+	msgTypeCount = 8
+)
+
+// Remote error codes.
+const (
+	// ErrCodeStale: the peer serves a different graph digest than the
+	// request was planned against.
+	ErrCodeStale = 1
+	// ErrCodeBadRequest: malformed or out-of-range request (not retryable).
+	ErrCodeBadRequest = 2
+	// ErrCodeInternal: the peer failed to serve a well-formed request.
+	ErrCodeInternal = 3
+)
+
+// maxFrame caps a frame body — far above any realistic round, small
+// enough that a corrupted length prefix cannot make a reader allocate
+// gigabytes.
+const maxFrame = 64 << 20
+
+// RemoteError is a structured failure returned by a peer.
+type RemoteError struct {
+	Code int
+	Msg  string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("shardrpc: remote error %d: %s", e.Code, e.Msg)
+}
+
+// HelloInfo is what a peer advertises about the data it serves. The
+// client matches Digest/Blocks/BlockSize against its plan before routing
+// rounds to the peer.
+type HelloInfo struct {
+	Digest    uint64
+	Blocks    int
+	BlockSize int
+	Vertices  int
+}
+
+// frame is one decoded frame.
+type frame struct {
+	msgType byte
+	reqID   uint64
+	payload []byte
+}
+
+// writeFrame writes one frame to w. body is assembled once so the write
+// is a single syscall on an unfragmented path.
+func writeFrame(w io.Writer, msgType byte, reqID uint64, payload []byte) error {
+	body := make([]byte, 9+len(payload))
+	body[0] = msgType
+	binary.LittleEndian.PutUint64(body[1:9], reqID)
+	copy(body[9:], payload)
+
+	buf := make([]byte, 4+len(body)+4)
+	binary.LittleEndian.PutUint32(buf[:4], uint32(len(body)))
+	copy(buf[4:], body)
+	binary.LittleEndian.PutUint32(buf[4+len(body):], crc32.ChecksumIEEE(body))
+	_, err := w.Write(buf)
+	return err
+}
+
+// readFrame reads and validates one frame. Any violation — oversized
+// length, bad CRC, unknown type — is a hard protocol error; the caller
+// must close the connection (there is no way to resynchronize a byte
+// stream after a damaged length prefix).
+func readFrame(r io.Reader) (frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return frame{}, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n < 9 || n > maxFrame {
+		return frame{}, fmt.Errorf("shardrpc: frame length %d out of range", n)
+	}
+	body := make([]byte, n+4)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return frame{}, err
+	}
+	sum := binary.LittleEndian.Uint32(body[n:])
+	body = body[:n]
+	if crc32.ChecksumIEEE(body) != sum {
+		return frame{}, fmt.Errorf("shardrpc: frame CRC mismatch")
+	}
+	if body[0] == 0 || body[0] >= msgTypeCount {
+		return frame{}, fmt.Errorf("shardrpc: unknown message type %d", body[0])
+	}
+	return frame{
+		msgType: body[0],
+		reqID:   binary.LittleEndian.Uint64(body[1:9]),
+		payload: body[9:],
+	}, nil
+}
+
+// enc is an append-based payload encoder.
+type enc struct{ b []byte }
+
+func (e *enc) u8(v byte)    { e.b = append(e.b, v) }
+func (e *enc) u32(v uint32) { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *enc) u64(v uint64) { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *enc) vs(vs []graph.V) {
+	e.u32(uint32(len(vs)))
+	for _, v := range vs {
+		e.u32(uint32(v))
+	}
+}
+func (e *enc) str(s string) {
+	e.u32(uint32(len(s)))
+	e.b = append(e.b, s...)
+}
+
+// dec is a bounds-checked payload decoder; the first violation poisons it
+// and every later read reports failure.
+type dec struct {
+	b   []byte
+	off int
+	bad bool
+}
+
+func (d *dec) fail() { d.bad = true }
+func (d *dec) u8() byte {
+	if d.bad || d.off+1 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+func (d *dec) u32() uint32 {
+	if d.bad || d.off+4 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+func (d *dec) u64() uint64 {
+	if d.bad || d.off+8 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+// count reads a length prefix and sanity-bounds it by the remaining
+// bytes / elemSize so a hostile count cannot drive a huge allocation.
+func (d *dec) count(elemSize int) int {
+	n := int(d.u32())
+	if d.bad {
+		return 0
+	}
+	if n < 0 || n*elemSize > len(d.b)-d.off {
+		d.fail()
+		return 0
+	}
+	return n
+}
+
+func (d *dec) vs() []graph.V {
+	n := d.count(4)
+	if d.bad || n == 0 {
+		return nil
+	}
+	vs := make([]graph.V, n)
+	for i := range vs {
+		vs[i] = graph.V(d.u32())
+	}
+	return vs
+}
+
+func (d *dec) str() string {
+	n := d.count(1)
+	if d.bad || n == 0 {
+		return ""
+	}
+	s := string(d.b[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+func (d *dec) done() error {
+	if d.bad {
+		return fmt.Errorf("shardrpc: truncated or malformed payload")
+	}
+	return nil
+}
+
+// --- payload codecs ---
+
+func encodeHelloOK(info HelloInfo) []byte {
+	var e enc
+	e.u64(info.Digest)
+	e.u32(uint32(info.Blocks))
+	e.u32(uint32(info.BlockSize))
+	e.u64(uint64(info.Vertices))
+	return e.b
+}
+
+func decodeHelloOK(p []byte) (HelloInfo, error) {
+	d := dec{b: p}
+	info := HelloInfo{
+		Digest:    d.u64(),
+		Blocks:    int(d.u32()),
+		BlockSize: int(d.u32()),
+		Vertices:  int(d.u64()),
+	}
+	return info, d.done()
+}
+
+func encodeExpand(digest uint64, req *shard.ExpandRequest) []byte {
+	var e enc
+	e.u64(digest)
+	e.u32(uint32(req.Kw))
+	e.u32(uint32(req.Block))
+	e.u32(uint32(req.Level))
+	e.vs(req.Frontier)
+	return e.b
+}
+
+func decodeExpand(p []byte) (digest uint64, req *shard.ExpandRequest, err error) {
+	d := dec{b: p}
+	digest = d.u64()
+	req = &shard.ExpandRequest{
+		Kw:    int(d.u32()),
+		Block: int(d.u32()),
+	}
+	req.Level = int32(d.u32())
+	req.Frontier = d.vs()
+	return digest, req, d.done()
+}
+
+func encodeExpandOK(resp *shard.ExpandResponse) []byte {
+	var e enc
+	e.u32(uint32(resp.Kw))
+	e.u32(uint32(resp.Block))
+	e.vs(resp.Local)
+	e.u32(uint32(len(resp.Outbox)))
+	for _, m := range resp.Outbox {
+		e.u32(uint32(m.V))
+		e.u32(uint32(m.Block))
+	}
+	e.u32(uint32(resp.Expanded))
+	return e.b
+}
+
+func decodeExpandOK(p []byte) (*shard.ExpandResponse, error) {
+	d := dec{b: p}
+	resp := &shard.ExpandResponse{
+		Kw:    int(d.u32()),
+		Block: int(d.u32()),
+		Local: d.vs(),
+	}
+	n := d.count(8)
+	if n > 0 {
+		resp.Outbox = make([]shard.PortalMsg, n)
+		for i := range resp.Outbox {
+			resp.Outbox[i].V = graph.V(d.u32())
+			resp.Outbox[i].Block = int32(d.u32())
+		}
+	}
+	resp.Expanded = int(d.u32())
+	return resp, d.done()
+}
+
+func encodeVerify(digest uint64, req *shard.VerifyRequest) []byte {
+	var e enc
+	e.u64(digest)
+	e.u32(uint32(req.DMax))
+	e.u32(uint32(len(req.Labels)))
+	for _, l := range req.Labels {
+		e.u32(uint32(l))
+	}
+	e.vs(req.Roots)
+	return e.b
+}
+
+func decodeVerify(p []byte) (digest uint64, req *shard.VerifyRequest, err error) {
+	d := dec{b: p}
+	digest = d.u64()
+	req = &shard.VerifyRequest{DMax: int(d.u32())}
+	n := d.count(4)
+	if n > 0 {
+		req.Labels = make([]graph.Label, n)
+		for i := range req.Labels {
+			req.Labels[i] = graph.Label(d.u32())
+		}
+	}
+	req.Roots = d.vs()
+	return digest, req, d.done()
+}
+
+func encodeVerifyOK(resp *shard.VerifyResponse) []byte {
+	var e enc
+	e.u32(uint32(resp.Verified))
+	e.u32(uint32(len(resp.Matches)))
+	for i := range resp.Matches {
+		m := &resp.Matches[i]
+		e.u32(uint32(m.Root))
+		e.u32(uint32(len(m.Dists)))
+		for _, dv := range m.Dists {
+			e.u32(uint32(dv))
+		}
+		e.vs(m.Nodes)
+	}
+	return e.b
+}
+
+func decodeVerifyOK(p []byte) (*shard.VerifyResponse, error) {
+	d := dec{b: p}
+	resp := &shard.VerifyResponse{Verified: int(d.u32())}
+	n := d.count(4)
+	if n > 0 {
+		resp.Matches = make([]search.Match, 0, n)
+		for i := 0; i < n && !d.bad; i++ {
+			m := search.Match{Root: graph.V(d.u32())}
+			nd := d.count(4)
+			sum := 0
+			if nd > 0 {
+				m.Dists = make([]int, nd)
+				for j := range m.Dists {
+					m.Dists[j] = int(d.u32())
+					sum += m.Dists[j]
+				}
+			}
+			// Score is Σdist by construction on both sides: recomputing
+			// it here keeps floats off the wire with zero drift (small
+			// integer sums are exact in float64).
+			m.Score = float64(sum)
+			m.Nodes = d.vs()
+			resp.Matches = append(resp.Matches, m)
+		}
+	}
+	return resp, d.done()
+}
+
+func encodeErr(code int, msg string) []byte {
+	var e enc
+	e.u8(byte(code))
+	e.str(msg)
+	return e.b
+}
+
+func decodeErr(p []byte) error {
+	d := dec{b: p}
+	re := &RemoteError{Code: int(d.u8()), Msg: d.str()}
+	if err := d.done(); err != nil {
+		return err
+	}
+	return re
+}

@@ -1,0 +1,169 @@
+package shardrpc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"reflect"
+	"testing"
+
+	"bigindex/internal/graph"
+	"bigindex/internal/search"
+	"bigindex/internal/shard"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	for _, payload := range [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte{0xAB}, 4096)} {
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, msgExpand, 42, payload); err != nil {
+			t.Fatal(err)
+		}
+		fr, err := readFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fr.msgType != msgExpand || fr.reqID != 42 || !bytes.Equal(fr.payload, payload) {
+			t.Fatalf("round trip mangled frame: %+v", fr)
+		}
+	}
+}
+
+func TestReadFrameRejectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, msgHelloOK, 7, []byte("payload-bytes")); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Flip one bit in every body byte position in turn: the CRC must
+	// catch each one.
+	for i := 4; i < len(raw)-4; i++ {
+		cp := append([]byte(nil), raw...)
+		cp[i] ^= 0x10
+		if _, err := readFrame(bytes.NewReader(cp)); err == nil {
+			t.Fatalf("corruption at byte %d went undetected", i)
+		}
+	}
+}
+
+func TestReadFrameRejectsHostileHeaders(t *testing.T) {
+	mk := func(bodyLen uint32, body []byte) []byte {
+		out := binary.LittleEndian.AppendUint32(nil, bodyLen)
+		out = append(out, body...)
+		return binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(body))
+	}
+	cases := map[string][]byte{
+		"zero length":      mk(0, nil),
+		"sub-header":       mk(8, bytes.Repeat([]byte{1}, 8)),
+		"oversized length": mk(maxFrame+1, nil),
+		"zero msg type":    mk(9, append([]byte{0}, make([]byte, 8)...)),
+		"unknown msg type": mk(9, append([]byte{msgTypeCount}, make([]byte, 8)...)),
+	}
+	for name, raw := range cases {
+		if _, err := readFrame(bytes.NewReader(raw)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	// Truncated stream: header promises more than arrives.
+	raw := mk(100, nil)
+	if _, err := readFrame(bytes.NewReader(raw)); err == nil {
+		t.Error("truncated stream accepted")
+	}
+}
+
+func TestHelloCodec(t *testing.T) {
+	want := HelloInfo{Digest: 0xDEADBEEFCAFE, Blocks: 17, BlockSize: 200, Vertices: 123456}
+	got, err := decodeHelloOK(encodeHelloOK(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("got %+v want %+v", got, want)
+	}
+}
+
+func TestExpandCodec(t *testing.T) {
+	for _, req := range []*shard.ExpandRequest{
+		{Kw: 2, Block: 5, Level: 3, Frontier: []graph.V{1, 9, 200000}},
+		{Kw: 0, Block: 0, Level: 0, Frontier: nil},
+	} {
+		digest, got, err := decodeExpand(encodeExpand(0x1234, req))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if digest != 0x1234 || !reflect.DeepEqual(got, req) {
+			t.Fatalf("got (%x, %+v) want (1234, %+v)", digest, got, req)
+		}
+	}
+}
+
+func TestExpandOKCodec(t *testing.T) {
+	for _, resp := range []*shard.ExpandResponse{
+		{Kw: 1, Block: 2, Local: []graph.V{3, 4}, Outbox: []shard.PortalMsg{{V: 9, Block: 1}, {V: 10, Block: 0}}, Expanded: 7},
+		{Kw: 0, Block: 0, Local: nil, Outbox: nil, Expanded: 0},
+	} {
+		got, err := decodeExpandOK(encodeExpandOK(resp))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, resp) {
+			t.Fatalf("got %+v want %+v", got, resp)
+		}
+	}
+}
+
+func TestVerifyCodec(t *testing.T) {
+	req := &shard.VerifyRequest{Labels: []graph.Label{1, 2, 3}, DMax: 4, Roots: []graph.V{7, 8}}
+	digest, got, err := decodeVerify(encodeVerify(99, req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if digest != 99 || !reflect.DeepEqual(got, req) {
+		t.Fatalf("got (%d, %+v)", digest, got)
+	}
+}
+
+func TestVerifyOKCodecRecomputesScore(t *testing.T) {
+	resp := &shard.VerifyResponse{
+		Verified: 3,
+		Matches: []search.Match{
+			{Root: 5, Dists: []int{0, 2, 1}, Score: 3, Nodes: []graph.V{5, 6, 7}},
+			{Root: 9, Dists: []int{1}, Score: 1, Nodes: []graph.V{9}},
+		},
+	}
+	got, err := decodeVerifyOK(encodeVerifyOK(resp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, resp) {
+		t.Fatalf("got %+v want %+v", got, resp)
+	}
+}
+
+func TestErrCodec(t *testing.T) {
+	err := decodeErr(encodeErr(ErrCodeStale, "digest mismatch"))
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Code != ErrCodeStale || re.Msg != "digest mismatch" {
+		t.Fatalf("got %v", err)
+	}
+}
+
+// TestDecoderRejectsHostileCounts pins the allocation guard: a length
+// prefix claiming far more elements than the payload holds must fail
+// cleanly instead of allocating gigabytes.
+func TestDecoderRejectsHostileCounts(t *testing.T) {
+	var e enc
+	e.u32(0x7FFFFFFF) // Local count way beyond the bytes that follow
+	e.u32(1)
+	hostile := append(encodeExpandOK(&shard.ExpandResponse{})[:8], e.b...)
+	if _, err := decodeExpandOK(hostile); err == nil {
+		t.Fatal("hostile element count accepted")
+	}
+	// Truncated payloads across every codec.
+	full := encodeExpandOK(&shard.ExpandResponse{Local: []graph.V{1, 2, 3}, Expanded: 3})
+	for cut := 1; cut < len(full); cut++ {
+		if _, err := decodeExpandOK(full[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}

@@ -1,0 +1,239 @@
+package shardrpc
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"sync"
+
+	"bigindex/internal/obs"
+	"bigindex/internal/shard"
+)
+
+// ServerOptions configures a shard server.
+type ServerOptions struct {
+	// Blocks restricts which plan blocks this server answers (nil: all).
+	// A request for a block outside the set is refused with
+	// ErrCodeBadRequest — defense in depth against a misrouted
+	// coordinator; routing itself is the client's membership config.
+	Blocks []int
+	// BlockSize is the partition target size advertised in the hello
+	// (0 = shard.DefaultBlockSize). The client cross-checks it so both
+	// sides provably derived the same deterministic partition.
+	BlockSize int
+	// Logger receives per-connection protocol errors. Nil discards.
+	Logger *slog.Logger
+}
+
+// Server serves one plan's blocks over the framed TCP protocol. It is
+// stateless between requests — the wrapped shard.Local is pure — so an
+// abrupt kill loses nothing but the connections.
+type Server struct {
+	plan   *shard.Plan
+	local  *shard.Local
+	digest uint64
+	opt    ServerOptions
+	serves []bool // nil when all blocks are served
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]bool
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer returns a server for plan.
+func NewServer(plan *shard.Plan, opt ServerOptions) *Server {
+	if opt.BlockSize <= 0 {
+		opt.BlockSize = shard.DefaultBlockSize
+	}
+	if opt.Logger == nil {
+		opt.Logger = obs.DiscardLogger()
+	}
+	s := &Server{
+		plan:   plan,
+		local:  shard.NewLocal(plan),
+		digest: plan.Graph().Digest(),
+		opt:    opt,
+		conns:  map[net.Conn]bool{},
+	}
+	if opt.Blocks != nil {
+		s.serves = make([]bool, plan.NumBlocks())
+		for _, b := range opt.Blocks {
+			if b >= 0 && b < len(s.serves) {
+				s.serves[b] = true
+			}
+		}
+	}
+	return s
+}
+
+// Hello reports what this server advertises.
+func (s *Server) Hello() HelloInfo {
+	return HelloInfo{
+		Digest:    s.digest,
+		Blocks:    s.plan.NumBlocks(),
+		BlockSize: s.opt.BlockSize,
+		Vertices:  s.plan.Graph().NumVertices(),
+	}
+}
+
+// Listen binds addr and starts accepting in the background. The returned
+// address is concrete (resolves ":0" test listeners).
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.ServeListener(ln)
+	return ln.Addr(), nil
+}
+
+// ServeListener starts accepting from ln in the background — the hook
+// tests use to interpose a faultio.FaultListener.
+func (s *Server) ServeListener(ln net.Listener) {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// Close stops accepting, closes every connection, and waits for handlers
+// to drain.
+func (s *Server) Close() error {
+	s.shutdown(false)
+	s.wg.Wait()
+	return nil
+}
+
+// Kill closes the listener and every connection abruptly (SO_LINGER 0,
+// so in-flight peers see a reset, not an orderly FIN) and does not wait —
+// the closest an in-process test gets to kill -9. Statelessness makes
+// this safe at any instant: no request leaves partial state behind.
+func (s *Server) Kill() {
+	s.shutdown(true)
+}
+
+func (s *Server) shutdown(abrupt bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for conn := range s.conns {
+		if abrupt {
+			if tc, ok := conn.(*net.TCPConn); ok {
+				tc.SetLinger(0)
+			}
+		}
+		conn.Close()
+	}
+}
+
+func (s *Server) dropConn(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	conn.Close()
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer s.dropConn(conn)
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		fr, err := readFrame(r)
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				s.opt.Logger.Debug("shardrpc: connection dropped", "remote", conn.RemoteAddr(), "err", err)
+			}
+			return
+		}
+		mt, payload := s.handle(fr)
+		if err := writeFrame(w, mt, fr.reqID, payload); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// handle serves one decoded frame. Malformed payloads and digest
+// mismatches come back as structured errors — the connection itself is
+// still in sync (the frame layer validated it), so it stays open.
+func (s *Server) handle(fr frame) (byte, []byte) {
+	switch fr.msgType {
+	case msgHello:
+		return msgHelloOK, encodeHelloOK(s.Hello())
+
+	case msgExpand:
+		digest, req, err := decodeExpand(fr.payload)
+		if err != nil {
+			return msgErr, encodeErr(ErrCodeBadRequest, err.Error())
+		}
+		if digest != s.digest {
+			return msgErr, encodeErr(ErrCodeStale,
+				fmt.Sprintf("graph digest %016x, request planned against %016x", s.digest, digest))
+		}
+		if req.Block < 0 || req.Block >= s.plan.NumBlocks() {
+			return msgErr, encodeErr(ErrCodeBadRequest, fmt.Sprintf("block %d out of range", req.Block))
+		}
+		if s.serves != nil && !s.serves[req.Block] {
+			return msgErr, encodeErr(ErrCodeBadRequest, fmt.Sprintf("block %d not served here", req.Block))
+		}
+		resp, err := s.local.Expand(context.Background(), req)
+		if err != nil {
+			return msgErr, encodeErr(ErrCodeInternal, err.Error())
+		}
+		return msgExpandOK, encodeExpandOK(resp)
+
+	case msgVerify:
+		digest, req, err := decodeVerify(fr.payload)
+		if err != nil {
+			return msgErr, encodeErr(ErrCodeBadRequest, err.Error())
+		}
+		if digest != s.digest {
+			return msgErr, encodeErr(ErrCodeStale,
+				fmt.Sprintf("graph digest %016x, request planned against %016x", s.digest, digest))
+		}
+		resp, err := s.local.Verify(context.Background(), req)
+		if err != nil {
+			return msgErr, encodeErr(ErrCodeInternal, err.Error())
+		}
+		return msgVerifyOK, encodeVerifyOK(resp)
+
+	default:
+		return msgErr, encodeErr(ErrCodeBadRequest, fmt.Sprintf("unexpected message type %d", fr.msgType))
+	}
+}

@@ -63,6 +63,10 @@ func main() {
 		"when the shardnet experiment runs, also write its report here (empty = off)")
 	shardnetDataset := flag.String("shardnet-dataset", "",
 		"dataset for the shardnet experiment (empty = yago-s; the CI smoke uses demo)")
+	fleetObsOut := flag.String("fleetobs-json", "BENCH_fleetobs.json",
+		"when the fleetobs experiment runs, also write its report here (empty = off)")
+	fleetObsDataset := flag.String("fleetobs-dataset", "",
+		"dataset for the fleetobs experiment (empty = yago-s; the CI smoke uses demo)")
 	flag.Parse()
 
 	bench.SetReplayConfig(*workload, *workloadDataset)
@@ -73,6 +77,7 @@ func main() {
 	}
 	bench.SetShardConfig(*shardDataset, workers)
 	bench.SetShardNetConfig(*shardnetDataset)
+	bench.SetFleetObsConfig(*fleetObsDataset)
 
 	if *list {
 		ids := make([]string, 0, len(bench.Experiments))
@@ -183,6 +188,17 @@ func main() {
 		}
 		if len(snReports) > 0 {
 			writeJSON(*shardnetOut, snReports)
+		}
+	}
+	if *fleetObsOut != "" {
+		var foReports []*bench.Report
+		for _, r := range reports {
+			if r.ID == "fleetobs" {
+				foReports = append(foReports, r)
+			}
+		}
+		if len(foReports) > 0 {
+			writeJSON(*fleetObsOut, foReports)
 		}
 	}
 }

@@ -126,6 +126,8 @@ func main() {
 		"serve sharded data-graph execution through these shardrpc peers: 'addr[=blocks];...' or '@file' (one entry per line, # comments); every block needs at least one replica or queries degrade")
 	shardBlockSize := flag.Int("shard-block-size", 0,
 		"partition block size for sharded execution; must match across coordinator and shard servers (0 = default)")
+	shardTelemetrySample := flag.Float64("shard-telemetry-sample", 0.01,
+		"fraction of traced queries that carry distributed-tracing headers over shard RPCs and stitch peer spans/ledgers into /debug/traces (0 disables; answers are byte-identical either way)")
 	flag.Parse()
 
 	logger := obs.NewLogger(os.Stderr, parseLevel(*logLevel), *logFormat == "json")
@@ -192,10 +194,11 @@ func main() {
 			fatal(logger, "bad -shard-peers", err)
 		}
 		shardClient = shardrpc.NewClient(shardrpc.ClientOptions{
-			Peers:     peers,
-			BlockSize: *shardBlockSize,
-			Metrics:   shardrpc.NewMetrics(reg),
-			Logger:    logger,
+			Peers:           peers,
+			BlockSize:       *shardBlockSize,
+			TelemetrySample: *shardTelemetrySample,
+			Metrics:         shardrpc.NewMetrics(reg),
+			Logger:          logger,
 		})
 		defer shardClient.Close()
 		if *shards == 0 {

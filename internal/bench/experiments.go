@@ -37,6 +37,7 @@ var Experiments = map[string]Runner{
 	"obs":         RunObs,
 	"shard":       RunShard,
 	"shardnet":    RunShardNet,
+	"fleetobs":    RunFleetObs,
 	// replay needs a captured workload file (benchrunner -workload) and is
 	// therefore not part of ExperimentOrder / "-exp all".
 	"replay": RunReplay,
@@ -48,7 +49,7 @@ var ExperimentOrder = []string{
 	"fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
 	"fig16", "fig17", "fig18", "fig19",
 	"exp3", "exp4", "headline", "summarizers", "cache", "snapshot", "obs",
-	"shard", "shardnet",
+	"shard", "shardnet", "fleetobs",
 }
 
 // RunTable2 reproduces Table 2: dataset statistics.

@@ -42,6 +42,17 @@ type Ledger struct {
 	layerWork    [MaxLedgerLayers]atomic.Int64
 	shardWork    [MaxLedgerShards]atomic.Int64
 
+	// Remote accounting: work measured *on shard peers* and merged back
+	// via MergeRemote. Kept separate from the local counters because the
+	// coordinator already counts remote expansions in its own ledger (it
+	// sees every ExpandResponse.Expanded); merging peer ledgers into the
+	// local counters would double-count. These fields answer the
+	// complementary question: what did the fleet itself spend.
+	remoteCalls atomic.Int64
+	remoteUnits atomic.Int64
+	remoteCPUUS atomic.Int64
+	remoteAlloc atomic.Int64
+
 	mu   sync.Mutex
 	snap *LedgerSnapshot // set once by Snapshot; later calls reuse it
 }
@@ -60,6 +71,16 @@ type LedgerSnapshot struct {
 	// spread across slots is the query's load balance.
 	ShardWork []int64 `json:"shard_work,omitempty"`
 	WorkUnits int64   `json:"work_units"`
+	// Remote* are sums over the per-call ledgers shard peers shipped back
+	// for this query (telemetry-negotiated fleets only). WorkUnits above
+	// already includes remote expansion work — the coordinator counts
+	// every ExpandResponse it absorbs — so RemoteWorkUnits is the
+	// peer-measured cross-check of that same work, and RemoteCPUUS /
+	// RemoteAllocBytes are cost the coordinator could not see at all.
+	RemoteCalls      int64 `json:"remote_calls,omitempty"`
+	RemoteWorkUnits  int64 `json:"remote_work_units,omitempty"`
+	RemoteCPUUS      int64 `json:"remote_cpu_us,omitempty"`
+	RemoteAllocBytes int64 `json:"remote_alloc_bytes,omitempty"`
 }
 
 // NewLedger starts a ledger, sampling the process CPU and allocation
@@ -129,6 +150,19 @@ func (l *Ledger) AddShardWork(shard int, n int64) {
 	l.shardWork[shard].Add(n)
 }
 
+// MergeRemote folds one shard peer's per-call ledger into the remote
+// accounting. Safe during the query (the local Snapshot freeze happens
+// after evaluation returns). Nil-safe on both sides.
+func (l *Ledger) MergeRemote(s *LedgerSnapshot) {
+	if l == nil || s == nil {
+		return
+	}
+	l.remoteCalls.Add(1)
+	l.remoteUnits.Add(s.WorkUnits)
+	l.remoteCPUUS.Add(s.CPUUS)
+	l.remoteAlloc.Add(s.AllocBytes)
+}
+
 // WorkUnits returns the total work units attributed so far: the sum of
 // the per-layer counters, falling back to the raw expansion count when
 // nothing was layer-attributed (direct evaluation paths).
@@ -193,6 +227,10 @@ func (l *Ledger) Snapshot() *LedgerSnapshot {
 			s.ShardWork[i] = l.shardWork[i].Load()
 		}
 	}
+	s.RemoteCalls = l.remoteCalls.Load()
+	s.RemoteWorkUnits = l.remoteUnits.Load()
+	s.RemoteCPUUS = l.remoteCPUUS.Load()
+	s.RemoteAllocBytes = l.remoteAlloc.Load()
 	l.snap = s
 	return s
 }

@@ -26,6 +26,11 @@ type QueryLogEntry struct {
 	Outcome  string          `json:"outcome"`
 	DurUS    int64           `json:"dur_us"`
 	Cost     *LedgerSnapshot `json:"cost,omitempty"`
+	// PeerAttempts counts shard RPC attempts by peer address for queries
+	// routed over a fleet — the per-query complement of the client's
+	// per-peer metrics (a degraded entry shows which peer burned the
+	// retries).
+	PeerAttempts map[string]int64 `json:"peer_attempts,omitempty"`
 }
 
 // QueryLogOptions configures a QueryLog.

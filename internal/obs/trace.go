@@ -88,7 +88,12 @@ type Span struct {
 	end      time.Time
 	attrs    map[string]any
 	children []*Span
-	dropped  int
+	// remote holds pre-rendered span trees grafted from other processes
+	// (a shard peer's per-call span, shipped back in the RPC response).
+	// They render as ordinary children, so /debug/traces/{id} shows one
+	// stitched cross-process tree.
+	remote  []SpanJSON
+	dropped int
 }
 
 // StartChild starts a nested span. On a nil receiver it returns nil, and
@@ -158,6 +163,27 @@ func (s *Span) SetAttr(key string, v any) *Span {
 	return s
 }
 
+// AttachRemote grafts a pre-rendered span tree (one produced by another
+// process and shipped over the wire) under this span. Remote trees render
+// as ordinary children in snapshots; their start_us/dur_us are the remote
+// process's own measurements, offset from the remote span's start rather
+// than this trace's origin (clock domains differ across processes — the
+// enclosing local span carries the wall-clock envelope). Subject to the
+// same child cap as StartChild. Nil-safe.
+func (s *Span) AttachRemote(sj SpanJSON) *Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	if len(s.children)+len(s.remote) < maxChildren {
+		s.remote = append(s.remote, sj)
+	} else {
+		s.dropped++
+	}
+	s.mu.Unlock()
+	return s
+}
+
 // Ended reports whether End has been called. A nil span reports true —
 // it never runs.
 func (s *Span) Ended() bool {
@@ -205,6 +231,7 @@ func (s *Span) snapshot(origin time.Time) SpanJSON {
 		attrs[k] = v
 	}
 	children := append([]*Span(nil), s.children...)
+	remote := append([]SpanJSON(nil), s.remote...)
 	dropped := s.dropped
 	s.mu.Unlock()
 	if len(attrs) == 0 {
@@ -220,6 +247,7 @@ func (s *Span) snapshot(origin time.Time) SpanJSON {
 	for _, c := range children {
 		out.Children = append(out.Children, c.snapshot(origin))
 	}
+	out.Children = append(out.Children, remote...)
 	return out
 }
 

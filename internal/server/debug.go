@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"bigindex/internal/obs"
+	"bigindex/internal/shardrpc"
 )
 
 // traceSummary is the list-view rendering of a retained trace: everything
@@ -116,6 +117,30 @@ func (s *Server) handleDebugActive(w http.ResponseWriter, r *http.Request) {
 		Count  int               `json:"count"`
 		Active []obs.ActiveQuery `json:"active"`
 	}{len(act), act})
+}
+
+// handleDebugFleet reports the shard fleet as the coordinator sees it:
+// one row per configured peer with its breaker health, advertised
+// identity (digest / blocks / block size), negotiated capabilities, and
+// — for peers speaking the Stats RPC — a live resource and counter
+// snapshot from inside the peer process. 404 when the server has no
+// shard client (single-process deployments have no fleet to report).
+func (s *Server) handleDebugFleet(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	c := s.opt.ShardClient
+	if c == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no shard fleet configured (-shard-peers)"))
+		return
+	}
+	peers := c.FleetSnapshot(r.Context())
+	floor := c.CoverageFloor()
+	writeJSON(w, struct {
+		Peers         []shardrpc.PeerFleetInfo `json:"peers"`
+		CoverageFloor float64                  `json:"coverage_floor"`
+	}{peers, floor})
 }
 
 // debugLayer is one row of /debug/index: the per-layer shape of the

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net/http"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -199,6 +200,88 @@ func TestRemoteShardLossDegradesAndRecovers(t *testing.T) {
 	_, again := get(t, s, path)
 	if again["cached"] != true {
 		t.Fatalf("healthy recomputation was not cached: %v", again["cached"])
+	}
+}
+
+// TestRemoteFleetDebugAndPeerAttribution covers the fleet-facing
+// observability surface at the HTTP layer: /debug/fleet reports the peer
+// with negotiated telemetry and a live Stats snapshot, a traced query
+// leaves a stitched multi-process trace in the flight recorder, and
+// killing the peer yields a degraded response whose coverage block names
+// the failing peer address.
+func TestRemoteFleetDebugAndPeerAttribution(t *testing.T) {
+	ds, idx, plan := remoteIndex(t)
+	srv, addr := startPeer(t, plan)
+	peers, err := shardrpc.ParsePeers(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := shardrpc.NewClient(shardrpc.ClientOptions{
+		Peers:            peers,
+		BlockSize:        64,
+		TelemetrySample:  1,
+		DialTimeout:      100 * time.Millisecond,
+		CallTimeout:      150 * time.Millisecond,
+		MaxAttempts:      2,
+		BreakerThreshold: 1,
+		BreakerCooldown:  300 * time.Millisecond,
+	})
+	t.Cleanup(cl.Close)
+	s := New(idx, ds.Ont, Options{
+		DMax: 3, BlockSize: 64, ShardClient: cl,
+		Debug: DebugOptions{Endpoints: true, Sample: 1},
+	})
+	kw := popularTerm(ds)
+	path := "/query?q=" + kw + "&algo=bkws&shards=2&k=5&layer=0&nocache=1"
+
+	// Fleet view while healthy: the one peer row carries negotiated
+	// telemetry and an in-process stats snapshot.
+	rec, fleet := get(t, s, "/debug/fleet")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/fleet: %d: %s", rec.Code, rec.Body.String())
+	}
+	rows, _ := fleet["peers"].([]interface{})
+	if len(rows) != 1 {
+		t.Fatalf("fleet peers = %v", fleet["peers"])
+	}
+	row, _ := rows[0].(map[string]interface{})
+	if row["addr"] != addr || row["telemetry"] != true {
+		t.Fatalf("fleet row: %v", row)
+	}
+	if st, _ := row["stats"].(map[string]interface{}); st == nil || st["gomaxprocs"].(float64) < 1 {
+		t.Fatalf("fleet row missing stats snapshot: %v", row)
+	}
+
+	// A traced query (recorder keeps everything at Sample 1) must retain a
+	// stitched trace: client rpc span, grafted remote span, fleet-summed
+	// remote cost in the ledger.
+	if rec, _ := get(t, s, path); rec.Code != http.StatusOK {
+		t.Fatalf("query: %d: %s", rec.Code, rec.Body.String())
+	}
+	_, list := get(t, s, "/debug/traces?limit=5")
+	traces, _ := list["traces"].([]interface{})
+	if len(traces) == 0 {
+		t.Fatalf("no retained traces: %v", list)
+	}
+	id, _ := traces[0].(map[string]interface{})["id"].(string)
+	trec, _ := get(t, s, "/debug/traces/"+id)
+	tree := trec.Body.String()
+	for _, wantSub := range []string{`"rpc:expand"`, `"remote:expand"`, `"peer": "` + addr + `"`, `"remote_calls"`} {
+		if !strings.Contains(tree, wantSub) {
+			t.Fatalf("stitched trace %s lacks %s:\n%s", id, wantSub, tree)
+		}
+	}
+
+	// Kill the only peer: the degraded coverage block must name it.
+	srv.Kill()
+	rec, body := get(t, s, path)
+	if rec.Code != http.StatusOK || body["degraded"] != true {
+		t.Fatalf("query after peer loss: %d degraded=%v", rec.Code, body["degraded"])
+	}
+	cov, _ := body["coverage"].(map[string]interface{})
+	failed, _ := cov["failed_peers"].([]interface{})
+	if len(failed) != 1 || failed[0] != addr {
+		t.Fatalf("coverage failed_peers = %v, want [%s]", cov["failed_peers"], addr)
 	}
 }
 

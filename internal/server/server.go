@@ -229,7 +229,7 @@ type Server struct {
 	matches   *obs.CounterVec   // matches returned by algorithm
 	cancelled *obs.CounterVec   // interrupted queries, by reason (deadline/client)
 	degraded  *obs.Counter      // 200s with partial results after a deadline
-	shardLoss *obs.Counter      // 200s degraded by unreachable shard replicas
+	shardLoss *obs.CounterVec   // 200s degraded by unreachable shard replicas, by failing peer
 	coverage  *obs.Histogram    // block-coverage fraction of shard-degraded queries
 	shed      *obs.Counter      // 429s from the load-shedding gate
 	panics    *obs.Counter      // handler panics contained by recoverPanics
@@ -258,7 +258,7 @@ var knownPaths = map[string]bool{
 	"/stats": true, "/metrics": true, "/healthz": true, "/readyz": true,
 	"/admin/reload": true, "/admin/edges": true, "/admin/compact": true,
 	"/debug/traces": true, "/debug/active": true, "/debug/index": true,
-	"/debug/costmodel": true,
+	"/debug/costmodel": true, "/debug/fleet": true,
 }
 
 // New creates a server over a built index.
@@ -345,8 +345,9 @@ func New(idx *core.Index, ont *ontology.Ontology, opt Options) *Server {
 		"Queries interrupted before completion, by reason (deadline, client).", "reason")
 	s.degraded = s.reg.Counter("bigindex_query_degraded_total",
 		"Queries that returned partial results after their deadline expired.")
-	s.shardLoss = s.reg.Counter("bigindex_query_shard_degraded_total",
-		"Queries that completed over surviving shard blocks after replica loss.")
+	s.shardLoss = s.reg.CounterVec("bigindex_query_shard_degraded_total",
+		"Queries that completed over surviving shard blocks after replica loss, by the peer blamed for the loss (\"unknown\" when the transport reported none).",
+		"peer")
 	s.coverage = s.reg.Histogram("bigindex_query_coverage_fraction",
 		"Block-coverage fraction of shard-degraded queries (1.0 = all blocks reached).",
 		[]float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1})
@@ -407,6 +408,7 @@ func New(idx *core.Index, ont *ontology.Ontology, opt Options) *Server {
 		s.mux.HandleFunc("/debug/active", s.handleDebugActive)
 		s.mux.HandleFunc("/debug/index", s.handleDebugIndex)
 		s.mux.HandleFunc("/debug/costmodel", s.handleDebugCostmodel)
+		s.mux.HandleFunc("/debug/fleet", s.handleDebugFleet)
 	}
 	s.handler = obs.Instrument(s.recoverPanics(s.mux), obs.HTTPOptions{
 		Registry:  s.reg,
@@ -608,6 +610,9 @@ type coverageJSON struct {
 	Fraction        float64            `json:"fraction"`
 	PerKeyword      map[string]float64 `json:"per_keyword,omitempty"`
 	RootsUnverified int                `json:"roots_unverified,omitempty"`
+	// FailedPeers names the shard peer addresses every replica attempt
+	// failed against — the operator's "which process do I go restart".
+	FailedPeers []string `json:"failed_peers,omitempty"`
 }
 
 type matchJSON struct {
@@ -978,6 +983,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// feeds the Formula 4 calibration audit.
 	led := obs.NewLedger()
 	ctx = obs.ContextWithLedger(ctx, led)
+	// Per-query shard RPC attempt log: the client records every attempt by
+	// peer address; the query-log entry persists the counts, so a degraded
+	// capture shows which peer burned the retries.
+	var callLog *shardrpc.CallLog
+	if s.opt.ShardClient != nil {
+		callLog = shardrpc.NewCallLog()
+		ctx = shardrpc.ContextWithCallLog(ctx, callLog)
+	}
 
 	algo := orDefault(algoName, "blinks")
 	direct := r.URL.Query().Get("direct") != ""
@@ -1015,16 +1028,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			kws = append(kws, dict.Name(l))
 		}
 		s.opt.QueryLog.Append(obs.QueryLogEntry{
-			TS:       time.Now().UTC(),
-			Keywords: kws,
-			Algo:     algo,
-			K:        k,
-			Layer:    layer,
-			Direct:   direct,
-			Cached:   cached,
-			Outcome:  outcome,
-			DurUS:    elapsed.Microseconds(),
-			Cost:     cost,
+			TS:           time.Now().UTC(),
+			Keywords:     kws,
+			Algo:         algo,
+			K:            k,
+			Layer:        layer,
+			Direct:       direct,
+			Cached:       cached,
+			Outcome:      outcome,
+			DurUS:        elapsed.Microseconds(),
+			Cost:         cost,
+			PeerAttempts: callLog.Snapshot(),
 		})
 	}
 	degradedReason := cr.degraded
@@ -1054,8 +1068,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		if degradedReason == "shards" {
 			// Replica loss: the answer is sound for the covered subgraph
 			// (the coordinator stops settling at the first lossy level) but
-			// some blocks went unreached — the coverage block says which.
-			s.shardLoss.Inc()
+			// some blocks went unreached — the coverage block says which,
+			// and the metric says which peer(s) to go look at.
+			if cr.coverage != nil && len(cr.coverage.FailedPeers) > 0 {
+				for _, peer := range cr.coverage.FailedPeers {
+					s.shardLoss.With(peer).Inc()
+				}
+			} else {
+				s.shardLoss.With("unknown").Inc()
+			}
 			if cr.coverage != nil {
 				s.coverage.Observe(cr.coverage.Fraction)
 			}
@@ -1102,6 +1123,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			LostBlocks:      cr.coverage.LostBlocks,
 			Fraction:        cr.coverage.Fraction,
 			RootsUnverified: cr.coverage.RootsUnverified,
+			FailedPeers:     cr.coverage.FailedPeers,
 		}
 		if len(cr.coverage.PerKeyword) > 0 {
 			cov.PerKeyword = make(map[string]float64, len(cr.coverage.PerKeyword))

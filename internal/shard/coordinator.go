@@ -2,7 +2,9 @@ package shard
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sort"
 	"strconv"
 
 	"bigindex/internal/graph"
@@ -57,6 +59,9 @@ type fleet struct {
 	lost       bool
 	lostByKw   []map[int]bool
 	unverified int
+	// failedPeers unions the peer addresses the transport blamed for the
+	// losses above (see peersOf).
+	failedPeers map[string]bool
 
 	workerWork   []int64
 	expanded     int
@@ -170,10 +175,19 @@ func (f *fleet) buildRequests(lvl int32, frontiers [][]graph.V) []*ExpandRequest
 func (f *fleet) runRound(ctx context.Context, reqs []*ExpandRequest) []*ExpandResponse {
 	f.rounds++
 	f.tasks += len(reqs)
+	// The round span groups this round's RPC spans in the stitched trace
+	// and — because it rides the dispatch context — puts the round index
+	// into /debug/active's current path while the query is blocked here.
+	roundSpan := obs.SpanFromContext(ctx).StartChild("shard-round-" + strconv.Itoa(f.rounds-1))
+	rctx := ctx
+	if roundSpan != nil {
+		roundSpan.SetAttr("round", f.rounds-1).SetAttr("tasks", len(reqs))
+		rctx = obs.ContextWithSpan(ctx, roundSpan)
+	}
 	resps := make([]*ExpandResponse, len(reqs))
 	errs := make([]error, len(reqs))
 	f.c.exec.Map(len(reqs), func(i, worker int) {
-		resp, err := f.c.srv.Expand(ctx, reqs[i])
+		resp, err := f.c.srv.Expand(rctx, reqs[i])
 		if err != nil {
 			errs[i] = err
 			return
@@ -181,6 +195,7 @@ func (f *fleet) runRound(ctx context.Context, reqs []*ExpandRequest) []*ExpandRe
 		resps[i] = resp
 		f.workerWork[worker] += int64(resp.Expanded)
 	})
+	roundSpan.End()
 	for i, err := range errs {
 		if err == nil {
 			continue
@@ -190,18 +205,38 @@ func (f *fleet) runRound(ctx context.Context, reqs []*ExpandRequest) []*ExpandRe
 			// degrades with the context cause, not with coverage loss.
 			continue
 		}
-		f.lose(reqs[i].Kw, reqs[i].Block)
+		f.lose(reqs[i].Kw, reqs[i].Block, err)
 	}
 	return resps
 }
 
-// lose marks a (keyword, block) slot terminally failed.
-func (f *fleet) lose(kw, block int) {
+// lose marks a (keyword, block) slot terminally failed, attributing the
+// loss to the peers the transport blamed.
+func (f *fleet) lose(kw, block int, err error) {
 	f.lost = true
 	if f.lostByKw[kw] == nil {
 		f.lostByKw[kw] = map[int]bool{}
 	}
 	f.lostByKw[kw][block] = true
+	f.losePeers(err)
+}
+
+// losePeers unions the failed-peer addresses out of a transport error.
+// The shard package cannot name shardrpc types (shardrpc imports shard),
+// so attribution goes through the FailedPeers interface the transport's
+// typed error implements; errors from other ShardServer implementations
+// simply carry no attribution.
+func (f *fleet) losePeers(err error) {
+	var pf interface{ FailedPeers() []string }
+	if !errors.As(err, &pf) {
+		return
+	}
+	if f.failedPeers == nil {
+		f.failedPeers = map[string]bool{}
+	}
+	for _, p := range pf.FailedPeers() {
+		f.failedPeers[p] = true
+	}
 }
 
 // absorb queues a response's settlement candidates: in-block neighbors
@@ -250,6 +285,7 @@ func (f *fleet) finish(ctx context.Context, algo string, roots int, earlyStop bo
 			}
 		}
 		cov.loseRoots(f.unverified)
+		cov.losePeers(f.failedPeerList())
 	}
 	if sp := obs.SpanFromContext(ctx); sp != nil {
 		sp.SetAttr("shard_workers", f.c.exec.Workers()).
@@ -262,6 +298,9 @@ func (f *fleet) finish(ctx context.Context, algo string, roots int, earlyStop bo
 		if f.lost || f.unverified > 0 {
 			sp.SetAttr("shard_blocks_lost", len(lostBlocks)).
 				SetAttr("shard_roots_unverified", f.unverified)
+			if peers := f.failedPeerList(); len(peers) > 0 {
+				sp.SetAttr("shard_failed_peers", peers)
+			}
 		}
 	}
 	if m := f.c.met; m != nil {
@@ -497,6 +536,20 @@ func (f *fleet) verifyChunks(ctx context.Context, q []graph.Label, dmax int, roo
 			continue
 		}
 		f.unverified += len(reqs[i].Roots)
+		f.losePeers(err)
 	}
 	return resps
+}
+
+// failedPeerList returns the sorted failed-peer union (nil when empty).
+func (f *fleet) failedPeerList() []string {
+	if len(f.failedPeers) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(f.failedPeers))
+	for p := range f.failedPeers {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
 }

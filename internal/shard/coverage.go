@@ -24,6 +24,10 @@ type Coverage struct {
 	total      int            // blocks in the plan (0 until a loss is recorded)
 	lostByKw   []map[int]bool // query-keyword position -> lost block set
 	unverified int            // candidate roots dropped with their verify chunk
+	// failedPeers is the union of peer addresses implicated in the losses
+	// above (every replica tried before a slot was abandoned) — "which
+	// block" names the damage, "which peer" names the culprit.
+	failedPeers map[string]bool
 }
 
 // NewCoverage returns an empty collector.
@@ -63,6 +67,21 @@ func (c *Coverage) lose(kw, block, nk, total int) {
 	c.lostByKw[kw][block] = true
 }
 
+// losePeers records the peer addresses a loss was attributed to.
+func (c *Coverage) losePeers(peers []string) {
+	if c == nil || len(peers) == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.failedPeers == nil {
+		c.failedPeers = map[string]bool{}
+	}
+	for _, p := range peers {
+		c.failedPeers[p] = true
+	}
+}
+
 // loseRoots records n candidate roots dropped because their verification
 // chunk could not be served.
 func (c *Coverage) loseRoots(n int) {
@@ -99,6 +118,9 @@ type CoverageReport struct {
 	PerKeyword []float64 `json:"per_keyword,omitempty"`
 	// RootsUnverified counts bidir candidate roots dropped unverified.
 	RootsUnverified int `json:"roots_unverified,omitempty"`
+	// FailedPeers lists the shard peer addresses implicated in the loss
+	// (sorted), when the transport reported them.
+	FailedPeers []string `json:"failed_peers,omitempty"`
 }
 
 // Report snapshots the collector; nil when nothing was lost.
@@ -132,6 +154,13 @@ func (c *Coverage) Report() *CoverageReport {
 			r.LostBlocks = append(r.LostBlocks, b)
 		}
 		sort.Ints(r.LostBlocks)
+	}
+	if len(c.failedPeers) > 0 {
+		r.FailedPeers = make([]string, 0, len(c.failedPeers))
+		for p := range c.failedPeers {
+			r.FailedPeers = append(r.FailedPeers, p)
+		}
+		sort.Strings(r.FailedPeers)
 	}
 	return r
 }

@@ -3,8 +3,10 @@ package shardrpc
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"log/slog"
 	"net"
 	"sort"
@@ -40,6 +42,13 @@ type Metrics struct {
 	Hedges       *obs.CounterVec   // outcome: won|lost
 	BreakerOpens *obs.Counter      // closed/half-open -> open transitions
 	Seconds      *obs.HistogramVec // op
+
+	// Per-peer telemetry: the fleet-wide aggregates above answer "is the
+	// RPC layer healthy"; these answer "which peer".
+	PeerCalls          *obs.CounterVec   // peer, op, outcome
+	PeerSeconds        *obs.HistogramVec // peer; exemplars carry trace IDs
+	PeerBytes          *obs.CounterVec   // peer, dir: sent|recv
+	BreakerTransitions *obs.CounterVec   // peer, to: open|half-open|closed
 }
 
 // NewMetrics registers the bigindex_shardrpc_* metrics on reg.
@@ -55,6 +64,14 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 			"Per-peer circuit breaker open transitions."),
 		Seconds: reg.HistogramVec("bigindex_shardrpc_call_seconds",
 			"Shard RPC attempt latency by operation.", nil, "op"),
+		PeerCalls: reg.CounterVec("bigindex_shardrpc_peer_calls_total",
+			"Shard RPC attempts by peer, operation, and outcome.", "peer", "op", "outcome"),
+		PeerSeconds: reg.HistogramVec("bigindex_shardrpc_peer_seconds",
+			"Shard RPC attempt latency by peer, with trace-ID exemplars.", nil, "peer"),
+		PeerBytes: reg.CounterVec("bigindex_shardrpc_peer_bytes_total",
+			"Shard RPC bytes on the wire by peer and direction (frame overhead included).", "peer", "dir"),
+		BreakerTransitions: reg.CounterVec("bigindex_shardrpc_breaker_transitions_total",
+			"Per-peer circuit breaker state transitions by destination state.", "peer", "to"),
 	}
 }
 
@@ -91,6 +108,15 @@ type ClientOptions struct {
 
 	// MaxIdleConns caps pooled connections per peer.
 	MaxIdleConns int
+
+	// TelemetrySample is the head-sampling probability for distributed
+	// tracing: a query whose trace hashes under it carries a telemetry
+	// header on every shard RPC (to peers that negotiated capTelemetry),
+	// and the peers' span/ledger summaries are stitched back into the
+	// query's trace. 0 disables (the default); answers are byte-identical
+	// either way. The decision is a deterministic hash of the trace ID so
+	// every call of one query agrees.
+	TelemetrySample float64
 
 	// Dial replaces net.DialTimeout — the fault-injection hook.
 	Dial func(addr string, timeout time.Duration) (net.Conn, error)
@@ -207,6 +233,9 @@ type peer struct {
 	idle []*pconn
 
 	hello atomic.Pointer[HelloInfo] // cached, cleared on transport error
+	// caps is the capability set negotiated in the last hello; cleared
+	// with the hello cache so a restarted peer renegotiates from scratch.
+	caps  atomic.Uint32
 	calls atomic.Int64
 
 	errMu   sync.Mutex
@@ -272,6 +301,17 @@ type attemptResult struct {
 	peer    *peer
 }
 
+// frameOverhead is the fixed per-frame wire cost beyond the payload:
+// length prefix (4) + type (1) + reqID (8) + CRC (4). Used for the
+// per-peer byte counters, which measure what actually crossed the wire.
+const frameOverhead = 17
+
+func (c *Client) noteBytes(p *peer, dir string, n int) {
+	if m := c.opt.Metrics; m != nil {
+		m.PeerBytes.With(p.addr, dir).Add(int64(frameOverhead + n))
+	}
+}
+
 // attempt performs one request/response exchange against p within
 // timeout. The deadline rides on the socket, so a black-holed peer cannot
 // hold the attempt past its slice.
@@ -287,6 +327,7 @@ func (c *Client) attempt(p *peer, mt byte, payload []byte, wantType byte, timeou
 		pc.conn.Close()
 		return nil, err
 	}
+	c.noteBytes(p, "sent", len(payload))
 	if err := pc.w.Flush(); err != nil {
 		pc.conn.Close()
 		return nil, err
@@ -297,6 +338,7 @@ func (c *Client) attempt(p *peer, mt byte, payload []byte, wantType byte, timeou
 			pc.conn.Close()
 			return nil, err
 		}
+		c.noteBytes(p, "recv", len(fr.payload))
 		if fr.reqID < reqID {
 			continue // duplicate of an older response: drop the frame
 		}
@@ -322,22 +364,43 @@ func (c *Client) attempt(p *peer, mt byte, payload []byte, wantType byte, timeou
 // attemptAsync runs attempt in the background and settles its bookkeeping
 // (breaker, metrics, latency window) itself — so an abandoned hedge or a
 // caller that gave up on the context still updates peer health correctly.
-func (c *Client) attemptAsync(p *peer, op string, mt byte, payload []byte, wantType byte, timeout time.Duration) <-chan attemptResult {
+// The telemetry header is appended here, per attempt, because capability
+// is a per-peer fact: the same call may hit a telemetry-negotiated peer
+// on one attempt and a legacy peer on the failover.
+func (c *Client) attemptAsync(p *peer, op string, mt byte, payload []byte, wantType byte, timeout time.Duration, tel *Telemetry) <-chan attemptResult {
+	if tel != nil {
+		// The tail decision needs the peer's negotiated capabilities; on a
+		// cold peer force the hello now (helloPeer itself passes tel=nil,
+		// so this cannot recurse). Best-effort: if the hello fails, the
+		// attempt below fails the same way.
+		if p.hello.Load() == nil {
+			c.helloPeer(p)
+		}
+		if p.caps.Load()&capTelemetry != 0 {
+			payload = appendTelemetry(payload, tel)
+		}
+	}
 	ch := make(chan attemptResult, 1)
 	go func() {
 		start := time.Now()
 		out, err := c.attempt(p, mt, payload, wantType, timeout)
-		c.settle(p, op, err, time.Since(start))
+		c.settle(p, op, err, time.Since(start), tel)
 		ch <- attemptResult{payload: out, err: err, peer: p}
 	}()
 	return ch
 }
 
-func (c *Client) settle(p *peer, op string, err error, elapsed time.Duration) {
+func (c *Client) settle(p *peer, op string, err error, elapsed time.Duration, tel *Telemetry) {
 	p.calls.Add(1)
 	m := c.opt.Metrics
+	before := p.breaker.State()
 	if m != nil {
 		m.Seconds.With(op).Observe(elapsed.Seconds())
+		traceID := ""
+		if tel != nil {
+			traceID = tel.TraceID
+		}
+		m.PeerSeconds.With(p.addr).ObserveExemplar(elapsed.Seconds(), traceID)
 	}
 	var re *RemoteError
 	switch {
@@ -346,6 +409,7 @@ func (c *Client) settle(p *peer, op string, err error, elapsed time.Duration) {
 		c.lat.observe(elapsed)
 		if m != nil {
 			m.Calls.With(op, "ok").Inc()
+			m.PeerCalls.With(p.addr, op, "ok").Inc()
 		}
 	case errors.As(err, &re):
 		// The peer answered: it is alive, whatever it said. Misrouted or
@@ -355,6 +419,7 @@ func (c *Client) settle(p *peer, op string, err error, elapsed time.Duration) {
 		p.noteErr(err)
 		if m != nil {
 			m.Calls.With(op, "remote_error").Inc()
+			m.PeerCalls.With(p.addr, op, "remote_error").Inc()
 		}
 	default:
 		if opened := p.breaker.Failure(); opened {
@@ -365,8 +430,15 @@ func (c *Client) settle(p *peer, op string, err error, elapsed time.Duration) {
 		}
 		p.noteErr(err)
 		p.hello.Store(nil) // the process may come back with different data
+		p.caps.Store(0)    // ...and different capabilities: renegotiate
 		if m != nil {
 			m.Calls.With(op, "network_error").Inc()
+			m.PeerCalls.With(p.addr, op, "network_error").Inc()
+		}
+	}
+	if m != nil {
+		if after := p.breaker.State(); after != before {
+			m.BreakerTransitions.With(p.addr, after.String()).Inc()
 		}
 	}
 }
@@ -392,15 +464,110 @@ func terminal(err error) bool {
 	return errors.As(err, &re) && re.Code == ErrCodeBadRequest
 }
 
+// PeerFailure is the typed failure of an exhausted call: which block and
+// which peer addresses were attempted before the call gave up. The
+// coordinator unwraps it to attribute coverage loss (and the degraded
+// metric) to the peers that actually failed.
+type PeerFailure struct {
+	Block int
+	Peers []string // unique, in first-attempt order
+	Err   error
+}
+
+func (e *PeerFailure) Error() string {
+	return fmt.Sprintf("shardrpc: block %d unavailable after retries against %v: %v", e.Block, e.Peers, e.Err)
+}
+
+func (e *PeerFailure) Unwrap() error { return e.Err }
+
+// FailedPeers returns the attempted peer addresses — the method the
+// coordinator matches via errors.As to attribute coverage loss without a
+// type dependency on this package.
+func (e *PeerFailure) FailedPeers() []string { return e.Peers }
+
+// CallLog counts shard RPC attempts by peer address for one query. The
+// server installs one in the query context; the client records every
+// attempt (including fired hedges) into it; the query log persists the
+// snapshot. All methods are nil-safe, so the client records
+// unconditionally.
+type CallLog struct {
+	mu       sync.Mutex
+	attempts map[string]int64
+}
+
+// NewCallLog returns an empty per-query attempt log.
+func NewCallLog() *CallLog { return &CallLog{} }
+
+// Record counts one attempt against addr.
+func (cl *CallLog) Record(addr string) {
+	if cl == nil {
+		return
+	}
+	cl.mu.Lock()
+	if cl.attempts == nil {
+		cl.attempts = make(map[string]int64)
+	}
+	cl.attempts[addr]++
+	cl.mu.Unlock()
+}
+
+// Snapshot returns the per-peer attempt counts (nil when empty or on a
+// nil log).
+func (cl *CallLog) Snapshot() map[string]int64 {
+	if cl == nil {
+		return nil
+	}
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if len(cl.attempts) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(cl.attempts))
+	for k, v := range cl.attempts {
+		out[k] = v
+	}
+	return out
+}
+
+type callLogCtxKey struct{}
+
+// ContextWithCallLog installs a per-query attempt log into the context.
+func ContextWithCallLog(ctx context.Context, cl *CallLog) context.Context {
+	if cl == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, callLogCtxKey{}, cl)
+}
+
+// CallLogFromContext returns the context's attempt log, or nil (a valid
+// no-op receiver).
+func CallLogFromContext(ctx context.Context) *CallLog {
+	if ctx == nil {
+		return nil
+	}
+	cl, _ := ctx.Value(callLogCtxKey{}).(*CallLog)
+	return cl
+}
+
+// callMeta reports how a successful call was served: the answering peer
+// and how many attempts (first try included) the call burned — span
+// attributes for the stitched trace.
+type callMeta struct {
+	peer     string
+	attempts int
+	hedged   bool
+}
+
 // call runs one idempotent exchange against block's replicas until it
 // succeeds, the budget runs out, or every attempt is spent. The caller's
 // remaining context budget is carved evenly across the attempts still
 // available, floored at MinAttemptTimeout — so one black-holed replica
 // cannot eat the whole deadline that failover needed.
-func (c *Client) call(ctx context.Context, op string, block int, mt byte, payload []byte, wantType byte) ([]byte, error) {
+func (c *Client) call(ctx context.Context, op string, block int, mt byte, payload []byte, wantType byte, tel *Telemetry) ([]byte, callMeta, error) {
+	meta := callMeta{}
 	replicas := c.replicasFor(block)
 	if len(replicas) == 0 {
-		return nil, fmt.Errorf("shardrpc: no peer serves block %d", block)
+		return nil, meta, fmt.Errorf("shardrpc: no peer serves block %d", block)
 	}
 	maxAttempts := c.opt.MaxAttempts
 	if n := 2 * len(replicas); maxAttempts < n {
@@ -416,10 +583,12 @@ func (c *Client) call(ctx context.Context, op string, block int, mt byte, payloa
 	}
 	bo := retry.New(c.opt.Backoff)
 	start := int(c.rr.Add(1))
+	cl := CallLogFromContext(ctx)
 	var lastErr error
+	var tried []string
 	for attempt := 0; attempt < maxAttempts; attempt++ {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return nil, meta, err
 		}
 		remaining := time.Until(budgetEnd)
 		if remaining <= 0 {
@@ -435,21 +604,36 @@ func (c *Client) call(ctx context.Context, op string, block int, mt byte, payloa
 		}
 		if p == nil {
 			lastErr = fmt.Errorf("shardrpc: all %d replicas of block %d have open breakers", len(replicas), block)
+			for _, r := range replicas {
+				tried = appendPeerOnce(tried, r.addr)
+			}
 			break
 		}
 		if attempt > 0 && c.opt.Metrics != nil {
 			c.opt.Metrics.Retries.Inc()
 		}
+		cl.Record(p.addr)
+		tried = appendPeerOnce(tried, p.addr)
 		slice := attemptSlice(remaining, maxAttempts-attempt, c.opt.MinAttemptTimeout)
-		res := c.oneAttempt(ctx, p, replicas, op, mt, payload, wantType, slice, attempt == 0)
+		// The attempt span exists so /debug/active's current path names the
+		// peer a blocked query is waiting on ("…>rpc:expand>peer:<addr>").
+		attemptSpan := obs.SpanFromContext(ctx).StartChild("peer:" + p.addr)
+		res := c.oneAttempt(ctx, p, replicas, op, mt, payload, wantType, slice, attempt == 0, tel, cl)
+		attemptSpan.End()
 		if res.err == nil {
-			return res.payload, nil
+			meta.peer = res.peer.addr
+			meta.attempts = attempt + 1
+			meta.hedged = res.peer != p
+			return res.payload, meta, nil
+		}
+		if res.peer != nil {
+			tried = appendPeerOnce(tried, res.peer.addr)
 		}
 		if ctx.Err() != nil {
-			return nil, ctx.Err()
+			return nil, meta, ctx.Err()
 		}
 		if terminal(res.err) {
-			return nil, res.err
+			return nil, meta, res.err
 		}
 		lastErr = res.err
 		// Backoff before the next attempt — full jitter, skipped when the
@@ -463,7 +647,7 @@ func (c *Client) call(ctx context.Context, op string, block int, mt byte, payloa
 			select {
 			case <-ctx.Done():
 				t.Stop()
-				return nil, ctx.Err()
+				return nil, meta, ctx.Err()
 			case <-t.C:
 			}
 		}
@@ -474,7 +658,16 @@ func (c *Client) call(ctx context.Context, op string, block int, mt byte, payloa
 			lastErr = fmt.Errorf("shardrpc: call budget exhausted")
 		}
 	}
-	return nil, fmt.Errorf("shardrpc: block %d unavailable after retries: %w", block, lastErr)
+	return nil, meta, &PeerFailure{Block: block, Peers: tried, Err: lastErr}
+}
+
+func appendPeerOnce(peers []string, addr string) []string {
+	for _, a := range peers {
+		if a == addr {
+			return peers
+		}
+	}
+	return append(peers, addr)
 }
 
 // attemptSlice carves the per-attempt deadline from the remaining budget.
@@ -496,8 +689,8 @@ func attemptSlice(remaining time.Duration, attemptsLeft int, floor time.Duration
 // is slower than the p99-derived delay, a second replica gets the same
 // pure request and the first answer wins. The loser's goroutine settles
 // its own bookkeeping whenever it finishes.
-func (c *Client) oneAttempt(ctx context.Context, p *peer, replicas []*peer, op string, mt byte, payload []byte, wantType byte, timeout time.Duration, allowHedge bool) attemptResult {
-	primary := c.attemptAsync(p, op, mt, payload, wantType, timeout)
+func (c *Client) oneAttempt(ctx context.Context, p *peer, replicas []*peer, op string, mt byte, payload []byte, wantType byte, timeout time.Duration, allowHedge bool, tel *Telemetry, cl *CallLog) attemptResult {
+	primary := c.attemptAsync(p, op, mt, payload, wantType, timeout, tel)
 	var hedge *peer
 	if allowHedge && c.opt.Hedge {
 		for _, cand := range replicas {
@@ -524,7 +717,8 @@ func (c *Client) oneAttempt(ctx context.Context, p *peer, replicas []*peer, op s
 		return attemptResult{err: ctx.Err()}
 	case <-timer.C:
 	}
-	second := c.attemptAsync(hedge, op, mt, payload, wantType, timeout)
+	cl.Record(hedge.addr)
+	second := c.attemptAsync(hedge, op, mt, payload, wantType, timeout, tel)
 	var firstErr attemptResult
 	for i := 0; i < 2; i++ {
 		var res attemptResult
@@ -612,14 +806,17 @@ func (c *Client) helloPeer(p *peer) (HelloInfo, error) {
 	if info := p.hello.Load(); info != nil {
 		return *info, nil
 	}
-	res := <-c.attemptAsync(p, "hello", msgHello, nil, msgHelloOK, c.opt.DialTimeout)
+	res := <-c.attemptAsync(p, "hello", msgHello, encodeHello(localCaps), msgHelloOK, c.opt.DialTimeout, nil)
 	if res.err != nil {
 		return HelloInfo{}, res.err
 	}
-	info, err := decodeHelloOK(res.payload)
+	info, caps, err := decodeHelloOKCaps(res.payload)
 	if err != nil {
 		return HelloInfo{}, err
 	}
+	// Store caps before hello: readers treat a cached hello as "negotiated",
+	// so the capability set must already be visible when they see it.
+	p.caps.Store(caps)
 	p.hello.Store(&info)
 	c.knownBlocks.Store(int64(info.Blocks))
 	return info, nil
@@ -665,19 +862,103 @@ type bound struct {
 }
 
 func (b *bound) Expand(ctx context.Context, req *shard.ExpandRequest) (*shard.ExpandResponse, error) {
-	payload, err := b.c.call(ctx, "expand", req.Block, msgExpand, encodeExpand(b.digest, req), msgExpandOK)
+	tel := b.c.telemetryFor(ctx)
+	rpcSpan := obs.SpanFromContext(ctx).StartChild("rpc:expand")
+	if rpcSpan != nil {
+		ctx = obs.ContextWithSpan(ctx, rpcSpan)
+	}
+	payload, meta, err := b.c.call(ctx, "expand", req.Block, msgExpand, encodeExpand(b.digest, req), msgExpandOK, tel)
 	if err != nil {
+		rpcSpan.SetAttr("error", err.Error()).End()
 		return nil, err
 	}
-	return decodeExpandOK(payload)
+	resp, summary, derr := decodeExpandOKFull(payload)
+	b.finishRPC(ctx, rpcSpan, req.Block, meta, summary)
+	if derr != nil {
+		return nil, derr
+	}
+	return resp, nil
 }
 
 func (b *bound) Verify(ctx context.Context, req *shard.VerifyRequest) (*shard.VerifyResponse, error) {
-	payload, err := b.c.call(ctx, "verify", -1, msgVerify, encodeVerify(b.digest, req), msgVerifyOK)
+	tel := b.c.telemetryFor(ctx)
+	rpcSpan := obs.SpanFromContext(ctx).StartChild("rpc:verify")
+	if rpcSpan != nil {
+		ctx = obs.ContextWithSpan(ctx, rpcSpan)
+	}
+	payload, meta, err := b.c.call(ctx, "verify", -1, msgVerify, encodeVerify(b.digest, req), msgVerifyOK, tel)
 	if err != nil {
+		rpcSpan.SetAttr("error", err.Error()).End()
 		return nil, err
 	}
-	return decodeVerifyOK(payload)
+	resp, summary, derr := decodeVerifyOKFull(payload)
+	b.finishRPC(ctx, rpcSpan, -1, meta, summary)
+	if derr != nil {
+		return nil, derr
+	}
+	return resp, nil
+}
+
+// finishRPC closes the client-side RPC span with routing attributes and,
+// when the peer shipped a telemetry summary back, grafts the remote span
+// tree under it and folds the remote ledger into the query's ledger. A
+// malformed summary is dropped silently — stitching is best-effort and
+// must never affect the answer.
+func (b *bound) finishRPC(ctx context.Context, rpcSpan *obs.Span, block int, meta callMeta, summary []byte) {
+	if rpcSpan != nil {
+		rpcSpan.SetAttr("peer", meta.peer)
+		if block >= 0 {
+			rpcSpan.SetAttr("block", block)
+		}
+		if meta.attempts > 1 {
+			rpcSpan.SetAttr("attempts", meta.attempts)
+		}
+		if meta.hedged {
+			rpcSpan.SetAttr("hedged", true)
+		}
+	}
+	if len(summary) > 0 {
+		var sum RemoteSummary
+		if err := json.Unmarshal(summary, &sum); err == nil {
+			if rpcSpan != nil && sum.Span != nil {
+				rpcSpan.AttachRemote(*sum.Span)
+			}
+			obs.LedgerFromContext(ctx).MergeRemote(sum.Ledger)
+		}
+	}
+	rpcSpan.End()
+}
+
+// telemetryFor decides, per query, whether this call carries a telemetry
+// header: there must be a span in the context (no trace, nothing to
+// stitch into), sampling must be enabled, and the trace ID must hash
+// under the sampling probability — deterministically, so every RPC of one
+// query makes the same decision and a trace is either fully stitched or
+// not at all.
+func (c *Client) telemetryFor(ctx context.Context) *Telemetry {
+	if c.opt.TelemetrySample <= 0 {
+		return nil
+	}
+	sp := obs.SpanFromContext(ctx)
+	if sp == nil {
+		return nil
+	}
+	tid := sp.Trace().ID()
+	if tid == "" {
+		return nil
+	}
+	if c.opt.TelemetrySample < 1 && !sampleHash(tid, c.opt.TelemetrySample) {
+		return nil
+	}
+	return &Telemetry{TraceID: tid, ParentSpan: sp.Name(), Sampled: true}
+}
+
+// sampleHash maps id through FNV-1a onto [0,1) and compares against the
+// sampling probability.
+func sampleHash(id string, p float64) bool {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return float64(h.Sum64())/float64(^uint64(0)) < p
 }
 
 // --- health / readiness ---
@@ -725,6 +1006,67 @@ func (c *Client) healthyPeers() []*peer {
 			out = append(out, p)
 		}
 	}
+	return out
+}
+
+// PeerFleetInfo is one peer's entry in a fleet snapshot: its health, the
+// identity it advertised in hello (digest/blocks/block size), the
+// capabilities it negotiated, and — when it speaks capStats — the live
+// resource/counter snapshot its Stats RPC returned.
+type PeerFleetInfo struct {
+	PeerHealth
+	Digest    string     `json:"digest,omitempty"`
+	NumBlocks int        `json:"num_blocks,omitempty"`
+	BlockSize int        `json:"block_size,omitempty"`
+	Telemetry bool       `json:"telemetry"`
+	Stats     *StatsInfo `json:"stats,omitempty"`
+	StatsErr  string     `json:"stats_error,omitempty"`
+}
+
+// FleetSnapshot polls every configured peer — hello (cached when fresh)
+// plus a Stats RPC where the peer negotiated capStats — and returns one
+// entry per peer, in configuration order. Peers are polled concurrently;
+// an unreachable peer contributes its health row with the error, never a
+// failure of the snapshot. Backs GET /debug/fleet.
+func (c *Client) FleetSnapshot(ctx context.Context) []PeerFleetInfo {
+	health := c.Health()
+	out := make([]PeerFleetInfo, len(c.peers))
+	var wg sync.WaitGroup
+	for i, p := range c.peers {
+		out[i] = PeerFleetInfo{PeerHealth: health[i]}
+		wg.Add(1)
+		go func(i int, p *peer) {
+			defer wg.Done()
+			info, err := c.helloPeer(p)
+			if err != nil {
+				out[i].StatsErr = err.Error()
+				return
+			}
+			out[i].Digest = fmt.Sprintf("%016x", info.Digest)
+			out[i].NumBlocks = info.Blocks
+			out[i].BlockSize = info.BlockSize
+			caps := p.caps.Load()
+			out[i].Telemetry = caps&capTelemetry != 0
+			if caps&capStats == 0 {
+				// Pre-capability peer: msgStats would kill its connection
+				// (old readFrame treats unknown types as protocol errors),
+				// so don't even ask.
+				return
+			}
+			res := <-c.attemptAsync(p, "stats", msgStats, nil, msgStatsOK, c.opt.DialTimeout, nil)
+			if res.err != nil {
+				out[i].StatsErr = res.err.Error()
+				return
+			}
+			st, err := decodeStatsOK(res.payload)
+			if err != nil {
+				out[i].StatsErr = err.Error()
+				return
+			}
+			out[i].Stats = &st
+		}(i, p)
+	}
+	wg.Wait()
 	return out
 }
 

@@ -23,6 +23,7 @@ package shardrpc
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -32,7 +33,10 @@ import (
 	"bigindex/internal/shard"
 )
 
-// Message types.
+// Message types. msgStats/msgStatsOK postdate the first protocol
+// release: a pre-capability peer's readFrame rejects them as unknown
+// types and kills the connection, so the client only ever sends msgStats
+// to a peer that advertised capStats in the hello exchange.
 const (
 	msgHello     = 1
 	msgHelloOK   = 2
@@ -41,7 +45,31 @@ const (
 	msgVerify    = 5
 	msgVerifyOK  = 6
 	msgErr       = 7
-	msgTypeCount = 8
+	msgStats     = 8
+	msgStatsOK   = 9
+	msgTypeCount = 10
+
+	// legacyMsgTypeCount is where the pre-capability protocol ended;
+	// ServerOptions.LegacyProto emulates that vintage for compat tests.
+	legacyMsgTypeCount = 8
+)
+
+// Capability bits, negotiated in the hello exchange. The client sends its
+// capability set as the (previously empty) hello payload; the server
+// answers with the intersection appended to the HelloOK payload. Both
+// sides treat a missing set as zero, so a new client interoperates with a
+// pre-capability server and vice versa: optional protocol features only
+// engage when both ends advertised them.
+const (
+	// capTelemetry: Expand/Verify requests may carry a telemetry tail
+	// (trace ID, parent span, sampling decision) and responses to such
+	// requests carry a remote span/ledger summary tail.
+	capTelemetry = 1 << 0
+	// capStats: the peer answers the msgStats resource/health probe.
+	capStats = 1 << 1
+
+	// localCaps is everything this build supports.
+	localCaps = capTelemetry | capStats
 )
 
 // Remote error codes.
@@ -394,4 +422,278 @@ func decodeErr(p []byte) error {
 		return err
 	}
 	return re
+}
+
+// --- capability / telemetry tails ---
+//
+// Optional protocol extensions ride as *tails* appended after a message's
+// base payload. Base decoders consume exactly the base fields and ignore
+// trailing bytes (dec.done checks well-formedness, not full consumption),
+// which is the whole backward-compatibility story: a pre-capability peer
+// decodes the base and never notices the tail, and a tail that fails to
+// parse is dropped — never an error — so telemetry can degrade but the
+// answer path cannot.
+
+// encodeHello renders the client's capability advertisement. A
+// pre-capability client sends an empty hello payload, which decodes as
+// caps 0.
+func encodeHello(caps uint32) []byte {
+	var e enc
+	e.u32(caps)
+	return e.b
+}
+
+// decodeHelloCaps reads the capability set from a hello payload; an
+// empty or malformed payload is a pre-capability client (caps 0).
+func decodeHelloCaps(p []byte) uint32 {
+	if len(p) < 4 {
+		return 0
+	}
+	d := dec{b: p}
+	return d.u32()
+}
+
+// encodeHelloOKCaps is encodeHelloOK with the negotiated capability set
+// appended as a tail. Old clients decode the base fields and ignore it.
+func encodeHelloOKCaps(info HelloInfo, caps uint32) []byte {
+	b := encodeHelloOK(info)
+	var e enc
+	e.b = b
+	e.u32(caps)
+	return e.b
+}
+
+// decodeHelloOKCaps decodes a HelloOK plus the optional capability tail
+// (0 when the server predates capabilities or the tail is malformed).
+func decodeHelloOKCaps(p []byte) (HelloInfo, uint32, error) {
+	d := dec{b: p}
+	info := HelloInfo{
+		Digest:    d.u64(),
+		Blocks:    int(d.u32()),
+		BlockSize: int(d.u32()),
+		Vertices:  int(d.u64()),
+	}
+	if err := d.done(); err != nil {
+		return HelloInfo{}, 0, err
+	}
+	var caps uint32
+	if d.off+4 <= len(d.b) {
+		caps = d.u32()
+	}
+	return info, caps, nil
+}
+
+// Telemetry is the trace context a request carries over the wire when
+// both ends negotiated capTelemetry: enough for the peer to run its own
+// sampled span/ledger and for the coordinator to stitch the result back
+// under the right trace.
+type Telemetry struct {
+	TraceID    string
+	ParentSpan string
+	Sampled    bool
+}
+
+// telMagic guards the telemetry tail: trailing bytes that do not start
+// with it are not a telemetry header and are ignored wholesale, so a
+// future extension (or damage that survived every other check) can never
+// be misread as trace context.
+const telMagic = 0x54454C31 // "TEL1"
+
+// appendTelemetry appends the telemetry tail to a base request payload.
+func appendTelemetry(base []byte, tel *Telemetry) []byte {
+	if tel == nil {
+		return base
+	}
+	e := enc{b: base}
+	e.u32(telMagic)
+	e.str(tel.TraceID)
+	e.str(tel.ParentSpan)
+	if tel.Sampled {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+	return e.b
+}
+
+// decodeTelemetryTail attempts to read a telemetry tail starting at
+// d.off. Any malformation — wrong magic, truncation, oversized strings —
+// returns nil without poisoning d: a broken telemetry header silently
+// drops telemetry, never the request. The caller's base decode already
+// succeeded by the time this runs.
+func decodeTelemetryTail(d *dec) *Telemetry {
+	if d.bad || d.off+4 > len(d.b) {
+		return nil
+	}
+	t := dec{b: d.b, off: d.off}
+	if t.u32() != telMagic {
+		return nil
+	}
+	tel := &Telemetry{TraceID: t.str(), ParentSpan: t.str()}
+	tel.Sampled = t.u8() == 1
+	if t.bad || tel.TraceID == "" || len(tel.TraceID) > 128 || len(tel.ParentSpan) > 256 {
+		return nil
+	}
+	return tel
+}
+
+// decodeExpandFull is decodeExpand plus the optional telemetry tail.
+func decodeExpandFull(p []byte) (digest uint64, req *shard.ExpandRequest, tel *Telemetry, err error) {
+	d := dec{b: p}
+	digest = d.u64()
+	req = &shard.ExpandRequest{
+		Kw:    int(d.u32()),
+		Block: int(d.u32()),
+	}
+	req.Level = int32(d.u32())
+	req.Frontier = d.vs()
+	if err := d.done(); err != nil {
+		return 0, nil, nil, err
+	}
+	return digest, req, decodeTelemetryTail(&d), nil
+}
+
+// decodeVerifyFull is decodeVerify plus the optional telemetry tail.
+func decodeVerifyFull(p []byte) (digest uint64, req *shard.VerifyRequest, tel *Telemetry, err error) {
+	d := dec{b: p}
+	digest = d.u64()
+	req = &shard.VerifyRequest{DMax: int(d.u32())}
+	n := d.count(4)
+	if n > 0 {
+		req.Labels = make([]graph.Label, n)
+		for i := range req.Labels {
+			req.Labels[i] = graph.Label(d.u32())
+		}
+	}
+	req.Roots = d.vs()
+	if err := d.done(); err != nil {
+		return 0, nil, nil, err
+	}
+	return digest, req, decodeTelemetryTail(&d), nil
+}
+
+// appendSummary appends a remote span/ledger summary tail (JSON, see
+// RemoteSummary) to a response payload. Sent only in reply to a request
+// that carried a telemetry tail.
+func appendSummary(base []byte, summary []byte) []byte {
+	if len(summary) == 0 {
+		return base
+	}
+	e := enc{b: base}
+	e.u32(telMagic)
+	e.str(string(summary))
+	return e.b
+}
+
+// decodeSummaryTail reads the optional summary tail at d.off; nil when
+// absent or malformed (telemetry drops, answers do not).
+func decodeSummaryTail(d *dec) []byte {
+	if d.bad || d.off+4 > len(d.b) {
+		return nil
+	}
+	t := dec{b: d.b, off: d.off}
+	if t.u32() != telMagic {
+		return nil
+	}
+	s := t.str()
+	if t.bad || s == "" {
+		return nil
+	}
+	return []byte(s)
+}
+
+// decodeExpandOKFull is decodeExpandOK plus the optional summary tail.
+func decodeExpandOKFull(p []byte) (*shard.ExpandResponse, []byte, error) {
+	d := dec{b: p}
+	resp := &shard.ExpandResponse{
+		Kw:    int(d.u32()),
+		Block: int(d.u32()),
+		Local: d.vs(),
+	}
+	n := d.count(8)
+	if n > 0 {
+		resp.Outbox = make([]shard.PortalMsg, n)
+		for i := range resp.Outbox {
+			resp.Outbox[i].V = graph.V(d.u32())
+			resp.Outbox[i].Block = int32(d.u32())
+		}
+	}
+	resp.Expanded = int(d.u32())
+	if err := d.done(); err != nil {
+		return nil, nil, err
+	}
+	return resp, decodeSummaryTail(&d), nil
+}
+
+// decodeVerifyOKFull is decodeVerifyOK plus the optional summary tail.
+func decodeVerifyOKFull(p []byte) (*shard.VerifyResponse, []byte, error) {
+	d := dec{b: p}
+	resp := &shard.VerifyResponse{Verified: int(d.u32())}
+	n := d.count(4)
+	if n > 0 {
+		resp.Matches = make([]search.Match, 0, n)
+		for i := 0; i < n && !d.bad; i++ {
+			m := search.Match{Root: graph.V(d.u32())}
+			nd := d.count(4)
+			sum := 0
+			if nd > 0 {
+				m.Dists = make([]int, nd)
+				for j := range m.Dists {
+					m.Dists[j] = int(d.u32())
+					sum += m.Dists[j]
+				}
+			}
+			m.Score = float64(sum)
+			m.Nodes = d.vs()
+			resp.Matches = append(resp.Matches, m)
+		}
+	}
+	if err := d.done(); err != nil {
+		return nil, nil, err
+	}
+	return resp, decodeSummaryTail(&d), nil
+}
+
+// --- stats probe ---
+
+// StatsInfo is a shard server's self-report behind the msgStats probe:
+// resource gauges and serve counters the coordinator's /debug/fleet
+// aggregates across the fleet. Carried as JSON — the probe is a debug
+// surface, not a hot path, and JSON lets either side grow fields without
+// another wire rev.
+type StatsInfo struct {
+	Digest       string `json:"digest"`
+	Blocks       int    `json:"blocks"`
+	BlocksServed int    `json:"blocks_served"`
+	Vertices     int    `json:"vertices"`
+	UptimeS      int64  `json:"uptime_s"`
+	Goroutines   int    `json:"goroutines"`
+	HeapBytes    uint64 `json:"heap_bytes"`
+	GOMAXPROCS   int    `json:"gomaxprocs"`
+	Expands      int64  `json:"expands"`
+	Verifies     int64  `json:"verifies"`
+	Errors       int64  `json:"errors"`
+}
+
+func encodeStatsOK(info StatsInfo) []byte {
+	blob, err := json.Marshal(info)
+	if err != nil {
+		blob = []byte("{}")
+	}
+	var e enc
+	e.str(string(blob))
+	return e.b
+}
+
+func decodeStatsOK(p []byte) (StatsInfo, error) {
+	d := dec{b: p}
+	blob := d.str()
+	if err := d.done(); err != nil {
+		return StatsInfo{}, err
+	}
+	var info StatsInfo
+	if err := json.Unmarshal([]byte(blob), &info); err != nil {
+		return StatsInfo{}, fmt.Errorf("shardrpc: stats payload: %w", err)
+	}
+	return info, nil
 }

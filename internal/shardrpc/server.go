@@ -3,12 +3,16 @@ package shardrpc
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"log/slog"
 	"net"
+	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"bigindex/internal/obs"
 	"bigindex/internal/shard"
@@ -25,6 +29,13 @@ type ServerOptions struct {
 	// (0 = shard.DefaultBlockSize). The client cross-checks it so both
 	// sides provably derived the same deterministic partition.
 	BlockSize int
+	// LegacyProto makes the server behave like a pre-capability build:
+	// no capability tail in the hello, telemetry tails ignored, no
+	// summaries, and post-legacy message types kill the connection the
+	// way the old readFrame did. Compatibility tests and mixed-fleet
+	// benches use it to prove a new coordinator interoperates with an
+	// old peer byte for byte.
+	LegacyProto bool
 	// Logger receives per-connection protocol errors. Nil discards.
 	Logger *slog.Logger
 }
@@ -38,6 +49,12 @@ type Server struct {
 	digest uint64
 	opt    ServerOptions
 	serves []bool // nil when all blocks are served
+	start  time.Time
+
+	// Serve counters for the msgStats probe.
+	expands  atomic.Int64
+	verifies atomic.Int64
+	errs     atomic.Int64
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -59,6 +76,7 @@ func NewServer(plan *shard.Plan, opt ServerOptions) *Server {
 		local:  shard.NewLocal(plan),
 		digest: plan.Graph().Digest(),
 		opt:    opt,
+		start:  time.Now(),
 		conns:  map[net.Conn]bool{},
 	}
 	if opt.Blocks != nil {
@@ -179,6 +197,14 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			return
 		}
+		if s.opt.LegacyProto && fr.msgType >= legacyMsgTypeCount {
+			// A pre-capability readFrame rejected unknown types as a hard
+			// protocol error and killed the connection; the emulation must
+			// fail the same way or compat tests would pass vacuously.
+			s.opt.Logger.Debug("shardrpc: legacy emulation dropping connection on unknown type",
+				"remote", conn.RemoteAddr(), "type", fr.msgType)
+			return
+		}
 		mt, payload := s.handle(fr)
 		if err := writeFrame(w, mt, fr.reqID, payload); err != nil {
 			return
@@ -193,12 +219,24 @@ func (s *Server) serveConn(conn net.Conn) {
 // mismatches come back as structured errors — the connection itself is
 // still in sync (the frame layer validated it), so it stays open.
 func (s *Server) handle(fr frame) (byte, []byte) {
+	mt, payload := s.handleMsg(fr)
+	if mt == msgErr {
+		s.errs.Add(1)
+	}
+	return mt, payload
+}
+
+func (s *Server) handleMsg(fr frame) (byte, []byte) {
 	switch fr.msgType {
 	case msgHello:
-		return msgHelloOK, encodeHelloOK(s.Hello())
+		if s.opt.LegacyProto {
+			return msgHelloOK, encodeHelloOK(s.Hello())
+		}
+		clientCaps := decodeHelloCaps(fr.payload)
+		return msgHelloOK, encodeHelloOKCaps(s.Hello(), localCaps&clientCaps)
 
 	case msgExpand:
-		digest, req, err := decodeExpand(fr.payload)
+		digest, req, tel, err := decodeExpandFull(fr.payload)
 		if err != nil {
 			return msgErr, encodeErr(ErrCodeBadRequest, err.Error())
 		}
@@ -212,14 +250,25 @@ func (s *Server) handle(fr frame) (byte, []byte) {
 		if s.serves != nil && !s.serves[req.Block] {
 			return msgErr, encodeErr(ErrCodeBadRequest, fmt.Sprintf("block %d not served here", req.Block))
 		}
-		resp, err := s.local.Expand(context.Background(), req)
+		s.expands.Add(1)
+		ctx, sp, led := s.beginCall(tel, "remote:expand")
+		resp, err := s.local.Expand(ctx, req)
 		if err != nil {
 			return msgErr, encodeErr(ErrCodeInternal, err.Error())
 		}
-		return msgExpandOK, encodeExpandOK(resp)
+		out := encodeExpandOK(resp)
+		if sp != nil {
+			sp.SetAttr("kw", req.Kw).SetAttr("block", req.Block).
+				SetAttr("level", req.Level).SetAttr("frontier", len(req.Frontier)).
+				SetAttr("local", len(resp.Local)).SetAttr("outbox", len(resp.Outbox)).
+				SetAttr("expanded", resp.Expanded)
+			led.AddExpanded(int64(resp.Expanded))
+			out = appendSummary(out, s.endCall(sp, led))
+		}
+		return msgExpandOK, out
 
 	case msgVerify:
-		digest, req, err := decodeVerify(fr.payload)
+		digest, req, tel, err := decodeVerifyFull(fr.payload)
 		if err != nil {
 			return msgErr, encodeErr(ErrCodeBadRequest, err.Error())
 		}
@@ -227,13 +276,96 @@ func (s *Server) handle(fr frame) (byte, []byte) {
 			return msgErr, encodeErr(ErrCodeStale,
 				fmt.Sprintf("graph digest %016x, request planned against %016x", s.digest, digest))
 		}
-		resp, err := s.local.Verify(context.Background(), req)
+		s.verifies.Add(1)
+		ctx, sp, led := s.beginCall(tel, "remote:verify")
+		resp, err := s.local.Verify(ctx, req)
 		if err != nil {
 			return msgErr, encodeErr(ErrCodeInternal, err.Error())
 		}
-		return msgVerifyOK, encodeVerifyOK(resp)
+		out := encodeVerifyOK(resp)
+		if sp != nil {
+			sp.SetAttr("roots", len(req.Roots)).SetAttr("dmax", req.DMax).
+				SetAttr("verified", resp.Verified).SetAttr("matches", len(resp.Matches))
+			led.AddExpanded(int64(resp.Verified))
+			out = appendSummary(out, s.endCall(sp, led))
+		}
+		return msgVerifyOK, out
+
+	case msgStats:
+		if s.opt.LegacyProto {
+			return msgErr, encodeErr(ErrCodeBadRequest, "unexpected message type 8")
+		}
+		return msgStatsOK, encodeStatsOK(s.stats())
 
 	default:
 		return msgErr, encodeErr(ErrCodeBadRequest, fmt.Sprintf("unexpected message type %d", fr.msgType))
+	}
+}
+
+// RemoteSummary is the span/ledger report a shard server appends to a
+// response when the request carried a sampled telemetry tail: the peer's
+// own view of what the call cost, ready for the coordinator to graft.
+type RemoteSummary struct {
+	Span   *obs.SpanJSON       `json:"span,omitempty"`
+	Ledger *obs.LedgerSnapshot `json:"ledger,omitempty"`
+}
+
+// beginCall opens the per-call observability scope when the request
+// carried a sampled telemetry header: a local trace whose root span and
+// ledger ride the context into shard.Local, exactly as a coordinator-side
+// call would carry them. Without telemetry everything stays nil and the
+// call path is the pre-telemetry one.
+func (s *Server) beginCall(tel *Telemetry, name string) (context.Context, *obs.Span, *obs.Ledger) {
+	ctx := context.Background()
+	if s.opt.LegacyProto || tel == nil || !tel.Sampled {
+		return ctx, nil, nil
+	}
+	sp := obs.NewTrace(name).Root()
+	sp.SetAttr("remote_trace_id", tel.TraceID)
+	if tel.ParentSpan != "" {
+		sp.SetAttr("parent_span", tel.ParentSpan)
+	}
+	led := obs.NewLedger()
+	ctx = obs.ContextWithLedger(obs.ContextWithSpan(ctx, sp), led)
+	return ctx, sp, led
+}
+
+// endCall closes the per-call scope and renders the summary tail; a
+// marshal failure drops the summary, never the answer.
+func (s *Server) endCall(sp *obs.Span, led *obs.Ledger) []byte {
+	sp.End()
+	snap := sp.Trace().Snapshot()
+	blob, err := json.Marshal(RemoteSummary{Span: &snap, Ledger: led.Snapshot()})
+	if err != nil {
+		return nil
+	}
+	return blob
+}
+
+// stats snapshots the server's self-report for the msgStats probe.
+func (s *Server) stats() StatsInfo {
+	served := s.plan.NumBlocks()
+	if s.serves != nil {
+		served = 0
+		for _, ok := range s.serves {
+			if ok {
+				served++
+			}
+		}
+	}
+	var mem runtime.MemStats
+	runtime.ReadMemStats(&mem)
+	return StatsInfo{
+		Digest:       fmt.Sprintf("%016x", s.digest),
+		Blocks:       s.plan.NumBlocks(),
+		BlocksServed: served,
+		Vertices:     s.plan.Graph().NumVertices(),
+		UptimeS:      int64(time.Since(s.start).Seconds()),
+		Goroutines:   runtime.NumGoroutine(),
+		HeapBytes:    mem.HeapAlloc,
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		Expands:      s.expands.Load(),
+		Verifies:     s.verifies.Load(),
+		Errors:       s.errs.Load(),
 	}
 }

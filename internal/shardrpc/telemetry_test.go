@@ -1,0 +1,487 @@
+package shardrpc
+
+import (
+	"bufio"
+	"context"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"bigindex/internal/faultio"
+	"bigindex/internal/graph"
+	"bigindex/internal/obs"
+	"bigindex/internal/search"
+	"bigindex/internal/shard"
+)
+
+// tracedCtx returns a context carrying a fresh trace root and ledger,
+// the way the HTTP server arms a query before evaluation.
+func tracedCtx() (context.Context, *obs.Trace, *obs.Ledger) {
+	tr := obs.NewTrace("query")
+	led := obs.NewLedger()
+	ctx := obs.ContextWithSpan(context.Background(), tr.Root())
+	ctx = obs.ContextWithLedger(ctx, led)
+	return ctx, tr, led
+}
+
+// findSpan walks a rendered span tree for the first span with name.
+func findSpan(sj obs.SpanJSON, name string) *obs.SpanJSON {
+	if sj.Name == name {
+		return &sj
+	}
+	for i := range sj.Children {
+		if got := findSpan(sj.Children[i], name); got != nil {
+			return got
+		}
+	}
+	return nil
+}
+
+// TestHelloCapsNegotiation: a current client negotiates the full
+// capability set with a current server, and zero with a legacy one.
+func TestHelloCapsNegotiation(t *testing.T) {
+	g := testGraph(30, 60)
+	plan := testPlan(t, g, 16)
+	_, modern := startServer(t, plan, ServerOptions{})
+	_, legacy := startServer(t, plan, ServerOptions{LegacyProto: true})
+
+	c := NewClient(ClientOptions{Peers: mustPeers(t, modern+";"+legacy)})
+	defer c.Close()
+	for _, p := range c.peers {
+		if _, err := c.helloPeer(p); err != nil {
+			t.Fatalf("hello %s: %v", p.addr, err)
+		}
+	}
+	if got := c.peers[0].caps.Load(); got != localCaps {
+		t.Fatalf("modern peer caps = %#x, want %#x", got, localCaps)
+	}
+	if got := c.peers[1].caps.Load(); got != 0 {
+		t.Fatalf("legacy peer caps = %#x, want 0", got)
+	}
+}
+
+// TestTelemetryStitching runs a traced Expand and Verify at sample rate 1
+// and checks the coordinator-side trace gained the rpc span with routing
+// attrs, the grafted remote span, and the merged remote ledger — while
+// the answers stay byte-identical to the in-process ground truth.
+func TestTelemetryStitching(t *testing.T) {
+	g := testGraph(31, 80)
+	plan := testPlan(t, g, 16)
+	local := shard.NewLocal(plan)
+	_, addr := startServer(t, plan, ServerOptions{})
+
+	c := NewClient(ClientOptions{Peers: mustPeers(t, addr), TelemetrySample: 1})
+	defer c.Close()
+	bnd := c.For(plan)
+
+	ctx, tr, led := tracedCtx()
+	req := &shard.ExpandRequest{Kw: 0, Block: 0, Level: 0, Frontier: seedFrontier(plan, g.DistinctLabels()[0], 0)}
+	want, _ := local.Expand(context.Background(), req)
+	got, err := bnd.Expand(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("telemetry changed the answer\n got: %+v\nwant: %+v", got, want)
+	}
+	vreq := &shard.VerifyRequest{Labels: g.DistinctLabels()[:2], DMax: 3, Roots: []graph.V{0, 1, 2}}
+	vwant, _ := local.Verify(context.Background(), vreq)
+	vgot, err := bnd.Verify(ctx, vreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(vgot, vwant) {
+		t.Fatalf("telemetry changed the verify answer")
+	}
+
+	snap := tr.Snapshot()
+	rpc := findSpan(snap, "rpc:expand")
+	if rpc == nil {
+		t.Fatalf("no rpc:expand span in trace: %+v", snap)
+	}
+	if rpc.Attrs["peer"] != addr {
+		t.Fatalf("rpc span peer attr = %v, want %s", rpc.Attrs["peer"], addr)
+	}
+	if rpc.Attrs["block"] != 0 {
+		t.Fatalf("rpc span block attr = %v, want 0", rpc.Attrs["block"])
+	}
+	remote := findSpan(snap, "remote:expand")
+	if remote == nil {
+		t.Fatalf("no grafted remote:expand span in stitched trace")
+	}
+	if remote.Attrs["remote_trace_id"] != tr.ID() {
+		t.Fatalf("remote span trace id attr = %v, want %s", remote.Attrs["remote_trace_id"], tr.ID())
+	}
+	if findSpan(snap, "remote:verify") == nil {
+		t.Fatalf("no grafted remote:verify span")
+	}
+
+	cost := led.Snapshot()
+	if cost.RemoteCalls != 2 {
+		t.Fatalf("remote calls = %d, want 2", cost.RemoteCalls)
+	}
+	wantUnits := int64(want.Expanded + vwant.Verified)
+	if cost.RemoteWorkUnits != wantUnits {
+		t.Fatalf("remote work units = %d, want %d", cost.RemoteWorkUnits, wantUnits)
+	}
+}
+
+// TestTelemetryByteIdenticalAcrossModes compares Expand/Verify responses
+// across telemetry off, telemetry on, and a mixed fleet where the peer is
+// a legacy build: the standing invariant is byte-identical answers.
+func TestTelemetryByteIdenticalAcrossModes(t *testing.T) {
+	g := testGraph(32, 80)
+	plan := testPlan(t, g, 16)
+	_, modern := startServer(t, plan, ServerOptions{})
+	_, legacy := startServer(t, plan, ServerOptions{LegacyProto: true})
+
+	type mode struct {
+		name   string
+		addr   string
+		sample float64
+	}
+	modes := []mode{
+		{"telemetry-off", modern, 0},
+		{"telemetry-on", modern, 1},
+		{"telemetry-on-legacy-peer", legacy, 1},
+	}
+	var baseline []*shard.ExpandResponse
+	for _, m := range modes {
+		c := NewClient(ClientOptions{Peers: mustPeers(t, m.addr), TelemetrySample: m.sample})
+		bnd := c.For(plan)
+		ctx, _, _ := tracedCtx()
+		var out []*shard.ExpandResponse
+		for b := 0; b < plan.NumBlocks(); b++ {
+			req := &shard.ExpandRequest{Kw: 0, Block: b, Level: 0, Frontier: seedFrontier(plan, g.DistinctLabels()[0], b)}
+			resp, err := bnd.Expand(ctx, req)
+			if err != nil {
+				t.Fatalf("%s block %d: %v", m.name, b, err)
+			}
+			out = append(out, resp)
+		}
+		c.Close()
+		if baseline == nil {
+			baseline = out
+			continue
+		}
+		if !reflect.DeepEqual(out, baseline) {
+			t.Fatalf("%s answers differ from telemetry-off baseline", m.name)
+		}
+	}
+}
+
+// TestOldClientNewServer speaks the pre-capability protocol over a raw
+// TCP connection — empty hello payload, no telemetry tails — and checks
+// the new server's ExpandOK payload is byte-identical to the base
+// encoding: no tail may appear unless the request carried telemetry.
+func TestOldClientNewServer(t *testing.T) {
+	g := testGraph(33, 60)
+	plan := testPlan(t, g, 16)
+	local := shard.NewLocal(plan)
+	srv, addr := startServer(t, plan, ServerOptions{})
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r, w := bufio.NewReader(conn), bufio.NewWriter(conn)
+
+	roundTrip := func(mt byte, reqID uint64, payload []byte) frame {
+		t.Helper()
+		if err := writeFrame(w, mt, reqID, payload); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		fr, err := readFrame(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fr
+	}
+
+	// Old-style hello: nil payload. The base decoder must still read the
+	// HelloOK even though the new server appends a caps tail.
+	fr := roundTrip(msgHello, 1, nil)
+	if fr.msgType != msgHelloOK {
+		t.Fatalf("hello answered with type %d", fr.msgType)
+	}
+	info, err := decodeHelloOK(fr.payload)
+	if err != nil {
+		t.Fatalf("old client cannot decode new HelloOK: %v", err)
+	}
+	if info != srv.Hello() {
+		t.Fatalf("hello info %+v, want %+v", info, srv.Hello())
+	}
+
+	// Old-style expand: no telemetry tail. The response payload must be
+	// byte-for-byte the base encoding.
+	req := &shard.ExpandRequest{Kw: 0, Block: 0, Level: 0, Frontier: seedFrontier(plan, g.DistinctLabels()[0], 0)}
+	fr = roundTrip(msgExpand, 2, encodeExpand(plan.Graph().Digest(), req))
+	if fr.msgType != msgExpandOK {
+		t.Fatalf("expand answered with type %d", fr.msgType)
+	}
+	want, _ := local.Expand(context.Background(), req)
+	if !reflect.DeepEqual(fr.payload, encodeExpandOK(want)) {
+		t.Fatalf("untraced response payload is not the base encoding (tail leaked to an old client)")
+	}
+}
+
+// TestTelemetryTailGarbageIgnored feeds the server expand payloads with
+// damaged trailing bytes — wrong magic, truncated tails, oversized trace
+// IDs — and checks the answer is always the correct base response: a
+// corrupted telemetry header may drop telemetry but never an answer.
+func TestTelemetryTailGarbageIgnored(t *testing.T) {
+	g := testGraph(34, 60)
+	plan := testPlan(t, g, 16)
+	local := shard.NewLocal(plan)
+	srv := NewServer(plan, ServerOptions{})
+
+	req := &shard.ExpandRequest{Kw: 0, Block: 0, Level: 0, Frontier: seedFrontier(plan, g.DistinctLabels()[0], 0)}
+	base := encodeExpand(plan.Graph().Digest(), req)
+	want, _ := local.Expand(context.Background(), req)
+	wantPayload := encodeExpandOK(want)
+
+	goodTail := appendTelemetry(nil, &Telemetry{TraceID: "abc", ParentSpan: "query", Sampled: true})
+	tails := map[string][]byte{
+		"wrong-magic":       {0xde, 0xad, 0xbe, 0xef, 1, 2, 3},
+		"short-garbage":     {0x01},
+		"magic-only":        {0x31, 0x4c, 0x45, 0x54}, // telMagic LE, then nothing
+		"truncated-tail":    goodTail[:len(goodTail)-3],
+		"empty-trace-id":    appendTelemetry(nil, &Telemetry{TraceID: "", Sampled: true}),
+		"oversized-ID":      appendTelemetry(nil, &Telemetry{TraceID: string(make([]byte, 4096)), Sampled: true}),
+		"unsampled-sampled": appendTelemetry(nil, &Telemetry{TraceID: "abc", Sampled: false}),
+	}
+	for name, tail := range tails {
+		payload := append(append([]byte{}, base...), tail...)
+		mt, out := srv.handle(frame{msgType: msgExpand, reqID: 1, payload: payload})
+		if mt != msgExpandOK {
+			t.Fatalf("%s: answered type %d (telemetry damage must not fail the request)", name, mt)
+		}
+		resp, err := decodeExpandOK(out)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(resp, want) {
+			t.Fatalf("%s: corrupted tail corrupted the answer", name)
+		}
+		if !reflect.DeepEqual(out, wantPayload) {
+			// None of these tails is a *valid sampled* header, so no summary
+			// may be appended either.
+			t.Fatalf("%s: response payload gained an unexpected tail", name)
+		}
+	}
+
+	// And the one valid header: same answer, now with a summary tail.
+	payload := append(append([]byte{}, base...), goodTail...)
+	mt, out := srv.handle(frame{msgType: msgExpand, reqID: 2, payload: payload})
+	if mt != msgExpandOK {
+		t.Fatalf("valid tail: answered type %d", mt)
+	}
+	resp, summary, err := decodeExpandOKFull(out)
+	if err != nil || !reflect.DeepEqual(resp, want) {
+		t.Fatalf("valid tail: wrong answer (err=%v)", err)
+	}
+	if len(summary) == 0 {
+		t.Fatalf("valid sampled header produced no summary tail")
+	}
+}
+
+// TestStatsAndFleetSnapshot checks the Stats RPC surfaces serve counters
+// through FleetSnapshot, and that a legacy peer is reported without stats
+// (and never sent the probe, which would kill its connection).
+func TestStatsAndFleetSnapshot(t *testing.T) {
+	g := testGraph(35, 60)
+	plan := testPlan(t, g, 16)
+	_, modern := startServer(t, plan, ServerOptions{})
+	_, legacy := startServer(t, plan, ServerOptions{LegacyProto: true})
+
+	c := NewClient(ClientOptions{Peers: mustPeers(t, modern+"=0%2;"+legacy+"=1%2")})
+	defer c.Close()
+	bnd := c.For(plan)
+	req := &shard.ExpandRequest{Kw: 0, Block: 0, Level: 0, Frontier: seedFrontier(plan, g.DistinctLabels()[0], 0)}
+	if _, err := bnd.Expand(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+
+	fleet := c.FleetSnapshot(context.Background())
+	if len(fleet) != 2 {
+		t.Fatalf("fleet rows = %d, want 2", len(fleet))
+	}
+	mod, leg := fleet[0], fleet[1]
+	if !mod.Telemetry || mod.Stats == nil {
+		t.Fatalf("modern peer row incomplete: %+v", mod)
+	}
+	if mod.Stats.Expands < 1 {
+		t.Fatalf("modern peer stats did not count the expand: %+v", mod.Stats)
+	}
+	if mod.Stats.Digest == "" || mod.Stats.Blocks != plan.NumBlocks() || mod.Stats.GOMAXPROCS == 0 {
+		t.Fatalf("modern peer stats incomplete: %+v", mod.Stats)
+	}
+	if leg.Telemetry || leg.Stats != nil {
+		t.Fatalf("legacy peer must report no telemetry and no stats: %+v", leg)
+	}
+	if leg.Digest == "" || leg.NumBlocks != plan.NumBlocks() {
+		t.Fatalf("legacy peer hello identity missing: %+v", leg)
+	}
+}
+
+// TestCallLogRecordsPeerAttempts routes calls through a context call log
+// with one dead and one live replica: the log must show attempts against
+// both, with the dead peer charged at least one.
+func TestCallLogRecordsPeerAttempts(t *testing.T) {
+	g := testGraph(36, 60)
+	plan := testPlan(t, g, 16)
+	_, live := startServer(t, plan, ServerOptions{})
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr().String()
+	dead.Close()
+
+	c := NewClient(ClientOptions{Peers: mustPeers(t, deadAddr+";"+live)})
+	defer c.Close()
+	bnd := c.For(plan)
+
+	cl := NewCallLog()
+	ctx := ContextWithCallLog(context.Background(), cl)
+	for i := 0; i < 6; i++ {
+		req := &shard.ExpandRequest{Kw: 0, Block: 0, Level: 0, Frontier: seedFrontier(plan, g.DistinctLabels()[0], 0)}
+		if _, err := bnd.Expand(ctx, req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := cl.Snapshot()
+	if snap[live] == 0 {
+		t.Fatalf("live peer unrecorded: %v", snap)
+	}
+	if snap[deadAddr] == 0 {
+		t.Fatalf("dead peer attempts unrecorded: %v", snap)
+	}
+}
+
+// TestPeerFailureAttribution exhausts a single dead replica and checks
+// the terminal error names the block and the peer — what the coordinator
+// unwraps into the coverage report's failed_peers.
+func TestPeerFailureAttribution(t *testing.T) {
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr().String()
+	dead.Close()
+
+	g := testGraph(37, 40)
+	plan := testPlan(t, g, 16)
+	c := NewClient(ClientOptions{Peers: mustPeers(t, deadAddr), CallTimeout: 300 * time.Millisecond})
+	defer c.Close()
+	bnd := c.For(plan)
+	_, err = bnd.Expand(context.Background(), &shard.ExpandRequest{Kw: 0, Block: 1, Frontier: []graph.V{0}})
+	if err == nil {
+		t.Fatal("dead fleet call should fail")
+	}
+	var pf interface{ FailedPeers() []string }
+	if !asPeerFailure(err, &pf) {
+		t.Fatalf("terminal error %T carries no peer attribution: %v", err, err)
+	}
+	peers := pf.FailedPeers()
+	if len(peers) != 1 || peers[0] != deadAddr {
+		t.Fatalf("failed peers = %v, want [%s]", peers, deadAddr)
+	}
+}
+
+// asPeerFailure is errors.As via the interface the coordinator uses.
+func asPeerFailure(err error, target *interface{ FailedPeers() []string }) bool {
+	for err != nil {
+		if pf, ok := err.(interface{ FailedPeers() []string }); ok {
+			*target = pf
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// TestChaosMatrixWithTelemetry re-runs the transient-fault chaos matrix
+// with telemetry at sample rate 1 and a traced, ledgered context: every
+// injected fault — including ones that corrupt the frames carrying
+// telemetry tails — must still yield the byte-identical answer within
+// budget. Telemetry may degrade silently; answers may not.
+func TestChaosMatrixWithTelemetry(t *testing.T) {
+	g := testGraph(38, 90)
+	q := g.DistinctLabels()[:2]
+	want := sequentialAnswer(t, g, q, 5)
+	const deadline = 5 * time.Second
+
+	for _, tc := range chaosMatrix {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			firstOnly := func(i int) *faultio.ConnPlan {
+				if i == 0 {
+					p := tc.plan
+					return &p
+				}
+				return nil
+			}
+			var srvPick, dialPick func(i int) *faultio.ConnPlan
+			if tc.serverSide {
+				srvPick = firstOnly
+			} else {
+				dialPick = firstOnly
+			}
+			_, addr := chaosServer(t, testPlan(t, g, 16), srvPick)
+			var dial func(string, time.Duration) (net.Conn, error)
+			if dialPick != nil {
+				dial = chaosDial(dialPick)
+			}
+			c := NewClient(ClientOptions{
+				Peers:           mustPeers(t, addr),
+				CallTimeout:     500 * time.Millisecond,
+				TelemetrySample: 1,
+				Dial:            dial,
+			})
+			defer c.Close()
+
+			got, cov, err := runQueryTraced(t, g, q, func(p *shard.Plan) shard.ShardServer { return c.For(p) }, deadline)
+			if err != nil {
+				t.Fatalf("query error: %v", err)
+			}
+			if cov != nil {
+				t.Fatalf("transient fault should not degrade: %+v", cov)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("answer differs with telemetry on\n got: %v\nwant: %v", got, want)
+			}
+		})
+	}
+}
+
+// runQueryTraced is chaos_test's runQuery with a trace and ledger in the
+// context, so telemetry heads actually ride the wire.
+func runQueryTraced(t *testing.T, g *graph.Graph, q []graph.Label, factory func(*shard.Plan) shard.ShardServer, timeout time.Duration) ([]search.Match, *shard.CoverageReport, error) {
+	t.Helper()
+	algo := shard.New(shard.ModeBKWS, 4, shard.Options{Workers: 4, BlockSize: 16, Server: factory})
+	prep, err := algo.Prepare(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	cov := shard.NewCoverage()
+	ctx = shard.ContextWithCoverage(ctx, cov)
+	tctx, _, _ := tracedCtx()
+	ctx = obs.ContextWithSpan(ctx, obs.SpanFromContext(tctx))
+	ctx = obs.ContextWithLedger(ctx, obs.LedgerFromContext(tctx))
+	got, err := prep.(interface {
+		SearchCtx(context.Context, []graph.Label, int) ([]search.Match, error)
+	}).SearchCtx(ctx, q, 5)
+	return got, cov.Report(), err
+}

@@ -10,7 +10,14 @@
 #   3. /readyz stays 200 while any block is still reachable;
 #   4. after the shard restarts, answers return to byte-identical healthy
 #      form on their own (breaker half-open probe) and were never served
-#      from a poisoned cache.
+#      from a poisoned cache;
+#   5. with telemetry at sample rate 1, the flight recorder holds a
+#      stitched multi-process trace: the coordinator's span tree contains
+#      remote:expand spans grafted from the (restarted) shard processes;
+#   6. /debug/fleet reports both peers with negotiated telemetry and live
+#      Stats-RPC counters;
+#   7. the fleetobs bench gate passes on the demo dataset (telemetry
+#      overhead budget + byte-identical digests across sampling modes).
 #
 # CI runs this next to shard_smoke.sh; it is also handy locally:
 #
@@ -69,8 +76,12 @@ shard_b_pid=$!
 wait_tcp "$shard_a"
 wait_tcp "$shard_b"
 
+# The coordinator runs with telemetry fully on (debug endpoints, trace
+# everything, sample every shard RPC): the byte-equality assertions below
+# double as the "telemetry never changes answers" invariant.
 "$workdir/bigindexd" -preset demo -addr "$coord" \
   -shard-peers "$shard_a=0%2;$shard_b=1%2" \
+  -debug-endpoints -trace-sample 1 -shard-telemetry-sample 1 \
   >>"$workdir/coord.log" 2>&1 &
 coord_pid=$!
 "$workdir/bigindexd" -preset demo -addr "$local_addr" \
@@ -110,6 +121,8 @@ echo "$degraded" | grep -Eq '"degraded": *true'             || { echo "no degrad
 echo "$degraded" | grep -Eq '"degraded_reason": *"shards"'  || { echo "wrong degraded reason" >&2; exit 1; }
 echo "$degraded" | grep -Eq '"blocks_lost": *[1-9]'         || { echo "coverage claims no lost blocks" >&2; exit 1; }
 echo "$degraded" | grep -Eq '"fraction": *0\.'              || { echo "coverage fraction not in (0,1)" >&2; exit 1; }
+echo "$degraded" | tr -d ' \n' | grep -q "\"failed_peers\":\[[^]]*$shard_b" \
+  || { echo "degraded response does not attribute the dead peer $shard_b" >&2; dump_logs; exit 1; }
 
 # 3. Half the fleet is gone but half still answers: the coordinator must
 # stay ready (draining it would amplify the outage).
@@ -135,4 +148,36 @@ done
   exit 1
 }
 
-echo "shardnet chaos smoke OK: kill degraded honestly (200 + coverage), readiness held, restart restored byte-identical answers"
+# 5. Stitched multi-process trace: the recovered query above ran with
+# trace-sample 1 and shard-telemetry-sample 1, so the flight recorder
+# must hold a trace whose span tree contains remote:expand spans grafted
+# from the shard processes — including the restarted one.
+stitched=""
+for _ in $(seq 1 20); do
+  curl -fsS "http://$coord/$q" >/dev/null
+  for id in $(curl -fsS "http://$coord/debug/traces?limit=10" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p'); do
+    tree=$(curl -fsS "http://$coord/debug/traces/$id" || true)
+    if echo "$tree" | grep -q '"remote:expand"'; then stitched=$tree; break 2; fi
+  done
+  sleep 0.2
+done
+[ -n "$stitched" ] || { echo "no stitched trace with remote:expand spans in the flight recorder" >&2; dump_logs; exit 1; }
+echo "$stitched" | grep -q '"rpc:expand"' || { echo "stitched trace lacks the client-side rpc:expand span" >&2; exit 1; }
+echo "$stitched" | grep -q "\"peer\": *\"$shard_a\"\|\"peer\": *\"$shard_b\"" \
+  || { echo "stitched trace lacks peer attribution" >&2; exit 1; }
+echo "$stitched" | grep -q '"remote_calls"' || { echo "stitched trace ledger lacks fleet-summed remote cost" >&2; exit 1; }
+
+# 6. /debug/fleet: both peers present, telemetry negotiated, live stats.
+fleet=$(curl -fsS "http://$coord/debug/fleet")
+echo "$fleet" | grep -q "\"addr\": *\"$shard_a\"" || { echo "fleet view missing $shard_a" >&2; dump_logs; exit 1; }
+echo "$fleet" | grep -q "\"addr\": *\"$shard_b\"" || { echo "fleet view missing $shard_b" >&2; dump_logs; exit 1; }
+echo "$fleet" | grep -q '"telemetry": *true'      || { echo "fleet view shows no negotiated telemetry" >&2; exit 1; }
+echo "$fleet" | grep -Eq '"expands": *[1-9]'      || { echo "fleet view has no live Stats counters" >&2; exit 1; }
+
+# 7. Telemetry overhead + answer-identity gate on the demo dataset.
+go run ./cmd/benchrunner -exp fleetobs -fleetobs-dataset demo \
+  -json "" -fleetobs-json "$workdir/BENCH_fleetobs.json" >>"$workdir/fleetobs.log" 2>&1 \
+  || { echo "fleetobs bench gate failed" >&2; tail -30 "$workdir/fleetobs.log" >&2; exit 1; }
+grep -q '"fleetobs"' "$workdir/BENCH_fleetobs.json" || { echo "BENCH_fleetobs.json missing fleetobs report" >&2; exit 1; }
+
+echo "shardnet chaos smoke OK: kill degraded honestly (200 + coverage + peer attribution), readiness held, restart restored byte-identical answers, stitched multi-process trace + fleet view + telemetry overhead gate"
